@@ -1,0 +1,70 @@
+//! Generation bench: the Figure-6 algorithm's cost as networks scale, and
+//! the ablation (DESIGN.md §6.2) of the eq.-(1) matrix construction vs the
+//! Figure-1 overlapping-decision-tree construction (same output, very
+//! different constant factors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use radix_net::{overlay_topology, MixedRadixSystem, MixedRadixTopology, RadixNetSpec};
+
+fn bench_radixnet_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/radixnet");
+    for (radix, depth, systems) in [(2usize, 6usize, 4usize), (4, 4, 6), (32, 2, 15)] {
+        let sys = MixedRadixSystem::uniform(radix, depth).unwrap();
+        let spec = RadixNetSpec::extended_mixed_radix(vec![sys; systems]).unwrap();
+        let edges = spec.build().fnnt().num_distinct_edges() as u64;
+        group.throughput(Throughput::Elements(edges));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "n{}_layers{}",
+                spec.n_prime(),
+                spec.total_radices()
+            )),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.build())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_construction_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/mixed_radix_ablation");
+    for radices in [vec![2usize; 8], vec![4; 4], vec![16, 16]] {
+        let sys = MixedRadixSystem::new(radices.clone()).unwrap();
+        let label = format!("{sys}");
+        group.bench_with_input(
+            BenchmarkId::new("eq1_matrix_form", &label),
+            &sys,
+            |b, sys| b.iter(|| black_box(MixedRadixTopology::new(sys.clone()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fig1_tree_overlay", &label),
+            &sys,
+            |b, sys| b.iter(|| black_box(overlay_topology(sys))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_kronecker_step(c: &mut Criterion) {
+    // The eq.-(3) step in isolation: widths scale edge counts by D_{i−1}·D_i.
+    let mut group = c.benchmark_group("generation/kronecker_step");
+    let sys = MixedRadixSystem::uniform(4, 3).unwrap();
+    for widths in [vec![1usize, 1, 1, 1], vec![2, 2, 2, 2], vec![4, 4, 4, 4]] {
+        let spec = RadixNetSpec::new(vec![sys.clone()], widths.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{}", widths[0])),
+            &spec,
+            |b, spec| b.iter(|| black_box(spec.build())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_radixnet_generation, bench_construction_ablation, bench_kronecker_step
+}
+criterion_main!(benches);

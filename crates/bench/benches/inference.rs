@@ -1,0 +1,42 @@
+//! Graph-Challenge inference bench: the `Y ← clamp(ReLU(Y·W + b))` chain
+//! on RadiX-Net networks across the scaled size ladder, under the three
+//! schedules (serial, Rayon row-parallel, crossbeam-pipelined) — DESIGN.md
+//! ablation §6.4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use radix_challenge::{forward_pipelined, ChallengeConfig, ChallengeNetwork};
+use radix_data::sparse_binary_batch;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    let batch = 64usize;
+    for (radix, k, s, label) in [
+        (2usize, 6usize, 4usize, "64n_24l"),
+        (4, 4, 6, "256n_24l"),
+        (32, 2, 15, "1024n_30l"),
+    ] {
+        let config = ChallengeConfig::preset(radix, k, s);
+        let net = ChallengeNetwork::from_config(&config).unwrap();
+        let x = sparse_binary_batch(batch, net.n_in(), 0.5, 7);
+        group.throughput(Throughput::Elements((batch * net.total_nnz()) as u64));
+        group.bench_with_input(BenchmarkId::new("serial", label), &(), |b, ()| {
+            b.iter(|| black_box(net.forward(&x, false)))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", label), &(), |b, ()| {
+            b.iter(|| black_box(net.forward(&x, true)))
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined", label), &(), |b, ()| {
+            b.iter(|| black_box(forward_pipelined(&net, &x, batch / 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Theorem-1 bench: cost of verifying symmetry/path counts.
+//!
+//! Ablation (DESIGN.md §6.3): layer-chained sparse product `W_1⋯W_M` vs
+//! the literal §II criterion, `A^M` of the full block adjacency matrix.
+//! The chained product is the clear winner — the full matrix is
+//! `(ΣD_iN')²` and its powers fill in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use radix_net::{verify_spec, MixedRadixSystem, RadixNetSpec};
+use radix_sparse::ops::matpow;
+
+fn specs() -> Vec<(String, RadixNetSpec)> {
+    let mut out = Vec::new();
+    for (mu, d, label) in [
+        (2usize, 4usize, "nprime16"),
+        (4, 3, "nprime64"),
+        (2, 8, "nprime256"),
+    ] {
+        let sys = MixedRadixSystem::uniform(mu, d).unwrap();
+        let spec = RadixNetSpec::extended_mixed_radix(vec![sys.clone(), sys]).unwrap();
+        out.push((label.to_string(), spec));
+    }
+    out
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1");
+    for (label, spec) in specs() {
+        let net = spec.build();
+        group.bench_with_input(
+            BenchmarkId::new("chain_product", &label),
+            net.fnnt(),
+            |b, fnnt| b.iter(|| black_box(fnnt.check_symmetry())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_adjacency_power", &label),
+            net.fnnt(),
+            |b, fnnt| {
+                b.iter(|| {
+                    let a = fnnt.full_adjacency();
+                    black_box(matpow(&a, fnnt.num_edge_layers()).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end_verify", &label),
+            &spec,
+            |b, spec| b.iter(|| black_box(verify_spec(spec))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_verification
+}
+criterion_main!(benches);

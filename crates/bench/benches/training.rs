@@ -1,0 +1,101 @@
+//! Training bench (companion-work experiment): one epoch of identical
+//! training on RadiX-Net, X-Net, and dense topologies at matched layer
+//! sizes — the runtime-cost half of the paper's "same precision at lower
+//! runtime and storage cost" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use radix_data::digits;
+use radix_net::{MixedRadixSystem, RadixNetSpec};
+use radix_nn::{
+    train_classifier, Activation, Init, Loss, Network, Optimizer, TrainConfig,
+};
+use radix_xnet::{XNetKind, XNetSpec};
+
+fn nets() -> Vec<(String, Network)> {
+    let spec = RadixNetSpec::new(
+        vec![MixedRadixSystem::new([4, 4, 4]).unwrap()],
+        vec![1, 2, 2, 1],
+    )
+    .unwrap();
+    let radix = Network::from_fnnt(
+        spec.build().fnnt(),
+        Activation::Relu,
+        Init::He,
+        Loss::SoftmaxCrossEntropy,
+        1,
+    );
+    let xnet_fnnt = XNetSpec {
+        layer_sizes: vec![64, 128, 128, 64],
+        degree: 8,
+        kind: XNetKind::Random { seed: 5 },
+    }
+    .build()
+    .unwrap();
+    let xnet = Network::from_fnnt(
+        &xnet_fnnt,
+        Activation::Relu,
+        Init::He,
+        Loss::SoftmaxCrossEntropy,
+        2,
+    );
+    let dense = Network::dense(
+        &[64, 128, 128, 64],
+        Activation::Relu,
+        Init::He,
+        Loss::SoftmaxCrossEntropy,
+        3,
+    );
+    vec![
+        ("radixnet".into(), radix),
+        ("xnet".into(), xnet),
+        ("dense".into(), dense),
+    ]
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let data = digits(30, 0.2, 3);
+    let mut group = c.benchmark_group("training/epoch");
+    for (name, net) in nets() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &net, |b, net| {
+            b.iter(|| {
+                let mut n = net.clone();
+                let mut opt = Optimizer::adam(0.005);
+                let config = TrainConfig {
+                    epochs: 1,
+                    batch_size: 32,
+                    seed: 5,
+                    parallel_chunks: 1,
+                    ..TrainConfig::default()
+                };
+                black_box(train_classifier(
+                    &mut n,
+                    &data.x,
+                    &data.labels,
+                    &mut opt,
+                    &config,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let data = digits(30, 0.2, 3);
+    let mut group = c.benchmark_group("training/forward");
+    for (name, net) in nets() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &net, |b, net| {
+            b.iter(|| black_box(net.forward(&data.x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_epoch, bench_forward
+}
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! Batch-synchronous sparse DNN inference — the Graph Challenge kernel.
+//!
+//! The Challenge kernel is, per layer, `Y ← clamp(ReLU(Y·W + b), 0, YMAX)`
+//! with `Y` the batch-major dense activations and `W` a sparse layer. The
+//! reported metric is the edge-processing rate: `batch · Σ nnz(W_l)`
+//! divided by wall time ("input-edges per second").
+
+use std::time::Instant;
+
+use radix_sparse::ops::{dense_spmm, par_dense_spmm};
+use radix_sparse::{CsrMatrix, DenseMatrix};
+
+use crate::config::ChallengeConfig;
+
+/// A Challenge network instance: sparse weight layers plus the scalar
+/// bias/clamp parameters applied uniformly (as in the official benchmark).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChallengeNetwork {
+    layers: Vec<CsrMatrix<f32>>,
+    bias: f32,
+    ymax: f32,
+}
+
+/// Result of one timed inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceStats {
+    /// Wall-clock seconds for the full forward pass.
+    pub seconds: f64,
+    /// Total input edges processed (`batch · Σ nnz(W_l)`).
+    pub edges_processed: u64,
+    /// Edge-processing rate (edges / second), the Challenge metric.
+    pub rate: f64,
+    /// Number of nonzero activations in the final layer output.
+    pub final_active: usize,
+}
+
+impl ChallengeNetwork {
+    /// Builds the network from a configuration: topology from the
+    /// RadiX-Net spec, every edge weighted `config.weight`.
+    ///
+    /// # Errors
+    /// Propagates topology construction errors.
+    pub fn from_config(config: &ChallengeConfig) -> Result<Self, radix_net::RadixError> {
+        let net = config.spec()?.build();
+        let weight = config.weight;
+        let layers = net
+            .fnnt()
+            .submatrices()
+            .iter()
+            .map(|w| w.map(|_| weight))
+            .collect();
+        Ok(ChallengeNetwork {
+            layers,
+            bias: config.bias,
+            ymax: config.ymax,
+        })
+    }
+
+    /// Builds directly from explicit weight layers (for tests and for
+    /// non-RadiX-Net comparisons).
+    ///
+    /// # Panics
+    /// Panics if layers are empty or do not chain.
+    #[must_use]
+    pub fn from_layers(layers: Vec<CsrMatrix<f32>>, bias: f32, ymax: f32) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].ncols(), pair[1].nrows(), "layers must chain");
+        }
+        ChallengeNetwork { layers, bias, ymax }
+    }
+
+    /// The weight layers.
+    #[must_use]
+    pub fn layers(&self) -> &[CsrMatrix<f32>] {
+        &self.layers
+    }
+
+    /// Neurons in the input layer.
+    #[must_use]
+    pub fn n_in(&self) -> usize {
+        self.layers[0].nrows()
+    }
+
+    /// Total stored edges.
+    #[must_use]
+    pub fn total_nnz(&self) -> usize {
+        self.layers.iter().map(CsrMatrix::nnz).sum()
+    }
+
+    /// The uniform bias applied before ReLU at every layer.
+    #[must_use]
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// The activation clamp `YMAX`.
+    #[must_use]
+    pub fn ymax(&self) -> f32 {
+        self.ymax
+    }
+
+    /// Applies bias, ReLU, and the `YMAX` clamp in place — the Challenge
+    /// nonlinearity.
+    fn nonlinearity(&self, y: &mut DenseMatrix<f32>) {
+        let bias = self.bias;
+        let ymax = self.ymax;
+        y.map_inplace(|v| (v + bias).clamp(0.0, ymax));
+    }
+
+    /// Runs the full forward pass, returning final activations.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    #[must_use]
+    pub fn forward(&self, x: &DenseMatrix<f32>, parallel: bool) -> DenseMatrix<f32> {
+        let mut y = x.clone();
+        for w in &self.layers {
+            y = if parallel {
+                par_dense_spmm(&y, w)
+            } else {
+                dense_spmm(&y, w)
+            }
+            .expect("layer widths chain");
+            self.nonlinearity(&mut y);
+        }
+        y
+    }
+
+    /// Timed forward pass with Challenge-style statistics.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    #[must_use]
+    pub fn run(&self, x: &DenseMatrix<f32>, parallel: bool) -> (DenseMatrix<f32>, InferenceStats) {
+        let start = Instant::now();
+        let y = self.forward(x, parallel);
+        let seconds = start.elapsed().as_secs_f64().max(1e-12);
+        let edges_processed = x.nrows() as u64 * self.total_nnz() as u64;
+        let final_active = y.count_nonzero();
+        (
+            y,
+            InferenceStats {
+                seconds,
+                edges_processed,
+                rate: edges_processed as f64 / seconds,
+                final_active,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radix_data::sparse_binary_batch;
+
+    fn small_net() -> ChallengeNetwork {
+        ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 4, 2)).unwrap()
+    }
+
+    #[test]
+    fn zero_input_stays_zero() {
+        // bias is negative → ReLU(0 + b) = 0 everywhere.
+        let net = small_net();
+        let x = DenseMatrix::zeros(4, net.n_in());
+        let y = net.forward(&x, false);
+        assert!(y.all_equal_to(0.0));
+    }
+
+    #[test]
+    fn ones_input_stays_bounded_and_active() {
+        // weight = 1/r keeps the row sums at ~1 per layer; with the small
+        // negative bias activations persist but never exceed YMAX.
+        let net = small_net();
+        let x = DenseMatrix::from_vec(2, net.n_in(), vec![1.0; 2 * net.n_in()]).unwrap();
+        let (y, stats) = net.run(&x, false);
+        assert!(y.as_slice().iter().all(|&v| (0.0..=32.0).contains(&v)));
+        assert!(stats.final_active > 0, "signal must survive the network");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let net = small_net();
+        let x = sparse_binary_batch(8, net.n_in(), 0.3, 0);
+        let ys = net.forward(&x, false);
+        let yp = net.forward(&x, true);
+        assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn stats_account_edges() {
+        let net = small_net();
+        let x = sparse_binary_batch(3, net.n_in(), 0.5, 1);
+        let (_, stats) = net.run(&x, false);
+        // 8 layers × 16 neurons × degree 2 = 256 edges; × batch 3.
+        assert_eq!(stats.edges_processed, 3 * 256);
+        assert!(stats.rate > 0.0);
+        assert!(stats.seconds > 0.0);
+    }
+
+    #[test]
+    fn clamp_enforced() {
+        // A single layer with huge positive weights must clamp at ymax.
+        let w = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[&[100.0f32]]));
+        let net = ChallengeNetwork::from_layers(vec![w], 0.0, 32.0);
+        let x = DenseMatrix::from_rows(&[&[10.0f32]]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.get(0, 0), 32.0);
+    }
+
+    #[test]
+    fn deterministic_topology() {
+        let a = ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 3, 2)).unwrap();
+        let b = ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 3, 2)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "layers must chain")]
+    fn mismatched_layers_panic() {
+        let a = CsrMatrix::<f32>::identity(2);
+        let b = CsrMatrix::<f32>::identity(3);
+        let _ = ChallengeNetwork::from_layers(vec![a, b], 0.0, 32.0);
+    }
+}

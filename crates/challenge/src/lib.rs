@@ -1,0 +1,30 @@
+//! # radix-challenge
+//!
+//! A Sparse DNN Graph-Challenge-style inference harness over RadiX-Net
+//! generated networks — the paper's most visible downstream use (§IV
+//! mentions the companion efforts; the MIT/IEEE/Amazon Sparse DNN Graph
+//! Challenge generates its synthetic benchmark networks with RadiX-Net).
+//!
+//! * [`ChallengeConfig`] — `r^k` neurons × `k·S` layers at `r` connections
+//!   per neuron, constant weight `1/r`, small negative bias, `YMAX` clamp —
+//!   the Challenge generator's recipe at laptop scale,
+//! * [`ChallengeNetwork`] — the timed batch-synchronous kernel
+//!   `Y ← clamp(ReLU(Y·W + b), 0, YMAX)` with Rayon row parallelism and
+//!   edges/second reporting (the Challenge metric),
+//! * [`forward_pipelined`] — a crossbeam-channel depth-pipelined schedule,
+//!   bit-identical results, different parallel structure (ablation bench).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod config;
+pub mod infer;
+pub mod pipeline;
+pub mod stream;
+
+pub use catalog::{challenge_ladder, CatalogEntry};
+pub use config::ChallengeConfig;
+pub use infer::{ChallengeNetwork, InferenceStats};
+pub use pipeline::forward_pipelined;
+pub use stream::{run_stream, LayerActivationStats, StreamResult};

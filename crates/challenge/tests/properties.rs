@@ -1,0 +1,70 @@
+//! Property tests for the Graph-Challenge harness: schedule equivalence,
+//! conservation/monotonicity of the kernel, and configuration arithmetic
+//! on random parameters.
+
+use proptest::prelude::*;
+
+use radix_challenge::{forward_pipelined, run_stream, ChallengeConfig, ChallengeNetwork};
+use radix_data::sparse_binary_batch;
+use radix_sparse::DenseMatrix;
+
+fn small_config() -> impl Strategy<Value = ChallengeConfig> {
+    (2usize..5, 2usize..4, 1usize..4)
+        .prop_filter("bounded size", |(r, k, s)| r.pow(*k as u32) <= 256 && k * s <= 12)
+        .prop_map(|(r, k, s)| ChallengeConfig::preset(r, k, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_three_schedules_agree(config in small_config(), batch in 1usize..12, seed in any::<u64>()) {
+        let net = ChallengeNetwork::from_config(&config).unwrap();
+        let x = sparse_binary_batch(batch, net.n_in(), 0.5, seed);
+        let serial = net.forward(&x, false);
+        prop_assert_eq!(&net.forward(&x, true), &serial);
+        prop_assert_eq!(&forward_pipelined(&net, &x, (batch / 2).max(1)), &serial);
+    }
+
+    #[test]
+    fn outputs_always_within_clamp(config in small_config(), seed in any::<u64>()) {
+        let net = ChallengeNetwork::from_config(&config).unwrap();
+        let x = sparse_binary_batch(4, net.n_in(), 0.9, seed);
+        let y = net.forward(&x, false);
+        for &v in y.as_slice() {
+            prop_assert!((0.0..=config.ymax).contains(&v));
+        }
+    }
+
+    #[test]
+    fn config_arithmetic_consistent(config in small_config()) {
+        let net = ChallengeNetwork::from_config(&config).unwrap();
+        prop_assert_eq!(net.n_in(), config.neurons());
+        prop_assert_eq!(net.layers().len(), config.num_layers());
+        prop_assert_eq!(net.total_nnz(), config.total_edges());
+    }
+
+    #[test]
+    fn stream_stats_row_accounting(config in small_config(), batches in 1usize..4, seed in any::<u64>()) {
+        let net = ChallengeNetwork::from_config(&config).unwrap();
+        let inputs: Vec<DenseMatrix<f32>> = (0..batches)
+            .map(|b| sparse_binary_batch(3, net.n_in(), 0.5, seed.wrapping_add(b as u64)))
+            .collect();
+        let result = run_stream(&net, &inputs);
+        prop_assert_eq!(result.stats.rows, 3 * batches);
+        prop_assert_eq!(result.categories.len(), 3 * batches);
+        // Categories are sorted and in range.
+        for cats in &result.categories {
+            prop_assert!(cats.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(cats.iter().all(|&j| j < config.neurons()));
+        }
+    }
+
+    #[test]
+    fn zero_input_always_dies(config in small_config()) {
+        // Negative bias + ReLU: zero in, zero out, at any depth.
+        let net = ChallengeNetwork::from_config(&config).unwrap();
+        let x = DenseMatrix::zeros(2, net.n_in());
+        prop_assert!(net.forward(&x, false).all_equal_to(0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Teacher–student targets: a fixed random "teacher" function labels the
+//! inputs, so the *exact* expressiveness needed is known by construction.
+//!
+//! This is the cleanest probe of the paper's expressive-power discussion
+//! (§IV): if a sparse student matches a dense student on targets produced
+//! by a dense teacher, the sparse topology did not lose the function class
+//! on this sample — the empirical shadow of the §IV.B conjecture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use radix_sparse::DenseMatrix;
+
+/// A fixed random two-layer tanh teacher `R^in → R^out`.
+#[derive(Debug, Clone)]
+pub struct Teacher {
+    w1: DenseMatrix<f32>,
+    w2: DenseMatrix<f32>,
+}
+
+impl Teacher {
+    /// Creates a random teacher with the given widths.
+    #[must_use]
+    pub fn new(n_in: usize, hidden: usize, n_out: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fill = |r: usize, c: usize| {
+            let mut m = DenseMatrix::zeros(r, c);
+            for i in 0..r {
+                let row: &mut [f32] = m.row_mut(i);
+                for v in row.iter_mut() {
+                    *v = rng.gen_range(-1.0..1.0);
+                }
+            }
+            m
+        };
+        Teacher {
+            w1: fill(n_in, hidden),
+            w2: fill(hidden, n_out),
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn n_in(&self) -> usize {
+        self.w1.nrows()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn n_out(&self) -> usize {
+        self.w2.ncols()
+    }
+
+    /// Evaluates the teacher on a batch.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    #[must_use]
+    pub fn eval(&self, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+        let mut h = x.matmul(&self.w1).expect("input width");
+        h.map_inplace(f32::tanh);
+        h.matmul(&self.w2).expect("hidden width")
+    }
+
+    /// Generates a regression dataset: `samples` uniform inputs in
+    /// `[−1, 1]^n_in` and their teacher outputs.
+    #[must_use]
+    pub fn dataset(&self, samples: usize, seed: u64) -> (DenseMatrix<f32>, DenseMatrix<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = DenseMatrix::zeros(samples, self.n_in());
+        for i in 0..samples {
+            let row: &mut [f32] = x.row_mut(i);
+            for v in row.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+        }
+        let y = self.eval(&x);
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teacher_is_deterministic() {
+        let t = Teacher::new(4, 8, 2, 5);
+        let (x1, y1) = t.dataset(10, 1);
+        let (x2, y2) = t.dataset(10, 1);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn shapes_match() {
+        let t = Teacher::new(6, 12, 3, 0);
+        assert_eq!(t.n_in(), 6);
+        assert_eq!(t.n_out(), 3);
+        let (x, y) = t.dataset(20, 2);
+        assert_eq!(x.shape(), (20, 6));
+        assert_eq!(y.shape(), (20, 3));
+    }
+
+    #[test]
+    fn outputs_are_nonconstant() {
+        let t = Teacher::new(4, 8, 1, 3);
+        let (_, y) = t.dataset(50, 4);
+        let first = y.get(0, 0);
+        assert!(
+            (0..50).any(|i| (y.get(i, 0) - first).abs() > 1e-3),
+            "teacher output is constant"
+        );
+    }
+
+    #[test]
+    fn eval_matches_manual_computation() {
+        let t = Teacher::new(2, 3, 1, 7);
+        let x = DenseMatrix::from_rows(&[&[0.5f32, -0.25]]);
+        let y = t.eval(&x);
+        // Manual: tanh(x·W1)·W2.
+        let mut h = x.matmul(&t.w1).unwrap();
+        h.map_inplace(f32::tanh);
+        let expect = h.matmul(&t.w2).unwrap();
+        assert_eq!(y, expect);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+
+use radix_data::{
+    active_counts, checkerboard, digits, gaussian_blobs, sparse_binary_batch, two_spirals,
+    Teacher,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn blobs_invariants(
+        classes in 2usize..6, per_class in 1usize..20, dim in 1usize..12,
+        seed in any::<u64>()
+    ) {
+        let d = gaussian_blobs(classes, per_class, dim, 0.3, seed);
+        prop_assert_eq!(d.len(), classes * per_class);
+        prop_assert_eq!(d.dim(), dim);
+        prop_assert!(d.labels.iter().all(|&l| l < classes));
+        prop_assert!(d.x.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn split_partitions_and_preserves(
+        per_class in 4usize..20, frac in 0.2f64..0.8, seed in any::<u64>()
+    ) {
+        let d = gaussian_blobs(3, per_class, 4, 0.2, seed);
+        let (train, test) = d.split(frac, seed ^ 1);
+        prop_assert_eq!(train.len() + test.len(), d.len());
+        prop_assert!(!train.is_empty() || !test.is_empty());
+        // Every (features, label) pair is preserved as a multiset: check
+        // the label histogram survives the split.
+        let mut hist_orig = [0usize; 3];
+        for &l in &d.labels { hist_orig[l] += 1; }
+        let mut hist_split = [0usize; 3];
+        for &l in train.labels.iter().chain(&test.labels) { hist_split[l] += 1; }
+        prop_assert_eq!(hist_orig, hist_split);
+    }
+
+    #[test]
+    fn spirals_balanced(per_class in 2usize..40, seed in any::<u64>()) {
+        let d = two_spirals(per_class, 4, 0.05, seed);
+        prop_assert_eq!(d.labels.iter().filter(|&&l| l == 0).count(), per_class);
+        prop_assert_eq!(d.labels.iter().filter(|&&l| l == 1).count(), per_class);
+    }
+
+    #[test]
+    fn checkerboard_labels_valid(samples in 1usize..100, k in 1usize..6, seed in any::<u64>()) {
+        let d = checkerboard(samples, k, 3, seed);
+        prop_assert_eq!(d.len(), samples);
+        prop_assert!(d.labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn digits_class_balance(per_class in 1usize..12, seed in any::<u64>()) {
+        let d = digits(per_class, 0.2, seed);
+        for digit in 0..10 {
+            prop_assert_eq!(
+                d.labels.iter().filter(|&&l| l == digit).count(),
+                per_class
+            );
+        }
+        prop_assert!(d.x.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn teacher_deterministic_and_finite(
+        n_in in 1usize..8, hidden in 1usize..12, n_out in 1usize..6,
+        seed in any::<u64>()
+    ) {
+        let t = Teacher::new(n_in, hidden, n_out, seed);
+        let (x1, y1) = t.dataset(16, seed ^ 2);
+        let (x2, y2) = t.dataset(16, seed ^ 2);
+        prop_assert_eq!(x1, x2);
+        prop_assert_eq!(&y1, &y2);
+        prop_assert!(y1.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn challenge_inputs_have_exact_activity(
+        batch in 1usize..16, features in 1usize..64, frac in 0.01f64..1.0,
+        seed in any::<u64>()
+    ) {
+        let x = sparse_binary_batch(batch, features, frac, seed);
+        let expect = ((features as f64 * frac).ceil() as usize).max(1).min(features);
+        for &c in &active_counts(&x) {
+            prop_assert_eq!(c, expect);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Activation functions.
+//!
+//! The paper's functional-analytic framing (§IV.A, Cybenko's theorem) is
+//! stated for sigmoidal activations; the companion training work and the
+//! Graph Challenge use ReLU. Both are provided, plus identity (for linear
+//! probes) and tanh.
+
+/// Elementwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `σ(t) = 1 / (1 + e^{−t})` — the sigmoidal function of §IV.A.
+    Sigmoid,
+    /// `max(0, t)` — the Graph-Challenge nonlinearity.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (no nonlinearity); used for output logits.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a single pre-activation value.
+    #[inline]
+    #[must_use]
+    pub fn apply(self, t: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-t).exp()),
+            Activation::Relu => t.max(0.0),
+            Activation::Tanh => t.tanh(),
+            Activation::Identity => t,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value `y = f(t)` —
+    /// cheaper than re-deriving from the pre-activation for sigmoid/tanh,
+    /// and exact for ReLU except at the measure-zero kink (where we take 0).
+    #[inline]
+    #[must_use]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to a slice in place.
+    pub fn apply_slice(self, values: &mut [f32]) {
+        if self == Activation::Identity {
+            return;
+        }
+        for v in values {
+            *v = self.apply(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_limits_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(s.apply(20.0) > 0.999_99);
+        assert!(s.apply(-20.0) < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_is_sigmoidal_in_cybenko_sense() {
+        // lim t→∞ σ(t) = 1, lim t→−∞ σ(t) = 0, continuous (spot-checked).
+        let s = Activation::Sigmoid;
+        let mut prev = s.apply(-5.0);
+        let mut t = -5.0f32;
+        while t <= 5.0 {
+            let y = s.apply(t);
+            assert!(y >= prev - 1e-6, "monotone");
+            prev = y;
+            t += 0.25;
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let r = Activation::Relu;
+        assert_eq!(r.apply(-3.0), 0.0);
+        assert_eq!(r.apply(3.0), 3.0);
+        assert_eq!(r.derivative_from_output(0.0), 0.0);
+        assert_eq!(r.derivative_from_output(2.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-3f32;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            for &t in &[-1.5f32, -0.3, 0.0, 0.7, 2.0] {
+                let y = act.apply(t);
+                let numeric = (act.apply(t + h) - act.apply(t - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act:?} at {t}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut vs = [-1.0f32, 0.0, 2.5];
+        Activation::Relu.apply_slice(&mut vs);
+        assert_eq!(vs, [0.0, 0.0, 2.5]);
+        let mut id = [-1.0f32, 0.5];
+        Activation::Identity.apply_slice(&mut id);
+        assert_eq!(id, [-1.0, 0.5]);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let t = Activation::Tanh;
+        for &x in &[0.1f32, 0.5, 1.0, 2.0] {
+            assert!((t.apply(x) + t.apply(-x)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Classifier evaluation: confusion matrices and per-class metrics.
+
+use radix_sparse::DenseMatrix;
+
+/// A `k × k` confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix from logits and labels.
+    ///
+    /// # Panics
+    /// Panics if row counts mismatch or a label is out of range.
+    #[must_use]
+    pub fn from_logits(logits: &DenseMatrix<f32>, labels: &[usize], num_classes: usize) -> Self {
+        assert_eq!(logits.nrows(), labels.len(), "batch size mismatch");
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < num_classes, "label {label} out of range");
+            let row = logits.row(i);
+            let pred = row
+                .iter()
+                .take(num_classes)
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            counts[label][pred] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    #[must_use]
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Overall accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision of class `c`: TP / (TP + FP). `None` when the class was
+    /// never predicted.
+    #[must_use]
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let tp = self.counts[c][c];
+        let predicted: usize = (0..self.num_classes()).map(|t| self.counts[t][c]).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of class `c`: TP / (TP + FN). `None` when the class has no
+    /// true samples.
+    #[must_use]
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let tp = self.counts[c][c];
+        let actual: usize = self.counts[c].iter().sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// Macro-averaged F1 over classes that have both a defined precision
+    /// and recall.
+    #[must_use]
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.num_classes() {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    sum += 2.0 * p * r / (p + r);
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "true\\pred")?;
+        for row in &self.counts {
+            for c in row {
+                write!(f, "{c:>6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_for(preds: &[usize], k: usize) -> DenseMatrix<f32> {
+        let mut m = DenseMatrix::zeros(preds.len(), k);
+        for (i, &p) in preds.iter().enumerate() {
+            m.set(i, p, 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let labels = vec![0, 1, 2, 1];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&labels, 3), &labels, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        for c in 0..3 {
+            assert_eq!(cm.precision(c), Some(1.0));
+            assert_eq!(cm.recall(c), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn off_diagonal_counts() {
+        // True 0 predicted 1 twice; true 1 predicted 1 once.
+        let cm = ConfusionMatrix::from_logits(&logits_for(&[1, 1, 1], 2), &[0, 0, 1], 2);
+        assert_eq!(cm.get(0, 1), 2);
+        assert_eq!(cm.get(1, 1), 1);
+        assert!((cm.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        // Class 0 never predicted → precision undefined.
+        assert_eq!(cm.precision(0), None);
+        assert_eq!(cm.recall(0), Some(0.0));
+        assert_eq!(cm.precision(1), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn display_renders() {
+        let cm = ConfusionMatrix::from_logits(&logits_for(&[0, 1], 2), &[0, 1], 2);
+        let s = cm.to_string();
+        assert!(s.contains("true"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn extra_logit_columns_ignored() {
+        // A net with more outputs than classes: argmax over first k only.
+        let mut m = DenseMatrix::zeros(1, 4);
+        m.set(0, 3, 9.0); // outside the 2-class range
+        m.set(0, 1, 0.5);
+        let cm = ConfusionMatrix::from_logits(&m, &[1], 2);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,570 @@
+//! Sparse and dense linear layers with activations: forward and backward.
+//!
+//! A sparse layer's weights live on a fixed topology (a RadiX-Net or X-Net
+//! adjacency pattern); training updates the values but never the pattern —
+//! the "de novo sparse" regime of the paper (§I), as opposed to pruning.
+
+use rayon::prelude::*;
+
+use radix_sparse::ops::{dense_spmm, dense_spmm_transposed, par_dense_spmm};
+use radix_sparse::{CsrMatrix, DenseMatrix};
+
+use crate::activation::Activation;
+
+/// Work threshold (batch rows × weight nnz) above which forward/backward
+/// kernels switch to their Rayon-parallel variants.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Gradients of one layer's parameters, laid out to match the layer's own
+/// parameter storage (`w` parallel to the weight values, `b` to the bias).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGrads {
+    /// Weight gradients (CSR value order for sparse, row-major for dense).
+    pub w: Vec<f32>,
+    /// Bias gradients.
+    pub b: Vec<f32>,
+}
+
+impl LayerGrads {
+    /// Creates zero gradients with the given sizes.
+    #[must_use]
+    pub fn zeros(w_len: usize, b_len: usize) -> Self {
+        LayerGrads {
+            w: vec![0.0; w_len],
+            b: vec![0.0; b_len],
+        }
+    }
+
+    /// Accumulates `other · scale` into `self` (used to combine per-chunk
+    /// gradients in data-parallel training).
+    pub fn add_scaled(&mut self, other: &LayerGrads, scale: f32) {
+        for (a, &o) in self.w.iter_mut().zip(&other.w) {
+            *a += o * scale;
+        }
+        for (a, &o) in self.b.iter_mut().zip(&other.b) {
+            *a += o * scale;
+        }
+    }
+}
+
+/// A linear layer with a sparse (CSR) weight matrix and per-output bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseLinear {
+    w: CsrMatrix<f32>,
+    b: Vec<f32>,
+    act: Activation,
+}
+
+/// A conventional dense linear layer (the baseline the paper's sparse nets
+/// are compared against).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLinear {
+    w: DenseMatrix<f32>,
+    b: Vec<f32>,
+    act: Activation,
+}
+
+/// Either kind of layer; networks hold a `Vec<Layer>` so sparse and dense
+/// topologies train through identical code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// Sparse-topology linear layer.
+    Sparse(SparseLinear),
+    /// Fully-connected linear layer.
+    Dense(DenseLinear),
+}
+
+impl SparseLinear {
+    /// Creates a sparse layer from weights and activation; bias starts at 0.
+    #[must_use]
+    pub fn new(w: CsrMatrix<f32>, act: Activation) -> Self {
+        let b = vec![0.0; w.ncols()];
+        SparseLinear { w, b, act }
+    }
+
+    /// The weight matrix.
+    #[must_use]
+    pub fn weights(&self) -> &CsrMatrix<f32> {
+        &self.w
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.w.nnz() + self.b.len()
+    }
+}
+
+impl DenseLinear {
+    /// Creates a dense layer from weights and activation; bias starts at 0.
+    #[must_use]
+    pub fn new(w: DenseMatrix<f32>, act: Activation) -> Self {
+        let b = vec![0.0; w.ncols()];
+        DenseLinear { w, b, act }
+    }
+
+    /// The weight matrix.
+    #[must_use]
+    pub fn weights(&self) -> &DenseMatrix<f32> {
+        &self.w
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.w.nrows() * self.w.ncols() + self.b.len()
+    }
+}
+
+impl Layer {
+    /// Input width.
+    #[must_use]
+    pub fn n_in(&self) -> usize {
+        match self {
+            Layer::Sparse(l) => l.w.nrows(),
+            Layer::Dense(l) => l.w.nrows(),
+        }
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn n_out(&self) -> usize {
+        match self {
+            Layer::Sparse(l) => l.w.ncols(),
+            Layer::Dense(l) => l.w.ncols(),
+        }
+    }
+
+    /// The layer's activation function.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        match self {
+            Layer::Sparse(l) => l.act,
+            Layer::Dense(l) => l.act,
+        }
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        match self {
+            Layer::Sparse(l) => l.num_params(),
+            Layer::Dense(l) => l.num_params(),
+        }
+    }
+
+    /// Forward pass: `act(X · W + b)` for batch-major `X`.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    #[must_use]
+    pub fn forward(&self, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+        let mut out = match self {
+            Layer::Sparse(l) => {
+                if x.nrows() * l.w.nnz() >= PAR_THRESHOLD {
+                    par_dense_spmm(x, &l.w)
+                } else {
+                    dense_spmm(x, &l.w)
+                }
+                .expect("layer width mismatch")
+            }
+            Layer::Dense(l) => x.matmul(&l.w).expect("layer width mismatch"),
+        };
+        let (b, act) = match self {
+            Layer::Sparse(l) => (&l.b, l.act),
+            Layer::Dense(l) => (&l.b, l.act),
+        };
+        for i in 0..out.nrows() {
+            let row: &mut [f32] = out.row_mut(i);
+            for (v, &bias) in row.iter_mut().zip(b) {
+                *v += bias;
+            }
+            act.apply_slice(row);
+        }
+        out
+    }
+
+    /// Backward pass. Given the layer input `x`, its forward output `out`
+    /// (post-activation), and the loss gradient `grad_out` w.r.t. `out`,
+    /// returns the parameter gradients and the loss gradient w.r.t. `x`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches between `x`, `out`, and `grad_out`.
+    #[must_use]
+    pub fn backward(
+        &self,
+        x: &DenseMatrix<f32>,
+        out: &DenseMatrix<f32>,
+        grad_out: &DenseMatrix<f32>,
+    ) -> (LayerGrads, DenseMatrix<f32>) {
+        assert_eq!(out.shape(), grad_out.shape(), "output/grad shape mismatch");
+        assert_eq!(x.nrows(), out.nrows(), "batch size mismatch");
+        let act = self.activation();
+        // delta = grad_out ⊙ act'(out), computed once.
+        let mut delta = grad_out.clone();
+        for i in 0..delta.nrows() {
+            let drow: &mut [f32] = delta.row_mut(i);
+            let orow = out.row(i);
+            for (d, &o) in drow.iter_mut().zip(orow) {
+                *d *= act.derivative_from_output(o);
+            }
+        }
+
+        let grad_b: Vec<f32> = {
+            let mut acc = vec![0.0f32; delta.ncols()];
+            for i in 0..delta.nrows() {
+                for (a, &d) in acc.iter_mut().zip(delta.row(i)) {
+                    *a += d;
+                }
+            }
+            acc
+        };
+
+        match self {
+            Layer::Sparse(l) => {
+                let grad_w = sparse_weight_grads(&l.w, x, &delta);
+                let grad_in = dense_spmm_transposed(&delta, &l.w)
+                    .expect("delta width matches weight columns");
+                (
+                    LayerGrads {
+                        w: grad_w,
+                        b: grad_b,
+                    },
+                    grad_in,
+                )
+            }
+            Layer::Dense(l) => {
+                let grad_w = x.transpose().matmul(&delta).expect("shapes agree");
+                let grad_in = delta
+                    .matmul(&l.w.transpose())
+                    .expect("delta width matches weight columns");
+                (
+                    LayerGrads {
+                        w: grad_w.into_vec(),
+                        b: grad_b,
+                    },
+                    grad_in,
+                )
+            }
+        }
+    }
+
+    /// Applies a scaled update `param -= delta` elementwise, where `delta`
+    /// is laid out like [`LayerGrads`] (optimizers compute `delta` from raw
+    /// gradients and call this).
+    ///
+    /// # Panics
+    /// Panics if the update lengths do not match the parameter counts.
+    pub fn apply_update(&mut self, w_delta: &[f32], b_delta: &[f32]) {
+        match self {
+            Layer::Sparse(l) => {
+                assert_eq!(w_delta.len(), l.w.nnz(), "weight update length");
+                for (w, &d) in l.w.data_mut().iter_mut().zip(w_delta) {
+                    *w -= d;
+                }
+                assert_eq!(b_delta.len(), l.b.len(), "bias update length");
+                for (b, &d) in l.b.iter_mut().zip(b_delta) {
+                    *b -= d;
+                }
+            }
+            Layer::Dense(l) => {
+                assert_eq!(
+                    w_delta.len(),
+                    l.w.nrows() * l.w.ncols(),
+                    "weight update length"
+                );
+                for (w, &d) in l.w.as_mut_slice().iter_mut().zip(w_delta) {
+                    *w -= d;
+                }
+                assert_eq!(b_delta.len(), l.b.len(), "bias update length");
+                for (b, &d) in l.b.iter_mut().zip(b_delta) {
+                    *b -= d;
+                }
+            }
+        }
+    }
+
+    /// Lengths of the parameter vectors as `(weights, biases)` — the shape
+    /// optimizers size their state with.
+    #[must_use]
+    pub fn param_lens(&self) -> (usize, usize) {
+        match self {
+            Layer::Sparse(l) => (l.w.nnz(), l.b.len()),
+            Layer::Dense(l) => (l.w.nrows() * l.w.ncols(), l.b.len()),
+        }
+    }
+}
+
+/// Gradients of the structural nonzeros only:
+/// `grad_w[(i,j)] = Σ_b x[b,i] · delta[b,j]`, in CSR value order.
+/// Parallel over weight rows (each row's gradient segment is independent).
+fn sparse_weight_grads(
+    w: &CsrMatrix<f32>,
+    x: &DenseMatrix<f32>,
+    delta: &DenseMatrix<f32>,
+) -> Vec<f32> {
+    let mut grads = vec![0.0f32; w.nnz()];
+    // Split the flat gradient vector into per-row segments (safe: CSR rows
+    // partition the value array).
+    let mut segments: Vec<(usize, &mut [f32])> = Vec::with_capacity(w.nrows());
+    let mut rest = grads.as_mut_slice();
+    for i in 0..w.nrows() {
+        let len = w.row_nnz(i);
+        let (seg, tail) = rest.split_at_mut(len);
+        segments.push((i, seg));
+        rest = tail;
+    }
+    let work = x.nrows() * w.nnz();
+    let body = |(i, seg): (usize, &mut [f32])| {
+        let (cols, _) = w.row(i);
+        for b in 0..x.nrows() {
+            let xv = x.get(b, i);
+            if xv == 0.0 {
+                continue;
+            }
+            let drow = delta.row(b);
+            for (g, &j) in seg.iter_mut().zip(cols) {
+                *g += xv * drow[j];
+            }
+        }
+    };
+    if work >= PAR_THRESHOLD {
+        segments.into_par_iter().for_each(body);
+    } else {
+        segments.into_iter().for_each(body);
+    }
+    grads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{init_sparse, Init};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use radix_sparse::CyclicShift;
+
+    fn sparse_layer(act: Activation) -> Layer {
+        let pattern: CsrMatrix<u64> = CyclicShift::radix_submatrix(6, 3, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        Layer::Sparse(SparseLinear::new(
+            init_sparse(&pattern, Init::Xavier, &mut rng),
+            act,
+        ))
+    }
+
+    fn dense_layer(act: Activation) -> Layer {
+        let mut rng = StdRng::seed_from_u64(5);
+        Layer::Dense(DenseLinear::new(
+            crate::init::init_dense(6, 6, Init::Xavier, &mut rng),
+            act,
+        ))
+    }
+
+    fn random_batch(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f32> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = DenseMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            let row: &mut [f32] = x.row_mut(i);
+            for v in row.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let l = sparse_layer(Activation::Relu);
+        let x = random_batch(4, 6, 0);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (4, 6));
+    }
+
+    #[test]
+    fn sparse_forward_matches_dense_equivalent() {
+        // A sparse layer must compute exactly what a dense layer with the
+        // same (mostly-zero) weight matrix computes.
+        let l = sparse_layer(Activation::Sigmoid);
+        let Layer::Sparse(ref sl) = l else { unreachable!() };
+        let dense_w = sl.weights().to_dense();
+        let ld = Layer::Dense(DenseLinear::new(dense_w, Activation::Sigmoid));
+        let x = random_batch(5, 6, 1);
+        let ys = l.forward(&x);
+        let yd = ld.forward(&x);
+        for i in 0..5 {
+            for j in 0..6 {
+                assert!((ys.get(i, j) - yd.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Finite-difference check of all gradients of a layer.
+    fn check_gradients(layer: &Layer, tol: f32) {
+        let x = random_batch(3, layer.n_in(), 2);
+        let out = layer.forward(&x);
+        // Loss = sum of outputs (grad_out = 1 everywhere) — simple and
+        // exercises every path.
+        let grad_out = DenseMatrix::from_vec(
+            out.nrows(),
+            out.ncols(),
+            vec![1.0; out.nrows() * out.ncols()],
+        )
+        .unwrap();
+        let (grads, grad_in) = layer.backward(&x, &out, &grad_out);
+
+        let loss = |l: &Layer, xx: &DenseMatrix<f32>| -> f32 {
+            l.forward(xx).as_slice().iter().sum()
+        };
+        let h = 1e-2f32;
+
+        // Weight gradients.
+        let (w_len, _) = layer.param_lens();
+        for k in (0..w_len).step_by((w_len / 8).max(1)) {
+            let mut lp = layer.clone();
+            let mut lm = layer.clone();
+            let mut dw = vec![0.0; w_len];
+            dw[k] = -h; // apply_update subtracts
+            lp.apply_update(&dw, &vec![0.0; layer.param_lens().1]);
+            dw[k] = h;
+            lm.apply_update(&dw, &vec![0.0; layer.param_lens().1]);
+            let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            assert!(
+                (numeric - grads.w[k]).abs() < tol,
+                "weight {k}: numeric {numeric} vs analytic {}",
+                grads.w[k]
+            );
+        }
+
+        // Bias gradients.
+        for k in 0..layer.param_lens().1 {
+            let mut lp = layer.clone();
+            let mut lm = layer.clone();
+            let mut db = vec![0.0; layer.param_lens().1];
+            db[k] = -h;
+            lp.apply_update(&vec![0.0; w_len], &db);
+            db[k] = h;
+            lm.apply_update(&vec![0.0; w_len], &db);
+            let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            assert!(
+                (numeric - grads.b[k]).abs() < tol,
+                "bias {k}: numeric {numeric} vs analytic {}",
+                grads.b[k]
+            );
+        }
+
+        // Input gradients.
+        for (i, j) in [(0, 0), (1, 3), (2, 5)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + h);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - h);
+            let numeric = (loss(layer, &xp) - loss(layer, &xm)) / (2.0 * h);
+            assert!(
+                (numeric - grad_in.get(i, j)).abs() < tol,
+                "input ({i},{j}): numeric {numeric} vs analytic {}",
+                grad_in.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_gradients_match_finite_differences_sigmoid() {
+        check_gradients(&sparse_layer(Activation::Sigmoid), 2e-2);
+    }
+
+    #[test]
+    fn sparse_gradients_match_finite_differences_tanh() {
+        check_gradients(&sparse_layer(Activation::Tanh), 2e-2);
+    }
+
+    #[test]
+    fn sparse_gradients_match_finite_differences_identity() {
+        check_gradients(&sparse_layer(Activation::Identity), 2e-2);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        check_gradients(&dense_layer(Activation::Sigmoid), 2e-2);
+        check_gradients(&dense_layer(Activation::Identity), 2e-2);
+    }
+
+    #[test]
+    fn sparse_backward_matches_dense_backward() {
+        // Same weights (sparse vs densified) → identical gradients on the
+        // shared nonzero positions and identical input gradients.
+        let l = sparse_layer(Activation::Tanh);
+        let Layer::Sparse(ref sl) = l else { unreachable!() };
+        let w_csr = sl.weights().clone();
+        let ld = Layer::Dense(DenseLinear::new(w_csr.to_dense(), Activation::Tanh));
+
+        let x = random_batch(4, 6, 3);
+        let out_s = l.forward(&x);
+        let out_d = ld.forward(&x);
+        let grad_out = random_batch(4, 6, 4);
+        let (gs, gin_s) = l.backward(&x, &out_s, &grad_out);
+        let (gd, gin_d) = ld.backward(&x, &out_d, &grad_out);
+
+        // Input grads equal.
+        for i in 0..4 {
+            for j in 0..6 {
+                assert!((gin_s.get(i, j) - gin_d.get(i, j)).abs() < 1e-5);
+            }
+        }
+        // Sparse weight grads equal the dense grads at stored positions.
+        for (k, (i, j, _)) in w_csr.iter().enumerate() {
+            let dense_grad = gd.w[i * 6 + j];
+            assert!(
+                (gs.w[k] - dense_grad).abs() < 1e-5,
+                "entry ({i},{j}): {} vs {}",
+                gs.w[k],
+                dense_grad
+            );
+        }
+        // Biases equal.
+        for (a, b) in gs.b.iter().zip(&gd.b) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn apply_update_moves_parameters() {
+        let mut l = sparse_layer(Activation::Identity);
+        let (wl, bl) = l.param_lens();
+        let before = match &l {
+            Layer::Sparse(s) => s.weights().data().to_vec(),
+            Layer::Dense(_) => unreachable!(),
+        };
+        l.apply_update(&vec![0.1; wl], &vec![0.2; bl]);
+        match &l {
+            Layer::Sparse(s) => {
+                for (b, a) in before.iter().zip(s.weights().data()) {
+                    assert!((b - a - 0.1).abs() < 1e-6);
+                }
+            }
+            Layer::Dense(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn grads_add_scaled() {
+        let mut a = LayerGrads::zeros(3, 2);
+        let b = LayerGrads {
+            w: vec![1.0, 2.0, 3.0],
+            b: vec![4.0, 5.0],
+        };
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.w, vec![0.5, 1.0, 1.5]);
+        assert_eq!(a.b, vec![2.0, 2.5]);
+    }
+
+    #[test]
+    fn num_params_counts() {
+        let l = sparse_layer(Activation::Relu);
+        // 6 nodes × degree 3 + 6 biases.
+        assert_eq!(l.num_params(), 18 + 6);
+        let d = dense_layer(Activation::Relu);
+        assert_eq!(d.num_params(), 36 + 6);
+    }
+}

@@ -1,0 +1,228 @@
+//! Loss functions: mean squared error and softmax cross-entropy.
+//!
+//! Both return the mean loss over the batch and the gradient of that mean
+//! with respect to the network's raw outputs (logits), which seeds the
+//! backward pass.
+
+use radix_sparse::DenseMatrix;
+
+/// Loss function selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error: `(1/2B) Σ ‖y − t‖²` (the ½ makes the gradient
+    /// exactly `(y − t)/B`).
+    Mse,
+    /// Softmax cross-entropy over logits with one-hot (class index)
+    /// targets.
+    SoftmaxCrossEntropy,
+}
+
+/// Numerically stable softmax of one logit row, in place.
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+impl Loss {
+    /// Mean loss and gradient for regression-style targets (`targets` has
+    /// the same shape as `outputs`). Only valid for [`Loss::Mse`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or if called on a classification loss.
+    #[must_use]
+    pub fn eval_regression(
+        self,
+        outputs: &DenseMatrix<f32>,
+        targets: &DenseMatrix<f32>,
+    ) -> (f32, DenseMatrix<f32>) {
+        assert_eq!(self, Loss::Mse, "regression targets need Loss::Mse");
+        assert_eq!(outputs.shape(), targets.shape(), "shape mismatch");
+        let b = outputs.nrows() as f32;
+        let mut grad = DenseMatrix::zeros(outputs.nrows(), outputs.ncols());
+        let mut loss = 0.0f32;
+        for i in 0..outputs.nrows() {
+            let orow = outputs.row(i);
+            let trow = targets.row(i);
+            let grow: &mut [f32] = grad.row_mut(i);
+            for ((g, &o), &t) in grow.iter_mut().zip(orow).zip(trow) {
+                let d = o - t;
+                loss += 0.5 * d * d;
+                *g = d / b;
+            }
+        }
+        (loss / b, grad)
+    }
+
+    /// Mean loss and gradient for classification targets given as class
+    /// indices. Only valid for [`Loss::SoftmaxCrossEntropy`].
+    ///
+    /// # Panics
+    /// Panics if a label is out of range or if called on a regression loss.
+    #[must_use]
+    pub fn eval_classification(
+        self,
+        logits: &DenseMatrix<f32>,
+        labels: &[usize],
+    ) -> (f32, DenseMatrix<f32>) {
+        assert_eq!(
+            self,
+            Loss::SoftmaxCrossEntropy,
+            "classification targets need Loss::SoftmaxCrossEntropy"
+        );
+        assert_eq!(logits.nrows(), labels.len(), "batch size mismatch");
+        let b = logits.nrows() as f32;
+        let classes = logits.ncols();
+        let mut grad = logits.clone();
+        let mut loss = 0.0f32;
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < classes, "label {label} out of range");
+            let row: &mut [f32] = grad.row_mut(i);
+            softmax_row(row);
+            loss -= row[label].max(1e-30).ln();
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v /= b;
+            }
+        }
+        (loss / b, grad)
+    }
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+/// Panics if `logits.nrows() != labels.len()`.
+#[must_use]
+pub fn accuracy(logits: &DenseMatrix<f32>, labels: &[usize]) -> f64 {
+    assert_eq!(logits.nrows(), labels.len(), "batch size mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut row = [1.0f32, 2.0, 3.0];
+        softmax_row(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[test]
+    fn softmax_row_is_shift_invariant_and_stable() {
+        let mut a = [1.0f32, 2.0, 3.0];
+        let mut b = [1001.0f32, 1002.0, 1003.0];
+        softmax_row(&mut a);
+        softmax_row(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(b.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let y = DenseMatrix::from_rows(&[&[1.0f32, 2.0]]);
+        let (loss, grad) = Loss::Mse.eval_regression(&y, &y);
+        assert_eq!(loss, 0.0);
+        assert!(grad.all_equal_to(0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let y = DenseMatrix::from_rows(&[&[1.0f32, -0.5], &[0.3, 2.0]]);
+        let t = DenseMatrix::from_rows(&[&[0.0f32, 0.0], &[1.0, 1.0]]);
+        let (_, grad) = Loss::Mse.eval_regression(&y, &t);
+        let h = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut yp = y.clone();
+                yp.set(i, j, y.get(i, j) + h);
+                let mut ym = y.clone();
+                ym.set(i, j, y.get(i, j) - h);
+                let (lp, _) = Loss::Mse.eval_regression(&yp, &t);
+                let (lm, _) = Loss::Mse.eval_regression(&ym, &t);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (numeric - grad.get(i, j)).abs() < 1e-3,
+                    "at ({i},{j}): {numeric} vs {}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = DenseMatrix::from_rows(&[&[0.2f32, -0.1, 0.5], &[1.0, 0.0, -1.0]]);
+        let labels = vec![2usize, 0];
+        let (_, grad) = Loss::SoftmaxCrossEntropy.eval_classification(&logits, &labels);
+        let h = 1e-2f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(i, j, logits.get(i, j) + h);
+                let mut lm = logits.clone();
+                lm.set(i, j, logits.get(i, j) - h);
+                let (llp, _) = Loss::SoftmaxCrossEntropy.eval_classification(&lp, &labels);
+                let (llm, _) = Loss::SoftmaxCrossEntropy.eval_classification(&lm, &labels);
+                let numeric = (llp - llm) / (2.0 * h);
+                assert!(
+                    (numeric - grad.get(i, j)).abs() < 1e-2,
+                    "at ({i},{j}): {numeric} vs {}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_low_for_confident_correct() {
+        let logits = DenseMatrix::from_rows(&[&[10.0f32, -10.0]]);
+        let (loss, _) = Loss::SoftmaxCrossEntropy.eval_classification(&logits, &[0]);
+        assert!(loss < 1e-3);
+        let (bad, _) = Loss::SoftmaxCrossEntropy.eval_classification(&logits, &[1]);
+        assert!(bad > 5.0);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            DenseMatrix::from_rows(&[&[0.9f32, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&DenseMatrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn bad_label_panics() {
+        let logits = DenseMatrix::from_rows(&[&[0.0f32, 0.0]]);
+        let _ = Loss::SoftmaxCrossEntropy.eval_classification(&logits, &[5]);
+    }
+}

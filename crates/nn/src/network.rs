@@ -1,0 +1,497 @@
+//! Feedforward networks over sparse or dense layers.
+//!
+//! A [`Network`] is the paper's FNN (Figure 8): an FNNT together with
+//! weights and biases, inducing a function `φ : R^{|U_0|} → R^{|U_m|}`.
+//! Networks are built from RadiX-Net/X-Net topologies
+//! ([`Network::from_fnnt`]) or dense layer sizes ([`Network::dense`]), and
+//! expose forward inference, backpropagation, and Rayon data-parallel
+//! gradient computation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use radix_net::Fnnt;
+use radix_sparse::DenseMatrix;
+
+use crate::activation::Activation;
+use crate::init::{init_dense, init_sparse, Init};
+use crate::layer::{DenseLinear, Layer, LayerGrads, SparseLinear};
+use crate::loss::Loss;
+
+/// Training targets: class labels or regression values.
+#[derive(Debug, Clone, Copy)]
+pub enum Targets<'a> {
+    /// Class indices (softmax cross-entropy).
+    Labels(&'a [usize]),
+    /// Regression targets, same shape as the network output (MSE).
+    Values(&'a DenseMatrix<f32>),
+}
+
+/// A feedforward neural network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    layers: Vec<Layer>,
+    loss: Loss,
+}
+
+impl Network {
+    /// Builds a network from explicit layers.
+    ///
+    /// # Panics
+    /// Panics if consecutive layer widths do not chain or `layers` is empty.
+    #[must_use]
+    pub fn new(layers: Vec<Layer>, loss: Loss) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].n_out(),
+                pair[1].n_in(),
+                "layer widths must chain"
+            );
+        }
+        Network { layers, loss }
+    }
+
+    /// Builds a sparse network on an FNNT's topology: hidden layers get
+    /// `hidden_act`, the final layer is linear (logits). Weights are
+    /// initialized on the sparse pattern with structural fan-in.
+    #[must_use]
+    pub fn from_fnnt(
+        fnnt: &Fnnt,
+        hidden_act: Activation,
+        init: Init,
+        loss: Loss,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = fnnt.num_edge_layers();
+        let layers = fnnt
+            .submatrices()
+            .iter()
+            .enumerate()
+            .map(|(i, pattern)| {
+                let act = if i + 1 == n {
+                    Activation::Identity
+                } else {
+                    hidden_act
+                };
+                let w = init_sparse(pattern, init, &mut rng);
+                Layer::Sparse(SparseLinear::new(w, act))
+            })
+            .collect();
+        Network { layers, loss }
+    }
+
+    /// Builds a dense baseline network on the given layer sizes.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    #[must_use]
+    pub fn dense(
+        sizes: &[usize],
+        hidden_act: Activation,
+        init: Init,
+        loss: Loss,
+        seed: u64,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = sizes.len() - 1;
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 1 == n {
+                    Activation::Identity
+                } else {
+                    hidden_act
+                };
+                Layer::Dense(DenseLinear::new(
+                    init_dense(w[0], w[1], init, &mut rng),
+                    act,
+                ))
+            })
+            .collect();
+        Network { layers, loss }
+    }
+
+    /// The layers.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The loss function.
+    #[must_use]
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn n_in(&self) -> usize {
+        self.layers[0].n_in()
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn n_out(&self) -> usize {
+        self.layers.last().unwrap().n_out()
+    }
+
+    /// Total trainable parameters — the storage-cost metric the paper's
+    /// sparsity argument is about.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Forward pass returning the final output (logits).
+    #[must_use]
+    pub fn forward(&self, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass retaining every intermediate activation (input
+    /// excluded; `result[i]` is the output of layer `i`).
+    #[must_use]
+    pub fn forward_trace(&self, x: &DenseMatrix<f32>) -> Vec<DenseMatrix<f32>> {
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+            outs.push(cur.clone());
+        }
+        outs
+    }
+
+    /// Computes the mean loss and parameter gradients on one batch
+    /// (serial).
+    ///
+    /// # Panics
+    /// Panics on target/batch shape mismatches.
+    #[must_use]
+    pub fn grad_batch(&self, x: &DenseMatrix<f32>, targets: Targets<'_>) -> (f32, Vec<LayerGrads>) {
+        let outs = self.forward_trace(x);
+        let logits = outs.last().expect("at least one layer");
+        let (loss, mut grad) = match targets {
+            Targets::Labels(labels) => self.loss.eval_classification(logits, labels),
+            Targets::Values(values) => self.loss.eval_regression(logits, values),
+        };
+        let mut grads = vec![LayerGrads::zeros(0, 0); self.layers.len()];
+        for i in (0..self.layers.len()).rev() {
+            let input = if i == 0 { x } else { &outs[i - 1] };
+            let (g, grad_in) = self.layers[i].backward(input, &outs[i], &grad);
+            grads[i] = g;
+            grad = grad_in;
+        }
+        (loss, grads)
+    }
+
+    /// Data-parallel gradient computation: splits the batch into
+    /// `num_chunks` row ranges, evaluates each on a Rayon worker, and
+    /// combines the per-chunk mean gradients weighted by chunk size.
+    /// Bitwise order of summation differs from [`Network::grad_batch`], so
+    /// results agree to floating-point tolerance, not exactly.
+    ///
+    /// # Panics
+    /// Panics on target/batch shape mismatches.
+    #[must_use]
+    pub fn par_grad_batch(
+        &self,
+        x: &DenseMatrix<f32>,
+        targets: Targets<'_>,
+        num_chunks: usize,
+    ) -> (f32, Vec<LayerGrads>) {
+        let batch = x.nrows();
+        let chunks = num_chunks.clamp(1, batch.max(1));
+        if chunks <= 1 || batch <= 1 {
+            return self.grad_batch(x, targets);
+        }
+        let chunk_size = batch.div_ceil(chunks);
+        let ranges: Vec<std::ops::Range<usize>> = (0..batch)
+            .step_by(chunk_size)
+            .map(|start| start..(start + chunk_size).min(batch))
+            .collect();
+
+        let partials: Vec<(usize, f32, Vec<LayerGrads>)> = ranges
+            .into_par_iter()
+            .map(|range| {
+                let rows = range.len();
+                let mut xs = DenseMatrix::zeros(rows, x.ncols());
+                for (local, global) in range.clone().enumerate() {
+                    let dst: &mut [f32] = xs.row_mut(local);
+                    dst.copy_from_slice(x.row(global));
+                }
+                let (loss, grads) = match targets {
+                    Targets::Labels(labels) => {
+                        self.grad_batch(&xs, Targets::Labels(&labels[range]))
+                    }
+                    Targets::Values(values) => {
+                        let mut vs = DenseMatrix::zeros(rows, values.ncols());
+                        for (local, global) in range.enumerate() {
+                            let dst: &mut [f32] = vs.row_mut(local);
+                            dst.copy_from_slice(values.row(global));
+                        }
+                        self.grad_batch(&xs, Targets::Values(&vs))
+                    }
+                };
+                (rows, loss, grads)
+            })
+            .collect();
+
+        let mut total_loss = 0.0f32;
+        let mut combined: Vec<LayerGrads> = self
+            .layers
+            .iter()
+            .map(|l| {
+                let (w, b) = l.param_lens();
+                LayerGrads::zeros(w, b)
+            })
+            .collect();
+        for (rows, loss, grads) in partials {
+            let weight = rows as f32 / batch as f32;
+            total_loss += loss * weight;
+            for (acc, g) in combined.iter_mut().zip(&grads) {
+                acc.add_scaled(g, weight);
+            }
+        }
+        (total_loss, combined)
+    }
+
+    /// Adds L2 weight-decay terms `wd·w` to the weight gradients (biases
+    /// untouched), in place.
+    ///
+    /// # Panics
+    /// Panics if `grads` does not match the network's layer structure.
+    pub fn add_weight_decay(&self, grads: &mut [LayerGrads], wd: f32) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient layer count");
+        for (layer, g) in self.layers.iter().zip(grads) {
+            match layer {
+                Layer::Sparse(s) => {
+                    assert_eq!(g.w.len(), s.weights().nnz(), "weight grad length");
+                    for (gw, &w) in g.w.iter_mut().zip(s.weights().data()) {
+                        *gw += wd * w;
+                    }
+                }
+                Layer::Dense(d) => {
+                    for (gw, &w) in g.w.iter_mut().zip(d.weights().as_slice()) {
+                        *gw += wd * w;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one optimizer step given computed gradients.
+    pub fn apply_gradients(&mut self, grads: &[LayerGrads], opt: &mut crate::Optimizer) {
+        opt.begin_step();
+        for (i, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+            let w_delta = opt.compute_update(2 * i, &g.w);
+            let b_delta = opt.compute_update(2 * i + 1, &g.b);
+            layer.apply_update(&w_delta, &b_delta);
+        }
+    }
+
+    /// Density of the network's weight structure relative to a dense net of
+    /// the same layer sizes (1.0 for dense layers).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let mut nnz = 0usize;
+        let mut full = 0usize;
+        for layer in &self.layers {
+            full += layer.n_in() * layer.n_out();
+            nnz += match layer {
+                Layer::Sparse(s) => s.weights().nnz(),
+                Layer::Dense(_) => layer.n_in() * layer.n_out(),
+            };
+        }
+        nnz as f64 / full as f64
+    }
+}
+
+/// Convenience: a sparse network and its dense twin with identical layer
+/// sizes, loss, and init scheme — the matched pair every training
+/// comparison uses.
+#[must_use]
+pub fn matched_dense_twin(sparse: &Network, seed: u64) -> Network {
+    let mut sizes = Vec::with_capacity(sparse.layers().len() + 1);
+    sizes.push(sparse.n_in());
+    for l in sparse.layers() {
+        sizes.push(l.n_out());
+    }
+    let hidden_act = sparse.layers()[0].activation();
+    Network::dense(
+        &sizes,
+        hidden_act,
+        Init::Xavier,
+        sparse.loss(),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radix_net::{MixedRadixSystem, MixedRadixTopology};
+
+    fn radix_fnnt() -> Fnnt {
+        MixedRadixTopology::new(MixedRadixSystem::new([2, 2, 2]).unwrap()).into_fnnt()
+    }
+
+    fn batch(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f32> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = DenseMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            let r: &mut [f32] = x.row_mut(i);
+            for v in r.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn from_fnnt_shapes() {
+        let net = Network::from_fnnt(
+            &radix_fnnt(),
+            Activation::Relu,
+            Init::He,
+            Loss::SoftmaxCrossEntropy,
+            0,
+        );
+        assert_eq!(net.n_in(), 8);
+        assert_eq!(net.n_out(), 8);
+        assert_eq!(net.layers().len(), 3);
+        // 3 layers × 16 edges + 3 × 8 biases.
+        assert_eq!(net.num_params(), 48 + 24);
+        // Last layer must be linear.
+        assert_eq!(net.layers()[2].activation(), Activation::Identity);
+    }
+
+    #[test]
+    fn density_reflects_topology() {
+        let sparse = Network::from_fnnt(
+            &radix_fnnt(),
+            Activation::Relu,
+            Init::He,
+            Loss::SoftmaxCrossEntropy,
+            0,
+        );
+        assert!((sparse.density() - 0.25).abs() < 1e-9); // degree 2 of 8
+        let dense = matched_dense_twin(&sparse, 1);
+        assert_eq!(dense.density(), 1.0);
+        assert_eq!(dense.n_in(), sparse.n_in());
+        assert!(dense.num_params() > sparse.num_params());
+    }
+
+    #[test]
+    fn forward_trace_consistent_with_forward() {
+        let net = Network::from_fnnt(
+            &radix_fnnt(),
+            Activation::Sigmoid,
+            Init::Xavier,
+            Loss::Mse,
+            3,
+        );
+        let x = batch(4, 8, 0);
+        let trace = net.forward_trace(&x);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.last().unwrap(), &net.forward(&x));
+    }
+
+    #[test]
+    fn par_grad_matches_serial() {
+        let net = Network::from_fnnt(
+            &radix_fnnt(),
+            Activation::Tanh,
+            Init::Xavier,
+            Loss::SoftmaxCrossEntropy,
+            5,
+        );
+        let x = batch(16, 8, 1);
+        let labels: Vec<usize> = (0..16).map(|i| i % 8).collect();
+        let (l1, g1) = net.grad_batch(&x, Targets::Labels(&labels));
+        let (l4, g4) = net.par_grad_batch(&x, Targets::Labels(&labels), 4);
+        assert!((l1 - l4).abs() < 1e-5, "{l1} vs {l4}");
+        for (a, b) in g1.iter().zip(&g4) {
+            for (x, y) in a.w.iter().zip(&b.w) {
+                assert!((x - y).abs() < 1e-5);
+            }
+            for (x, y) in a.b.iter().zip(&b.b) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn par_grad_regression_matches_serial() {
+        let net = Network::dense(&[4, 6, 2], Activation::Tanh, Init::Xavier, Loss::Mse, 2);
+        let x = batch(10, 4, 2);
+        let y = batch(10, 2, 3);
+        let (l1, g1) = net.grad_batch(&x, Targets::Values(&y));
+        let (l3, g3) = net.par_grad_batch(&x, Targets::Values(&y), 3);
+        assert!((l1 - l3).abs() < 1e-5);
+        for (a, b) in g1.iter().zip(&g3) {
+            for (x, y) in a.w.iter().zip(&b.w) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss() {
+        let mut net = Network::from_fnnt(
+            &radix_fnnt(),
+            Activation::Sigmoid,
+            Init::Xavier,
+            Loss::SoftmaxCrossEntropy,
+            7,
+        );
+        let x = batch(32, 8, 4);
+        let labels: Vec<usize> = (0..32).map(|i| (i * 3) % 8).collect();
+        let (loss0, grads) = net.grad_batch(&x, Targets::Labels(&labels));
+        let mut opt = crate::Optimizer::sgd(0.5);
+        net.apply_gradients(&grads, &mut opt);
+        let (loss1, _) = net.grad_batch(&x, Targets::Labels(&labels));
+        assert!(loss1 < loss0, "one SGD step must descend: {loss0} → {loss1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "layer widths must chain")]
+    fn mismatched_layers_panic() {
+        let a = Layer::Dense(DenseLinear::new(
+            DenseMatrix::zeros(3, 4),
+            Activation::Relu,
+        ));
+        let b = Layer::Dense(DenseLinear::new(
+            DenseMatrix::zeros(5, 2),
+            Activation::Relu,
+        ));
+        let _ = Network::new(vec![a, b], Loss::Mse);
+    }
+
+    #[test]
+    fn sparse_and_dense_twin_agree_when_sparse_pattern_is_full() {
+        // A "sparse" layer whose pattern is fully dense must behave like a
+        // dense layer with the same weights.
+        let full = Fnnt::dense(&[4, 4, 4]);
+        let net = Network::from_fnnt(
+            &full,
+            Activation::Tanh,
+            Init::Xavier,
+            Loss::Mse,
+            11,
+        );
+        assert_eq!(net.density(), 1.0);
+        let x = batch(3, 4, 9);
+        let out = net.forward(&x);
+        assert_eq!(out.shape(), (3, 4));
+    }
+}

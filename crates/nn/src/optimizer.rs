@@ -1,0 +1,222 @@
+//! First-order optimizers: SGD, momentum, Adam.
+//!
+//! Optimizers are stateful per parameter tensor; the network addresses each
+//! layer's weight and bias vectors by a stable parameter id so state
+//! survives across steps.
+
+use std::collections::HashMap;
+
+/// Optimizer configuration and state.
+#[derive(Debug, Clone)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent: `w ← w − lr·g`.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Classical momentum: `v ← µ·v + g; w ← w − lr·v`.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient `µ` (e.g. 0.9).
+        mu: f32,
+        /// Per-parameter velocity state.
+        velocity: HashMap<usize, Vec<f32>>,
+    },
+    /// Adam (Kingma & Ba) with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay (e.g. 0.9).
+        beta1: f32,
+        /// Second-moment decay (e.g. 0.999).
+        beta2: f32,
+        /// Stability epsilon.
+        eps: f32,
+        /// Global step counter (for bias correction).
+        t: u32,
+        /// Per-parameter first-moment state.
+        m: HashMap<usize, Vec<f32>>,
+        /// Per-parameter second-moment state.
+        v: HashMap<usize, Vec<f32>>,
+    },
+}
+
+impl Optimizer {
+    /// SGD with the given learning rate.
+    #[must_use]
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr }
+    }
+
+    /// Momentum with the given learning rate and coefficient.
+    #[must_use]
+    pub fn momentum(lr: f32, mu: f32) -> Self {
+        Optimizer::Momentum {
+            lr,
+            mu,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// Adam with standard hyperparameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    #[must_use]
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Multiplies the learning rate by `factor` (learning-rate schedules).
+    pub fn scale_lr(&mut self, factor: f32) {
+        match self {
+            Optimizer::Sgd { lr }
+            | Optimizer::Momentum { lr, .. }
+            | Optimizer::Adam { lr, .. } => *lr *= factor,
+        }
+    }
+
+    /// Marks the start of a new optimization step (advances Adam's bias
+    /// correction clock). Call once per mini-batch, before `compute_update`.
+    pub fn begin_step(&mut self) {
+        if let Optimizer::Adam { t, .. } = self {
+            *t += 1;
+        }
+    }
+
+    /// Computes the update `delta` such that the new parameters are
+    /// `w − delta`, updating internal state for `param_id`.
+    #[must_use]
+    pub fn compute_update(&mut self, param_id: usize, grads: &[f32]) -> Vec<f32> {
+        match self {
+            Optimizer::Sgd { lr } => grads.iter().map(|g| *lr * g).collect(),
+            Optimizer::Momentum { lr, mu, velocity } => {
+                let v = velocity
+                    .entry(param_id)
+                    .or_insert_with(|| vec![0.0; grads.len()]);
+                assert_eq!(v.len(), grads.len(), "gradient length changed");
+                for (vi, &g) in v.iter_mut().zip(grads) {
+                    *vi = *mu * *vi + g;
+                }
+                v.iter().map(|vi| *lr * vi).collect()
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            } => {
+                assert!(*t > 0, "call begin_step before compute_update");
+                let m = m
+                    .entry(param_id)
+                    .or_insert_with(|| vec![0.0; grads.len()]);
+                let v = v
+                    .entry(param_id)
+                    .or_insert_with(|| vec![0.0; grads.len()]);
+                assert_eq!(m.len(), grads.len(), "gradient length changed");
+                let bc1 = 1.0 - beta1.powi(*t as i32);
+                let bc2 = 1.0 - beta2.powi(*t as i32);
+                let mut out = Vec::with_capacity(grads.len());
+                for ((mi, vi), &g) in m.iter_mut().zip(v.iter_mut()).zip(grads) {
+                    *mi = *beta1 * *mi + (1.0 - *beta1) * g;
+                    *vi = *beta2 * *vi + (1.0 - *beta2) * g * g;
+                    let mhat = *mi / bc1;
+                    let vhat = *vi / bc2;
+                    out.push(*lr * mhat / (vhat.sqrt() + *eps));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_is_lr_times_grad() {
+        let mut opt = Optimizer::sgd(0.1);
+        opt.begin_step();
+        let d = opt.compute_update(0, &[1.0, -2.0]);
+        assert_eq!(d, vec![0.1, -0.2]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Optimizer::momentum(1.0, 0.5);
+        opt.begin_step();
+        let d1 = opt.compute_update(0, &[1.0]);
+        assert_eq!(d1, vec![1.0]);
+        opt.begin_step();
+        let d2 = opt.compute_update(0, &[1.0]);
+        assert_eq!(d2, vec![1.5]); // v = 0.5·1 + 1
+        // Separate parameter id has separate state.
+        let d_other = opt.compute_update(1, &[1.0]);
+        assert_eq!(d_other, vec![1.0]);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_signed() {
+        // With bias correction, the first Adam step is ≈ lr · sign(g).
+        let mut opt = Optimizer::adam(0.01);
+        opt.begin_step();
+        let d = opt.compute_update(0, &[3.0, -0.5]);
+        assert!((d[0] - 0.01).abs() < 1e-4);
+        assert!((d[1] + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_requires_begin_step() {
+        let mut opt = Optimizer::adam(0.01);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = opt.compute_update(0, &[1.0]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scale_lr_halves_sgd_steps() {
+        let mut opt = Optimizer::sgd(0.2);
+        opt.scale_lr(0.5);
+        opt.begin_step();
+        assert_eq!(opt.compute_update(0, &[1.0]), vec![0.1]);
+        let mut adam = Optimizer::adam(0.01);
+        adam.scale_lr(2.0);
+        adam.begin_step();
+        let d = adam.compute_update(0, &[1.0]);
+        assert!((d[0] - 0.02).abs() < 1e-4);
+    }
+
+    #[test]
+    fn optimizers_descend_a_quadratic() {
+        // Minimize f(w) = ½‖w‖² from w = (4, −3); all optimizers must
+        // reduce the norm substantially in 100 steps.
+        for mut opt in [
+            Optimizer::sgd(0.1),
+            Optimizer::momentum(0.05, 0.9),
+            Optimizer::adam(0.1),
+        ] {
+            let mut w = [4.0f32, -3.0];
+            for _ in 0..100 {
+                opt.begin_step();
+                let g = w.to_vec(); // ∇f = w
+                let d = opt.compute_update(0, &g);
+                for (wi, di) in w.iter_mut().zip(&d) {
+                    *wi -= di;
+                }
+            }
+            let norm = (w[0] * w[0] + w[1] * w[1]).sqrt();
+            assert!(norm < 0.5, "{opt:?} ended at norm {norm}");
+        }
+    }
+}

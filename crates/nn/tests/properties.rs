@@ -1,0 +1,170 @@
+//! Property tests for the NN substrate: gradient correctness on random
+//! sparse topologies via finite differences, sparse/dense forward
+//! equivalence, and data-parallel determinism.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use radix_net::{MixedRadixSystem, MixedRadixTopology};
+use radix_nn::{Activation, Init, Layer, Loss, Network, SparseLinear, Targets};
+use radix_sparse::{CsrMatrix, DenseMatrix};
+
+fn random_batch(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        let r: &mut [f32] = x.row_mut(i);
+        for v in r.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+    }
+    x
+}
+
+fn random_sparse_net(radices: &[usize], act: Activation, seed: u64) -> Network {
+    let fnnt = MixedRadixTopology::new(MixedRadixSystem::new(radices.to_vec()).unwrap())
+        .into_fnnt();
+    Network::from_fnnt(&fnnt, act, Init::Xavier, Loss::Mse, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sparse_forward_equals_densified_forward(
+        radices in proptest::collection::vec(2usize..4, 2..4),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(radices.iter().product::<usize>() <= 32);
+        let net = random_sparse_net(&radices, Activation::Tanh, seed);
+        // Densify every layer and rebuild as a dense network with the same
+        // weights; outputs must agree.
+        let dense_layers: Vec<Layer> = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Sparse(s) => Layer::Dense(radix_nn::DenseLinear::new(
+                    s.weights().to_dense(),
+                    l.activation(),
+                )),
+                Layer::Dense(_) => l.clone(),
+            })
+            .collect();
+        let dense_net = Network::new(dense_layers, Loss::Mse);
+        let x = random_batch(3, net.n_in(), seed ^ 1);
+        let a = net.forward(&x);
+        let b = dense_net.forward(&x);
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn regression_gradients_match_finite_differences(
+        radices in proptest::collection::vec(2usize..4, 2..3),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(radices.iter().product::<usize>() <= 16);
+        let net = random_sparse_net(&radices, Activation::Sigmoid, seed);
+        let x = random_batch(2, net.n_in(), seed ^ 2);
+        let y = random_batch(2, net.n_out(), seed ^ 3);
+        let (_, grads) = net.grad_batch(&x, Targets::Values(&y));
+
+        // Check a few weight coordinates of the first layer by nudging.
+        let h = 2e-2f32;
+        let (w_len, b_len) = net.layers()[0].param_lens();
+        for k in [0, w_len / 2, w_len - 1] {
+            let loss_at = |delta: f32| -> f32 {
+                let mut n2 = net.clone();
+                let mut dw = vec![0.0; w_len];
+                dw[k] = -delta;
+                // Poke only layer 0.
+                let layers: Vec<Layer> = n2
+                    .layers()
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .map(|(i, mut l)| {
+                        if i == 0 {
+                            l.apply_update(&dw, &vec![0.0; b_len]);
+                        }
+                        l
+                    })
+                    .collect();
+                n2 = Network::new(layers, Loss::Mse);
+                let (loss, _) = n2.grad_batch(&x, Targets::Values(&y));
+                loss
+            };
+            let numeric = (loss_at(h) - loss_at(-h)) / (2.0 * h);
+            let analytic = grads[0].w[k];
+            prop_assert!(
+                (numeric - analytic).abs() < 5e-2_f32.max(analytic.abs() * 0.2),
+                "weight {k}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_grad_agrees_with_serial_on_random_nets(
+        radices in proptest::collection::vec(2usize..4, 2..4),
+        chunks in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(radices.iter().product::<usize>() <= 32);
+        let net = random_sparse_net(&radices, Activation::Relu, seed);
+        let x = random_batch(12, net.n_in(), seed ^ 4);
+        let y = random_batch(12, net.n_out(), seed ^ 5);
+        let (l1, g1) = net.grad_batch(&x, Targets::Values(&y));
+        let (l2, g2) = net.par_grad_batch(&x, Targets::Values(&y), chunks);
+        prop_assert!((l1 - l2).abs() < 1e-4 * (1.0 + l1.abs()));
+        for (a, b) in g1.iter().zip(&g2) {
+            for (p, q) in a.w.iter().zip(&b.w) {
+                prop_assert!((p - q).abs() < 1e-4 * (1.0 + p.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn training_step_never_corrupts_pattern(
+        radices in proptest::collection::vec(2usize..4, 2..4),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(radices.iter().product::<usize>() <= 32);
+        let mut net = random_sparse_net(&radices, Activation::Tanh, seed);
+        let patterns: Vec<CsrMatrix<f32>> = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Sparse(s) => s.weights().clone(),
+                Layer::Dense(_) => unreachable!(),
+            })
+            .collect();
+        let x = random_batch(8, net.n_in(), seed ^ 6);
+        let y = random_batch(8, net.n_out(), seed ^ 7);
+        let mut opt = radix_nn::Optimizer::adam(0.05);
+        for _ in 0..3 {
+            let (_, grads) = net.grad_batch(&x, Targets::Values(&y));
+            net.apply_gradients(&grads, &mut opt);
+        }
+        for (layer, before) in net.layers().iter().zip(&patterns) {
+            let Layer::Sparse(s) = layer else { unreachable!() };
+            prop_assert!(
+                s.weights().same_pattern(before),
+                "training must never change the sparsity pattern"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_linear_is_constructible_from_pattern() {
+    // Non-proptest sanity: the public construction path end to end.
+    let fnnt = MixedRadixTopology::new(MixedRadixSystem::new([2, 2]).unwrap()).into_fnnt();
+    let w: CsrMatrix<f32> = fnnt.layer(0).pattern();
+    let layer = Layer::Sparse(SparseLinear::new(w, Activation::Relu));
+    assert_eq!(layer.n_in(), 4);
+    assert_eq!(layer.n_out(), 4);
+}

@@ -1,0 +1,243 @@
+//! Structural analysis of FNNTs: degree statistics, forward reach, and
+//! mixing depth.
+//!
+//! X-Nets are constructed *because* expander graphs mix quickly (paper §I);
+//! RadiX-Nets claim the same virtue deterministically. This module measures
+//! it: how fast does a single input's influence spread layer by layer, how
+//! many layers until every output depends on every input, and how uniform
+//! are the degrees. These are the quantities behind the informal
+//! "path-connectedness in few layers" statements, made measurable for both
+//! families (the `mixing` example compares them).
+
+use std::collections::BTreeSet;
+
+use radix_sparse::CsrMatrix;
+
+use crate::fnnt::Fnnt;
+
+/// Degree statistics of one adjacency submatrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree over source nodes.
+    pub out_min: usize,
+    /// Maximum out-degree over source nodes.
+    pub out_max: usize,
+    /// Mean out-degree.
+    pub out_mean: f64,
+    /// Minimum in-degree over target nodes.
+    pub in_min: usize,
+    /// Maximum in-degree over target nodes.
+    pub in_max: usize,
+    /// Mean in-degree.
+    pub in_mean: f64,
+}
+
+/// Computes degree statistics for one layer.
+#[must_use]
+pub fn degree_stats(w: &CsrMatrix<u64>) -> DegreeStats {
+    let out = w.row_degrees();
+    let inn = w.col_degrees();
+    let mean = |v: &[usize]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<usize>() as f64 / v.len() as f64
+        }
+    };
+    DegreeStats {
+        out_min: out.iter().copied().min().unwrap_or(0),
+        out_max: out.iter().copied().max().unwrap_or(0),
+        out_mean: mean(&out),
+        in_min: inn.iter().copied().min().unwrap_or(0),
+        in_max: inn.iter().copied().max().unwrap_or(0),
+        in_mean: mean(&inn),
+    }
+}
+
+/// Whether every layer of the FNNT is degree-regular (all out-degrees
+/// equal and all in-degrees equal) — true for mixed-radix and RadiX-Net
+/// topologies, generally false for random X-Nets. Regularity is the
+/// structural shadow of the paper's symmetry property.
+#[must_use]
+pub fn is_degree_regular(fnnt: &Fnnt) -> bool {
+    fnnt.submatrices().iter().all(|w| {
+        let s = degree_stats(w);
+        s.out_min == s.out_max && s.in_min == s.in_max
+    })
+}
+
+/// The forward reach profile of a single source node: element `k` is the
+/// number of layer-`k+1` nodes reachable from `source` within the first
+/// `k+1` layers.
+///
+/// # Panics
+/// Panics if `source` is out of range for the input layer.
+#[must_use]
+pub fn reach_profile(fnnt: &Fnnt, source: usize) -> Vec<usize> {
+    assert!(
+        source < fnnt.layer_sizes()[0],
+        "source node out of range"
+    );
+    let mut frontier: BTreeSet<usize> = std::iter::once(source).collect();
+    let mut profile = Vec::with_capacity(fnnt.num_edge_layers());
+    for w in fnnt.submatrices() {
+        let mut next = BTreeSet::new();
+        for &u in &frontier {
+            let (cols, _) = w.row(u);
+            next.extend(cols.iter().copied());
+        }
+        profile.push(next.len());
+        frontier = next;
+    }
+    profile
+}
+
+/// Mixing depth of a *repeatable* layer: the number of applications of the
+/// square layer `w` after which a single source reaches every node, or
+/// `None` if it never does within `max_depth` layers.
+///
+/// # Panics
+/// Panics if `w` is not square.
+#[must_use]
+pub fn mixing_depth(w: &CsrMatrix<u64>, source: usize, max_depth: usize) -> Option<usize> {
+    assert_eq!(w.nrows(), w.ncols(), "mixing depth needs a square layer");
+    let n = w.nrows();
+    let mut frontier: BTreeSet<usize> = std::iter::once(source).collect();
+    for depth in 1..=max_depth {
+        let mut next = BTreeSet::new();
+        for &u in &frontier {
+            let (cols, _) = w.row(u);
+            next.extend(cols.iter().copied());
+        }
+        if next.len() == n {
+            return Some(depth);
+        }
+        if next == frontier {
+            return None; // stalled
+        }
+        frontier = next;
+    }
+    None
+}
+
+/// Minimum observed vertex expansion of a layer over all singleton-to-set
+/// growth steps from each source: `min_u |N({u})| / 1 = min out-degree`,
+/// generalized to seed sets of the given size by sampling every contiguous
+/// window of `set_size` sources (deterministic, no RNG).
+///
+/// Expansion `≥ c` for small sets is the defining property of the expander
+/// layers X-Nets are built from.
+///
+/// # Panics
+/// Panics if `set_size` is zero or exceeds the source count.
+#[must_use]
+pub fn min_vertex_expansion(w: &CsrMatrix<u64>, set_size: usize) -> f64 {
+    assert!(set_size > 0, "set size must be positive");
+    assert!(set_size <= w.nrows(), "set size exceeds sources");
+    let mut min_ratio = f64::INFINITY;
+    for start in 0..w.nrows() {
+        let mut neighborhood = BTreeSet::new();
+        for offset in 0..set_size {
+            let u = (start + offset) % w.nrows();
+            let (cols, _) = w.row(u);
+            neighborhood.extend(cols.iter().copied());
+        }
+        let ratio = neighborhood.len() as f64 / set_size as f64;
+        min_ratio = min_ratio.min(ratio);
+    }
+    min_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeral::MixedRadixSystem;
+    use crate::topology::MixedRadixTopology;
+    use radix_sparse::CyclicShift;
+
+    fn mr_fnnt(radices: &[usize]) -> Fnnt {
+        MixedRadixTopology::new(MixedRadixSystem::new(radices.to_vec()).unwrap()).into_fnnt()
+    }
+
+    #[test]
+    fn mixed_radix_layers_are_regular() {
+        let g = mr_fnnt(&[2, 3, 2]);
+        assert!(is_degree_regular(&g));
+        let s = degree_stats(g.layer(1));
+        assert_eq!(s.out_min, 3);
+        assert_eq!(s.out_max, 3);
+        assert_eq!(s.in_min, 3);
+        assert!((s.out_mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_xnet_layers_usually_irregular() {
+        // Row degrees of a random expander vary; regularity check must say
+        // so. Build directly to avoid a cross-crate dev-dependency.
+        use radix_sparse::CooMatrix;
+        let mut coo = CooMatrix::new(6, 6);
+        // Hand-built irregular layer: node 0 has out-degree 3, others 1.
+        for &c in &[0usize, 1, 2] {
+            coo.push(0, c, 1u64);
+        }
+        for i in 1..6 {
+            coo.push(i, (i + 2) % 6, 1u64);
+        }
+        let g = Fnnt::new_unchecked(vec![coo.to_csr()]);
+        assert!(!is_degree_regular(&g));
+    }
+
+    #[test]
+    fn reach_profile_doubles_in_binary_topology() {
+        // (2,2,2): reach 2 → 4 → 8 (the decision tree of Figure 1).
+        let g = mr_fnnt(&[2, 2, 2]);
+        assert_eq!(reach_profile(&g, 0), vec![2, 4, 8]);
+        // Every source mixes equally (symmetry's shadow).
+        for s in 0..8 {
+            assert_eq!(reach_profile(&g, s), vec![2, 4, 8]);
+        }
+    }
+
+    #[test]
+    fn reach_profile_saturates_at_nprime() {
+        let g = mr_fnnt(&[4, 4]);
+        assert_eq!(reach_profile(&g, 3), vec![4, 16]);
+    }
+
+    #[test]
+    fn mixing_depth_of_radix_layer() {
+        // A radix-2, place-value-1 layer on 8 nodes: one application
+        // reaches 2 nodes, k applications reach k+1 → full at depth 7.
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(8, 2, 1);
+        assert_eq!(mixing_depth(&w, 0, 16), Some(7));
+    }
+
+    #[test]
+    fn mixing_depth_detects_stall() {
+        // Identity never mixes.
+        let w = CsrMatrix::<u64>::identity(4);
+        assert_eq!(mixing_depth(&w, 0, 10), None);
+    }
+
+    #[test]
+    fn full_layer_mixes_in_one() {
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(5, 5, 1);
+        assert_eq!(mixing_depth(&w, 2, 3), Some(1));
+    }
+
+    #[test]
+    fn expansion_of_radix_layer() {
+        // Degree-2 offset-1 layer: a window of k sources covers k+1
+        // targets → expansion (k+1)/k.
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(8, 2, 1);
+        assert!((min_vertex_expansion(&w, 1) - 2.0).abs() < 1e-12);
+        assert!((min_vertex_expansion(&w, 4) - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "set size must be positive")]
+    fn zero_set_size_panics() {
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(4, 2, 1);
+        let _ = min_vertex_expansion(&w, 0);
+    }
+}

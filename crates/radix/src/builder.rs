@@ -1,0 +1,322 @@
+//! The RadiX-Net generation algorithm — paper §III.A and Figure 6.
+//!
+//! A RadiX-Net is specified by an ordered set `N* = (N_1, …, N_M)` of
+//! mixed-radix systems and an ordered set `D = (D_0, …, D_M̄)` of layer
+//! widths (`M̄ = Σ L_i`, the total radix count). Constraints (paper §III.A):
+//!
+//! 1. every system except the last has the same product `N'`,
+//! 2. the last system's product divides `N'`,
+//! 3. `D` has `M̄ + 1` positive entries with `D_i ≪ N'` (soft; see
+//!    [`RadixNetSpec::strict`]).
+//!
+//! Construction: concatenate the mixed-radix topologies label-wise (output
+//! layer of one identified with the input layer of the next), then replace
+//! each submatrix `W_i` by `1_{D_{i−1} × D_i} ⊗ W_i` (eq. (3)).
+
+use radix_sparse::{kron_ones_left, CsrMatrix};
+
+use crate::error::RadixError;
+use crate::fnnt::Fnnt;
+use crate::numeral::MixedRadixSystem;
+use crate::topology::MixedRadixTopology;
+
+/// A validated RadiX-Net specification `(N*, D)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadixNetSpec {
+    systems: Vec<MixedRadixSystem>,
+    widths: Vec<usize>,
+    n_prime: usize,
+}
+
+/// A constructed RadiX-Net: the spec plus the generated FNNT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadixNet {
+    spec: RadixNetSpec,
+    fnnt: Fnnt,
+}
+
+impl RadixNetSpec {
+    /// Validates a `(N*, D)` pair against the RadiX-Net constraints.
+    ///
+    /// For `M = 1` the constraint set on products is vacuous; `N'` is then
+    /// the single system's product (matching Figure 6, which always takes
+    /// `N' ← ∏_{N ∈ N_1} N`).
+    ///
+    /// # Errors
+    /// Any of [`RadixError::NoSystems`], [`RadixError::UnequalProducts`],
+    /// [`RadixError::LastProductDoesNotDivide`],
+    /// [`RadixError::WrongWidthCount`], [`RadixError::ZeroWidth`].
+    pub fn new(
+        systems: Vec<MixedRadixSystem>,
+        widths: Vec<usize>,
+    ) -> Result<Self, RadixError> {
+        if systems.is_empty() {
+            return Err(RadixError::NoSystems);
+        }
+        let n_prime = systems[0].product();
+        let m = systems.len();
+        for (i, sys) in systems.iter().enumerate().take(m.saturating_sub(1)) {
+            if sys.product() != n_prime {
+                return Err(RadixError::UnequalProducts {
+                    system: i,
+                    found: sys.product(),
+                    expected: n_prime,
+                });
+            }
+        }
+        let last = systems[m - 1].product();
+        if !n_prime.is_multiple_of(last) {
+            return Err(RadixError::LastProductDoesNotDivide { last, n_prime });
+        }
+        let total_radices: usize = systems.iter().map(MixedRadixSystem::len).sum();
+        if widths.len() != total_radices + 1 {
+            return Err(RadixError::WrongWidthCount {
+                found: widths.len(),
+                expected: total_radices + 1,
+            });
+        }
+        if let Some(position) = widths.iter().position(|&d| d == 0) {
+            return Err(RadixError::ZeroWidth { position });
+        }
+        Ok(RadixNetSpec {
+            systems,
+            widths,
+            n_prime,
+        })
+    }
+
+    /// Extended mixed-radix spec: all widths 1 (the paper's Appendix
+    /// definition used by Lemma 2).
+    ///
+    /// # Errors
+    /// Same constraint errors as [`RadixNetSpec::new`].
+    pub fn extended_mixed_radix(systems: Vec<MixedRadixSystem>) -> Result<Self, RadixError> {
+        let total: usize = systems.iter().map(MixedRadixSystem::len).sum();
+        RadixNetSpec::new(systems, vec![1; total + 1])
+    }
+
+    /// Validates the soft constraint `D_i ≪ N'`, interpreted as
+    /// `D_i <= n_prime / threshold_divisor` for every `i`. The paper leaves
+    /// "≪" unquantified; the Graph-Challenge generators use widths far below
+    /// `N'`, so a divisor of 2 (i.e. `D_i ≤ N'/2`) is a lenient default.
+    #[must_use]
+    pub fn strict(&self, threshold_divisor: usize) -> bool {
+        let bound = self.n_prime / threshold_divisor.max(1);
+        self.widths.iter().all(|&d| d <= bound)
+    }
+
+    /// The mixed-radix systems `N*`.
+    #[must_use]
+    pub fn systems(&self) -> &[MixedRadixSystem] {
+        &self.systems
+    }
+
+    /// The width vector `D`.
+    #[must_use]
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// The common product `N'`.
+    #[must_use]
+    pub fn n_prime(&self) -> usize {
+        self.n_prime
+    }
+
+    /// Total number of radices `M̄ = Σ L_i` (the number of edge layers).
+    #[must_use]
+    pub fn total_radices(&self) -> usize {
+        self.systems.iter().map(MixedRadixSystem::len).sum()
+    }
+
+    /// The flattened radix sequence `(N̄_1, …, N̄_M̄)` used by the density
+    /// formula (4).
+    #[must_use]
+    pub fn flattened_radices(&self) -> Vec<usize> {
+        self.systems
+            .iter()
+            .flat_map(|s| s.radices().iter().copied())
+            .collect()
+    }
+
+    /// Node-layer sizes of the generated net: `D_i · N'`.
+    #[must_use]
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        self.widths.iter().map(|&d| d * self.n_prime).collect()
+    }
+
+    /// Runs the Figure-6 algorithm and returns the constructed RadiX-Net.
+    #[must_use]
+    pub fn build(&self) -> RadixNet {
+        // Step 1–2 (Figure 6): per-system mixed-radix submatrices on the
+        // common N'-node grid, concatenated in order.
+        let mut mixed: Vec<CsrMatrix<u64>> = Vec::with_capacity(self.total_radices());
+        for sys in &self.systems {
+            mixed.extend(MixedRadixTopology::submatrices_on(sys, self.n_prime));
+        }
+        // Step 3: Kronecker with the dense-DNN all-ones submatrices.
+        let layers: Vec<CsrMatrix<u64>> = mixed
+            .into_iter()
+            .zip(self.widths.windows(2))
+            .map(|(w, d)| kron_ones_left(d[0], d[1], &w))
+            .collect();
+        RadixNet {
+            spec: self.clone(),
+            fnnt: Fnnt::new_unchecked(layers),
+        }
+    }
+}
+
+impl RadixNet {
+    /// The specification this net was generated from.
+    #[must_use]
+    pub fn spec(&self) -> &RadixNetSpec {
+        &self.spec
+    }
+
+    /// The generated topology.
+    #[must_use]
+    pub fn fnnt(&self) -> &Fnnt {
+        &self.fnnt
+    }
+
+    /// Consumes the net, returning the FNNT.
+    #[must_use]
+    pub fn into_fnnt(self) -> Fnnt {
+        self.fnnt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(radices: &[usize]) -> MixedRadixSystem {
+        MixedRadixSystem::new(radices.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn fig5_shapes() {
+        // Figure 5: three systems' worth of submatrices with D = (3,5,4,2).
+        // Use one system of three radices so M̄ = 3 and D has 4 entries.
+        let spec = RadixNetSpec::new(vec![sys(&[2, 2, 2])], vec![3, 5, 4, 2]).unwrap();
+        let net = spec.build();
+        assert_eq!(net.fnnt().layer_sizes(), vec![24, 40, 32, 16]);
+        assert_eq!(net.fnnt().layer(0).shape(), (24, 40));
+    }
+
+    #[test]
+    fn constraint_equal_products_enforced() {
+        let e = RadixNetSpec::new(
+            vec![sys(&[2, 2]), sys(&[3, 2]), sys(&[2, 2])],
+            vec![1; 7],
+        );
+        assert_eq!(
+            e,
+            Err(RadixError::UnequalProducts {
+                system: 1,
+                found: 6,
+                expected: 4
+            })
+        );
+    }
+
+    #[test]
+    fn constraint_last_divides_enforced() {
+        let e = RadixNetSpec::new(vec![sys(&[2, 3]), sys(&[4])], vec![1; 4]);
+        assert_eq!(
+            e,
+            Err(RadixError::LastProductDoesNotDivide { last: 4, n_prime: 6 })
+        );
+    }
+
+    #[test]
+    fn last_smaller_product_allowed() {
+        // Last product 4 divides N' = 8.
+        let spec = RadixNetSpec::new(vec![sys(&[2, 2, 2]), sys(&[2, 2])], vec![1; 6]);
+        assert!(spec.is_ok());
+    }
+
+    #[test]
+    fn width_count_enforced() {
+        let e = RadixNetSpec::new(vec![sys(&[2, 2])], vec![1, 1]);
+        assert_eq!(
+            e,
+            Err(RadixError::WrongWidthCount {
+                found: 2,
+                expected: 3
+            })
+        );
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let e = RadixNetSpec::new(vec![sys(&[2, 2])], vec![1, 0, 1]);
+        assert_eq!(e, Err(RadixError::ZeroWidth { position: 1 }));
+    }
+
+    #[test]
+    fn no_systems_rejected() {
+        assert_eq!(
+            RadixNetSpec::new(vec![], vec![1]),
+            Err(RadixError::NoSystems)
+        );
+    }
+
+    #[test]
+    fn emr_is_plain_concatenation() {
+        // With all widths 1, the generated net is just the concatenated
+        // mixed-radix topologies.
+        let spec = RadixNetSpec::extended_mixed_radix(vec![sys(&[2, 2]), sys(&[4])]).unwrap();
+        let net = spec.build();
+        assert_eq!(net.fnnt().layer_sizes(), vec![4; 4]);
+        // First system layers: offsets 1, 2 with radix 2; last: radix 4 pv 1.
+        assert_eq!(net.fnnt().layer(2).row_nnz(0), 4);
+    }
+
+    #[test]
+    fn build_is_binary_when_no_collisions() {
+        let spec = RadixNetSpec::new(vec![sys(&[3, 3]), sys(&[9])], vec![2, 3, 3, 2]).unwrap();
+        assert!(spec.build().fnnt().is_binary());
+    }
+
+    #[test]
+    fn layer_sizes_match_widths_times_nprime() {
+        let spec = RadixNetSpec::new(vec![sys(&[2, 3])], vec![4, 2, 3]).unwrap();
+        assert_eq!(spec.layer_sizes(), vec![24, 12, 18]);
+        assert_eq!(spec.build().fnnt().layer_sizes(), spec.layer_sizes());
+    }
+
+    #[test]
+    fn flattened_radices_order() {
+        let spec =
+            RadixNetSpec::new(vec![sys(&[2, 3]), sys(&[6]), sys(&[3])], vec![1; 5]).unwrap();
+        assert_eq!(spec.flattened_radices(), vec![2, 3, 6, 3]);
+        assert_eq!(spec.total_radices(), 4);
+    }
+
+    #[test]
+    fn strict_width_check() {
+        let spec = RadixNetSpec::new(vec![sys(&[4, 4])], vec![2, 2, 2]).unwrap();
+        assert!(spec.strict(2)); // 2 <= 16/2
+        assert!(!spec.strict(16)); // 2 > 16/16 = 1
+    }
+
+    #[test]
+    fn single_system_nprime_is_its_product() {
+        let spec = RadixNetSpec::new(vec![sys(&[5, 2])], vec![1, 1, 1]).unwrap();
+        assert_eq!(spec.n_prime(), 10);
+    }
+
+    #[test]
+    fn out_degree_multiplied_by_width() {
+        // Eq. (3): Kronecker with 1_{D_{i−1}×D_i} multiplies each node's
+        // out-degree by D_i.
+        let spec = RadixNetSpec::new(vec![sys(&[2, 2])], vec![1, 3, 1]).unwrap();
+        let net = spec.build();
+        // Layer 0: radix 2 × D_1 = 3 → out-degree 6.
+        assert_eq!(net.fnnt().layer(0).row_nnz(0), 6);
+        // Layer 1: radix 2 × D_2 = 1 → out-degree 2.
+        assert_eq!(net.fnnt().layer(1).row_nnz(0), 2);
+    }
+}

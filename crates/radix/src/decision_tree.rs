@@ -1,0 +1,172 @@
+//! The overlapping-decision-tree construction of Figure 1.
+//!
+//! Figure 1 presents the mixed-radix topology for `N = (2,2,2)` as eight
+//! binary decision trees, one rooted at each node of the input layer,
+//! overlaid on the same node grid. This module implements that alternative
+//! construction directly — walking each tree and collecting its edges — and
+//! the test suite proves it generates exactly the same FNNT as the
+//! matrix-form eq. (1) construction, which is the equivalence Figure 1
+//! illustrates.
+
+use std::collections::BTreeSet;
+
+use radix_sparse::{CooMatrix, CsrMatrix};
+
+use crate::fnnt::Fnnt;
+use crate::numeral::MixedRadixSystem;
+
+/// One decision tree of the mixed-radix topology: the tree rooted at input
+/// node `root`, where the branch taken at depth `i` chooses digit
+/// `n ∈ {0, …, N_i − 1}` and moves to node `(current + n·ν_i) mod N'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionTree {
+    root: usize,
+    /// Edges per layer: `(from, to)` pairs, deduplicated and sorted.
+    layers: Vec<BTreeSet<(usize, usize)>>,
+}
+
+impl DecisionTree {
+    /// Builds the decision tree of `system` rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if `root >= system.product()`.
+    #[must_use]
+    pub fn new(system: &MixedRadixSystem, root: usize) -> Self {
+        let np = system.product();
+        assert!(root < np, "root {root} out of range for N' = {np}");
+        let mut layers = Vec::with_capacity(system.len());
+        let mut frontier: BTreeSet<usize> = std::iter::once(root).collect();
+        for (&radix, &pv) in system.radices().iter().zip(system.place_values()) {
+            let mut edges = BTreeSet::new();
+            let mut next_frontier = BTreeSet::new();
+            for &node in &frontier {
+                for digit in 0..radix {
+                    let to = (node + digit * pv) % np;
+                    edges.insert((node, to));
+                    next_frontier.insert(to);
+                }
+            }
+            layers.push(edges);
+            frontier = next_frontier;
+        }
+        DecisionTree { root, layers }
+    }
+
+    /// The root node of this tree.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The edge sets per layer.
+    #[must_use]
+    pub fn layers(&self) -> &[BTreeSet<(usize, usize)>] {
+        &self.layers
+    }
+
+    /// Leaves of the tree (nodes reachable in the last layer).
+    #[must_use]
+    pub fn leaves(&self) -> BTreeSet<usize> {
+        self.layers
+            .last()
+            .map(|edges| edges.iter().map(|&(_, to)| to).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of distinct edges in the tree.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.layers.iter().map(BTreeSet::len).sum()
+    }
+}
+
+/// Builds the mixed-radix topology of `system` as the union of the `N'`
+/// overlapping decision trees (the Figure-1 construction). Identical output
+/// to [`crate::MixedRadixTopology::new`], which uses eq. (1); the
+/// equivalence is asserted by tests and by a cross-crate property test.
+#[must_use]
+pub fn overlay_topology(system: &MixedRadixSystem) -> Fnnt {
+    let np = system.product();
+    let mut per_layer: Vec<BTreeSet<(usize, usize)>> = vec![BTreeSet::new(); system.len()];
+    for root in 0..np {
+        let tree = DecisionTree::new(system, root);
+        for (acc, edges) in per_layer.iter_mut().zip(tree.layers()) {
+            acc.extend(edges.iter().copied());
+        }
+    }
+    let submatrices: Vec<CsrMatrix<u64>> = per_layer
+        .into_iter()
+        .map(|edges| {
+            let mut coo = CooMatrix::with_capacity(np, np, edges.len());
+            for (from, to) in edges {
+                coo.push(from, to, 1u64);
+            }
+            coo.to_csr()
+        })
+        .collect();
+    Fnnt::new_unchecked(submatrices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MixedRadixTopology;
+
+    #[test]
+    fn binary_tree_shape_matches_fig1_left() {
+        // Figure 1 (left): a binary decision tree on (2,2,2) rooted at 0
+        // has 2 + 4 + 8 = 14 edges and reaches all 8 leaves.
+        let sys = MixedRadixSystem::new([2, 2, 2]).unwrap();
+        let tree = DecisionTree::new(&sys, 0);
+        assert_eq!(tree.num_edges(), 2 + 4 + 8);
+        assert_eq!(tree.leaves().len(), 8);
+    }
+
+    #[test]
+    fn tree_layers_fan_out_by_radix() {
+        let sys = MixedRadixSystem::new([3, 2]).unwrap();
+        let tree = DecisionTree::new(&sys, 2);
+        // Layer 0: root fans to 3 nodes (3 edges).
+        assert_eq!(tree.layers()[0].len(), 3);
+        // Layer 1: 3 frontier nodes × 2 digits = 6 edges.
+        assert_eq!(tree.layers()[1].len(), 6);
+        assert_eq!(tree.leaves().len(), 6);
+    }
+
+    #[test]
+    fn every_leaf_reachable_once_tree_is_complete() {
+        // A single tree on a full system reaches exactly N' leaves.
+        let sys = MixedRadixSystem::new([2, 3, 2]).unwrap();
+        for root in 0..sys.product() {
+            let tree = DecisionTree::new(&sys, root);
+            assert_eq!(tree.leaves().len(), sys.product(), "root {root}");
+        }
+    }
+
+    #[test]
+    fn overlay_equals_matrix_construction_fig1() {
+        // The heart of Figure 1: eight offset trees overlay into the
+        // mixed-radix topology.
+        let sys = MixedRadixSystem::new([2, 2, 2]).unwrap();
+        let via_trees = overlay_topology(&sys);
+        let via_matrices = MixedRadixTopology::new(sys).into_fnnt();
+        assert_eq!(via_trees, via_matrices);
+    }
+
+    #[test]
+    fn overlay_equals_matrix_construction_various() {
+        for radices in [vec![3, 4], vec![2, 2, 3], vec![5, 3], vec![2, 6]] {
+            let sys = MixedRadixSystem::new(radices.clone()).unwrap();
+            let via_trees = overlay_topology(&sys);
+            let via_matrices = MixedRadixTopology::new(sys).into_fnnt();
+            assert_eq!(via_trees, via_matrices, "mismatch for {radices:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn root_out_of_range_panics() {
+        let sys = MixedRadixSystem::new([2, 2]).unwrap();
+        let _ = DecisionTree::new(&sys, 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! Topology diversity — quantifying the paper's claim that RadiX-Nets are
+//! "much more diverse than X-Net topologies".
+//!
+//! Explicit (deterministic) X-Linear layers are built from Cayley graphs
+//! and therefore require adjacent layers of *equal size* (paper §I). A
+//! deterministic RadiX-Net over `N'` nodes, by contrast, can use any
+//! ordered factorization of `N'` into radices ≥ 2 for each constituent
+//! system, any divisor-product system last, and any width vector `D` — a
+//! combinatorial explosion this module counts exactly.
+
+use crate::numeral::MixedRadixSystem;
+
+/// All ordered factorizations of `n` into factors ≥ 2 (compositions of the
+/// multiset of prime factors). `n = 1` yields the single empty
+/// factorization; `n ≥ 2` yields every ordered tuple with product `n`.
+///
+/// The count of these is the "ordered factorization" function H(n)
+/// (OEIS A074206 counts them including the empty one for n=1).
+#[must_use]
+pub fn ordered_factorizations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(n: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if n == 1 {
+            out.push(acc.clone());
+            return;
+        }
+        // Collect all divisors of n that are >= 2 (including n itself).
+        let mut divisors = Vec::new();
+        let mut d = 2;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                divisors.push(d);
+                if n / d != d {
+                    divisors.push(n / d);
+                }
+            }
+            d += 1;
+        }
+        divisors.push(n);
+        divisors.sort_unstable();
+        for f in divisors {
+            acc.push(f);
+            rec(n / f, acc, out);
+            acc.pop();
+        }
+    }
+    if n == 1 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    let mut acc = Vec::new();
+    rec(n, &mut acc, &mut out);
+    out
+}
+
+/// Number of ordered factorizations of `n` into factors ≥ 2 (no
+/// enumeration). Matches `ordered_factorizations(n).len()`.
+#[must_use]
+pub fn count_ordered_factorizations(n: usize) -> u128 {
+    // H(n) = Σ_{d | n, d > 1} H(n/d), H(1) = 1. Memoized over divisors.
+    fn h(n: usize, memo: &mut std::collections::HashMap<usize, u128>) -> u128 {
+        if n == 1 {
+            return 1;
+        }
+        if let Some(&v) = memo.get(&n) {
+            return v;
+        }
+        let mut total: u128 = 0;
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                if d > 1 {
+                    total += h(n / d, memo);
+                }
+                let other = n / d;
+                if other != d && other > 1 {
+                    total += h(n / other, memo);
+                }
+            }
+            d += 1;
+        }
+        memo.insert(n, total);
+        total
+    }
+    let mut memo = std::collections::HashMap::new();
+    h(n, &mut memo)
+}
+
+/// All valid mixed-radix systems with product exactly `n'` — the candidate
+/// non-final systems of a RadiX-Net over `N' = n'`.
+#[must_use]
+pub fn systems_with_product(n_prime: usize) -> Vec<MixedRadixSystem> {
+    ordered_factorizations(n_prime)
+        .into_iter()
+        .filter(|f| !f.is_empty())
+        .map(|f| MixedRadixSystem::new(f).expect("factors ≥ 2 are valid radices"))
+        .collect()
+}
+
+/// All valid *final* systems for `N' = n_prime`: systems whose product is a
+/// nontrivial divisor (> 1) of `N'`.
+#[must_use]
+pub fn final_systems(n_prime: usize) -> Vec<MixedRadixSystem> {
+    let mut out = Vec::new();
+    for d in 2..=n_prime {
+        if n_prime.is_multiple_of(d) {
+            out.extend(systems_with_product(d));
+        }
+    }
+    out
+}
+
+/// Number of distinct RadiX-Net specifications over `N' = n_prime` with
+/// exactly `num_systems` constituent systems, counting system choices only
+/// (widths `D` add a further infinite family; this is the conservative
+/// count).
+#[must_use]
+pub fn count_radixnet_specs(n_prime: usize, num_systems: usize) -> u128 {
+    if num_systems == 0 {
+        return 0;
+    }
+    let full = count_ordered_factorizations(n_prime);
+    let last: u128 = (2..=n_prime)
+        .filter(|d| n_prime.is_multiple_of(*d))
+        .map(count_ordered_factorizations)
+        .sum();
+    if num_systems == 1 {
+        // A single system must still be buildable; Figure 6 takes N' from
+        // it, so any factorization of n_prime counts.
+        return full;
+    }
+    full.pow((num_systems - 1) as u32) * last
+}
+
+/// Number of deterministic explicit X-Net layer topologies available at the
+/// same node budget: Cayley-graph X-Linear layers require equal adjacent
+/// layer sizes, leaving the choice of a degree parameter `d` per layer,
+/// `2 ≤ d ≤ n'` — i.e. `n' − 1` choices. (Prabhu et al. §4; the comparison
+/// baseline for the diversity claim.)
+#[must_use]
+pub fn count_explicit_xnet_layers(n_prime: usize) -> u128 {
+    (n_prime.saturating_sub(1)) as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_of_small_numbers() {
+        assert_eq!(ordered_factorizations(1), vec![Vec::<usize>::new()]);
+        assert_eq!(ordered_factorizations(2), vec![vec![2]]);
+        assert_eq!(ordered_factorizations(4).len(), 2); // (4), (2,2)
+        let of8 = ordered_factorizations(8);
+        // (8), (2,4), (4,2), (2,2,2)
+        assert_eq!(of8.len(), 4);
+        assert!(of8.contains(&vec![2, 4]));
+        assert!(of8.contains(&vec![4, 2]));
+        assert!(of8.contains(&vec![2, 2, 2]));
+        assert!(of8.contains(&vec![8]));
+    }
+
+    #[test]
+    fn factorizations_products_are_correct() {
+        for n in 2..=60 {
+            for f in ordered_factorizations(n) {
+                assert_eq!(f.iter().product::<usize>(), n);
+                assert!(f.iter().all(|&x| x >= 2));
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for n in 1..=96 {
+            assert_eq!(
+                count_ordered_factorizations(n),
+                ordered_factorizations(n).len() as u128,
+                "mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_ordered_factorization_counts() {
+        // A074206: H(12) = 8, H(16) = 8, H(24) = 20, H(36) = 26.
+        assert_eq!(count_ordered_factorizations(12), 8);
+        assert_eq!(count_ordered_factorizations(16), 8);
+        assert_eq!(count_ordered_factorizations(24), 20);
+        assert_eq!(count_ordered_factorizations(36), 26);
+    }
+
+    #[test]
+    fn systems_with_product_are_valid() {
+        for sys in systems_with_product(24) {
+            assert_eq!(sys.product(), 24);
+        }
+        assert_eq!(systems_with_product(24).len(), 20);
+    }
+
+    #[test]
+    fn final_systems_cover_divisors() {
+        let finals = final_systems(12);
+        // Products must be divisors of 12 in {2,3,4,6,12}.
+        for sys in &finals {
+            assert_eq!(12 % sys.product(), 0);
+            assert!(sys.product() >= 2);
+        }
+        // Count: H(2)+H(3)+H(4)+H(6)+H(12) = 1+1+2+3+8 = 15.
+        assert_eq!(finals.len(), 15);
+    }
+
+    #[test]
+    fn radixnet_diversity_dwarfs_xnet() {
+        // The diversity claim, concretely: over N' = 24 with 3 systems,
+        // RadiX-Net offers 20² · (sum over divisor factorizations) specs,
+        // X-Net's explicit construction offers 23 layer degrees.
+        let radix = count_radixnet_specs(24, 3);
+        let xnet = count_explicit_xnet_layers(24);
+        // 20²·39 = 15600 specs vs 23 degree choices: ~680× more diverse,
+        // before even counting the infinite width family D.
+        assert_eq!(radix, 15_600);
+        assert!(radix > 500 * xnet, "radix {radix} vs xnet {xnet}");
+    }
+
+    #[test]
+    fn spec_counts_compose() {
+        // num_systems = 1 → just the factorizations of N'.
+        assert_eq!(count_radixnet_specs(8, 1), 4);
+        // num_systems = 2 → full × last where last sums over divisors
+        // {2,4,8}: H(2)+H(4)+H(8) = 1+2+4 = 7 → 4·7 = 28.
+        assert_eq!(count_radixnet_specs(8, 2), 28);
+        assert_eq!(count_radixnet_specs(8, 0), 0);
+    }
+
+    #[test]
+    fn all_counted_specs_actually_validate() {
+        // Materialize every 2-system spec over N' = 8 and check the builder
+        // accepts each one.
+        use crate::builder::RadixNetSpec;
+        let mut accepted = 0u32;
+        for first in systems_with_product(8) {
+            for last in final_systems(8) {
+                let total = first.len() + last.len();
+                let spec =
+                    RadixNetSpec::new(vec![first.clone(), last], vec![1; total + 1]);
+                assert!(spec.is_ok());
+                accepted += 1;
+            }
+        }
+        assert_eq!(u128::from(accepted), count_radixnet_specs(8, 2));
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type for RadiX-Net construction and verification.
+
+use std::fmt;
+
+/// Errors produced when validating or constructing mixed-radix systems,
+/// FNNTs, and RadiX-Net topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RadixError {
+    /// A mixed-radix system contained a radix smaller than 2.
+    RadixTooSmall {
+        /// Position of the offending radix within the system.
+        position: usize,
+        /// The offending radix value.
+        radix: usize,
+    },
+    /// A mixed-radix system was empty.
+    EmptySystem,
+    /// The product of the radices overflowed `usize`.
+    ProductOverflow,
+    /// RadiX-Net constraint 1 violated: all systems except the last must
+    /// share the same product `N'`.
+    UnequalProducts {
+        /// Index of the system whose product differs.
+        system: usize,
+        /// That system's product.
+        found: usize,
+        /// The product `N'` established by the first system.
+        expected: usize,
+    },
+    /// RadiX-Net constraint 2 violated: the last system's product must
+    /// divide `N'`.
+    LastProductDoesNotDivide {
+        /// The last system's product.
+        last: usize,
+        /// The common product `N'`.
+        n_prime: usize,
+    },
+    /// The width vector `D` has the wrong length (must be total radices + 1).
+    WrongWidthCount {
+        /// Length the caller supplied.
+        found: usize,
+        /// Required length `M̄ + 1`.
+        expected: usize,
+    },
+    /// A layer width `D_i` of zero was supplied.
+    ZeroWidth {
+        /// Index of the zero width.
+        position: usize,
+    },
+    /// No mixed-radix systems were supplied.
+    NoSystems,
+    /// An FNNT structural invariant is violated.
+    InvalidFnnt(String),
+    /// An underlying sparse-matrix operation failed.
+    Sparse(radix_sparse::SparseError),
+}
+
+impl fmt::Display for RadixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadixError::RadixTooSmall { position, radix } => {
+                write!(f, "radix {radix} at position {position} is < 2")
+            }
+            RadixError::EmptySystem => write!(f, "mixed-radix system must be non-empty"),
+            RadixError::ProductOverflow => write!(f, "radix product overflows usize"),
+            RadixError::UnequalProducts {
+                system,
+                found,
+                expected,
+            } => write!(
+                f,
+                "system {system} has product {found}, expected N' = {expected} \
+                 (all systems before the last must share one product)"
+            ),
+            RadixError::LastProductDoesNotDivide { last, n_prime } => write!(
+                f,
+                "last system's product {last} does not divide N' = {n_prime}"
+            ),
+            RadixError::WrongWidthCount { found, expected } => write!(
+                f,
+                "width vector D has {found} entries, need total-radices + 1 = {expected}"
+            ),
+            RadixError::ZeroWidth { position } => {
+                write!(f, "layer width D[{position}] must be positive")
+            }
+            RadixError::NoSystems => write!(f, "at least one mixed-radix system is required"),
+            RadixError::InvalidFnnt(msg) => write!(f, "invalid FNNT: {msg}"),
+            RadixError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RadixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RadixError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<radix_sparse::SparseError> for RadixError {
+    fn from(e: radix_sparse::SparseError) -> Self {
+        RadixError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RadixError::UnequalProducts {
+            system: 2,
+            found: 12,
+            expected: 24,
+        };
+        let s = e.to_string();
+        assert!(s.contains("system 2"));
+        assert!(s.contains("12"));
+        assert!(s.contains("24"));
+    }
+
+    #[test]
+    fn sparse_errors_convert_and_chain() {
+        let inner = radix_sparse::SparseError::InvalidStructure("x".into());
+        let e: RadixError = inner.clone().into();
+        assert_eq!(e, RadixError::Sparse(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

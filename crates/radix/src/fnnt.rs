@@ -1,0 +1,558 @@
+//! Feedforward neural net topologies (FNNTs) — paper §II.
+//!
+//! An FNNT with `n+1` layers is an `(n+1)`-partite DAG where edges only run
+//! between consecutive layers and every non-output node has outgoing edges.
+//! It is uniquely determined by its ordered list of adjacency submatrices
+//! `W = (W_1, …, W_n)` (each 0/1 with no zero column). [`Fnnt`] stores the
+//! submatrices as `u64` CSR, provides the paper's density definition, and
+//! implements the symmetry / path-connectedness verifiers used to check
+//! Lemma 1, Lemma 2, and Theorem 1 computationally.
+
+use radix_sparse::ops::chain_product;
+use radix_sparse::{CooMatrix, CsrMatrix, PathCount, Scalar};
+
+use crate::error::RadixError;
+
+/// A feedforward neural net topology, stored as its ordered adjacency
+/// submatrices.
+///
+/// Entry values are `u64` edge multiplicities; for a topology in the paper's
+/// strict sense every value is 1 ([`Fnnt::is_binary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fnnt {
+    submatrices: Vec<CsrMatrix<u64>>,
+}
+
+/// Outcome of a symmetry check (paper §II, "Symmetry").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Symmetry {
+    /// Every input–output pair is joined by exactly this many paths.
+    Symmetric(PathCount),
+    /// Some input–output pair has no path (not even path-connected).
+    Disconnected {
+        /// An example input node (index within the input layer).
+        input: usize,
+        /// An example unreachable output node (index within the output layer).
+        output: usize,
+    },
+    /// Path-connected, but path counts differ across pairs.
+    Asymmetric {
+        /// The minimum path count observed.
+        min: PathCount,
+        /// The maximum path count observed.
+        max: PathCount,
+    },
+}
+
+impl Symmetry {
+    /// Whether the topology satisfied the symmetry property.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        matches!(self, Symmetry::Symmetric(_))
+    }
+}
+
+impl Fnnt {
+    /// Builds an FNNT from adjacency submatrices, validating the FNNT
+    /// conditions:
+    ///
+    /// * at least one submatrix,
+    /// * consecutive shapes chain (`W_i.ncols == W_{i+1}.nrows`),
+    /// * no submatrix has a zero row (the out-degree condition) or a zero
+    ///   column (the paper's adjacency-submatrix condition).
+    ///
+    /// # Errors
+    /// Returns [`RadixError::InvalidFnnt`] describing the violation.
+    pub fn try_new(submatrices: Vec<CsrMatrix<u64>>) -> Result<Self, RadixError> {
+        if submatrices.is_empty() {
+            return Err(RadixError::InvalidFnnt(
+                "an FNNT needs at least one edge layer".into(),
+            ));
+        }
+        for (i, w) in submatrices.iter().enumerate() {
+            if w.nrows() == 0 || w.ncols() == 0 {
+                return Err(RadixError::InvalidFnnt(format!(
+                    "layer {i} has an empty dimension: {:?}",
+                    w.shape()
+                )));
+            }
+            if w.has_zero_row() {
+                return Err(RadixError::InvalidFnnt(format!(
+                    "layer {i} has a node with out-degree 0"
+                )));
+            }
+            if w.has_zero_column() {
+                return Err(RadixError::InvalidFnnt(format!(
+                    "layer {i} has a zero column"
+                )));
+            }
+        }
+        for (i, pair) in submatrices.windows(2).enumerate() {
+            if pair[0].ncols() != pair[1].nrows() {
+                return Err(RadixError::InvalidFnnt(format!(
+                    "layer {i} has {} output nodes but layer {} has {} input nodes",
+                    pair[0].ncols(),
+                    i + 1,
+                    pair[1].nrows()
+                )));
+            }
+        }
+        Ok(Fnnt { submatrices })
+    }
+
+    /// Builds without validation (for internal constructors whose output is
+    /// valid by construction).
+    #[must_use]
+    pub fn new_unchecked(submatrices: Vec<CsrMatrix<u64>>) -> Self {
+        Fnnt { submatrices }
+    }
+
+    /// The fully-connected FNNT on the given layer sizes (the paper's
+    /// "unique fully-connected FNNT" of Figure 3 / the density definition).
+    ///
+    /// # Panics
+    /// Panics if fewer than two layer sizes, or any size is zero.
+    #[must_use]
+    pub fn dense(layer_sizes: &[usize]) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output");
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
+        let submatrices = layer_sizes
+            .windows(2)
+            .map(|w| {
+                radix_sparse::kron_ones_left(w[0], w[1], &CsrMatrix::<u64>::identity(1))
+            })
+            .collect();
+        Fnnt { submatrices }
+    }
+
+    /// The ordered adjacency submatrices `(W_1, …, W_n)`.
+    #[must_use]
+    pub fn submatrices(&self) -> &[CsrMatrix<u64>] {
+        &self.submatrices
+    }
+
+    /// Adjacency submatrix of edge-layer `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_edge_layers`.
+    #[must_use]
+    pub fn layer(&self, i: usize) -> &CsrMatrix<u64> {
+        &self.submatrices[i]
+    }
+
+    /// Number of *edge* layers `n` (one fewer than node layers).
+    #[must_use]
+    pub fn num_edge_layers(&self) -> usize {
+        self.submatrices.len()
+    }
+
+    /// Node-layer sizes `(|U_0|, …, |U_n|)`.
+    #[must_use]
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::with_capacity(self.submatrices.len() + 1);
+        sizes.push(self.submatrices[0].nrows());
+        for w in &self.submatrices {
+            sizes.push(w.ncols());
+        }
+        sizes
+    }
+
+    /// Total number of nodes `Σ |U_i|`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.layer_sizes().iter().sum()
+    }
+
+    /// Total number of edges (counting multiplicities).
+    #[must_use]
+    pub fn num_edges(&self) -> u64 {
+        self.submatrices.iter().map(|w| w.data().iter().sum::<u64>()).sum()
+    }
+
+    /// Number of distinct stored edges (ignoring multiplicities).
+    #[must_use]
+    pub fn num_distinct_edges(&self) -> usize {
+        self.submatrices.iter().map(CsrMatrix::nnz).sum()
+    }
+
+    /// Whether every edge has multiplicity exactly 1 — required for a
+    /// topology in the paper's strict sense.
+    #[must_use]
+    pub fn is_binary(&self) -> bool {
+        self.submatrices.iter().all(CsrMatrix::is_binary)
+    }
+
+    /// The paper's density: edges of `self` over edges of the dense FNNT on
+    /// the same layer sizes, `Σ nnz(W_i) / Σ |U_{i−1}||U_i|`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let dense_edges: f64 = self
+            .layer_sizes()
+            .windows(2)
+            .map(|w| w[0] as f64 * w[1] as f64)
+            .sum();
+        self.num_distinct_edges() as f64 / dense_edges
+    }
+
+    /// The minimum possible density on these layer sizes
+    /// (`Σ|U_{i−1}| / Σ|U_{i−1}||U_i|`, paper §II).
+    #[must_use]
+    pub fn min_density(&self) -> f64 {
+        let sizes = self.layer_sizes();
+        let num: f64 = sizes[..sizes.len() - 1].iter().map(|&s| s as f64).sum();
+        let den: f64 = sizes.windows(2).map(|w| w[0] as f64 * w[1] as f64).sum();
+        num / den
+    }
+
+    /// The input→output path-count matrix: entry `(u, v)` is the number of
+    /// paths from input node `u` to output node `v`, computed as the chained
+    /// product `W_1 ⋯ W_n` over the saturating [`PathCount`] semiring.
+    #[must_use]
+    pub fn path_count_matrix(&self) -> CsrMatrix<PathCount> {
+        let chain: Vec<CsrMatrix<PathCount>> = self
+            .submatrices
+            .iter()
+            .map(|w| w.map(|v| PathCount(u128::from(v))))
+            .collect();
+        chain_product(&chain).expect("FNNT submatrices are conformable by construction")
+    }
+
+    /// Checks the symmetry property (paper §II): every input–output pair
+    /// joined by the same positive number of paths.
+    #[must_use]
+    pub fn check_symmetry(&self) -> Symmetry {
+        let paths = self.path_count_matrix();
+        let (nin, nout) = paths.shape();
+        // A missing entry is a zero path count → disconnected.
+        if paths.nnz() != nin * nout {
+            for u in 0..nin {
+                let (cols, _) = paths.row(u);
+                if cols.len() != nout {
+                    // Find the first missing column.
+                    let mut expect = 0usize;
+                    for &c in cols {
+                        if c != expect {
+                            break;
+                        }
+                        expect += 1;
+                    }
+                    return Symmetry::Disconnected {
+                        input: u,
+                        output: expect,
+                    };
+                }
+            }
+            unreachable!("nnz < nin*nout implies some row is short");
+        }
+        let mut min = PathCount::SATURATED;
+        let mut max = PathCount(0);
+        for &v in paths.data() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min == max {
+            Symmetry::Symmetric(min)
+        } else {
+            Symmetry::Asymmetric { min, max }
+        }
+    }
+
+    /// Whether every output depends on every input (path-connectedness,
+    /// paper §II). Implied by symmetry but cheaper to state on its own.
+    #[must_use]
+    pub fn is_path_connected(&self) -> bool {
+        let paths = self.path_count_matrix();
+        paths.nnz() == paths.nrows() * paths.ncols()
+    }
+
+    /// Assembles the full `M × M` adjacency matrix `A` of the FNNT
+    /// (`M = Σ|U_i|`), with nodes numbered layer by layer — the block
+    /// strictly-superdiagonal form of eq. (11). Intended for small nets and
+    /// cross-checking the `A^n` symmetry criterion literally.
+    #[must_use]
+    pub fn full_adjacency(&self) -> CsrMatrix<u64> {
+        let sizes = self.layer_sizes();
+        let total: usize = sizes.iter().sum();
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let mut coo = CooMatrix::with_capacity(total, total, self.num_distinct_edges());
+        for (i, w) in self.submatrices.iter().enumerate() {
+            for (r, c, v) in w.iter() {
+                coo.push(offsets[i] + r, offsets[i + 1] + c, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Concatenates two FNNTs output-to-input (the Figure-2 operation):
+    /// `self`'s output layer is identified label-wise with `other`'s input
+    /// layer.
+    ///
+    /// # Errors
+    /// Returns [`RadixError::InvalidFnnt`] if the output layer size of
+    /// `self` differs from the input layer size of `other`.
+    pub fn concat(&self, other: &Fnnt) -> Result<Fnnt, RadixError> {
+        let out = self.layer_sizes().last().copied().unwrap_or(0);
+        let inn = other.layer_sizes()[0];
+        if out != inn {
+            return Err(RadixError::InvalidFnnt(format!(
+                "cannot identify output layer of size {out} with input layer of size {inn}"
+            )));
+        }
+        let mut subs = self.submatrices.clone();
+        subs.extend(other.submatrices.iter().cloned());
+        Ok(Fnnt { submatrices: subs })
+    }
+
+    /// The reversed FNNT: every layer transposed, layer order flipped —
+    /// information flows output→input. Symmetry is preserved under
+    /// reversal (the path-count matrix transposes).
+    #[must_use]
+    pub fn reverse(&self) -> Fnnt {
+        let submatrices = self
+            .submatrices
+            .iter()
+            .rev()
+            .map(CsrMatrix::transpose)
+            .collect();
+        Fnnt { submatrices }
+    }
+
+    /// Converts the structure into weight matrices of another scalar type,
+    /// assigning `T::ONE` to every edge (multiplicities collapse to
+    /// pattern). Used by the NN substrate to initialize sparse layers.
+    #[must_use]
+    pub fn weight_patterns<T: Scalar>(&self) -> Vec<CsrMatrix<T>> {
+        self.submatrices.iter().map(CsrMatrix::pattern).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radix_sparse::ops::matpow;
+    use radix_sparse::{CyclicShift, DenseMatrix};
+
+    /// The exact FNNT of the paper's Figure 4: layers of sizes 3, 3, 2, 3
+    /// with W (layer 0→1) as printed.
+    fn fig4_fnnt() -> Fnnt {
+        // W from Figure 4: rows u1..u3, cols u4..u6.
+        let w1 = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+            &[1u64, 1, 1],
+            &[1, 0, 1],
+            &[1, 1, 0],
+        ]));
+        // Figure 4's A shows 1_{3,2} from U1 to U2 and 1_{2,3} from U2 to U3.
+        let w2 = CsrMatrix::from_dense(&DenseMatrix::<u64>::ones(3, 2));
+        let w3 = CsrMatrix::from_dense(&DenseMatrix::<u64>::ones(2, 3));
+        Fnnt::try_new(vec![w1, w2, w3]).unwrap()
+    }
+
+    #[test]
+    fn fig4_structure() {
+        let g = fig4_fnnt();
+        assert_eq!(g.layer_sizes(), vec![3, 3, 2, 3]);
+        assert_eq!(g.num_nodes(), 11);
+        assert_eq!(g.num_edge_layers(), 3);
+        assert_eq!(g.num_distinct_edges(), 7 + 6 + 6);
+        assert!(g.is_binary());
+    }
+
+    #[test]
+    fn fig4_full_adjacency_matches_figure() {
+        // The A of Figure 4: W in the (0,1) block, ones in (1,2) and (2,3).
+        let g = fig4_fnnt();
+        let a = g.full_adjacency();
+        assert_eq!(a.shape(), (11, 11));
+        // Spot-check the printed A1 block: row u2 (index 1) connects to
+        // u4 and u6 (indices 3 and 5) but not u5 (index 4).
+        assert_eq!(a.get(1, 3), 1);
+        assert_eq!(a.get(1, 4), 0);
+        assert_eq!(a.get(1, 5), 1);
+        // Nothing below the superdiagonal blocks.
+        assert_eq!(a.get(3, 0), 0);
+        assert_eq!(a.get(10, 10), 0);
+    }
+
+    #[test]
+    fn fig4_is_path_connected_but_not_symmetric() {
+        let g = fig4_fnnt();
+        assert!(g.is_path_connected());
+        // Input u1 has out-degree 3, u2 and u3 have 2 → path counts differ.
+        match g.check_symmetry() {
+            Symmetry::Asymmetric { min, max } => {
+                assert!(min < max);
+            }
+            other => panic!("expected asymmetric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_fnnt_density_is_one() {
+        let g = Fnnt::dense(&[3, 5, 2]);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+        assert_eq!(g.num_distinct_edges(), 15 + 10);
+        assert!(g.is_binary());
+    }
+
+    #[test]
+    fn dense_fnnt_is_symmetric() {
+        let g = Fnnt::dense(&[3, 4, 2]);
+        // Dense: every u→v pair has exactly |U_1| = 4 paths.
+        assert_eq!(g.check_symmetry(), Symmetry::Symmetric(PathCount(4)));
+    }
+
+    #[test]
+    fn mixed_radix_chain_is_symmetric_with_one_path() {
+        // Lemma 1 on N = (2,2,2).
+        let subs: Vec<CsrMatrix<u64>> = vec![
+            CyclicShift::radix_submatrix(8, 2, 1),
+            CyclicShift::radix_submatrix(8, 2, 2),
+            CyclicShift::radix_submatrix(8, 2, 4),
+        ];
+        let g = Fnnt::try_new(subs).unwrap();
+        assert_eq!(g.check_symmetry(), Symmetry::Symmetric(PathCount(1)));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        // Two parallel identity layers: node u only reaches output u.
+        let g = Fnnt::try_new(vec![
+            CsrMatrix::identity(3),
+            CsrMatrix::identity(3),
+        ])
+        .unwrap();
+        match g.check_symmetry() {
+            Symmetry::Disconnected { input, output } => {
+                assert_eq!(input, 0);
+                assert_eq!(output, 1);
+            }
+            other => panic!("expected disconnected, got {other:?}"),
+        }
+        assert!(!g.is_path_connected());
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(Fnnt::try_new(vec![]).is_err());
+        let a = CsrMatrix::<u64>::identity(3);
+        let b = CsrMatrix::<u64>::identity(4);
+        assert!(Fnnt::try_new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_out_degree() {
+        // A 2x2 with an empty first row violates the out-degree condition.
+        let w = CsrMatrix::try_from_parts(2, 2, vec![0, 0, 1], vec![0], vec![1u64]).unwrap();
+        let e = Fnnt::try_new(vec![w]);
+        assert!(matches!(e, Err(RadixError::InvalidFnnt(msg)) if msg.contains("out-degree")));
+    }
+
+    #[test]
+    fn rejects_zero_column() {
+        let w = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![0, 0], vec![1u64, 1]).unwrap();
+        let e = Fnnt::try_new(vec![w]);
+        assert!(matches!(e, Err(RadixError::InvalidFnnt(msg)) if msg.contains("zero column")));
+    }
+
+    #[test]
+    fn symmetry_matches_full_adjacency_power() {
+        // The §II criterion literally: A^n's surviving block is m·1.
+        let subs: Vec<CsrMatrix<u64>> = vec![
+            CyclicShift::radix_submatrix(4, 2, 1),
+            CyclicShift::radix_submatrix(4, 2, 2),
+        ];
+        let g = Fnnt::try_new(subs).unwrap();
+        let a = g.full_adjacency();
+        let an = matpow(&a, g.num_edge_layers()).unwrap();
+        // Block (input rows 0..4, output cols 8..12) must be all-ones;
+        // everything else zero.
+        for i in 0..12 {
+            for j in 0..12 {
+                let expect = u64::from(i < 4 && (8..12).contains(&j));
+                assert_eq!(an.get(i, j), expect, "at ({i},{j})");
+            }
+        }
+        assert_eq!(g.check_symmetry(), Symmetry::Symmetric(PathCount(1)));
+    }
+
+    #[test]
+    fn density_bounds_hold() {
+        let g = fig4_fnnt();
+        assert!(g.density() <= 1.0);
+        assert!(g.density() >= g.min_density());
+    }
+
+    #[test]
+    fn weight_patterns_preserve_structure() {
+        let g = fig4_fnnt();
+        let ws: Vec<CsrMatrix<f32>> = g.weight_patterns();
+        assert_eq!(ws.len(), 3);
+        for (w, orig) in ws.iter().zip(g.submatrices()) {
+            assert!(w.same_pattern(orig));
+            assert!(w.is_binary());
+        }
+    }
+
+    #[test]
+    fn concat_identifies_layers() {
+        // Figure 2: concatenating mixed-radix topologies label-wise.
+        let a = Fnnt::try_new(vec![CyclicShift::radix_submatrix(6, 2, 1)]).unwrap();
+        let b = Fnnt::try_new(vec![CyclicShift::radix_submatrix(6, 3, 2)]).unwrap();
+        let ab = a.concat(&b).unwrap();
+        assert_eq!(ab.layer_sizes(), vec![6, 6, 6]);
+        assert_eq!(ab.num_edge_layers(), 2);
+        assert_eq!(ab.layer(0), a.layer(0));
+        assert_eq!(ab.layer(1), b.layer(0));
+    }
+
+    #[test]
+    fn concat_size_mismatch_rejected() {
+        let a = Fnnt::dense(&[2, 3]);
+        let b = Fnnt::dense(&[4, 2]);
+        assert!(matches!(a.concat(&b), Err(RadixError::InvalidFnnt(_))));
+    }
+
+    #[test]
+    fn reverse_preserves_symmetry_and_transposes_paths() {
+        let subs: Vec<CsrMatrix<u64>> = vec![
+            CyclicShift::radix_submatrix(6, 2, 1),
+            CyclicShift::radix_submatrix(6, 3, 2),
+        ];
+        let g = Fnnt::try_new(subs).unwrap();
+        let r = g.reverse();
+        assert_eq!(
+            r.layer_sizes(),
+            g.layer_sizes().into_iter().rev().collect::<Vec<_>>()
+        );
+        assert_eq!(g.check_symmetry(), r.check_symmetry());
+        assert_eq!(
+            r.path_count_matrix(),
+            g.path_count_matrix().transpose()
+        );
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        let g = fig4_fnnt();
+        assert_eq!(g.reverse().reverse(), g);
+    }
+
+    #[test]
+    fn num_edges_counts_multiplicity() {
+        // A layer with a doubled edge: multiplicity 2 counted by num_edges,
+        // once by num_distinct_edges.
+        let w = CsrMatrix::try_from_parts(1, 1, vec![0, 1], vec![0], vec![2u64]).unwrap();
+        let g = Fnnt::try_new(vec![w]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_distinct_edges(), 1);
+        assert!(!g.is_binary());
+    }
+}

@@ -1,0 +1,68 @@
+//! # radix-net
+//!
+//! The core library of the RadiX-Net reproduction: deterministic generation
+//! of sparse deep-neural-network topologies from mixed-radix numeral
+//! systems, after
+//!
+//! > R. A. Robinett and J. Kepner, *RadiX-Net: Structured Sparse Matrices
+//! > for Deep Neural Networks*, IEEE IPDPS Workshops, 2019
+//! > (arXiv:1905.00416).
+//!
+//! ## The construction in one paragraph
+//!
+//! A mixed-radix numeral system `N = (N_1, …, N_L)` induces a layered graph
+//! on `L+1` layers of `N' = ∏ N_i` nodes in which node `j` of layer `i−1`
+//! connects to nodes `j + n·ν_i (mod N')` for each digit `n < N_i`
+//! ([`MixedRadixTopology`], eq. (1)). Concatenating several such topologies
+//! (all with product `N'`, the last allowed any divisor product) and taking
+//! the Kronecker product of each adjacency submatrix with the all-ones
+//! submatrix of an arbitrary dense DNN of widths `D` yields a RadiX-Net
+//! ([`RadixNetSpec::build`], eq. (3), Figure 6). The result is *symmetric* —
+//! every input/output pair is joined by the same number of paths
+//! ([`Fnnt::check_symmetry`], Theorem 1) — and its density is governed by
+//! the closed forms of eqs. (4)–(6) ([`density`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use radix_net::{MixedRadixSystem, RadixNetSpec, Symmetry};
+//!
+//! // The Figure-1 system (2,2,2) with widths (1,2,2,1).
+//! let sys = MixedRadixSystem::new([2, 2, 2])?;
+//! let spec = RadixNetSpec::new(vec![sys], vec![1, 2, 2, 1])?;
+//! let net = spec.build();
+//!
+//! assert_eq!(net.fnnt().layer_sizes(), vec![8, 16, 16, 8]);
+//! // Theorem 1: symmetric with (N')^0 · D_1·D_2 = 4 paths per pair.
+//! match net.fnnt().check_symmetry() {
+//!     Symmetry::Symmetric(m) => assert_eq!(m.exact(), Some(4)),
+//!     other => panic!("not symmetric: {other:?}"),
+//! }
+//! # Ok::<(), radix_net::RadixError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod builder;
+pub mod decision_tree;
+pub mod density;
+pub mod diversity;
+pub mod error;
+pub mod fnnt;
+pub mod numeral;
+pub mod spec_io;
+pub mod topology;
+pub mod verify;
+
+pub use builder::{RadixNet, RadixNetSpec};
+pub use decision_tree::{overlay_topology, DecisionTree};
+pub use error::RadixError;
+pub use fnnt::{Fnnt, Symmetry};
+pub use numeral::MixedRadixSystem;
+pub use spec_io::{parse_spec, spec_to_string};
+pub use topology::MixedRadixTopology;
+pub use verify::{
+    paper_path_count, predicted_path_count, verify_fnnt, verify_spec, VerificationReport,
+};

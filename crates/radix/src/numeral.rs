@@ -1,0 +1,277 @@
+//! Mixed-radix numeral systems (paper §II, "Mathematical Preliminaries").
+//!
+//! A mixed-radix system `N = (N_1, …, N_L)` with every `N_i ≥ 2` bijectively
+//! represents the integers `{0, …, N'−1}`, `N' = ∏ N_i`, via
+//!
+//! ```text
+//! (n_1, …, n_L)  ⟷  Σ_i n_i · ∏_{j<i} N_j
+//! ```
+//!
+//! The partial products `ν_i = ∏_{j<i} N_j` are the *place values*; they are
+//! exactly the shift offsets of the adjacency submatrices in eq. (1).
+
+use crate::error::RadixError;
+
+/// A validated mixed-radix numeral system: a non-empty ordered list of
+/// radices, each at least 2, whose product fits in `usize`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MixedRadixSystem {
+    radices: Vec<usize>,
+    place_values: Vec<usize>,
+    product: usize,
+}
+
+impl MixedRadixSystem {
+    /// Validates and constructs a mixed-radix system.
+    ///
+    /// # Errors
+    /// * [`RadixError::EmptySystem`] for an empty radix list,
+    /// * [`RadixError::RadixTooSmall`] if any radix is < 2,
+    /// * [`RadixError::ProductOverflow`] if `∏ N_i` overflows `usize`.
+    pub fn new(radices: impl Into<Vec<usize>>) -> Result<Self, RadixError> {
+        let radices = radices.into();
+        if radices.is_empty() {
+            return Err(RadixError::EmptySystem);
+        }
+        for (position, &radix) in radices.iter().enumerate() {
+            if radix < 2 {
+                return Err(RadixError::RadixTooSmall { position, radix });
+            }
+        }
+        let mut place_values = Vec::with_capacity(radices.len());
+        let mut acc: usize = 1;
+        for &r in &radices {
+            place_values.push(acc);
+            acc = acc.checked_mul(r).ok_or(RadixError::ProductOverflow)?;
+        }
+        Ok(MixedRadixSystem {
+            radices,
+            place_values,
+            product: acc,
+        })
+    }
+
+    /// The uniform system `(r, r, …, r)` with `depth` copies of radix `r` —
+    /// the `µ^d = N'` configuration swept in Figure 7.
+    ///
+    /// # Errors
+    /// Same as [`MixedRadixSystem::new`].
+    pub fn uniform(radix: usize, depth: usize) -> Result<Self, RadixError> {
+        MixedRadixSystem::new(vec![radix; depth])
+    }
+
+    /// The ordered radices `(N_1, …, N_L)`.
+    #[must_use]
+    pub fn radices(&self) -> &[usize] {
+        &self.radices
+    }
+
+    /// Number of radices `L` (the number of edge-layers the induced
+    /// mixed-radix topology has).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Always false (systems are validated non-empty); present to satisfy
+    /// the `len`/`is_empty` API convention.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The product `N' = ∏ N_i`.
+    #[must_use]
+    pub fn product(&self) -> usize {
+        self.product
+    }
+
+    /// Place values `ν_i = ∏_{j<i} N_j`, one per radix (so `ν_1 = 1`).
+    #[must_use]
+    pub fn place_values(&self) -> &[usize] {
+        &self.place_values
+    }
+
+    /// Mean radix — the `µ` of eqs. (5)/(6).
+    #[must_use]
+    pub fn mean_radix(&self) -> f64 {
+        self.radices.iter().sum::<usize>() as f64 / self.radices.len() as f64
+    }
+
+    /// Population variance of the radices — the "sufficiently small
+    /// variance" premise of the asymptotic density formulas.
+    #[must_use]
+    pub fn radix_variance(&self) -> f64 {
+        let mu = self.mean_radix();
+        self.radices
+            .iter()
+            .map(|&r| {
+                let d = r as f64 - mu;
+                d * d
+            })
+            .sum::<f64>()
+            / self.radices.len() as f64
+    }
+
+    /// Decodes `value` into its digit tuple `(n_1, …, n_L)` (least
+    /// significant first, matching the paper's ordering).
+    ///
+    /// # Panics
+    /// Panics if `value >= N'`; the bijection is only defined on
+    /// `{0, …, N'−1}`.
+    #[must_use]
+    pub fn value_to_digits(&self, value: usize) -> Vec<usize> {
+        assert!(
+            value < self.product,
+            "value {value} outside {{0, …, {}}}",
+            self.product - 1
+        );
+        let mut digits = Vec::with_capacity(self.radices.len());
+        let mut rest = value;
+        for &r in &self.radices {
+            digits.push(rest % r);
+            rest /= r;
+        }
+        digits
+    }
+
+    /// Encodes a digit tuple back to its integer value.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from `L` or any digit exceeds its
+    /// radix.
+    #[must_use]
+    pub fn digits_to_value(&self, digits: &[usize]) -> usize {
+        assert_eq!(digits.len(), self.radices.len(), "digit count mismatch");
+        let mut value = 0usize;
+        for ((&d, &r), &pv) in digits
+            .iter()
+            .zip(&self.radices)
+            .zip(&self.place_values)
+        {
+            assert!(d < r, "digit {d} out of range for radix {r}");
+            value += d * pv;
+        }
+        value
+    }
+}
+
+impl std::fmt::Display for MixedRadixSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, r) in self.radices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_system_of_fig1() {
+        // N = (2,2,2): the Figure-1 example. N' = 8, place values 1, 2, 4.
+        let n = MixedRadixSystem::new([2, 2, 2]).unwrap();
+        assert_eq!(n.product(), 8);
+        assert_eq!(n.place_values(), &[1, 2, 4]);
+        assert_eq!(n.len(), 3);
+        assert!((n.mean_radix() - 2.0).abs() < 1e-12);
+        assert_eq!(n.radix_variance(), 0.0);
+    }
+
+    #[test]
+    fn fig2_system() {
+        // N = (3,3,4) from Figure 2: N' = 36, place values 1, 3, 9.
+        let n = MixedRadixSystem::new([3, 3, 4]).unwrap();
+        assert_eq!(n.product(), 36);
+        assert_eq!(n.place_values(), &[1, 3, 9]);
+    }
+
+    #[test]
+    fn bijection_is_total_and_injective() {
+        let n = MixedRadixSystem::new([2, 3, 4]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..n.product() {
+            let digits = n.value_to_digits(v);
+            assert_eq!(n.digits_to_value(&digits), v);
+            assert!(seen.insert(digits));
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn digits_are_least_significant_first() {
+        let n = MixedRadixSystem::new([2, 3]).unwrap();
+        // 5 = 1·1 + 2·2 → digits (1, 2).
+        assert_eq!(n.value_to_digits(5), vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_radix_one() {
+        let e = MixedRadixSystem::new([2, 1, 3]);
+        assert_eq!(
+            e,
+            Err(RadixError::RadixTooSmall {
+                position: 1,
+                radix: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_radix_zero_and_empty() {
+        assert!(matches!(
+            MixedRadixSystem::new([0]),
+            Err(RadixError::RadixTooSmall { .. })
+        ));
+        assert_eq!(
+            MixedRadixSystem::new(Vec::<usize>::new()),
+            Err(RadixError::EmptySystem)
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_product() {
+        let e = MixedRadixSystem::new(vec![usize::MAX / 2, 3]);
+        assert_eq!(e, Err(RadixError::ProductOverflow));
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let n = MixedRadixSystem::uniform(3, 4).unwrap();
+        assert_eq!(n.radices(), &[3, 3, 3, 3]);
+        assert_eq!(n.product(), 81);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn decode_out_of_range_panics() {
+        let n = MixedRadixSystem::new([2, 2]).unwrap();
+        let _ = n.value_to_digits(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit 2 out of range")]
+    fn encode_bad_digit_panics() {
+        let n = MixedRadixSystem::new([2, 2]).unwrap();
+        let _ = n.digits_to_value(&[2, 0]);
+    }
+
+    #[test]
+    fn mean_and_variance_nonuniform() {
+        let n = MixedRadixSystem::new([2, 4]).unwrap();
+        assert!((n.mean_radix() - 3.0).abs() < 1e-12);
+        assert!((n.radix_variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let n = MixedRadixSystem::new([3, 3, 4]).unwrap();
+        assert_eq!(n.to_string(), "(3,3,4)");
+    }
+}

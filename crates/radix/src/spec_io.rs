@@ -1,0 +1,143 @@
+//! Text serialization of RadiX-Net specifications.
+//!
+//! Format (one spec per string, whitespace-separated fields):
+//!
+//! ```text
+//! D:1,2,2,1 N:2,2,2
+//! D:1,1,1,1,1 N:3,4 N:12
+//! ```
+//!
+//! `D:` gives the width vector once; each `N:` gives one mixed-radix
+//! system in order. Round-trips exactly through
+//! [`spec_to_string`]/[`parse_spec`].
+
+use crate::builder::RadixNetSpec;
+use crate::error::RadixError;
+use crate::numeral::MixedRadixSystem;
+
+/// Serializes a spec to the `D:… N:… N:…` line format.
+#[must_use]
+pub fn spec_to_string(spec: &RadixNetSpec) -> String {
+    let mut out = String::from("D:");
+    push_csv(&mut out, spec.widths());
+    for sys in spec.systems() {
+        out.push_str(" N:");
+        push_csv(&mut out, sys.radices());
+    }
+    out
+}
+
+fn push_csv(out: &mut String, values: &[usize]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+}
+
+/// Parses the `D:… N:… N:…` line format back into a validated spec.
+///
+/// # Errors
+/// Returns [`RadixError::InvalidFnnt`] for malformed syntax (reusing the
+/// generic structural-error variant) and the usual constraint errors for
+/// semantically invalid specs.
+pub fn parse_spec(s: &str) -> Result<RadixNetSpec, RadixError> {
+    let mut widths: Option<Vec<usize>> = None;
+    let mut systems: Vec<MixedRadixSystem> = Vec::new();
+    for field in s.split_whitespace() {
+        if let Some(rest) = field.strip_prefix("D:") {
+            if widths.is_some() {
+                return Err(RadixError::InvalidFnnt(
+                    "duplicate D: field in spec string".into(),
+                ));
+            }
+            widths = Some(parse_csv(rest)?);
+        } else if let Some(rest) = field.strip_prefix("N:") {
+            systems.push(MixedRadixSystem::new(parse_csv(rest)?)?);
+        } else {
+            return Err(RadixError::InvalidFnnt(format!(
+                "unrecognized field {field:?} (expected D:… or N:…)"
+            )));
+        }
+    }
+    let widths = widths.ok_or_else(|| {
+        RadixError::InvalidFnnt("spec string missing D: field".into())
+    })?;
+    RadixNetSpec::new(systems, widths)
+}
+
+fn parse_csv(s: &str) -> Result<Vec<usize>, RadixError> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|e| RadixError::InvalidFnnt(format!("bad integer {t:?}: {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RadixNetSpec {
+        RadixNetSpec::new(
+            vec![
+                MixedRadixSystem::new([2, 2, 3]).unwrap(),
+                MixedRadixSystem::new([6]).unwrap(),
+            ],
+            vec![1, 2, 2, 1, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let spec = sample();
+        let s = spec_to_string(&spec);
+        assert_eq!(s, "D:1,2,2,1,3 N:2,2,3 N:6");
+        assert_eq!(parse_spec(&s).unwrap(), spec);
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let spec = parse_spec("  D:1,1,1   N:2,2  ").unwrap();
+        assert_eq!(spec.n_prime(), 4);
+    }
+
+    #[test]
+    fn missing_widths_rejected() {
+        assert!(matches!(
+            parse_spec("N:2,2"),
+            Err(RadixError::InvalidFnnt(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_widths_rejected() {
+        assert!(parse_spec("D:1,1,1 D:1,1,1 N:2,2").is_err());
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        assert!(parse_spec("D:1,1,1 X:2,2").is_err());
+    }
+
+    #[test]
+    fn bad_integer_rejected() {
+        assert!(parse_spec("D:1,x,1 N:2,2").is_err());
+    }
+
+    #[test]
+    fn semantic_constraints_still_enforced() {
+        // Parses syntactically but violates the equal-products constraint.
+        let e = parse_spec("D:1,1,1,1,1 N:2,2 N:3,2 N:2");
+        assert!(matches!(e, Err(RadixError::UnequalProducts { .. })));
+    }
+
+    #[test]
+    fn no_systems_rejected() {
+        assert!(matches!(parse_spec("D:1,1"), Err(RadixError::NoSystems)));
+    }
+}

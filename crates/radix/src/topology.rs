@@ -1,0 +1,176 @@
+//! Mixed-radix topologies — paper §III.A, eq. (1).
+//!
+//! The mixed-radix topology induced by `N = (N_1, …, N_L)` has `L+1` layers
+//! of `N' = ∏ N_i` nodes; layer `i` places an edge from node `j` to node
+//! `j + n·ν_i (mod N')` for every digit `n ∈ {0, …, N_i−1}`, i.e.
+//! `W_i = Σ_{n} P^(n·ν_i)` with `P` the unit cyclic shift (eq. (2); see the
+//! orientation note on [`radix_sparse::CyclicShift`]).
+
+use radix_sparse::{CsrMatrix, CyclicShift};
+
+use crate::fnnt::Fnnt;
+use crate::numeral::MixedRadixSystem;
+
+/// The mixed-radix topology induced by a [`MixedRadixSystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedRadixTopology {
+    system: MixedRadixSystem,
+    fnnt: Fnnt,
+}
+
+impl MixedRadixTopology {
+    /// Constructs the topology induced by `system` on `N' = system.product()`
+    /// nodes per layer (eq. (1)).
+    #[must_use]
+    pub fn new(system: MixedRadixSystem) -> Self {
+        let fnnt = Fnnt::new_unchecked(Self::submatrices_on(&system, system.product()));
+        MixedRadixTopology { system, fnnt }
+    }
+
+    /// The adjacency submatrices of `system` realized on `n_nodes` nodes per
+    /// layer (offsets taken mod `n_nodes`).
+    ///
+    /// Used both by [`MixedRadixTopology::new`] (`n_nodes = N'`) and by the
+    /// RadiX-Net builder, where the *last* system's product may strictly
+    /// divide the common `N'` but its submatrices still live on `N'` nodes
+    /// (Figure 6 keeps `W` of size `N' × N'` for every system).
+    #[must_use]
+    pub fn submatrices_on(system: &MixedRadixSystem, n_nodes: usize) -> Vec<CsrMatrix<u64>> {
+        system
+            .radices()
+            .iter()
+            .zip(system.place_values())
+            .map(|(&radix, &pv)| CyclicShift::radix_submatrix(n_nodes, radix, pv))
+            .collect()
+    }
+
+    /// The inducing mixed-radix system.
+    #[must_use]
+    pub fn system(&self) -> &MixedRadixSystem {
+        &self.system
+    }
+
+    /// The underlying FNNT.
+    #[must_use]
+    pub fn fnnt(&self) -> &Fnnt {
+        &self.fnnt
+    }
+
+    /// Consumes the topology, returning the FNNT.
+    #[must_use]
+    pub fn into_fnnt(self) -> Fnnt {
+        self.fnnt
+    }
+
+    /// Number of nodes per layer, `N'`.
+    #[must_use]
+    pub fn nodes_per_layer(&self) -> usize {
+        self.system.product()
+    }
+
+    /// Exact density: each layer `i` holds `N'·N_i` of `N'²` possible edges,
+    /// so the density is `Σ N_i / (L·N')`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let np = self.system.product() as f64;
+        let l = self.system.len() as f64;
+        self.system.radices().iter().sum::<usize>() as f64 / (l * np)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fnnt::Symmetry;
+    use radix_sparse::PathCount;
+
+    #[test]
+    fn fig1_topology_has_expected_edges() {
+        // N = (2,2,2): Figure 1's right panel. Layer offsets 1, 2, 4.
+        let t = MixedRadixTopology::new(MixedRadixSystem::new([2, 2, 2]).unwrap());
+        let g = t.fnnt();
+        assert_eq!(g.layer_sizes(), vec![8; 4]);
+        let offsets = [1usize, 2, 4];
+        for (li, &off) in offsets.iter().enumerate() {
+            let w = g.layer(li);
+            for j in 0..8 {
+                assert_eq!(w.get(j, j), 1, "self edge at layer {li} node {j}");
+                assert_eq!(
+                    w.get(j, (j + off) % 8),
+                    1,
+                    "offset edge at layer {li} node {j}"
+                );
+                assert_eq!(w.row_nnz(j), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_symmetry_one_path() {
+        // Lemma 1: every mixed-radix topology is symmetric with exactly one
+        // path between each input/output pair.
+        for radices in [vec![2, 3], vec![3, 3, 4], vec![5, 2], vec![2, 2, 2, 2]] {
+            let t = MixedRadixTopology::new(MixedRadixSystem::new(radices.clone()).unwrap());
+            assert_eq!(
+                t.fnnt().check_symmetry(),
+                Symmetry::Symmetric(PathCount(1)),
+                "failed for {radices:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_follow_digit_decomposition() {
+        // The unique path from input u to output v is determined by the
+        // digits of (v − u) mod N': layer i moves by digit_i · ν_i.
+        let sys = MixedRadixSystem::new([3, 4]).unwrap();
+        let t = MixedRadixTopology::new(sys.clone());
+        let g = t.fnnt();
+        let np = sys.product();
+        for u in 0..np {
+            for v in 0..np {
+                let delta = (v + np - u) % np;
+                let digits = sys.value_to_digits(delta);
+                // Walk the decomposed path and confirm each edge exists.
+                let mut at = u;
+                for (i, (&d, &pv)) in digits.iter().zip(sys.place_values()).enumerate() {
+                    let next = (at + d * pv) % np;
+                    assert_eq!(g.layer(i).get(at, next), 1, "edge missing on path {u}→{v}");
+                    at = next;
+                }
+                assert_eq!(at, v);
+            }
+        }
+    }
+
+    #[test]
+    fn density_formula_matches_measured() {
+        for radices in [vec![2, 2, 2], vec![3, 3, 4], vec![2, 5]] {
+            let t = MixedRadixTopology::new(MixedRadixSystem::new(radices).unwrap());
+            assert!(
+                (t.density() - t.fnnt().density()).abs() < 1e-12,
+                "formula {} vs measured {}",
+                t.density(),
+                t.fnnt().density()
+            );
+        }
+    }
+
+    #[test]
+    fn submatrices_on_divisor_grid() {
+        // A system whose product (4) divides the grid size (8): offsets mod 8.
+        let sys = MixedRadixSystem::new([2, 2]).unwrap();
+        let subs = MixedRadixTopology::submatrices_on(&sys, 8);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].shape(), (8, 8));
+        // Layer 0 offset 1; layer 1 offset 2.
+        assert_eq!(subs[1].get(0, 2), 1);
+        assert_eq!(subs[1].get(7, 1), 1);
+    }
+
+    #[test]
+    fn binary_everywhere() {
+        let t = MixedRadixTopology::new(MixedRadixSystem::new([4, 3, 2]).unwrap());
+        assert!(t.fnnt().is_binary());
+    }
+}

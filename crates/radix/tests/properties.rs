@@ -1,0 +1,139 @@
+//! Property-based tests for the core RadiX-Net crate: Theorem 1 on random
+//! specifications, density formula (4) against measured edge counts on
+//! random nets, the Figure-1 tree/matrix equivalence on random systems, and
+//! the mixed-radix bijection.
+
+use proptest::prelude::*;
+
+use radix_net::{
+    density, overlay_topology, predicted_path_count, verify_spec, MixedRadixSystem,
+    MixedRadixTopology, RadixNetSpec, Symmetry,
+};
+
+/// Strategy: a random mixed-radix system with bounded product.
+fn small_system() -> impl Strategy<Value = MixedRadixSystem> {
+    proptest::collection::vec(2usize..5, 1..4)
+        .prop_filter("bounded product", |radices| {
+            radices.iter().product::<usize>() <= 64
+        })
+        .prop_map(|radices| MixedRadixSystem::new(radices).unwrap())
+}
+
+/// Strategy: a valid RadiX-Net spec (systems sharing a product, divisor
+/// last, random small widths).
+fn small_spec() -> impl Strategy<Value = RadixNetSpec> {
+    (small_system(), 1usize..3, any::<u64>()).prop_map(|(first, extra_systems, seed)| {
+        let n_prime = first.product();
+        let mut systems = vec![first];
+        // Deterministic PRNG from the seed for reproducible shrinking.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Middle systems: random ordered factorizations of N'.
+        let factorizations = radix_net::diversity::ordered_factorizations(n_prime);
+        for _ in 0..extra_systems.saturating_sub(1) {
+            let pick = (next() as usize) % factorizations.len();
+            systems.push(MixedRadixSystem::new(factorizations[pick].clone()).unwrap());
+        }
+        // Last system: factorization of a random divisor of N'.
+        let divisors: Vec<usize> = (2..=n_prime).filter(|d| n_prime % d == 0).collect();
+        let d = divisors[(next() as usize) % divisors.len()];
+        let last_facts = radix_net::diversity::ordered_factorizations(d);
+        systems.push(MixedRadixSystem::new(
+            last_facts[(next() as usize) % last_facts.len()].clone(),
+        )
+        .unwrap());
+
+        let total: usize = systems.iter().map(MixedRadixSystem::len).sum();
+        let widths: Vec<usize> = (0..=total).map(|_| (next() as usize) % 3 + 1).collect();
+        RadixNetSpec::new(systems, widths).expect("constructed spec is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mixed_radix_bijection(radices in proptest::collection::vec(2usize..6, 1..5)) {
+        let sys = MixedRadixSystem::new(radices).unwrap();
+        prop_assume!(sys.product() <= 4096);
+        for v in 0..sys.product() {
+            prop_assert_eq!(sys.digits_to_value(&sys.value_to_digits(v)), v);
+        }
+    }
+
+    #[test]
+    fn lemma1_every_mixed_radix_topology_symmetric(sys in small_system()) {
+        let t = MixedRadixTopology::new(sys);
+        match t.fnnt().check_symmetry() {
+            Symmetry::Symmetric(m) => prop_assert_eq!(m.exact(), Some(1)),
+            other => prop_assert!(false, "not symmetric: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn fig1_tree_overlay_equals_matrix_form(sys in small_system()) {
+        let via_trees = overlay_topology(&sys);
+        let via_matrices = MixedRadixTopology::new(sys).into_fnnt();
+        prop_assert_eq!(via_trees, via_matrices);
+    }
+
+    #[test]
+    fn theorem1_on_random_specs(spec in small_spec()) {
+        let report = verify_spec(&spec);
+        prop_assert!(
+            report.matches,
+            "spec {:?}: predicted {:?}, observed {:?}",
+            spec, report.predicted, report.observed
+        );
+    }
+
+    #[test]
+    fn eq4_density_matches_measured(spec in small_spec()) {
+        let net = spec.build();
+        let measured = net.fnnt().density();
+        let formula = density::density_exact(&spec);
+        prop_assert!(
+            (measured - formula).abs() < 1e-12,
+            "measured {measured} vs formula {formula}"
+        );
+    }
+
+    #[test]
+    fn built_nets_are_path_connected(spec in small_spec()) {
+        prop_assert!(spec.build().fnnt().is_path_connected());
+    }
+
+    #[test]
+    fn built_nets_are_binary(spec in small_spec()) {
+        // No valid mixed-radix layer duplicates an edge: radix · place value
+        // never exceeds N' within a system.
+        prop_assert!(spec.build().fnnt().is_binary());
+    }
+
+    #[test]
+    fn density_within_bounds(spec in small_spec()) {
+        let net = spec.build();
+        let d = net.fnnt().density();
+        prop_assert!(d > 0.0 && d <= 1.0);
+        prop_assert!(d >= net.fnnt().min_density() - 1e-12);
+    }
+
+    #[test]
+    fn predicted_count_positive(spec in small_spec()) {
+        let p = predicted_path_count(&spec);
+        prop_assert!(p.exact().is_none_or(|v| v > 0));
+    }
+
+    #[test]
+    fn layer_sizes_are_width_times_nprime(spec in small_spec()) {
+        let net = spec.build();
+        let expect: Vec<usize> =
+            spec.widths().iter().map(|&d| d * spec.n_prime()).collect();
+        prop_assert_eq!(net.fnnt().layer_sizes(), expect);
+    }
+}

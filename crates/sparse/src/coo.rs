@@ -1,0 +1,267 @@
+//! Coordinate-format (triplet) sparse matrices — the builder format.
+//!
+//! COO is the natural format for *constructing* the adjacency submatrices of
+//! eq. (1): the RadiX-Net builder pushes one `(row, col, 1)` triplet per edge
+//! and converts to [`CsrMatrix`] for all computation. Duplicate coordinates
+//! are summed on conversion, which is exactly the semantics of the
+//! `W ← W + P^(j·pv)` accumulation in the paper's Figure-6 algorithm.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// A coordinate-format sparse matrix: a bag of `(row, col, value)` triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Creates an empty COO matrix of the given shape.
+    #[must_use]
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty COO matrix with triplet capacity reserved.
+    #[must_use]
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Pushes a triplet.
+    ///
+    /// # Panics
+    /// Panics if `row` or `col` is out of bounds. The builder code paths are
+    /// all internally generated, so an out-of-bounds push is a programming
+    /// error rather than a recoverable condition.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, val: T) {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        assert!(col < self.ncols, "col {col} out of bounds ({})", self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Fallible triplet push for externally sourced coordinates.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::IndexOutOfBounds`] on a bad coordinate.
+    pub fn try_push(&mut self, row: usize, col: usize, val: T) -> Result<(), SparseError> {
+        if row >= self.nrows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: row,
+                bound: self.nrows,
+                axis: "row",
+            });
+        }
+        if col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: col,
+                bound: self.ncols,
+                axis: "column",
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Iterates over stored triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, **summing** duplicate coordinates and dropping
+    /// resulting explicit zeros.
+    ///
+    /// Runs in `O(nnz + nrows)` via counting sort on rows followed by a
+    /// per-row sort on columns.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // Counting sort by row.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; self.nnz()];
+        {
+            let mut next = counts.clone();
+            for (t, &r) in self.rows.iter().enumerate() {
+                order[next[r]] = t;
+                next[r] += 1;
+            }
+        }
+
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut data = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+
+        let mut rowbuf: Vec<(usize, T)> = Vec::new();
+        for r in 0..self.nrows {
+            rowbuf.clear();
+            for &t in &order[counts[r]..counts[r + 1]] {
+                rowbuf.push((self.cols[t], self.vals[t]));
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            // Merge duplicates.
+            let mut i = 0;
+            while i < rowbuf.len() {
+                let col = rowbuf[i].0;
+                let mut acc = rowbuf[i].1;
+                let mut j = i + 1;
+                while j < rowbuf.len() && rowbuf[j].0 == col {
+                    acc = acc.add(rowbuf[j].1);
+                    j += 1;
+                }
+                if !acc.is_zero() {
+                    indices.push(col);
+                    data.push(acc);
+                }
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, indptr, indices, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::<f64>::new(3, 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.shape(), (3, 4));
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 2.0f64);
+        coo.push(1, 0, 3.0);
+        let got: Vec<_> = coo.iter().collect();
+        assert_eq!(got, vec![(0, 1, 2.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 5 out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(5, 0, 1.0f64);
+    }
+
+    #[test]
+    fn try_push_reports_bounds() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        assert!(coo.try_push(0, 0, 1.0).is_ok());
+        assert!(matches!(
+            coo.try_push(2, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { axis: "row", .. })
+        ));
+        assert!(matches!(
+            coo.try_push(0, 9, 1.0),
+            Err(SparseError::IndexOutOfBounds { axis: "column", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_sum_on_conversion() {
+        // Mirrors W ← W + P^k accumulation: same coordinate twice sums.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0f64);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn cancelling_duplicates_drop_out() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 5.0f64);
+        coo.push(0, 1, -5.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn columns_sorted_within_rows() {
+        let mut coo = CooMatrix::new(1, 5);
+        for &c in &[4, 0, 2, 3, 1] {
+            coo.push(0, c, 1.0f64);
+        }
+        let csr = coo.to_csr();
+        let (cols, _) = csr.row(0);
+        assert_eq!(cols, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unsorted_rows_are_ordered() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 0, 1.0f64);
+        coo.push(0, 2, 1.0);
+        coo.push(1, 1, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 2), 1.0);
+        assert_eq!(csr.get(1, 1), 1.0);
+        assert_eq!(csr.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let a = CooMatrix::<u64>::with_capacity(2, 2, 16);
+        let b = CooMatrix::<u64>::new(2, 2);
+        assert_eq!(a.to_csr(), b.to_csr());
+    }
+}

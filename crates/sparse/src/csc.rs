@@ -1,0 +1,223 @@
+//! Compressed sparse column matrices.
+//!
+//! CSC is the transpose-dual of CSR: `O(1)` column slicing. The neural-net
+//! backward pass propagates gradients along *incoming* edges, which is a
+//! column traversal of the forward weight matrix — storing a CSC mirror of
+//! each sparse layer avoids a transpose per step.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// A compressed-sparse-column matrix over a [`Scalar`] semiring.
+///
+/// Invariants mirror [`CsrMatrix`] with rows and columns exchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,  // len ncols + 1
+    indices: Vec<usize>, // row indices, strictly increasing per column
+    data: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Builds from raw parts without validation (internal constructors only).
+    #[must_use]
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), ncols + 1);
+        debug_assert_eq!(indices.len(), data.len());
+        CscMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Builds from raw parts, validating all invariants.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::InvalidStructure`] on the first violation.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Validate via the CSR checker on the transposed interpretation.
+        let as_csr = CsrMatrix::try_from_parts(ncols, nrows, indptr, indices, data)?;
+        let (indptr, indices, data) = {
+            let t = as_csr;
+            (t.indptr().to_vec(), t.indices().to_vec(), t.data().to_vec())
+        };
+        Ok(CscMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Converts from CSR (copying).
+    #[must_use]
+    pub fn from_csr(csr: &CsrMatrix<T>) -> Self {
+        csr.to_csc()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The row indices and values of column `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= ncols`.
+    #[inline]
+    #[must_use]
+    pub fn col(&self, j: usize) -> (&[usize], &[T]) {
+        assert!(j < self.ncols, "column index out of bounds");
+        let span = self.indptr[j]..self.indptr[j + 1];
+        (&self.indices[span.clone()], &self.data[span])
+    }
+
+    /// Number of stored entries in column `j` (in-degree).
+    ///
+    /// # Panics
+    /// Panics if `j >= ncols`.
+    #[inline]
+    #[must_use]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        assert!(j < self.ncols, "column index out of bounds");
+        self.indptr[j + 1] - self.indptr[j]
+    }
+
+    /// Value at `(i, j)`, `T::ZERO` if absent.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.nrows, "row index out of bounds");
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Converts back to CSR (copying).
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // self is the CSR of the transpose; transposing that recovers self
+        // in CSR layout.
+        CsrMatrix::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.indptr.clone(),
+            self.indices.clone(),
+            self.data.clone(),
+        )
+        .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample_csr() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 5 0]
+        // [3 4 0]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 5.0);
+        coo.push(2, 0, 3.0);
+        coo.push(2, 1, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_matrix() {
+        let csr = sample_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        assert_eq!(csc.shape(), (3, 3));
+        assert_eq!(csc.nnz(), 5);
+        assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn column_access() {
+        let csc = CscMatrix::from_csr(&sample_csr());
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+        assert_eq!(csc.col_nnz(1), 2);
+        assert_eq!(csc.col_nnz(2), 1);
+    }
+
+    #[test]
+    fn get_matches_csr() {
+        let csr = sample_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(csc.get(i, j), csr.get(i, j), "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn try_from_parts_validates() {
+        // Column with unsorted row indices must be rejected.
+        let bad = CscMatrix::<f64>::try_from_parts(
+            3,
+            1,
+            vec![0, 2],
+            vec![2, 0],
+            vec![1.0, 1.0],
+        );
+        assert!(bad.is_err());
+
+        let good = CscMatrix::<f64>::try_from_parts(
+            3,
+            1,
+            vec![0, 2],
+            vec![0, 2],
+            vec![1.0, 1.0],
+        );
+        assert!(good.is_ok());
+    }
+}

@@ -1,0 +1,330 @@
+//! Row-major dense matrices.
+//!
+//! Dense matrices serve three roles in the reproduction: activations flowing
+//! through the neural-network substrate (`f32`), small exact cross-checks of
+//! sparse kernels against a straightforward reference implementation, and the
+//! dense right-hand sides of the Graph-Challenge SpMM chains.
+
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// A row-major dense matrix over a [`Scalar`] semiring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseMatrix<T> {
+    /// Creates an all-zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![T::ZERO; nrows * ncols],
+        }
+    }
+
+    /// Creates an all-ones matrix of the given shape (the `1_{a,b}` of the
+    /// paper's eq. (3) and eq. (12)).
+    #[must_use]
+    pub fn ones(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![T::ONE; nrows * ncols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, T::ONE);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::InvalidStructure`] if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Result<Self, SparseError> {
+        if data.len() != nrows * ncols {
+            return Err(SparseError::InvalidStructure(format!(
+                "dense data length {} does not match shape {}x{}",
+                data.len(),
+                nrows,
+                ncols
+            )));
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Creates a matrix from nested row slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if the rows have unequal lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j]
+    }
+
+    /// Sets element `(i, j)` to `v`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// The backing row-major slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The backing row-major slice, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the backing vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Number of nonzero entries.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Dense matrix product `self · rhs` (reference implementation; the fast
+    /// paths live in [`crate::ops`]).
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, rhs: &DenseMatrix<T>) -> Result<DenseMatrix<T>, SparseError> {
+        if self.ncols != rhs.nrows {
+            return Err(SparseError::ShapeMismatch {
+                op: "dense matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out: DenseMatrix<T> = DenseMatrix::zeros(self.nrows, rhs.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a.is_zero() {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow: &mut [T] = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o = o.add(a.mul(r));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose (copying).
+    #[must_use]
+    pub fn transpose(&self) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns `true` if every element equals `v`.
+    #[must_use]
+    pub fn all_equal_to(&self, v: T) -> bool {
+        self.data.iter().all(|&x| x == v)
+    }
+
+    /// Kronecker product `self ⊗ rhs` (dense reference used to validate the
+    /// sparse [`mod@crate::kron`] implementations).
+    #[must_use]
+    pub fn kron(&self, rhs: &DenseMatrix<T>) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.nrows * rhs.nrows, self.ncols * rhs.ncols);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                let a = self.get(i, j);
+                if a.is_zero() {
+                    continue;
+                }
+                for k in 0..rhs.nrows {
+                    for l in 0..rhs.ncols {
+                        out.set(i * rhs.nrows + k, j * rhs.ncols + l, a.mul(rhs.get(k, l)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_shapes() {
+        let z = DenseMatrix::<f64>::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.all_equal_to(0.0));
+        let o = DenseMatrix::<f64>::ones(3, 2);
+        assert_eq!(o.count_nonzero(), 6);
+    }
+
+    #[test]
+    fn identity_is_identity_under_matmul() {
+        let a = DenseMatrix::from_rows(&[&[1.0f64, 2.0], &[3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0f64, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0f64, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = DenseMatrix::<f64>::zeros(2, 3);
+        let b = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_rows(&[&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0f32; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0f32; 4]).is_ok());
+    }
+
+    #[test]
+    fn kron_known_small() {
+        // [1 2] ⊗ I2 = [[1,0,2,0],[0,1,0,2]]
+        let a = DenseMatrix::from_rows(&[&[1.0f64, 2.0]]);
+        let i2 = DenseMatrix::identity(2);
+        let k = a.kron(&i2);
+        assert_eq!(
+            k,
+            DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0, 0.0], &[0.0, 1.0, 0.0, 2.0]])
+        );
+    }
+
+    #[test]
+    fn kron_of_ones_is_ones() {
+        let a = DenseMatrix::<u64>::ones(2, 3);
+        let b = DenseMatrix::<u64>::ones(3, 2);
+        let k = a.kron(&b);
+        assert_eq!(k.shape(), (6, 6));
+        assert!(k.all_equal_to(1));
+    }
+
+    #[test]
+    fn row_access_and_mutation() {
+        let mut a = DenseMatrix::<f32>::zeros(2, 2);
+        a.row_mut(1)[0] = 7.0;
+        assert_eq!(a.get(1, 0), 7.0);
+        assert_eq!(a.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut a = DenseMatrix::<f64>::ones(2, 2);
+        a.map_inplace(|v| v + 1.0);
+        assert!(a.all_equal_to(2.0));
+    }
+}

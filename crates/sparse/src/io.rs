@@ -1,0 +1,188 @@
+//! Graph-Challenge-style TSV I/O.
+//!
+//! The MIT/IEEE/Amazon Sparse DNN Graph Challenge — whose synthetic networks
+//! are generated with RadiX-Net — distributes layers as tab-separated
+//! triplet files with **1-based** `row␉col␉value` lines. These helpers
+//! read/write that format for any scalar that can round-trip through
+//! `Display`/`FromStr`.
+
+use std::fmt::Display;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::str::FromStr;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// Writes a CSR matrix as 1-based `row␉col␉value` TSV lines.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_tsv<T: Scalar + Display, W: Write>(
+    m: &CsrMatrix<T>,
+    w: &mut W,
+) -> Result<(), SparseError> {
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{}\t{}\t{}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Reads a 1-based `row␉col␉value` TSV stream into a CSR matrix of the
+/// given shape. Duplicate coordinates sum (matching the builder semantics).
+/// Blank lines and lines starting with `#` or `%` are skipped.
+///
+/// # Errors
+/// Returns [`SparseError::Parse`] with a 1-based line number on malformed
+/// input, [`SparseError::IndexOutOfBounds`] on out-of-range coordinates, and
+/// propagates I/O errors.
+pub fn read_tsv<T, R>(r: R, nrows: usize, ncols: usize) -> Result<CsrMatrix<T>, SparseError>
+where
+    T: Scalar + FromStr,
+    R: Read,
+{
+    let reader = BufReader::new(r);
+    let mut coo = CooMatrix::<T>::new(nrows, ncols);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse_idx = |s: Option<&str>, what: &str| -> Result<usize, SparseError> {
+            let s = s.ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                msg: format!("missing {what}"),
+            })?;
+            let v: usize = s.parse().map_err(|_| SparseError::Parse {
+                line: lineno,
+                msg: format!("bad {what}: {s:?}"),
+            })?;
+            if v == 0 {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    msg: format!("{what} must be 1-based, got 0"),
+                });
+            }
+            Ok(v - 1)
+        };
+        let row = parse_idx(fields.next(), "row index")?;
+        let col = parse_idx(fields.next(), "column index")?;
+        let val_str = fields.next().ok_or_else(|| SparseError::Parse {
+            line: lineno,
+            msg: "missing value".into(),
+        })?;
+        let val: T = val_str.parse().map_err(|_| SparseError::Parse {
+            line: lineno,
+            msg: format!("bad value: {val_str:?}"),
+        })?;
+        if let Some(extra) = fields.next() {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("trailing field: {extra:?}"),
+            });
+        }
+        coo.try_push(row, col, val)?;
+    }
+    Ok(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::perm::CyclicShift;
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let m: CsrMatrix<u64> = CyclicShift::radix_submatrix(8, 2, 2);
+        let mut buf = Vec::new();
+        write_tsv(&m, &mut buf).unwrap();
+        let back: CsrMatrix<u64> = read_tsv(&buf[..], 8, 8).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn written_indices_are_one_based() {
+        let m = CsrMatrix::<f64>::identity(2);
+        let mut buf = Vec::new();
+        write_tsv(&m, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "1\t1\t1\n2\t2\t1\n");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n% matrixmarket style\n1 1 3.5\n";
+        let m: CsrMatrix<f64> = read_tsv(text.as_bytes(), 2, 2).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn whitespace_separators_accepted() {
+        let text = "1\t2\t1.0\n2 1 2.0\n";
+        let m: CsrMatrix<f64> = read_tsv(text.as_bytes(), 2, 2).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn duplicate_coordinates_sum() {
+        let text = "1 1 1.0\n1 1 2.5\n";
+        let m: CsrMatrix<f64> = read_tsv(text.as_bytes(), 1, 1).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn zero_based_index_rejected() {
+        let text = "0 1 1.0\n";
+        let e = read_tsv::<f64, _>(text.as_bytes(), 2, 2);
+        assert!(matches!(e, Err(SparseError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn missing_value_rejected_with_line_number() {
+        let text = "1 1 1.0\n2 2\n";
+        let e = read_tsv::<f64, _>(text.as_bytes(), 2, 2);
+        match e {
+            Err(SparseError::Parse { line, msg }) => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("missing value"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_field_rejected() {
+        let text = "1 1 1.0 extra\n";
+        assert!(read_tsv::<f64, _>(text.as_bytes(), 1, 1).is_err());
+    }
+
+    #[test]
+    fn out_of_range_coordinate_rejected() {
+        let text = "5 1 1.0\n";
+        let e = read_tsv::<f64, _>(text.as_bytes(), 2, 2);
+        assert!(matches!(e, Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn non_numeric_value_rejected() {
+        let text = "1 1 abc\n";
+        assert!(read_tsv::<f64, _>(text.as_bytes(), 1, 1).is_err());
+    }
+
+    #[test]
+    fn roundtrip_float_values() {
+        let d = DenseMatrix::from_rows(&[&[0.5f64, 0.0], &[0.0, -2.25]]);
+        let m = CsrMatrix::from_dense(&d);
+        let mut buf = Vec::new();
+        write_tsv(&m, &mut buf).unwrap();
+        let back: CsrMatrix<f64> = read_tsv(&buf[..], 2, 2).unwrap();
+        assert_eq!(back, m);
+    }
+}

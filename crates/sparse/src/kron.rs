@@ -1,0 +1,176 @@
+//! Kronecker products — eq. (3) of the paper.
+//!
+//! The final RadiX-Net construction step replaces each concatenated
+//! mixed-radix submatrix `W_i` with `W*_i ⊗ W_i`, where `W*_i` is the
+//! all-ones `D_{i−1} × D_i` matrix of a dense reference DNN. Two kernels:
+//!
+//! * [`kron`] — general sparse ⊗ sparse,
+//! * [`kron_ones_left`] — the RadiX-Net fast path `1_{a×b} ⊗ B`, which never
+//!   materializes the ones matrix and writes each output row as `b` shifted
+//!   copies of a `B` row.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// General Kronecker product `A ⊗ B` of CSR matrices.
+///
+/// Output shape is `(A.nrows·B.nrows, A.ncols·B.ncols)`; entry
+/// `(ia·B.nrows + ib, ja·B.ncols + jb) = A[ia,ja] · B[ib,jb]`. Output rows
+/// are emitted with strictly increasing column indices because `A`'s and
+/// `B`'s rows are.
+#[must_use]
+pub fn kron<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> CsrMatrix<T> {
+    let nrows = a.nrows() * b.nrows();
+    let ncols = a.ncols() * b.ncols();
+    let nnz = a.nnz() * b.nnz();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut data = Vec::with_capacity(nnz);
+    indptr.push(0);
+    for ia in 0..a.nrows() {
+        let (acols, avals) = a.row(ia);
+        for ib in 0..b.nrows() {
+            let (bcols, bvals) = b.row(ib);
+            for (&ja, &va) in acols.iter().zip(avals) {
+                let base = ja * b.ncols();
+                for (&jb, &vb) in bcols.iter().zip(bvals) {
+                    let v = va.mul(vb);
+                    if !v.is_zero() {
+                        indices.push(base + jb);
+                        data.push(v);
+                    }
+                }
+            }
+            indptr.push(indices.len());
+        }
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, data)
+}
+
+/// Fast path for `1_{a×b} ⊗ B` (all-ones left operand), the exact shape of
+/// the paper's eq. (3).
+///
+/// Each of the `a·B.nrows` output rows is the corresponding `B` row repeated
+/// `b` times at column offsets `0, B.ncols, …, (b−1)·B.ncols`.
+#[must_use]
+pub fn kron_ones_left<T: Scalar>(a: usize, b: usize, m: &CsrMatrix<T>) -> CsrMatrix<T> {
+    let nrows = a * m.nrows();
+    let ncols = b * m.ncols();
+    let nnz = a * b * m.nnz();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut data = Vec::with_capacity(nnz);
+    indptr.push(0);
+    for _block in 0..a {
+        for ib in 0..m.nrows() {
+            let (bcols, bvals) = m.row(ib);
+            for block_col in 0..b {
+                let base = block_col * m.ncols();
+                for (&jb, &vb) in bcols.iter().zip(bvals) {
+                    indices.push(base + jb);
+                    data.push(vb);
+                }
+            }
+            indptr.push(indices.len());
+        }
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::dense::DenseMatrix;
+    use crate::perm::CyclicShift;
+
+    fn small(vals: &[&[f64]]) -> CsrMatrix<f64> {
+        CsrMatrix::from_dense(&DenseMatrix::from_rows(vals))
+    }
+
+    #[test]
+    fn kron_matches_dense_reference() {
+        let a = small(&[&[1.0, 0.0], &[2.0, 3.0]]);
+        let b = small(&[&[0.0, 4.0], &[5.0, 0.0]]);
+        let k = kron(&a, &b);
+        let dref = a.to_dense().kron(&b.to_dense());
+        assert_eq!(k.to_dense(), dref);
+        assert_eq!(k.shape(), (4, 4));
+    }
+
+    #[test]
+    fn kron_with_identity_left_is_block_diagonal() {
+        let b = small(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let i2 = CsrMatrix::<f64>::identity(2);
+        let k = kron(&i2, &b);
+        assert_eq!(k.get(0, 0), 1.0);
+        assert_eq!(k.get(1, 1), 3.0);
+        assert_eq!(k.get(2, 2), 1.0);
+        assert_eq!(k.get(2, 3), 2.0);
+        assert_eq!(k.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn kron_nnz_is_product() {
+        let a = small(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let b = small(&[&[1.0], &[1.0]]);
+        assert_eq!(kron(&a, &b).nnz(), a.nnz() * b.nnz());
+    }
+
+    #[test]
+    fn kron_ones_left_matches_general_kron() {
+        let b: CsrMatrix<u64> = CyclicShift::radix_submatrix(6, 2, 3);
+        for (a_rows, a_cols) in [(1, 1), (2, 3), (3, 2), (4, 4)] {
+            let ones = CsrMatrix::from_dense(&DenseMatrix::<u64>::ones(a_rows, a_cols));
+            let general = kron(&ones, &b);
+            let fast = kron_ones_left(a_rows, a_cols, &b);
+            assert_eq!(general, fast, "mismatch for 1_{{{a_rows}x{a_cols}}} ⊗ B");
+        }
+    }
+
+    #[test]
+    fn kron_ones_left_shape_and_degree() {
+        // Paper eq. (3): layer shapes become D_{i-1}·N' × D_i·N', and each
+        // node's out-degree is multiplied by D_i.
+        let b: CsrMatrix<u64> = CyclicShift::radix_submatrix(4, 2, 1);
+        let k = kron_ones_left(3, 5, &b);
+        assert_eq!(k.shape(), (12, 20));
+        for i in 0..12 {
+            assert_eq!(k.row_nnz(i), 2 * 5);
+        }
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD) — the property Theorem 1's proof leans on.
+        let a = small(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = small(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let c = small(&[&[2.0, 0.0], &[1.0, 1.0]]);
+        let d = small(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lhs = crate::ops::spmm(&kron(&a, &b), &kron(&c, &d)).unwrap();
+        let rhs = kron(
+            &crate::ops::spmm(&a, &c).unwrap(),
+            &crate::ops::spmm(&b, &d).unwrap(),
+        );
+        assert_eq!(lhs.to_dense(), rhs.to_dense());
+    }
+
+    #[test]
+    fn kron_empty_operand_gives_empty() {
+        let a = CsrMatrix::<f64>::zeros(2, 2);
+        let b = small(&[&[1.0]]);
+        assert_eq!(kron(&a, &b).nnz(), 0);
+        assert_eq!(kron(&b, &a).nnz(), 0);
+    }
+
+    #[test]
+    fn kron_values_multiply() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 3.0f64);
+        let a = coo.to_csr();
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 5.0f64);
+        let b = coo.to_csr();
+        assert_eq!(kron(&a, &b).get(0, 0), 15.0);
+    }
+}

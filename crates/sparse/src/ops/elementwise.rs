@@ -1,0 +1,208 @@
+//! Element-wise sparse operations: Hadamard product and pattern masking.
+//!
+//! The Hadamard product against a mask is the "straight-through" gradient
+//! trick for sparse training (gradients restricted to a fixed topology),
+//! and pattern intersection/union are the structural set algebra used when
+//! comparing RadiX-Net layers to baselines.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// Element-wise (Hadamard) product `A ⊙ B`. Output pattern is the
+/// intersection of the operand patterns; exact zero products are dropped.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if shapes differ.
+pub fn hadamard<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::ShapeMismatch {
+            op: "hadamard",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    indptr.push(0);
+    for i in 0..a.nrows() {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0, 0);
+        while p < ac.len() && q < bc.len() {
+            match ac[p].cmp(&bc[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    let v = av[p].mul(bv[q]);
+                    if !v.is_zero() {
+                        indices.push(ac[p]);
+                        data.push(v);
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        indptr,
+        indices,
+        data,
+    ))
+}
+
+/// Restricts `a` to the sparsity pattern of `mask`: entries of `a` outside
+/// `mask`'s pattern are dropped, values are otherwise unchanged.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if shapes differ.
+pub fn mask_to_pattern<T: Scalar, U: Scalar>(
+    a: &CsrMatrix<T>,
+    mask: &CsrMatrix<U>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    if a.shape() != mask.shape() {
+        return Err(SparseError::ShapeMismatch {
+            op: "mask_to_pattern",
+            lhs: a.shape(),
+            rhs: mask.shape(),
+        });
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    indptr.push(0);
+    for i in 0..a.nrows() {
+        let (ac, av) = a.row(i);
+        let (mc, _) = mask.row(i);
+        let (mut p, mut q) = (0, 0);
+        while p < ac.len() && q < mc.len() {
+            match ac[p].cmp(&mc[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    indices.push(ac[p]);
+                    data.push(av[p]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        indptr,
+        indices,
+        data,
+    ))
+}
+
+/// Number of pattern positions shared by `a` and `b` (structural
+/// intersection size), ignoring values.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if shapes differ.
+pub fn pattern_overlap<T: Scalar, U: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<U>,
+) -> Result<usize, SparseError> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::ShapeMismatch {
+            op: "pattern_overlap",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut count = 0usize;
+    for i in 0..a.nrows() {
+        let (ac, _) = a.row(i);
+        let (bc, _) = b.row(i);
+        let (mut p, mut q) = (0, 0);
+        while p < ac.len() && q < bc.len() {
+            match ac[p].cmp(&bc[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    fn m(rows: &[&[f64]]) -> CsrMatrix<f64> {
+        CsrMatrix::from_dense(&DenseMatrix::from_rows(rows))
+    }
+
+    #[test]
+    fn hadamard_intersects_patterns() {
+        let a = m(&[&[1.0, 2.0, 0.0]]);
+        let b = m(&[&[0.0, 3.0, 4.0]]);
+        let h = hadamard(&a, &b).unwrap();
+        assert_eq!(h.nnz(), 1);
+        assert_eq!(h.get(0, 1), 6.0);
+    }
+
+    #[test]
+    fn hadamard_matches_dense() {
+        let a = m(&[&[1.0, 0.0], &[2.0, 3.0]]);
+        let b = m(&[&[4.0, 5.0], &[0.0, 6.0]]);
+        let h = hadamard(&a, &b).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(h.get(i, j), a.get(i, j) * b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_keeps_values() {
+        let a = m(&[&[1.0, 2.0, 3.0]]);
+        let mask = m(&[&[9.0, 0.0, 9.0]]);
+        let r = mask_to_pattern(&a, &mask).unwrap();
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(0, 1), 0.0);
+        assert_eq!(r.get(0, 2), 3.0);
+    }
+
+    #[test]
+    fn overlap_counts() {
+        let a = m(&[&[1.0, 2.0, 0.0], &[1.0, 0.0, 0.0]]);
+        let b = m(&[&[5.0, 0.0, 1.0], &[1.0, 0.0, 0.0]]);
+        assert_eq!(pattern_overlap(&a, &b).unwrap(), 2);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = m(&[&[1.0]]);
+        let b = m(&[&[1.0, 2.0]]);
+        assert!(hadamard(&a, &b).is_err());
+        assert!(mask_to_pattern(&a, &b).is_err());
+        assert!(pattern_overlap(&a, &b).is_err());
+    }
+
+    #[test]
+    fn hadamard_with_self_squares() {
+        let a = m(&[&[2.0, -3.0]]);
+        let h = hadamard(&a, &a).unwrap();
+        assert_eq!(h.get(0, 0), 4.0);
+        assert_eq!(h.get(0, 1), 9.0);
+    }
+}

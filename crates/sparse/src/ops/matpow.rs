@@ -1,0 +1,159 @@
+//! Matrix powers and chained layer products — the computational core of
+//! the paper's symmetry verification.
+//!
+//! The symmetry criterion (paper §II) inspects `A^n` of the full FNNT
+//! adjacency matrix: the net is symmetric iff the surviving block of `A^n`
+//! is `m · 1` for some positive integer `m`. Materializing the full
+//! `(Σ|U_i|)²` matrix is wasteful because `A` is strictly block-
+//! superdiagonal: `A^n`'s only nonzero block equals the *chained product*
+//! of the adjacency submatrices `W_1 · W_2 ⋯ W_n` (eq. (11) and the line
+//! after it). [`chain_product`] computes exactly that; [`matpow`] is the
+//! general power for small exact cross-checks.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+use super::spmm::spmm;
+
+/// Computes `A^k` for square `A` by repeated squaring over the semiring.
+/// `A^0` is the identity.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if `A` is not square.
+pub fn matpow<T: Scalar>(a: &CsrMatrix<T>, k: usize) -> Result<CsrMatrix<T>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            op: "matpow",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let mut result = CsrMatrix::<T>::identity(a.nrows());
+    let mut base = a.clone();
+    let mut exp = k;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = spmm(&result, &base)?;
+        }
+        exp >>= 1;
+        if exp > 0 {
+            base = spmm(&base, &base)?;
+        }
+    }
+    Ok(result)
+}
+
+/// Computes the left-to-right product `W_1 · W_2 ⋯ W_M` of a chain of
+/// conformable matrices.
+///
+/// For an FNNT with adjacency submatrices `W_i`, entry `(u, v)` of this
+/// product over a counting semiring is the number of `u → v` paths from the
+/// input layer to the output layer — the quantity Theorem 1 pins down as
+/// `(N')^(M−1) · ∏ D_i`.
+///
+/// # Errors
+/// Returns [`SparseError::InvalidStructure`] for an empty chain and
+/// [`SparseError::ShapeMismatch`] for non-conformable neighbors.
+pub fn chain_product<T: Scalar>(chain: &[CsrMatrix<T>]) -> Result<CsrMatrix<T>, SparseError> {
+    let (first, rest) = chain.split_first().ok_or_else(|| {
+        SparseError::InvalidStructure("chain_product of empty chain".into())
+    })?;
+    let mut acc = first.clone();
+    for w in rest {
+        acc = spmm(&acc, w)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::perm::CyclicShift;
+    use crate::scalar::PathCount;
+
+    #[test]
+    fn matpow_zero_is_identity() {
+        let a: CsrMatrix<u64> = CyclicShift::radix_submatrix(5, 2, 1);
+        assert_eq!(matpow(&a, 0).unwrap(), CsrMatrix::identity(5));
+    }
+
+    #[test]
+    fn matpow_one_is_self() {
+        let a: CsrMatrix<u64> = CyclicShift::radix_submatrix(5, 2, 1);
+        assert_eq!(matpow(&a, 1).unwrap(), a);
+    }
+
+    #[test]
+    fn matpow_matches_iterated_product() {
+        let a: CsrMatrix<u64> = CyclicShift::radix_submatrix(6, 2, 2);
+        let mut iterated = CsrMatrix::<u64>::identity(6);
+        for _ in 0..5 {
+            iterated = spmm(&iterated, &a).unwrap();
+        }
+        assert_eq!(matpow(&a, 5).unwrap(), iterated);
+    }
+
+    #[test]
+    fn matpow_rejects_rectangular() {
+        let a = CsrMatrix::<u64>::zeros(2, 3);
+        assert!(matpow(&a, 2).is_err());
+    }
+
+    #[test]
+    fn chain_product_counts_paths_in_binary_mr_topology() {
+        // Mixed-radix topology N = (2,2,2) on 8 nodes: Lemma 1 says exactly
+        // one path between every input and output node, i.e. the chained
+        // product is the all-ones matrix.
+        let chain: Vec<CsrMatrix<u64>> = vec![
+            CyclicShift::radix_submatrix(8, 2, 1),
+            CyclicShift::radix_submatrix(8, 2, 2),
+            CyclicShift::radix_submatrix(8, 2, 4),
+        ];
+        let paths = chain_product(&chain).unwrap();
+        assert_eq!(paths.to_dense(), DenseMatrix::ones(8, 8));
+    }
+
+    #[test]
+    fn chain_product_empty_chain_errors() {
+        let e = chain_product::<u64>(&[]);
+        assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn chain_product_single_matrix_is_identity_op() {
+        let a: CsrMatrix<u64> = CyclicShift::radix_submatrix(4, 2, 1);
+        assert_eq!(chain_product(std::slice::from_ref(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn chain_product_shape_mismatch_errors() {
+        let a = CsrMatrix::<u64>::identity(3);
+        let b = CsrMatrix::<u64>::identity(4);
+        assert!(chain_product(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn chain_product_with_pathcount_saturates_not_wraps() {
+        // A chain of dense 2x2 all-twos matrices doubles entries each step;
+        // over PathCount the result saturates instead of wrapping.
+        let two = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+            &[PathCount(u64::MAX as u128), PathCount(u64::MAX as u128)],
+            &[PathCount(u64::MAX as u128), PathCount(u64::MAX as u128)],
+        ]));
+        let chain = vec![two.clone(), two.clone(), two];
+        let out = chain_product(&chain).unwrap();
+        assert!(out.data().iter().all(|p| p.is_saturated()));
+    }
+
+    #[test]
+    fn matpow_cyclic_shift_has_full_period() {
+        // The unit shift on n nodes has order n: P^n = I, P^k != I for 0<k<n.
+        let p: CsrMatrix<u64> = CyclicShift::new(6, 1).to_csr();
+        for k in 1..6 {
+            assert_ne!(matpow(&p, k).unwrap(), CsrMatrix::identity(6));
+        }
+        assert_eq!(matpow(&p, 6).unwrap(), CsrMatrix::identity(6));
+    }
+}

@@ -1,0 +1,308 @@
+//! Sparse matrix–matrix products: CSR × dense and CSR × CSR, serial and
+//! Rayon row-parallel.
+//!
+//! `par_spmm_dense` is the hot kernel of the Graph-Challenge harness
+//! (`Y ← Y · W` with `Y` dense activations, `W` a RadiX-Net layer). The
+//! CSR × CSR kernels use a dense "sparse accumulator" (SPA) workspace per
+//! row — the classical Gustavson algorithm — with one workspace per Rayon
+//! worker via `map_init` so the parallel version allocates `O(threads ·
+//! ncols)`, not `O(rows · ncols)`.
+
+use rayon::prelude::*;
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// Serial CSR × dense → dense: `C = A · B`.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if `A.ncols() != B.nrows()`.
+pub fn spmm_dense<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &DenseMatrix<T>,
+) -> Result<DenseMatrix<T>, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "spmm_dense",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut c: DenseMatrix<T> = DenseMatrix::zeros(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let crow = c.row_mut(i);
+        for (&k, &v) in cols.iter().zip(vals) {
+            let brow = b.row(k);
+            for (cij, &bkj) in crow.iter_mut().zip(brow) {
+                *cij = cij.add(v.mul(bkj));
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Rayon row-parallel CSR × dense → dense.
+///
+/// Rows of the output are independent, so this parallelizes over chunks of
+/// output rows with no synchronization.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if `A.ncols() != B.nrows()`.
+pub fn par_spmm_dense<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &DenseMatrix<T>,
+) -> Result<DenseMatrix<T>, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "par_spmm_dense",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let ncols_out = b.ncols();
+    let mut c: DenseMatrix<T> = DenseMatrix::zeros(a.nrows(), ncols_out);
+    c.as_mut_slice()
+        .par_chunks_mut(ncols_out.max(1))
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let (cols, vals) = a.row(i);
+            for (&k, &v) in cols.iter().zip(vals) {
+                let brow = b.row(k);
+                for (cij, &bkj) in crow.iter_mut().zip(brow) {
+                    *cij = cij.add(v.mul(bkj));
+                }
+            }
+        });
+    Ok(c)
+}
+
+/// One row of a Gustavson SPA product: accumulate `A[i,:] · B` into the
+/// workspace, then harvest sorted nonzeros.
+fn spa_row<T: Scalar>(
+    acols: &[usize],
+    avals: &[T],
+    b: &CsrMatrix<T>,
+    workspace: &mut [T],
+    touched: &mut Vec<usize>,
+    out_cols: &mut Vec<usize>,
+    out_vals: &mut Vec<T>,
+) {
+    for (&k, &v) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(k);
+        for (&j, &bv) in bcols.iter().zip(bvals) {
+            if workspace[j].is_zero() {
+                touched.push(j);
+            }
+            workspace[j] = workspace[j].add(v.mul(bv));
+        }
+    }
+    touched.sort_unstable();
+    for &j in touched.iter() {
+        let val = workspace[j];
+        workspace[j] = T::ZERO;
+        if !val.is_zero() {
+            out_cols.push(j);
+            out_vals.push(val);
+        }
+    }
+    touched.clear();
+}
+
+/// Serial CSR × CSR → CSR (Gustavson SPA).
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if `A.ncols() != B.nrows()`.
+pub fn spmm<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "spmm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut workspace = vec![T::ZERO; b.ncols()];
+    let mut touched = Vec::new();
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    indptr.push(0);
+    for i in 0..a.nrows() {
+        let (acols, avals) = a.row(i);
+        spa_row(
+            acols,
+            avals,
+            b,
+            &mut workspace,
+            &mut touched,
+            &mut indices,
+            &mut data,
+        );
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        indptr,
+        indices,
+        data,
+    ))
+}
+
+/// Rayon row-parallel CSR × CSR → CSR. Each worker owns one SPA workspace
+/// (`map_init`), per-row results are stitched into CSR afterwards.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if `A.ncols() != B.nrows()`.
+pub fn par_spmm<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "par_spmm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let rows: Vec<(Vec<usize>, Vec<T>)> = (0..a.nrows())
+        .into_par_iter()
+        .map_init(
+            || (vec![T::ZERO; b.ncols()], Vec::new()),
+            |(workspace, touched), i| {
+                let (acols, avals) = a.row(i);
+                let mut out_cols = Vec::new();
+                let mut out_vals = Vec::new();
+                spa_row(
+                    acols, avals, b, workspace, touched, &mut out_cols, &mut out_vals,
+                );
+                (out_cols, out_vals)
+            },
+        )
+        .collect();
+
+    let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut data = Vec::with_capacity(nnz);
+    indptr.push(0);
+    for (cols, vals) in rows {
+        indices.extend(cols);
+        data.extend(vals);
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        indptr,
+        indices,
+        data,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::CyclicShift;
+
+    fn dense(vals: &[&[f64]]) -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(vals)
+    }
+
+    #[test]
+    fn spmm_dense_matches_reference() {
+        let a = CsrMatrix::from_dense(&dense(&[&[1.0, 0.0], &[2.0, 3.0]]));
+        let b = dense(&[&[4.0, 5.0], &[6.0, 7.0]]);
+        let c = spmm_dense(&a, &b).unwrap();
+        assert_eq!(c, a.to_dense().matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn par_spmm_dense_matches_serial() {
+        let w: CsrMatrix<f64> =
+            CyclicShift::radix_submatrix::<u64>(32, 4, 2).map(|v| v as f64 * 0.5);
+        let mut b = DenseMatrix::zeros(32, 8);
+        for i in 0..32 {
+            for j in 0..8 {
+                b.set(i, j, (i * 8 + j) as f64 * 0.01);
+            }
+        }
+        let serial = spmm_dense(&w, &b).unwrap();
+        let parallel = par_spmm_dense(&w, &b).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let a = CsrMatrix::from_dense(&dense(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]));
+        let b = CsrMatrix::from_dense(&dense(&[&[1.0, 1.0], &[0.0, 2.0], &[4.0, 0.0]]));
+        let c = spmm(&a, &b).unwrap();
+        let dref = a.to_dense().matmul(&b.to_dense()).unwrap();
+        assert_eq!(c.to_dense(), dref);
+    }
+
+    #[test]
+    fn par_spmm_matches_serial() {
+        let a: CsrMatrix<u64> = CyclicShift::radix_submatrix(24, 3, 1);
+        let b: CsrMatrix<u64> = CyclicShift::radix_submatrix(24, 2, 3);
+        assert_eq!(spmm(&a, &b).unwrap(), par_spmm(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn spmm_identity_is_noop() {
+        let a: CsrMatrix<u64> = CyclicShift::radix_submatrix(8, 2, 2);
+        let i = CsrMatrix::identity(8);
+        assert_eq!(spmm(&a, &i).unwrap(), a);
+        assert_eq!(spmm(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn spmm_shape_mismatch_errors() {
+        let a = CsrMatrix::<f64>::zeros(2, 3);
+        let b = CsrMatrix::<f64>::zeros(2, 3);
+        assert!(spmm(&a, &b).is_err());
+        assert!(par_spmm(&a, &b).is_err());
+        assert!(spmm_dense(&a, &DenseMatrix::zeros(2, 2)).is_err());
+        assert!(par_spmm_dense(&a, &DenseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn spmm_numeric_cancellation_drops_entry() {
+        let a = CsrMatrix::from_dense(&dense(&[&[1.0, 1.0]]));
+        let b = CsrMatrix::from_dense(&dense(&[&[1.0], &[-1.0]]));
+        let c = spmm(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0, "exact cancellation must not store a zero");
+    }
+
+    #[test]
+    fn spmm_output_columns_sorted() {
+        let a: CsrMatrix<u64> = CyclicShift::radix_submatrix(16, 4, 1);
+        let b: CsrMatrix<u64> = CyclicShift::radix_submatrix(16, 4, 4);
+        let c = spmm(&a, &b).unwrap();
+        for i in 0..c.nrows() {
+            let (cols, _) = c.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn spmm_zero_rows_propagate() {
+        let a = CsrMatrix::<f64>::zeros(3, 3);
+        let b = CsrMatrix::<f64>::identity(3);
+        let c = spmm(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.shape(), (3, 3));
+    }
+
+    #[test]
+    fn empty_dimension_products() {
+        let a = CsrMatrix::<f64>::zeros(0, 4);
+        let b = CsrMatrix::<f64>::zeros(4, 0);
+        let c = spmm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 0));
+        let d = par_spmm_dense(&a, &DenseMatrix::zeros(4, 2)).unwrap();
+        assert_eq!(d.shape(), (0, 2));
+    }
+}

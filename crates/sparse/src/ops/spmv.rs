@@ -1,0 +1,75 @@
+//! Sparse matrix × dense vector products.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Computes `y = A · x` for CSR `A` and dense `x`.
+///
+/// # Panics
+/// Panics if `x.len() != A.ncols()`.
+#[must_use]
+pub fn spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T]) -> Vec<T> {
+    let mut y = vec![T::ZERO; a.nrows()];
+    spmv_into(a, x, &mut y);
+    y
+}
+
+/// Computes `y = A · x` into a caller-provided buffer (no allocation),
+/// the "workhorse collection" pattern for hot loops.
+///
+/// # Panics
+/// Panics if `x.len() != A.ncols()` or `y.len() != A.nrows()`.
+pub fn spmv_into<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.ncols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "spmv: y length mismatch");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row(i);
+        let mut acc = T::ZERO;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc = acc.add(v.mul(x[c]));
+        }
+        *yi = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    #[test]
+    fn spmv_matches_dense() {
+        let d = DenseMatrix::from_rows(&[&[1.0f64, 0.0, 2.0], &[0.0, 3.0, 0.0]]);
+        let a = CsrMatrix::from_dense(&d);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(spmv(&a, &x), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn spmv_identity_is_noop() {
+        let i = CsrMatrix::<f64>::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(spmv(&i, &x), x);
+    }
+
+    #[test]
+    fn spmv_zero_matrix_gives_zero() {
+        let z = CsrMatrix::<f64>::zeros(3, 2);
+        assert_eq!(spmv(&z, &[1.0, 1.0]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn spmv_into_reuses_buffer() {
+        let i = CsrMatrix::<u64>::identity(3);
+        let mut y = vec![99u64; 3];
+        spmv_into(&i, &[4, 5, 6], &mut y);
+        assert_eq!(y, vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn spmv_wrong_x_len_panics() {
+        let i = CsrMatrix::<f64>::identity(3);
+        let _ = spmv(&i, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Block composition of sparse matrices: horizontal/vertical stacking and
+//! block-diagonal assembly.
+//!
+//! `full_adjacency` of an FNNT is a block matrix; these kernels make such
+//! assemblies first-class (and tested) instead of ad-hoc COO pushes, and
+//! support composing RadiX-Net layers with readout heads (e.g. appending a
+//! dense classifier column block to a sparse layer).
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// Horizontally concatenates `[A | B]`.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if row counts differ.
+pub fn hstack<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>, SparseError> {
+    if a.nrows() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "hstack",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let ncols = a.ncols() + b.ncols();
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut data = Vec::with_capacity(a.nnz() + b.nnz());
+    indptr.push(0);
+    for i in 0..a.nrows() {
+        let (ac, av) = a.row(i);
+        indices.extend_from_slice(ac);
+        data.extend_from_slice(av);
+        let (bc, bv) = b.row(i);
+        indices.extend(bc.iter().map(|&c| c + a.ncols()));
+        data.extend_from_slice(bv);
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        ncols,
+        indptr,
+        indices,
+        data,
+    ))
+}
+
+/// Vertically concatenates `[A; B]`.
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] if column counts differ.
+pub fn vstack<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>, SparseError> {
+    if a.ncols() != b.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            op: "vstack",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + b.nrows() + 1);
+    indptr.extend_from_slice(a.indptr());
+    let offset = a.nnz();
+    indptr.extend(b.indptr().iter().skip(1).map(|&p| p + offset));
+    let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
+    indices.extend_from_slice(a.indices());
+    indices.extend_from_slice(b.indices());
+    let mut data = Vec::with_capacity(a.nnz() + b.nnz());
+    data.extend_from_slice(a.data());
+    data.extend_from_slice(b.data());
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows() + b.nrows(),
+        a.ncols(),
+        indptr,
+        indices,
+        data,
+    ))
+}
+
+/// Block-diagonal assembly `diag(M_1, …, M_k)`.
+///
+/// # Errors
+/// Returns [`SparseError::InvalidStructure`] for an empty block list.
+pub fn block_diag<T: Scalar>(blocks: &[CsrMatrix<T>]) -> Result<CsrMatrix<T>, SparseError> {
+    if blocks.is_empty() {
+        return Err(SparseError::InvalidStructure(
+            "block_diag of empty list".into(),
+        ));
+    }
+    let nrows: usize = blocks.iter().map(CsrMatrix::nrows).sum();
+    let ncols: usize = blocks.iter().map(CsrMatrix::ncols).sum();
+    let nnz: usize = blocks.iter().map(CsrMatrix::nnz).sum();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut data = Vec::with_capacity(nnz);
+    indptr.push(0);
+    let mut col_offset = 0usize;
+    for m in blocks {
+        for i in 0..m.nrows() {
+            let (cols, vals) = m.row(i);
+            indices.extend(cols.iter().map(|&c| c + col_offset));
+            data.extend_from_slice(vals);
+            indptr.push(indices.len());
+        }
+        col_offset += m.ncols();
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        nrows, ncols, indptr, indices, data,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    fn m(rows: &[&[f64]]) -> CsrMatrix<f64> {
+        CsrMatrix::from_dense(&DenseMatrix::from_rows(rows))
+    }
+
+    #[test]
+    fn hstack_places_blocks() {
+        let a = m(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let b = m(&[&[3.0], &[0.0]]);
+        let h = hstack(&a, &b).unwrap();
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.get(0, 2), 3.0);
+        assert_eq!(h.get(1, 1), 2.0);
+        assert_eq!(h.nnz(), 3);
+    }
+
+    #[test]
+    fn vstack_places_blocks() {
+        let a = m(&[&[1.0, 0.0]]);
+        let b = m(&[&[0.0, 2.0], &[3.0, 0.0]]);
+        let v = vstack(&a, &b).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.get(0, 0), 1.0);
+        assert_eq!(v.get(1, 1), 2.0);
+        assert_eq!(v.get(2, 0), 3.0);
+    }
+
+    #[test]
+    fn stack_shape_mismatches_error() {
+        let a = m(&[&[1.0]]);
+        let b = m(&[&[1.0, 2.0]]);
+        let c = m(&[&[1.0], &[2.0]]);
+        assert!(hstack(&a, &c).is_err()); // row counts 1 vs 2
+        assert!(vstack(&a, &b).is_err()); // col counts 1 vs 2
+    }
+
+    #[test]
+    fn hstack_then_vstack_roundtrip_dense() {
+        let a = m(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let b = m(&[&[0.0, 1.0], &[4.0, 0.0]]);
+        let h = hstack(&a, &b).unwrap();
+        let expect_h = {
+            let mut d = DenseMatrix::zeros(2, 4);
+            for (i, j, v) in a.iter() {
+                d.set(i, j, v);
+            }
+            for (i, j, v) in b.iter() {
+                d.set(i, j + 2, v);
+            }
+            d
+        };
+        assert_eq!(h.to_dense(), expect_h);
+    }
+
+    #[test]
+    fn block_diag_structure() {
+        let a = m(&[&[1.0]]);
+        let b = m(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        let d = block_diag(&[a, b]).unwrap();
+        assert_eq!(d.shape(), (3, 3));
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(2, 2), 3.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(d.nnz(), 3);
+    }
+
+    #[test]
+    fn block_diag_empty_errors() {
+        assert!(block_diag::<f64>(&[]).is_err());
+    }
+
+    #[test]
+    fn block_diag_single_is_identity_op() {
+        let a = m(&[&[1.0, 2.0]]);
+        assert_eq!(block_diag(std::slice::from_ref(&a)).unwrap(), a);
+    }
+}

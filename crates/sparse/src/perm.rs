@@ -1,0 +1,263 @@
+//! Cyclic-shift permutation matrices — eq. (2) of the paper.
+//!
+//! The mixed-radix adjacency submatrices are sums of powers of a single
+//! cyclic-shift permutation: `W_i = Σ_{j=0}^{N_i−1} P^(j·ν_i)` (eq. (1)).
+//! A cyclic shift is fully described by its modulus `n` and offset `k`, so we
+//! represent it symbolically and only materialize CSR on demand; powers and
+//! compositions are `O(1)`.
+//!
+//! ## Orientation note
+//!
+//! The paper's textual construction ("edges from node `j` in `U_{i−1}` to
+//! node `j + n·∏N_j (mod N')` in `U_i`") corresponds to the matrix `Q_k`
+//! with `Q_k[j, (j+k) mod n] = 1`. The displayed matrix in eq. (2) is the
+//! *down*-shift (its first row is `0…0 1`), i.e. `Q_{n−1} = Q_k^T` for
+//! `k = 1`; summed over the same offset set the two conventions produce
+//! per-layer transposed — and therefore isomorphic (relabel `j ↦ −j mod n`)
+//! — topologies. We follow the textual (up-shift) convention, which also
+//! matches Figure 1 and the authors' reference implementation.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// The `n × n` cyclic-shift permutation matrix with
+/// `P[j, (j + offset) mod n] = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CyclicShift {
+    n: usize,
+    offset: usize,
+}
+
+impl CyclicShift {
+    /// The shift-by-`offset` permutation on `{0, …, n−1}`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, offset: usize) -> Self {
+        assert!(n > 0, "cyclic shift modulus must be positive");
+        CyclicShift {
+            n,
+            offset: offset % n,
+        }
+    }
+
+    /// The identity permutation on `{0, …, n−1}`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        CyclicShift::new(n, 0)
+    }
+
+    /// Modulus `n`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Shift offset, normalized to `0..n`.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Image of index `j` under the permutation: `(j + offset) mod n`.
+    ///
+    /// # Panics
+    /// Panics if `j >= n`.
+    #[inline]
+    #[must_use]
+    pub fn apply(&self, j: usize) -> usize {
+        assert!(j < self.n, "index out of range");
+        let s = j + self.offset;
+        if s >= self.n {
+            s - self.n
+        } else {
+            s
+        }
+    }
+
+    /// The `e`-th power: shift by `e · offset` (mod n). `O(1)`.
+    #[must_use]
+    pub fn pow(&self, e: usize) -> CyclicShift {
+        // (offset * e) mod n without overflow: reduce via u128.
+        let off = ((self.offset as u128 * e as u128) % self.n as u128) as usize;
+        CyclicShift {
+            n: self.n,
+            offset: off,
+        }
+    }
+
+    /// Composition `self ∘ other` (apply `other` first). Requires equal
+    /// moduli.
+    ///
+    /// # Panics
+    /// Panics if the moduli differ.
+    #[must_use]
+    pub fn compose(&self, other: &CyclicShift) -> CyclicShift {
+        assert_eq!(self.n, other.n, "cyclic shifts must share modulus");
+        CyclicShift::new(self.n, self.offset + other.offset)
+    }
+
+    /// The inverse permutation (shift by `n − offset`).
+    #[must_use]
+    pub fn inverse(&self) -> CyclicShift {
+        CyclicShift::new(self.n, self.n - self.offset)
+    }
+
+    /// Materializes the permutation as a binary CSR matrix.
+    #[must_use]
+    pub fn to_csr<T: Scalar>(&self) -> CsrMatrix<T> {
+        let indptr: Vec<usize> = (0..=self.n).collect();
+        let indices: Vec<usize> = (0..self.n).map(|j| self.apply(j)).collect();
+        let data = vec![T::ONE; self.n];
+        CsrMatrix::from_parts_unchecked(self.n, self.n, indptr, indices, data)
+    }
+
+    /// Builds the mixed-radix adjacency submatrix
+    /// `W = Σ_{j=0}^{radix−1} P^(j·place_value)` of eq. (1) directly, where
+    /// `P` is the unit shift on `n` nodes.
+    ///
+    /// Duplicate targets (possible when `radix · place_value > n` in
+    /// degenerate configurations) are summed, matching the algorithm's
+    /// `W ← W + P^(j·pv)` accumulation.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn radix_submatrix<T: Scalar>(n: usize, radix: usize, place_value: usize) -> CsrMatrix<T> {
+        let unit = CyclicShift::new(n, 1);
+        let mut coo = CooMatrix::with_capacity(n, n, n * radix);
+        for d in 0..radix {
+            let shift = unit.pow(d * place_value);
+            for j in 0..n {
+                coo.push(j, shift.apply(j), T::ONE);
+            }
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_fixes_everything() {
+        let p = CyclicShift::identity(5);
+        for j in 0..5 {
+            assert_eq!(p.apply(j), j);
+        }
+        let m: CsrMatrix<u64> = p.to_csr();
+        assert_eq!(m, CsrMatrix::identity(5));
+    }
+
+    #[test]
+    fn unit_shift_wraps() {
+        let p = CyclicShift::new(4, 1);
+        assert_eq!(p.apply(0), 1);
+        assert_eq!(p.apply(3), 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_apply() {
+        let p = CyclicShift::new(7, 3);
+        let p2 = p.pow(4);
+        for j in 0..7 {
+            let mut expect = j;
+            for _ in 0..4 {
+                expect = p.apply(expect);
+            }
+            assert_eq!(p2.apply(j), expect);
+        }
+    }
+
+    #[test]
+    fn pow_matches_matrix_power() {
+        // Symbolic power must equal the explicit matrix product.
+        let p = CyclicShift::new(6, 1);
+        let m: CsrMatrix<u64> = p.to_csr();
+        let m3 = crate::ops::matpow(&m, 3).unwrap();
+        let sym: CsrMatrix<u64> = p.pow(3).to_csr();
+        assert_eq!(m3, sym);
+    }
+
+    #[test]
+    fn compose_adds_offsets() {
+        let a = CyclicShift::new(10, 7);
+        let b = CyclicShift::new(10, 8);
+        assert_eq!(a.compose(&b).offset(), 5);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        for off in 0..6 {
+            let p = CyclicShift::new(6, off);
+            assert_eq!(p.compose(&p.inverse()), CyclicShift::identity(6));
+        }
+    }
+
+    #[test]
+    fn pow_large_exponent_no_overflow() {
+        let p = CyclicShift::new(usize::MAX / 2, 3);
+        // Must not panic/overflow internally.
+        let q = p.pow(usize::MAX);
+        assert!(q.offset() < p.order());
+    }
+
+    #[test]
+    fn radix_submatrix_binary_tree_layer() {
+        // N = (2,2,2), first layer: place value 1, radix 2 on 8 nodes:
+        // node j → {j, j+1 mod 8}. Matches Figure 1's first layer.
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(8, 2, 1);
+        assert_eq!(w.nnz(), 16);
+        for j in 0..8 {
+            assert_eq!(w.get(j, j), 1);
+            assert_eq!(w.get(j, (j + 1) % 8), 1);
+        }
+    }
+
+    #[test]
+    fn radix_submatrix_second_layer_offset() {
+        // N = (2,2,2), second layer: place value 2 → node j → {j, j+2 mod 8}.
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(8, 2, 2);
+        for j in 0..8 {
+            assert_eq!(w.get(j, j), 1);
+            assert_eq!(w.get(j, (j + 2) % 8), 1);
+        }
+    }
+
+    #[test]
+    fn radix_submatrix_equals_sum_of_powers() {
+        // Cross-check eq. (1) against explicit matrix addition.
+        let n = 12;
+        let radix = 3;
+        let pv = 4;
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(n, radix, pv);
+        let unit = CyclicShift::new(n, 1);
+        let mut acc = CsrMatrix::<u64>::zeros(n, n);
+        for d in 0..radix {
+            let term: CsrMatrix<u64> = unit.pow(d * pv).to_csr();
+            acc = crate::ops::add(&acc, &term).unwrap();
+        }
+        assert_eq!(w, acc);
+    }
+
+    #[test]
+    fn radix_submatrix_degenerate_duplicates_sum() {
+        // radix 2 with place value 0: both terms are the identity → values 2.
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(4, 2, 0);
+        assert_eq!(w.nnz(), 4);
+        for j in 0..4 {
+            assert_eq!(w.get(j, j), 2);
+        }
+    }
+
+    #[test]
+    fn full_radix_gives_fully_connected_layer() {
+        // radix = n, place value 1: every node connects to every node.
+        let w: CsrMatrix<u64> = CyclicShift::radix_submatrix(5, 5, 1);
+        assert_eq!(w.nnz(), 25);
+        assert!(w.is_binary());
+    }
+}

@@ -1,0 +1,202 @@
+//! The [`Scalar`] semiring abstraction and the saturating [`PathCount`]
+//! scalar used for Theorem-1 path counting.
+//!
+//! All kernels in this crate are generic over a commutative semiring with
+//! equality. Floating-point weights (`f32`, `f64`) are used by the neural
+//! network substrate; unsigned integers (`u32`, `u64`, `u128`) and
+//! [`PathCount`] are used when matrix entries denote *numbers of paths*
+//! (the quantity at the heart of the paper's symmetry property).
+
+/// A commutative semiring with additive identity [`Scalar::ZERO`] and
+/// multiplicative identity [`Scalar::ONE`].
+///
+/// Implementors must satisfy, for all `a`, `b`, `c`:
+///
+/// * `add`/`mul` are associative and commutative,
+/// * `a.add(ZERO) == a`, `a.mul(ONE) == a`, `a.mul(ZERO) == ZERO`,
+/// * `a.mul(b.add(c)) == a.mul(b).add(a.mul(c))` (distributivity).
+///
+/// Floating-point types satisfy these only approximately; that is fine for
+/// the numeric code paths, and exact for the integer path-counting paths.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Semiring addition.
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+
+    /// Semiring multiplication.
+    #[must_use]
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Whether this value equals the additive identity.
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+}
+
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            #[inline]
+            fn mul(self, rhs: Self) -> Self { self * rhs }
+        }
+    )*};
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            #[inline]
+            fn mul(self, rhs: Self) -> Self { self * rhs }
+        }
+    )*};
+}
+
+impl_scalar_float!(f32, f64);
+impl_scalar_int!(u32, u64, u128, i64);
+
+/// A path-count scalar: a `u128` with **saturating** arithmetic.
+///
+/// Theorem 1 gives the number of input→output paths of a RadiX-Net as
+/// `(N')^(M−1) · ∏ D_i`, which grows multiplicatively in depth; on
+/// adversarially deep nets a fixed-width integer would overflow. Saturation
+/// turns overflow into the sentinel [`PathCount::SATURATED`] instead of
+/// undefined wrap-around, so a symmetry check either returns the exact count
+/// or reports that the count exceeded `u128::MAX` — never a wrong number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PathCount(pub u128);
+
+impl PathCount {
+    /// The saturation sentinel (`u128::MAX`).
+    pub const SATURATED: PathCount = PathCount(u128::MAX);
+
+    /// Returns the underlying count, or `None` if it saturated.
+    #[must_use]
+    pub fn exact(self) -> Option<u128> {
+        if self == Self::SATURATED {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Whether this count hit the saturation sentinel.
+    #[must_use]
+    pub fn is_saturated(self) -> bool {
+        self == Self::SATURATED
+    }
+}
+
+impl From<u128> for PathCount {
+    fn from(v: u128) -> Self {
+        PathCount(v)
+    }
+}
+
+impl std::fmt::Display for PathCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_saturated() {
+            write!(f, ">= 2^128")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl Scalar for PathCount {
+    const ZERO: Self = PathCount(0);
+    const ONE: Self = PathCount(1);
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        PathCount(self.0.saturating_add(rhs.0))
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        PathCount(self.0.saturating_mul(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_semiring_laws<T: Scalar>(a: T, b: T, c: T) {
+        assert_eq!(a.add(b), b.add(a), "add commutes");
+        assert_eq!(a.mul(b), b.mul(a), "mul commutes");
+        assert_eq!(a.add(b).add(c), a.add(b.add(c)), "add associates");
+        assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)), "mul associates");
+        assert_eq!(a.add(T::ZERO), a, "additive identity");
+        assert_eq!(a.mul(T::ONE), a, "multiplicative identity");
+        assert_eq!(a.mul(T::ZERO), T::ZERO, "zero annihilates");
+        assert_eq!(
+            a.mul(b.add(c)),
+            a.mul(b).add(a.mul(c)),
+            "distributivity"
+        );
+    }
+
+    #[test]
+    fn u64_semiring_laws() {
+        check_semiring_laws(3u64, 5u64, 7u64);
+        check_semiring_laws(0u64, 1u64, u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn f64_semiring_laws_small_ints() {
+        // Exact for small integers representable in f64.
+        check_semiring_laws(3.0f64, 5.0f64, 7.0f64);
+    }
+
+    #[test]
+    fn pathcount_semiring_laws() {
+        check_semiring_laws(PathCount(3), PathCount(5), PathCount(7));
+    }
+
+    #[test]
+    fn pathcount_saturates_add() {
+        let near = PathCount(u128::MAX - 1);
+        assert_eq!(near.add(PathCount(5)), PathCount::SATURATED);
+        assert!(near.add(PathCount(5)).is_saturated());
+    }
+
+    #[test]
+    fn pathcount_saturates_mul() {
+        let big = PathCount(u128::MAX / 2 + 1);
+        assert_eq!(big.mul(PathCount(2)), PathCount::SATURATED);
+    }
+
+    #[test]
+    fn pathcount_exact_roundtrip() {
+        assert_eq!(PathCount(42).exact(), Some(42));
+        assert_eq!(PathCount::SATURATED.exact(), None);
+    }
+
+    #[test]
+    fn pathcount_display() {
+        assert_eq!(PathCount(17).to_string(), "17");
+        assert_eq!(PathCount::SATURATED.to_string(), ">= 2^128");
+    }
+
+    #[test]
+    fn is_zero_reports_correctly() {
+        assert!(0.0f32.is_zero());
+        assert!(!1.0f32.is_zero());
+        assert!(PathCount(0).is_zero());
+        assert!(!PathCount(1).is_zero());
+    }
+}

@@ -1,0 +1,189 @@
+//! Explicit (deterministic) X-Linear layers from Cayley graphs — the
+//! construction whose rigidity motivates RadiX-Net.
+//!
+//! Prabhu et al. build deterministic expander layers as Cayley graphs. We
+//! implement the cyclic-group case: the Cayley graph of `Z_n` with generator
+//! set `S` places an edge `j → (j + s) mod n` for every `s ∈ S`. As the
+//! paper notes (§I), "as an artifact of their construction from Cayley
+//! graphs, explicit X-Linear layers are required \[to\] have the same number
+//! of nodes as adjacent layers" — the constraint [`cayley_xlinear`]
+//! enforces and [`crate::XNetError::UnequalCayleySizes`] reports.
+
+use radix_sparse::{CooMatrix, CsrMatrix, CyclicShift};
+
+use crate::error::XNetError;
+
+/// Builds the Cayley-graph X-Linear layer on `Z_n` with generator set
+/// `generators` as an `n × n` adjacency submatrix.
+///
+/// # Errors
+/// * [`XNetError::EmptyLayer`] if `n == 0`,
+/// * [`XNetError::BadGeneratorSet`] for an empty or duplicated set,
+/// * [`XNetError::GeneratorOutOfRange`] if a generator `>= n`.
+pub fn cayley_xlinear(n: usize, generators: &[usize]) -> Result<CsrMatrix<u64>, XNetError> {
+    if n == 0 {
+        return Err(XNetError::EmptyLayer);
+    }
+    if generators.is_empty() {
+        return Err(XNetError::BadGeneratorSet("empty generator set".into()));
+    }
+    let mut seen = vec![false; n];
+    for &g in generators {
+        if g >= n {
+            return Err(XNetError::GeneratorOutOfRange {
+                generator: g,
+                order: n,
+            });
+        }
+        if seen[g] {
+            return Err(XNetError::BadGeneratorSet(format!(
+                "duplicate generator {g}"
+            )));
+        }
+        seen[g] = true;
+    }
+    let mut coo = CooMatrix::with_capacity(n, n, n * generators.len());
+    for &g in generators {
+        let shift = CyclicShift::new(n, g);
+        for j in 0..n {
+            coo.push(j, shift.apply(j), 1u64);
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// The contiguous generator set `{0, 1, …, d−1}` — the simplest explicit
+/// X-Linear choice; note this makes layer 1 of a radix-`d` mixed-radix
+/// topology a special case of a Cayley layer (the overlap the paper
+/// generalizes away from).
+#[must_use]
+pub fn contiguous_generators(d: usize) -> Vec<usize> {
+    (0..d).collect()
+}
+
+/// The geometric generator set `{0, 1, 2, 4, …, 2^(d−2)}` (degree `d`),
+/// whose sumset over a few layers spreads faster than the contiguous set —
+/// a better expander at equal degree.
+#[must_use]
+pub fn geometric_generators(d: usize) -> Vec<usize> {
+    let mut gens = Vec::with_capacity(d);
+    gens.push(0);
+    let mut g = 1usize;
+    while gens.len() < d {
+        gens.push(g);
+        g <<= 1;
+    }
+    gens
+}
+
+/// Builds a stack of identical Cayley X-Linear layers, validating the
+/// equal-adjacent-sizes constraint against the requested `layer_sizes`
+/// (all must equal `n`).
+///
+/// # Errors
+/// [`XNetError::UnequalCayleySizes`] if any size differs from the first,
+/// plus the conditions of [`cayley_xlinear`].
+pub fn cayley_xnet_layers(
+    layer_sizes: &[usize],
+    generators: &[usize],
+) -> Result<Vec<CsrMatrix<u64>>, XNetError> {
+    let (&n, rest) = layer_sizes.split_first().ok_or(XNetError::EmptyLayer)?;
+    if rest.is_empty() {
+        return Err(XNetError::EmptyLayer);
+    }
+    for &s in rest {
+        if s != n {
+            return Err(XNetError::UnequalCayleySizes { n_in: n, n_out: s });
+        }
+    }
+    let layer = cayley_xlinear(n, generators)?;
+    Ok(vec![layer; layer_sizes.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radix_sparse::CyclicShift;
+
+    #[test]
+    fn contiguous_cayley_matches_mixed_radix_first_layer() {
+        // Cayley on Z_8 with generators {0,1} == radix-2, place-value-1
+        // mixed-radix submatrix: the structural overlap between the
+        // constructions.
+        let cayley = cayley_xlinear(8, &contiguous_generators(2)).unwrap();
+        let radix: CsrMatrix<u64> = CyclicShift::radix_submatrix(8, 2, 1);
+        assert_eq!(cayley, radix);
+    }
+
+    #[test]
+    fn degree_equals_generator_count() {
+        let w = cayley_xlinear(10, &[0, 3, 7]).unwrap();
+        for j in 0..10 {
+            assert_eq!(w.row_nnz(j), 3);
+        }
+        assert_eq!(w.col_degrees(), vec![3; 10]);
+    }
+
+    #[test]
+    fn circulant_structure() {
+        // Every row is the previous row rotated by one.
+        let w = cayley_xlinear(6, &[1, 4]).unwrap();
+        for j in 0..6 {
+            assert_eq!(w.get(j, (j + 1) % 6), 1);
+            assert_eq!(w.get(j, (j + 4) % 6), 1);
+        }
+    }
+
+    #[test]
+    fn generator_validation() {
+        assert!(matches!(
+            cayley_xlinear(4, &[]),
+            Err(XNetError::BadGeneratorSet(_))
+        ));
+        assert!(matches!(
+            cayley_xlinear(4, &[1, 1]),
+            Err(XNetError::BadGeneratorSet(_))
+        ));
+        assert_eq!(
+            cayley_xlinear(4, &[4]),
+            Err(XNetError::GeneratorOutOfRange {
+                generator: 4,
+                order: 4
+            })
+        );
+        assert_eq!(cayley_xlinear(0, &[0]), Err(XNetError::EmptyLayer));
+    }
+
+    #[test]
+    fn equal_sizes_enforced() {
+        assert_eq!(
+            cayley_xnet_layers(&[8, 8, 4], &[0, 1]),
+            Err(XNetError::UnequalCayleySizes { n_in: 8, n_out: 4 })
+        );
+        let ok = cayley_xnet_layers(&[8, 8, 8], &[0, 1]).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn geometric_generators_are_distinct_powers() {
+        assert_eq!(geometric_generators(4), vec![0, 1, 2, 4]);
+        assert_eq!(geometric_generators(1), vec![0]);
+        let w = cayley_xlinear(32, &geometric_generators(5)).unwrap();
+        assert!(w.is_binary());
+    }
+
+    #[test]
+    fn geometric_spreads_faster_than_contiguous() {
+        // After 2 layers on Z_32 at degree 3, the geometric sumset
+        // {0,1,2}+{0,1,2}... vs {0,1,2} contiguous: geometric {0,1,2}
+        // is the same at d=3 ({0,1,2}); use d=4: {0,1,2,4} vs {0,1,2,3}.
+        use radix_net::Fnnt;
+        let geo = cayley_xlinear(32, &geometric_generators(4)).unwrap();
+        let cont = cayley_xlinear(32, &contiguous_generators(4)).unwrap();
+        let reach = |w: &CsrMatrix<u64>| {
+            let g = Fnnt::try_new(vec![w.clone(), w.clone()]).unwrap();
+            g.path_count_matrix().row_nnz(0)
+        };
+        assert!(reach(&geo) >= reach(&cont));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for X-Net layer construction.
+
+use std::fmt;
+
+/// Errors produced when constructing X-Net layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XNetError {
+    /// The requested degree exceeds the number of available input nodes.
+    DegreeTooLarge {
+        /// Requested in-degree per output node.
+        degree: usize,
+        /// Number of input nodes available.
+        n_in: usize,
+    },
+    /// A layer dimension or the degree was zero, or too few layer sizes.
+    EmptyLayer,
+    /// Explicit (Cayley) layers require equal adjacent layer sizes.
+    UnequalCayleySizes {
+        /// The input layer size.
+        n_in: usize,
+        /// The output layer size.
+        n_out: usize,
+    },
+    /// A generator set entry is out of range for the group order.
+    GeneratorOutOfRange {
+        /// The offending generator.
+        generator: usize,
+        /// The group order.
+        order: usize,
+    },
+    /// The generator set is empty or contains duplicates.
+    BadGeneratorSet(String),
+}
+
+impl fmt::Display for XNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XNetError::DegreeTooLarge { degree, n_in } => {
+                write!(f, "degree {degree} exceeds input layer size {n_in}")
+            }
+            XNetError::EmptyLayer => write!(f, "layer sizes and degree must be positive"),
+            XNetError::UnequalCayleySizes { n_in, n_out } => write!(
+                f,
+                "explicit Cayley layers need equal adjacent sizes, got {n_in} and {n_out}"
+            ),
+            XNetError::GeneratorOutOfRange { generator, order } => {
+                write!(f, "generator {generator} out of range for Z_{order}")
+            }
+            XNetError::BadGeneratorSet(msg) => write!(f, "bad generator set: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offenders() {
+        let e = XNetError::UnequalCayleySizes { n_in: 3, n_out: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,32 @@
+//! # radix-xnet
+//!
+//! X-Net baseline topologies for the RadiX-Net reproduction, after Prabhu,
+//! Varma & Namboodiri, *Deep Expander Networks: Efficient Deep Networks
+//! from Graph Theory* (2018) — the construction RadiX-Net is compared
+//! against throughout the paper's introduction.
+//!
+//! Two constructions are provided, matching the paper's taxonomy:
+//!
+//! * [`random_xlinear`] — **random** X-Linear layers: each output node
+//!   draws `d` distinct random inputs; expander properties (and therefore
+//!   path-connectedness) hold *probabilistically*;
+//! * [`cayley_xlinear`] — **explicit** X-Linear layers from Cayley graphs
+//!   of `Z_n`: deterministic, but forced to use equal adjacent layer sizes,
+//!   the rigidity RadiX-Net removes.
+//!
+//! Both produce plain [`radix_net::Fnnt`]s via [`XNetSpec::build`], so the
+//! same symmetry checkers, density accounting, trainers, and benchmarks
+//! consume RadiX-Nets and X-Nets interchangeably.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod cayley;
+pub mod error;
+pub mod random;
+
+pub use builder::{XNetKind, XNetSpec};
+pub use cayley::{cayley_xlinear, cayley_xnet_layers, contiguous_generators, geometric_generators};
+pub use error::XNetError;
+pub use random::{random_xlinear, random_xnet_layers};

@@ -1,0 +1,168 @@
+//! Random X-Linear layers — the probabilistic expander construction of
+//! Prabhu et al. (*Deep Expander Networks*, 2018), the paper's primary
+//! comparison class.
+//!
+//! A random X-Linear layer from `n_in` to `n_out` nodes with degree `d`
+//! connects each **output** node to `d` distinct input nodes chosen
+//! uniformly at random. With high probability the resulting bipartite graph
+//! is an expander, which yields path-connectedness *probabilistically* —
+//! in contrast to RadiX-Net's deterministic guarantee (paper §I).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use radix_sparse::{CooMatrix, CsrMatrix};
+
+use crate::error::XNetError;
+
+/// Generates a random X-Linear layer adjacency submatrix (`n_in × n_out`,
+/// entry `(i, j) = 1` iff input `i` feeds output `j`): every output node
+/// receives exactly `degree` distinct random inputs.
+///
+/// Deterministic given `rng` state; callers wanting reproducibility should
+/// seed it (see [`random_xnet_layers`]).
+///
+/// # Errors
+/// Returns [`XNetError::DegreeTooLarge`] if `degree > n_in` or
+/// [`XNetError::EmptyLayer`] if either dimension is zero or degree is zero.
+pub fn random_xlinear<R: Rng>(
+    n_in: usize,
+    n_out: usize,
+    degree: usize,
+    rng: &mut R,
+) -> Result<CsrMatrix<u64>, XNetError> {
+    if n_in == 0 || n_out == 0 || degree == 0 {
+        return Err(XNetError::EmptyLayer);
+    }
+    if degree > n_in {
+        return Err(XNetError::DegreeTooLarge { degree, n_in });
+    }
+    let mut used = vec![false; n_in];
+    let mut coo = CooMatrix::with_capacity(n_in, n_out, n_out * degree + n_in);
+    let mut inputs: Vec<usize> = (0..n_in).collect();
+    for j in 0..n_out {
+        let (sample, _) = inputs.partial_shuffle(rng, degree);
+        for &i in sample.iter() {
+            used[i] = true;
+            coo.push(i, j, 1u64);
+        }
+    }
+    // The pure column-sampling construction can strand an input node with
+    // out-degree 0, which violates the FNNT out-degree condition (paper
+    // §II). Patch each stranded input with one extra edge to a uniformly
+    // random output — the standard support fix; every column keeps degree
+    // at least `degree`. (A stranded input feeds no output, so the new edge
+    // cannot duplicate an existing one.)
+    for (i, &u) in used.iter().enumerate() {
+        if !u {
+            let j = rng.gen_range(0..n_out);
+            coo.push(i, j, 1u64);
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Generates a full stack of random X-Linear layers over the given node
+/// layer sizes, each with in-degree `degree`, from a fixed seed.
+///
+/// # Errors
+/// Same conditions as [`random_xlinear`], plus [`XNetError::EmptyLayer`]
+/// when fewer than two sizes are supplied.
+pub fn random_xnet_layers(
+    layer_sizes: &[usize],
+    degree: usize,
+    seed: u64,
+) -> Result<Vec<CsrMatrix<u64>>, XNetError> {
+    if layer_sizes.len() < 2 {
+        return Err(XNetError::EmptyLayer);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    layer_sizes
+        .windows(2)
+        .map(|w| random_xlinear(w[0], w[1], degree, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_degrees_at_least_requested() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = random_xlinear(16, 12, 4, &mut rng).unwrap();
+        assert_eq!(w.shape(), (16, 12));
+        for (j, &deg) in w.col_degrees().iter().enumerate() {
+            assert!(deg >= 4, "output {j} has degree {deg} < 4");
+        }
+        // Patch edges add at most one per stranded input.
+        assert!(w.nnz() >= 12 * 4 && w.nnz() <= 12 * 4 + 16);
+        assert!(w.is_binary());
+    }
+
+    #[test]
+    fn no_input_left_stranded() {
+        // Tight case: many inputs, few output slots → stranding is certain
+        // without the support patch.
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = random_xlinear(64, 2, 1, &mut rng).unwrap();
+        assert!(!w.has_zero_row(), "support patch must cover every input");
+    }
+
+    #[test]
+    fn no_duplicate_inputs_per_output() {
+        // Binary + exact column degree implies distinctness, but check nnz.
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = random_xlinear(8, 8, 8, &mut rng).unwrap();
+        // degree == n_in → fully connected.
+        assert_eq!(w.nnz(), 64);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = random_xnet_layers(&[10, 12, 8], 3, 42).unwrap();
+        let b = random_xnet_layers(&[10, 12, 8], 3, 42).unwrap();
+        assert_eq!(a, b);
+        let c = random_xnet_layers(&[10, 12, 8], 3, 43).unwrap();
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn degree_too_large_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            random_xlinear(4, 4, 5, &mut rng),
+            Err(XNetError::DegreeTooLarge { degree: 5, n_in: 4 })
+        );
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(random_xlinear(0, 4, 1, &mut rng), Err(XNetError::EmptyLayer));
+        assert_eq!(random_xlinear(4, 0, 1, &mut rng), Err(XNetError::EmptyLayer));
+        assert_eq!(random_xlinear(4, 4, 0, &mut rng), Err(XNetError::EmptyLayer));
+        assert_eq!(random_xnet_layers(&[4], 1, 0), Err(XNetError::EmptyLayer));
+    }
+
+    #[test]
+    fn density_close_to_degree_over_nin() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = random_xlinear(20, 10, 5, &mut rng).unwrap();
+        // Exactly d/n_in when no support patches fire; at most n_in extras.
+        let base = 5.0 / 20.0;
+        assert!(w.density() >= base - 1e-12);
+        assert!(w.density() <= base + 20.0 / 200.0);
+    }
+
+    #[test]
+    fn rectangular_layers_supported() {
+        // The random construction, unlike the Cayley one, allows unequal
+        // adjacent layer sizes — the flexibility X-Net loses when it wants
+        // determinism (paper §I).
+        let layers = random_xnet_layers(&[6, 15, 3], 2, 1).unwrap();
+        assert_eq!(layers[0].shape(), (6, 15));
+        assert_eq!(layers[1].shape(), (15, 3));
+    }
+}

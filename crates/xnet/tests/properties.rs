@@ -1,0 +1,63 @@
+//! Property tests for the X-Net baselines.
+
+use proptest::prelude::*;
+
+use radix_xnet::{cayley_xlinear, random_xlinear};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_layer_structural_invariants(
+        n_in in 1usize..32, n_out in 1usize..32, degree in 1usize..8, seed in any::<u64>()
+    ) {
+        prop_assume!(degree <= n_in);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = random_xlinear(n_in, n_out, degree, &mut rng).unwrap();
+        prop_assert_eq!(w.shape(), (n_in, n_out));
+        prop_assert!(w.is_binary());
+        // Every output gets at least `degree` inputs; every input feeds
+        // at least one output (the support patch).
+        for &d in &w.col_degrees() {
+            prop_assert!(d >= degree);
+        }
+        prop_assert!(!w.has_zero_row());
+        // nnz bounded by sampling + at most one patch per input.
+        prop_assert!(w.nnz() >= n_out * degree);
+        prop_assert!(w.nnz() <= n_out * degree + n_in);
+    }
+
+    #[test]
+    fn random_layer_deterministic_per_seed(
+        n in 2usize..16, degree in 1usize..4, seed in any::<u64>()
+    ) {
+        prop_assume!(degree <= n);
+        use rand::SeedableRng;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+        prop_assert_eq!(
+            random_xlinear(n, n, degree, &mut r1).unwrap(),
+            random_xlinear(n, n, degree, &mut r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn cayley_layer_is_circulant_and_regular(
+        n in 2usize..40, gens in proptest::collection::btree_set(0usize..40, 1..5)
+    ) {
+        let gens: Vec<usize> = gens.into_iter().filter(|&g| g < n).collect();
+        prop_assume!(!gens.is_empty());
+        let w = cayley_xlinear(n, &gens).unwrap();
+        // Regular in and out degree, and row r+1 is row r rotated by 1.
+        prop_assert_eq!(w.row_degrees(), vec![gens.len(); n]);
+        prop_assert_eq!(w.col_degrees(), vec![gens.len(); n]);
+        for r in 0..n {
+            let (cols, _) = w.row(r);
+            for &c in cols {
+                let delta = (c + n - r) % n;
+                prop_assert!(gens.contains(&delta), "row {r} col {c}");
+            }
+        }
+    }
+}

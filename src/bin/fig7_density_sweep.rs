@@ -1,0 +1,60 @@
+//! Regenerates Figure 7: density of RadiX-Net topologies as a function of
+//! the mean radix µ and the depth d = log_µ N'.
+//!
+//! For each grid point the exact eq.-(4) density, the µ/N' approximation
+//! (eq. 5), the µ^(1−d) approximation (eq. 6), and the *measured* density
+//! of an actually-constructed topology are printed, so the figure's surface
+//! and the formulas' agreement can both be read off one table.
+//!
+//! Usage: `cargo run --release --bin fig7_density_sweep [max_mu] [max_d]`
+
+use radix_net::{density, MixedRadixSystem, RadixNetSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_mu: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let max_d: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    println!("# Figure 7 — density of RadiX-Net topologies vs (mu, d)");
+    println!("# N' = mu^d, single uniform system, unit widths");
+    println!(
+        "{:>4} {:>3} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "mu", "d", "N'", "exact_eq4", "eq5_mu/N'", "eq6_mu^1-d", "measured"
+    );
+    for mu in 2..=max_mu {
+        for d in 1..=max_d {
+            let Ok(n_prime) = checked_pow(mu, d) else {
+                continue;
+            };
+            if n_prime > 1 << 20 {
+                continue; // keep the sweep laptop-sized
+            }
+            let sys = MixedRadixSystem::uniform(mu, d).expect("valid radix");
+            let spec = RadixNetSpec::extended_mixed_radix(vec![sys]).expect("valid spec");
+            let exact = density::density_exact(&spec);
+            let eq5 = density::density_mu_over_nprime(&spec);
+            let eq6 = density::density_mu_power(&spec);
+            // Measure on the built topology only when it is small enough to
+            // materialize quickly; the formula is exact regardless.
+            let measured = if n_prime <= 4096 {
+                spec.build().fnnt().density()
+            } else {
+                f64::NAN
+            };
+            println!(
+                "{mu:>4} {d:>3} {n_prime:>12} {exact:>14.6e} {eq5:>12.6e} {eq6:>12.6e} {measured:>12.6e}"
+            );
+        }
+    }
+}
+
+fn checked_pow(base: usize, exp: usize) -> Result<usize, ()> {
+    let mut acc: usize = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base).ok_or(())?;
+    }
+    Ok(acc)
+}

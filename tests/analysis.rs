@@ -1,0 +1,112 @@
+//! Integration tests of the structural-analysis claims: RadiX-Nets are
+//! degree-regular and mix completely in exactly L layers; random X-Nets
+//! are irregular and mix probabilistically.
+
+use radixnet::net::analysis::{is_degree_regular, reach_profile};
+use radixnet::net::{Fnnt, MixedRadixSystem, MixedRadixTopology, RadixNetSpec};
+use radixnet::xnet::{random_xnet_layers, XNetKind, XNetSpec};
+
+#[test]
+fn radixnet_reach_is_product_of_radices() {
+    // After k layers, one input influences exactly ∏_{i≤k} N_i nodes — the
+    // decision-tree fan-out of Figure 1, for every source node.
+    for radices in [vec![2usize, 3, 2], vec![4, 4], vec![5, 2, 2]] {
+        let g = MixedRadixTopology::new(MixedRadixSystem::new(radices.clone()).unwrap())
+            .into_fnnt();
+        let expect: Vec<usize> = radices
+            .iter()
+            .scan(1usize, |acc, &r| {
+                *acc *= r;
+                Some(*acc)
+            })
+            .collect();
+        for source in 0..g.layer_sizes()[0] {
+            assert_eq!(
+                reach_profile(&g, source),
+                expect,
+                "radices {radices:?} source {source}"
+            );
+        }
+    }
+}
+
+#[test]
+fn radixnet_with_widths_stays_regular() {
+    let spec = RadixNetSpec::new(
+        vec![MixedRadixSystem::new([2, 2, 2]).unwrap()],
+        vec![2, 3, 3, 2],
+    )
+    .unwrap();
+    assert!(is_degree_regular(spec.build().fnnt()));
+}
+
+#[test]
+fn random_xnet_is_irregular_with_high_probability() {
+    // Over several seeds, at least one random draw must be irregular
+    // (regular random bipartite graphs at these sizes are measure ~0).
+    let mut any_irregular = false;
+    for seed in 0..5u64 {
+        let layers = random_xnet_layers(&[32, 32, 32], 3, seed).unwrap();
+        let g = Fnnt::new_unchecked(layers);
+        if !is_degree_regular(&g) {
+            any_irregular = true;
+        }
+    }
+    assert!(any_irregular);
+}
+
+#[test]
+fn xnet_reach_varies_across_sources_radixnet_does_not() {
+    let radix = MixedRadixTopology::new(MixedRadixSystem::new([2, 2, 2, 2]).unwrap())
+        .into_fnnt();
+    let profiles: std::collections::BTreeSet<Vec<usize>> =
+        (0..16).map(|s| reach_profile(&radix, s)).collect();
+    assert_eq!(profiles.len(), 1, "RadiX-Net reach is source-independent");
+
+    let x = XNetSpec {
+        layer_sizes: vec![16; 5],
+        degree: 2,
+        kind: XNetKind::Random { seed: 4 },
+    }
+    .build()
+    .unwrap();
+    let xprofiles: std::collections::BTreeSet<Vec<usize>> =
+        (0..16).map(|s| reach_profile(&x, s)).collect();
+    assert!(
+        xprofiles.len() > 1,
+        "a random X-Net's reach should vary across sources"
+    );
+}
+
+#[test]
+fn concat_preserves_symmetry_of_radix_components() {
+    // Figure-2 mechanics via the Fnnt API directly: concatenating two
+    // mixed-radix topologies over the same N' keeps symmetry.
+    let a = MixedRadixTopology::new(MixedRadixSystem::new([2, 3]).unwrap()).into_fnnt();
+    let b = MixedRadixTopology::new(MixedRadixSystem::new([3, 2]).unwrap()).into_fnnt();
+    let ab = a.concat(&b).unwrap();
+    let sym = ab.check_symmetry();
+    assert!(sym.is_symmetric());
+    // Two full systems: (N')^{2−1} = 6 paths.
+    match sym {
+        radixnet::net::Symmetry::Symmetric(m) => assert_eq!(m.exact(), Some(6)),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn spec_io_roundtrips_compose_with_builder() {
+    use radixnet::net::{parse_spec, spec_to_string};
+    let spec = RadixNetSpec::new(
+        vec![
+            MixedRadixSystem::new([2, 2, 3]).unwrap(),
+            MixedRadixSystem::new([4, 3]).unwrap(),
+            MixedRadixSystem::new([2, 2]).unwrap(),
+        ],
+        vec![1, 2, 1, 3, 1, 2, 1, 2],
+    )
+    .unwrap();
+    let parsed = parse_spec(&spec_to_string(&spec)).unwrap();
+    assert_eq!(parsed, spec);
+    assert_eq!(parsed.build(), spec.build());
+}

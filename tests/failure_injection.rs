@@ -1,0 +1,160 @@
+//! Failure-injection integration tests: corrupted inputs, pathological
+//! sizes, and overflow conditions must produce typed errors or documented
+//! saturation — never panics in library code paths, and never silently
+//! wrong numbers.
+
+use radixnet::net::{
+    parse_spec, predicted_path_count, MixedRadixSystem, RadixError, RadixNetSpec,
+};
+use radixnet::sparse::{io, CsrMatrix, PathCount, SparseError};
+
+#[test]
+fn corrupted_tsv_variants_all_rejected_with_line_numbers() {
+    let cases: &[(&str, usize)] = &[
+        ("1 1 1.0\nx 2 1.0\n", 2),       // non-numeric row
+        ("1 1 1.0\n2 y 1.0\n", 2),       // non-numeric col
+        ("1 1 zz\n", 1),                 // non-numeric value
+        ("1 1\n", 1),                    // missing value
+        ("0 1 1.0\n", 1),                // zero-based index
+        ("1 1 1.0 junk\n", 1),           // trailing field
+    ];
+    for (text, want_line) in cases {
+        match io::read_tsv::<f64, _>(text.as_bytes(), 4, 4) {
+            Err(SparseError::Parse { line, .. }) => {
+                assert_eq!(line, *want_line, "input {text:?}")
+            }
+            other => panic!("input {text:?}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn out_of_bounds_tsv_coordinates_rejected() {
+    let text = "9 1 1.0\n";
+    assert!(matches!(
+        io::read_tsv::<f64, _>(text.as_bytes(), 4, 4),
+        Err(SparseError::IndexOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn malformed_csr_parts_rejected_not_panicking() {
+    // Every class of structural corruption yields InvalidStructure.
+    let bad: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = vec![
+        (vec![0, 2], vec![0], vec![1.0]),            // indptr end != nnz
+        (vec![1, 1], vec![], vec![]),                // indptr[0] != 0
+        (vec![0, 1, 0], vec![0], vec![1.0]),         // decreasing indptr
+        (vec![0, 2], vec![1, 0], vec![1.0, 1.0]),    // unsorted columns
+        (vec![0, 2], vec![0, 0], vec![1.0, 1.0]),    // duplicate columns
+        (vec![0, 1], vec![9], vec![1.0]),            // column out of range
+        (vec![0, 1], vec![0], vec![0.0]),            // explicit zero
+    ];
+    for (indptr, indices, data) in bad {
+        let nrows = indptr.len() - 1;
+        let res = CsrMatrix::try_from_parts(nrows, 2, indptr, indices, data);
+        assert!(
+            matches!(res, Err(SparseError::InvalidStructure(_))),
+            "got {res:?}"
+        );
+    }
+}
+
+#[test]
+fn spec_overflow_is_typed_error() {
+    assert_eq!(
+        MixedRadixSystem::new(vec![usize::MAX / 2, 4]),
+        Err(RadixError::ProductOverflow)
+    );
+    // Through the text parser too.
+    let huge = format!("D:1,1,1 N:{},{}", usize::MAX / 2, 4);
+    assert!(matches!(
+        parse_spec(&huge),
+        Err(RadixError::ProductOverflow)
+    ));
+}
+
+#[test]
+fn path_count_overflow_saturates_never_wraps() {
+    // A spec whose exact path count exceeds u128: prediction saturates.
+    let big = MixedRadixSystem::new(vec![1 << 16, 1 << 16]).unwrap(); // N' = 2^32
+    let systems = vec![big; 6]; // (2^32)^5 = 2^160 paths
+    let total: usize = systems.iter().map(MixedRadixSystem::len).sum();
+    let spec = RadixNetSpec::new(systems, vec![1; total + 1]).unwrap();
+    let p = predicted_path_count(&spec);
+    assert!(p.is_saturated());
+    assert_eq!(p, PathCount::SATURATED);
+    assert_eq!(p.exact(), None);
+    assert_eq!(p.to_string(), ">= 2^128");
+}
+
+#[test]
+fn every_builder_constraint_violation_is_distinct() {
+    use RadixError::*;
+    let s22 = MixedRadixSystem::new([2, 2]).unwrap();
+    let s32 = MixedRadixSystem::new([3, 2]).unwrap();
+    let s5 = MixedRadixSystem::new([5]).unwrap();
+
+    let cases: Vec<(Result<RadixNetSpec, RadixError>, &str)> = vec![
+        (RadixNetSpec::new(vec![], vec![1]), "no systems"),
+        (
+            RadixNetSpec::new(vec![s22.clone(), s32.clone(), s22.clone()], vec![1; 7]),
+            "unequal products",
+        ),
+        (
+            RadixNetSpec::new(vec![s22.clone(), s5], vec![1; 4]),
+            "last does not divide",
+        ),
+        (
+            RadixNetSpec::new(vec![s22.clone()], vec![1; 9]),
+            "wrong width count",
+        ),
+        (
+            RadixNetSpec::new(vec![s22], vec![1, 0, 1]),
+            "zero width",
+        ),
+    ];
+    let mut kinds = std::collections::BTreeSet::new();
+    for (res, what) in cases {
+        let err = res.expect_err(what);
+        kinds.insert(match err {
+            NoSystems => 0,
+            UnequalProducts { .. } => 1,
+            LastProductDoesNotDivide { .. } => 2,
+            WrongWidthCount { .. } => 3,
+            ZeroWidth { .. } => 4,
+            other => panic!("{what}: unexpected {other:?}"),
+        });
+    }
+    assert_eq!(kinds.len(), 5, "each violation has its own error kind");
+}
+
+#[test]
+fn empty_and_degenerate_matrices_flow_through_kernels() {
+    use radixnet::sparse::ops;
+    use radixnet::sparse::DenseMatrix;
+    let zero_rows = CsrMatrix::<f64>::zeros(0, 3);
+    let x = DenseMatrix::<f64>::zeros(0, 0);
+    // 0×3 · 3×2 → 0×2 without panic.
+    let b = CsrMatrix::<f64>::identity(3);
+    let b2 = {
+        let d = DenseMatrix::<f64>::ones(3, 2);
+        CsrMatrix::from_dense(&d)
+    };
+    assert_eq!(ops::spmm(&zero_rows, &b2).unwrap().shape(), (0, 2));
+    assert_eq!(ops::spmm(&zero_rows, &b).unwrap().shape(), (0, 3));
+    // Dense 0×0 against nothing: transpose/identity paths.
+    assert_eq!(x.transpose().shape(), (0, 0));
+}
+
+#[test]
+fn mismatched_training_inputs_panic_with_clear_messages() {
+    use radixnet::nn::{Activation, Init, Loss, Network, Targets};
+    use radixnet::sparse::DenseMatrix;
+    let net = Network::dense(&[4, 2], Activation::Relu, Init::Xavier, Loss::Mse, 0);
+    let x = DenseMatrix::zeros(3, 4);
+    let bad_y = DenseMatrix::zeros(2, 2); // wrong batch
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = net.grad_batch(&x, Targets::Values(&bad_y));
+    }));
+    assert!(result.is_err(), "batch mismatch must be caught");
+}

@@ -1,0 +1,166 @@
+//! Integration test of the paper's motivating empirical claim (§I, §IV,
+//! via companion work [15]): de-novo sparse nets train to accuracy
+//! comparable to dense nets with identical trainers.
+//!
+//! These are statistical assertions with pinned seeds — thresholds are set
+//! loose enough to be robust, tight enough to catch a broken trainer or a
+//! pathological topology.
+
+use radixnet::data::{digits, gaussian_blobs};
+use radixnet::net::{MixedRadixSystem, RadixNetSpec};
+use radixnet::nn::{
+    accuracy, train_classifier, Activation, Init, Loss, Network, Optimizer, TrainConfig,
+};
+use radixnet::xnet::{XNetKind, XNetSpec};
+
+fn fit(net: &mut Network, x: &radixnet::sparse::DenseMatrix<f32>, labels: &[usize]) -> f64 {
+    let mut opt = Optimizer::adam(0.005);
+    let config = TrainConfig {
+        epochs: 60,
+        batch_size: 32,
+        seed: 5,
+        parallel_chunks: 1,
+        ..TrainConfig::default()
+    };
+    train_classifier(net, x, labels, &mut opt, &config);
+    let logits = net.forward(x);
+    accuracy(&logits, labels)
+}
+
+#[test]
+fn radixnet_matches_dense_on_digits() {
+    // The companion-work comparison at matched layer sizes: the sparse net
+    // keeps 1/16 of the weights (degree 4 of 64) but trains to the same
+    // *training* precision — the paper's "train to the same arbitrary
+    // degree of precision" claim. (Held-out accuracy at this toy sample
+    // size shows a generalization gap; see EXPERIMENTS.md.)
+    let data = digits(40, 0.2, 1);
+    let spec = RadixNetSpec::new(
+        vec![MixedRadixSystem::new([4, 4, 4]).unwrap()],
+        vec![1, 2, 2, 1],
+    )
+    .unwrap();
+    let mut sparse = Network::from_fnnt(
+        spec.build().fnnt(),
+        Activation::Relu,
+        Init::He,
+        Loss::SoftmaxCrossEntropy,
+        1,
+    );
+    let mut dense = Network::dense(
+        &[64, 128, 128, 64],
+        Activation::Relu,
+        Init::He,
+        Loss::SoftmaxCrossEntropy,
+        2,
+    );
+    let acc_sparse = fit(&mut sparse, &data.x, &data.labels);
+    let acc_dense = fit(&mut dense, &data.x, &data.labels);
+
+    assert!(acc_dense > 0.9, "dense baseline failed to learn: {acc_dense}");
+    assert!(
+        acc_sparse > acc_dense - 0.08,
+        "sparse train acc {acc_sparse} fell more than 8 points behind dense {acc_dense}"
+    );
+    // And the storage claim: >10× fewer parameters.
+    assert!(sparse.num_params() * 10 < dense.num_params());
+}
+
+#[test]
+fn radixnet_and_xnet_both_learn_blobs() {
+    let data = gaussian_blobs(8, 30, 16, 0.3, 2);
+    let spec = RadixNetSpec::extended_mixed_radix(vec![
+        MixedRadixSystem::new([4, 4]).unwrap(),
+        MixedRadixSystem::new([2, 8]).unwrap(),
+    ])
+    .unwrap();
+    let mut radix = Network::from_fnnt(
+        spec.build().fnnt(),
+        Activation::Relu,
+        Init::He,
+        Loss::SoftmaxCrossEntropy,
+        3,
+    );
+    let xnet_fnnt = XNetSpec {
+        layer_sizes: vec![16; 5],
+        degree: 4,
+        kind: XNetKind::Random { seed: 8 },
+    }
+    .build()
+    .unwrap();
+    let mut xnet = Network::from_fnnt(
+        &xnet_fnnt,
+        Activation::Relu,
+        Init::He,
+        Loss::SoftmaxCrossEntropy,
+        4,
+    );
+    let acc_radix = fit(&mut radix, &data.x, &data.labels);
+    let acc_xnet = fit(&mut xnet, &data.x, &data.labels);
+    assert!(acc_radix > 0.85, "RadiX-Net accuracy {acc_radix}");
+    assert!(acc_xnet > 0.85, "X-Net accuracy {acc_xnet}");
+}
+
+#[test]
+fn teacher_student_sparse_explains_most_variance() {
+    // Regression probe of the expressive-power discussion (§IV): a sparse
+    // student fitting a dense teacher. At this toy scale (8 inputs,
+    // first-layer in-degree 2) the sparse student keeps a loss gap to the
+    // dense student — expected: the paper's parity claim is about large
+    // redundant nets — but it must still capture most of the target
+    // variance, and a sparse net whose pattern happens to be full must
+    // match the dense student exactly (checked in radix-nn unit tests).
+    use radixnet::data::Teacher;
+    use radixnet::nn::train_regressor;
+
+    let teacher = Teacher::new(8, 16, 8, 0);
+    let (x, y) = teacher.dataset(256, 1);
+    let var = {
+        let n = (y.nrows() * y.ncols()) as f32;
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / n;
+        y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n
+    };
+
+    let spec = RadixNetSpec::new(
+        vec![MixedRadixSystem::new([2, 2, 2]).unwrap()],
+        vec![1, 2, 2, 1],
+    )
+    .unwrap();
+    let mut sparse = Network::from_fnnt(
+        spec.build().fnnt(),
+        Activation::Tanh,
+        Init::Xavier,
+        Loss::Mse,
+        5,
+    );
+    let mut dense = Network::dense(
+        &[8, 16, 16, 8],
+        Activation::Tanh,
+        Init::Xavier,
+        Loss::Mse,
+        6,
+    );
+    let config = TrainConfig {
+        epochs: 100,
+        batch_size: 32,
+        seed: 9,
+        parallel_chunks: 1,
+        ..TrainConfig::default()
+    };
+    let h_sparse = train_regressor(&mut sparse, &x, &y, &mut Optimizer::adam(0.01), &config);
+    let h_dense = train_regressor(&mut dense, &x, &y, &mut Optimizer::adam(0.01), &config);
+
+    // Our MSE is (1/2B)·Σ_{i,j} d², i.e. 0.5·n_out·(per-element MSE), so
+    // the unexplained-variance fraction is 2·loss / (n_out·var).
+    let unexplained = |loss: f32| 2.0 * loss / (8.0 * var);
+    assert!(
+        unexplained(h_dense.final_loss()) < 0.05,
+        "dense student stuck: loss {} (var {var})",
+        h_dense.final_loss()
+    );
+    assert!(
+        unexplained(h_sparse.final_loss()) < 0.30,
+        "sparse student explains too little: loss {} (var {var})",
+        h_sparse.final_loss()
+    );
+}
