@@ -1,0 +1,35 @@
+# Single source of truth for the verify command: CI calls `make verify`, so
+# local runs and CI cannot drift.
+
+CARGO ?= cargo
+
+.PHONY: verify build test fmt fmt-check clippy bench-check bench clean
+
+## Tier-1 verify: exactly what CI's main job runs.
+verify:
+	$(CARGO) build --release && $(CARGO) test -q
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## Compile (but do not run) the criterion benches.
+bench-check:
+	$(CARGO) bench --no-run
+
+bench:
+	$(CARGO) bench
+
+clean:
+	$(CARGO) clean

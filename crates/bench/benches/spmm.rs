@@ -25,7 +25,11 @@ fn activations(rows: usize, cols: usize) -> DenseMatrix<f32> {
 
 fn bench_dense_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm/dense_times_csr");
-    for (n, degree, batch) in [(1024usize, 32usize, 64usize), (4096, 16, 64), (16384, 8, 32)] {
+    for (n, degree, batch) in [
+        (1024usize, 32usize, 64usize),
+        (4096, 16, 64),
+        (16384, 8, 32),
+    ] {
         let w = layer(n, degree);
         let x = activations(batch, n);
         group.throughput(Throughput::Elements((batch * w.nnz()) as u64));

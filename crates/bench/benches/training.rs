@@ -8,9 +8,7 @@ use std::hint::black_box;
 
 use radix_data::digits;
 use radix_net::{MixedRadixSystem, RadixNetSpec};
-use radix_nn::{
-    train_classifier, Activation, Init, Loss, Network, Optimizer, TrainConfig,
-};
+use radix_nn::{train_classifier, Activation, Init, Loss, Network, Optimizer, TrainConfig};
 use radix_xnet::{XNetKind, XNetSpec};
 
 fn nets() -> Vec<(String, Network)> {

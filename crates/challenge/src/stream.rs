@@ -142,7 +142,7 @@ mod tests {
         assert_eq!(result.stats.rows, 8);
         // Input activations recorded.
         assert_eq!(result.stats.active_per_layer[0], 8 * 12); // ceil(16·0.75)
-        // Gain-2 dynamics above the fixed point: mass should not collapse.
+                                                              // Gain-2 dynamics above the fixed point: mass should not collapse.
         assert!(result.stats.mass_per_layer.last().unwrap() > &0.0);
     }
 

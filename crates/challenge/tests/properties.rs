@@ -10,7 +10,9 @@ use radix_sparse::DenseMatrix;
 
 fn small_config() -> impl Strategy<Value = ChallengeConfig> {
     (2usize..5, 2usize..4, 1usize..4)
-        .prop_filter("bounded size", |(r, k, s)| r.pow(*k as u32) <= 256 && k * s <= 12)
+        .prop_filter("bounded size", |(r, k, s)| {
+            r.pow(*k as u32) <= 256 && k * s <= 12
+        })
         .prop_map(|(r, k, s)| ChallengeConfig::preset(r, k, s))
 }
 

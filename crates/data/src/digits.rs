@@ -84,13 +84,12 @@ pub fn digits(per_class: usize, noise: f32, seed: u64) -> Dataset {
                 for c in 0..SIDE {
                     let sr = r as isize - dr;
                     let sc = c as isize - dc;
-                    let base = if (0..SIDE as isize).contains(&sr)
-                        && (0..SIDE as isize).contains(&sc)
-                    {
-                        glyph[sr as usize * SIDE + sc as usize]
-                    } else {
-                        0.0
-                    };
+                    let base =
+                        if (0..SIDE as isize).contains(&sr) && (0..SIDE as isize).contains(&sc) {
+                            glyph[sr as usize * SIDE + sc as usize]
+                        } else {
+                            0.0
+                        };
                     let u1: f32 = rng.gen_range(1e-7f32..1.0);
                     let u2: f32 = rng.gen_range(0.0f32..1.0);
                     let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();

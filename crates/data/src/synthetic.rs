@@ -129,7 +129,11 @@ pub fn two_spirals(per_class: usize, dim: usize, noise: f32, seed: u64) -> Datas
             let i = class * per_class + s;
             let t = 0.25 + 3.5 * (s as f32 / per_class as f32); // radians-ish
             let r = t / 4.0;
-            let phase = if class == 0 { 0.0 } else { std::f32::consts::PI };
+            let phase = if class == 0 {
+                0.0
+            } else {
+                std::f32::consts::PI
+            };
             let row: &mut [f32] = x.row_mut(i);
             row[0] = r * (t * std::f32::consts::PI + phase).cos() + rng.gen_range(-noise..=noise);
             row[1] = r * (t * std::f32::consts::PI + phase).sin() + rng.gen_range(-noise..=noise);
@@ -161,8 +165,8 @@ pub fn checkerboard(samples: usize, k: usize, dim: usize, seed: u64) -> Dataset 
     for i in 0..samples {
         let a: f32 = rng.gen_range(-1.0..1.0);
         let b: f32 = rng.gen_range(-1.0..1.0);
-        let cell =
-            (((a + 1.0) / 2.0 * k as f32) as usize).min(k - 1) + (((b + 1.0) / 2.0 * k as f32) as usize).min(k - 1);
+        let cell = (((a + 1.0) / 2.0 * k as f32) as usize).min(k - 1)
+            + (((b + 1.0) / 2.0 * k as f32) as usize).min(k - 1);
         let row: &mut [f32] = x.row_mut(i);
         row[0] = a;
         row[1] = b;

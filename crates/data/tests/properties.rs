@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 
 use radix_data::{
-    active_counts, checkerboard, digits, gaussian_blobs, sparse_binary_batch, two_spirals,
-    Teacher,
+    active_counts, checkerboard, digits, gaussian_blobs, sparse_binary_batch, two_spirals, Teacher,
 };
 
 proptest! {

@@ -51,11 +51,7 @@ impl Init {
 /// exactly zero are nudged to a small epsilon so the sparsity pattern is
 /// preserved (a stored zero would be dropped by the CSR invariant).
 #[must_use]
-pub fn init_sparse<R: Rng>(
-    pattern: &CsrMatrix<u64>,
-    scheme: Init,
-    rng: &mut R,
-) -> CsrMatrix<f32> {
+pub fn init_sparse<R: Rng>(pattern: &CsrMatrix<u64>, scheme: Init, rng: &mut R) -> CsrMatrix<f32> {
     let col_deg = pattern.col_degrees();
     let mut indptr = Vec::with_capacity(pattern.nrows() + 1);
     let mut indices = Vec::with_capacity(pattern.nnz());
@@ -106,9 +102,9 @@ pub fn csc_mirror<T: Scalar>(w: &CsrMatrix<T>) -> CscMatrix<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use radix_sparse::CyclicShift;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use radix_sparse::CyclicShift;
 
     #[test]
     fn pattern_preserved() {

@@ -160,14 +160,12 @@ impl Layer {
     #[must_use]
     pub fn forward(&self, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
         let mut out = match self {
-            Layer::Sparse(l) => {
-                if x.nrows() * l.w.nnz() >= PAR_THRESHOLD {
-                    par_dense_spmm(x, &l.w)
-                } else {
-                    dense_spmm(x, &l.w)
-                }
-                .expect("layer width mismatch")
+            Layer::Sparse(l) => if x.nrows() * l.w.nnz() >= PAR_THRESHOLD {
+                par_dense_spmm(x, &l.w)
+            } else {
+                dense_spmm(x, &l.w)
             }
+            .expect("layer width mismatch"),
             Layer::Dense(l) => x.matmul(&l.w).expect("layer width mismatch"),
         };
         let (b, act) = match self {
@@ -340,9 +338,9 @@ fn sparse_weight_grads(
 mod tests {
     use super::*;
     use crate::init::{init_sparse, Init};
+    use radix_sparse::CyclicShift;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use radix_sparse::CyclicShift;
 
     fn sparse_layer(act: Activation) -> Layer {
         let pattern: CsrMatrix<u64> = CyclicShift::radix_submatrix(6, 3, 1);
@@ -387,7 +385,9 @@ mod tests {
         // A sparse layer must compute exactly what a dense layer with the
         // same (mostly-zero) weight matrix computes.
         let l = sparse_layer(Activation::Sigmoid);
-        let Layer::Sparse(ref sl) = l else { unreachable!() };
+        let Layer::Sparse(ref sl) = l else {
+            unreachable!()
+        };
         let dense_w = sl.weights().to_dense();
         let ld = Layer::Dense(DenseLinear::new(dense_w, Activation::Sigmoid));
         let x = random_batch(5, 6, 1);
@@ -414,9 +414,8 @@ mod tests {
         .unwrap();
         let (grads, grad_in) = layer.backward(&x, &out, &grad_out);
 
-        let loss = |l: &Layer, xx: &DenseMatrix<f32>| -> f32 {
-            l.forward(xx).as_slice().iter().sum()
-        };
+        let loss =
+            |l: &Layer, xx: &DenseMatrix<f32>| -> f32 { l.forward(xx).as_slice().iter().sum() };
         let h = 1e-2f32;
 
         // Weight gradients.
@@ -495,7 +494,9 @@ mod tests {
         // Same weights (sparse vs densified) → identical gradients on the
         // shared nonzero positions and identical input gradients.
         let l = sparse_layer(Activation::Tanh);
-        let Layer::Sparse(ref sl) = l else { unreachable!() };
+        let Layer::Sparse(ref sl) = l else {
+            unreachable!()
+        };
         let w_csr = sl.weights().clone();
         let ld = Layer::Dense(DenseLinear::new(w_csr.to_dense(), Activation::Tanh));
 

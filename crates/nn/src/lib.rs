@@ -47,10 +47,10 @@ pub mod optimizer;
 pub mod train;
 
 pub use activation::Activation;
+pub use eval::ConfusionMatrix;
 pub use init::{init_dense, init_sparse, Init};
 pub use layer::{DenseLinear, Layer, LayerGrads, SparseLinear};
 pub use loss::{accuracy, softmax_row, Loss};
 pub use network::{matched_dense_twin, Network, Targets};
 pub use optimizer::Optimizer;
-pub use eval::ConfusionMatrix;
 pub use train::{clip_gradients, train_classifier, train_regressor, History, TrainConfig};

@@ -213,8 +213,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            DenseMatrix::from_rows(&[&[0.9f32, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        let logits = DenseMatrix::from_rows(&[&[0.9f32, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(accuracy(&DenseMatrix::zeros(0, 2), &[]), 0.0);
     }

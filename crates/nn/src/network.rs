@@ -44,11 +44,7 @@ impl Network {
     pub fn new(layers: Vec<Layer>, loss: Loss) -> Self {
         assert!(!layers.is_empty(), "network needs at least one layer");
         for pair in layers.windows(2) {
-            assert_eq!(
-                pair[0].n_out(),
-                pair[1].n_in(),
-                "layer widths must chain"
-            );
+            assert_eq!(pair[0].n_out(), pair[1].n_in(), "layer widths must chain");
         }
         Network { layers, loss }
     }
@@ -326,13 +322,7 @@ pub fn matched_dense_twin(sparse: &Network, seed: u64) -> Network {
         sizes.push(l.n_out());
     }
     let hidden_act = sparse.layers()[0].activation();
-    Network::dense(
-        &sizes,
-        hidden_act,
-        Init::Xavier,
-        sparse.loss(),
-        seed,
-    )
+    Network::dense(&sizes, hidden_act, Init::Xavier, sparse.loss(), seed)
 }
 
 #[cfg(test)]
@@ -460,20 +450,17 @@ mod tests {
         let mut opt = crate::Optimizer::sgd(0.5);
         net.apply_gradients(&grads, &mut opt);
         let (loss1, _) = net.grad_batch(&x, Targets::Labels(&labels));
-        assert!(loss1 < loss0, "one SGD step must descend: {loss0} → {loss1}");
+        assert!(
+            loss1 < loss0,
+            "one SGD step must descend: {loss0} → {loss1}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "layer widths must chain")]
     fn mismatched_layers_panic() {
-        let a = Layer::Dense(DenseLinear::new(
-            DenseMatrix::zeros(3, 4),
-            Activation::Relu,
-        ));
-        let b = Layer::Dense(DenseLinear::new(
-            DenseMatrix::zeros(5, 2),
-            Activation::Relu,
-        ));
+        let a = Layer::Dense(DenseLinear::new(DenseMatrix::zeros(3, 4), Activation::Relu));
+        let b = Layer::Dense(DenseLinear::new(DenseMatrix::zeros(5, 2), Activation::Relu));
         let _ = Network::new(vec![a, b], Loss::Mse);
     }
 
@@ -482,13 +469,7 @@ mod tests {
         // A "sparse" layer whose pattern is fully dense must behave like a
         // dense layer with the same weights.
         let full = Fnnt::dense(&[4, 4, 4]);
-        let net = Network::from_fnnt(
-            &full,
-            Activation::Tanh,
-            Init::Xavier,
-            Loss::Mse,
-            11,
-        );
+        let net = Network::from_fnnt(&full, Activation::Tanh, Init::Xavier, Loss::Mse, 11);
         assert_eq!(net.density(), 1.0);
         let x = batch(3, 4, 9);
         let out = net.forward(&x);

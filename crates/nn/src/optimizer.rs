@@ -76,9 +76,9 @@ impl Optimizer {
     /// Multiplies the learning rate by `factor` (learning-rate schedules).
     pub fn scale_lr(&mut self, factor: f32) {
         match self {
-            Optimizer::Sgd { lr }
-            | Optimizer::Momentum { lr, .. }
-            | Optimizer::Adam { lr, .. } => *lr *= factor,
+            Optimizer::Sgd { lr } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => {
+                *lr *= factor
+            }
         }
     }
 
@@ -116,12 +116,8 @@ impl Optimizer {
                 v,
             } => {
                 assert!(*t > 0, "call begin_step before compute_update");
-                let m = m
-                    .entry(param_id)
-                    .or_insert_with(|| vec![0.0; grads.len()]);
-                let v = v
-                    .entry(param_id)
-                    .or_insert_with(|| vec![0.0; grads.len()]);
+                let m = m.entry(param_id).or_insert_with(|| vec![0.0; grads.len()]);
+                let v = v.entry(param_id).or_insert_with(|| vec![0.0; grads.len()]);
                 assert_eq!(m.len(), grads.len(), "gradient length changed");
                 let bc1 = 1.0 - beta1.powi(*t as i32);
                 let bc2 = 1.0 - beta2.powi(*t as i32);
@@ -160,7 +156,7 @@ mod tests {
         opt.begin_step();
         let d2 = opt.compute_update(0, &[1.0]);
         assert_eq!(d2, vec![1.5]); // v = 0.5·1 + 1
-        // Separate parameter id has separate state.
+                                   // Separate parameter id has separate state.
         let d_other = opt.compute_update(1, &[1.0]);
         assert_eq!(d_other, vec![1.0]);
     }

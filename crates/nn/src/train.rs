@@ -212,7 +212,7 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = i % 2;
-            let center = if class == 0 { 1.0 } else { -1.0 };
+            let center: f32 = if class == 0 { 1.0 } else { -1.0 };
             let row: &mut [f32] = x.row_mut(i);
             for v in row.iter_mut() {
                 *v = center + rng.gen_range(-0.4..0.4);

@@ -23,8 +23,8 @@ fn random_batch(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f32> {
 }
 
 fn random_sparse_net(radices: &[usize], act: Activation, seed: u64) -> Network {
-    let fnnt = MixedRadixTopology::new(MixedRadixSystem::new(radices.to_vec()).unwrap())
-        .into_fnnt();
+    let fnnt =
+        MixedRadixTopology::new(MixedRadixSystem::new(radices.to_vec()).unwrap()).into_fnnt();
     Network::from_fnnt(&fnnt, act, Init::Xavier, Loss::Mse, seed)
 }
 

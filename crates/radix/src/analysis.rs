@@ -74,10 +74,7 @@ pub fn is_degree_regular(fnnt: &Fnnt) -> bool {
 /// Panics if `source` is out of range for the input layer.
 #[must_use]
 pub fn reach_profile(fnnt: &Fnnt, source: usize) -> Vec<usize> {
-    assert!(
-        source < fnnt.layer_sizes()[0],
-        "source node out of range"
-    );
+    assert!(source < fnnt.layer_sizes()[0], "source node out of range");
     let mut frontier: BTreeSet<usize> = std::iter::once(source).collect();
     let mut profile = Vec::with_capacity(fnnt.num_edge_layers());
     for w in fnnt.submatrices() {

@@ -46,10 +46,7 @@ impl RadixNetSpec {
     /// Any of [`RadixError::NoSystems`], [`RadixError::UnequalProducts`],
     /// [`RadixError::LastProductDoesNotDivide`],
     /// [`RadixError::WrongWidthCount`], [`RadixError::ZeroWidth`].
-    pub fn new(
-        systems: Vec<MixedRadixSystem>,
-        widths: Vec<usize>,
-    ) -> Result<Self, RadixError> {
+    pub fn new(systems: Vec<MixedRadixSystem>, widths: Vec<usize>) -> Result<Self, RadixError> {
         if systems.is_empty() {
             return Err(RadixError::NoSystems);
         }
@@ -207,10 +204,7 @@ mod tests {
 
     #[test]
     fn constraint_equal_products_enforced() {
-        let e = RadixNetSpec::new(
-            vec![sys(&[2, 2]), sys(&[3, 2]), sys(&[2, 2])],
-            vec![1; 7],
-        );
+        let e = RadixNetSpec::new(vec![sys(&[2, 2]), sys(&[3, 2]), sys(&[2, 2])], vec![1; 7]);
         assert_eq!(
             e,
             Err(RadixError::UnequalProducts {
@@ -226,7 +220,10 @@ mod tests {
         let e = RadixNetSpec::new(vec![sys(&[2, 3]), sys(&[4])], vec![1; 4]);
         assert_eq!(
             e,
-            Err(RadixError::LastProductDoesNotDivide { last: 4, n_prime: 6 })
+            Err(RadixError::LastProductDoesNotDivide {
+                last: 4,
+                n_prime: 6
+            })
         );
     }
 
@@ -289,8 +286,7 @@ mod tests {
 
     #[test]
     fn flattened_radices_order() {
-        let spec =
-            RadixNetSpec::new(vec![sys(&[2, 3]), sys(&[6]), sys(&[3])], vec![1; 5]).unwrap();
+        let spec = RadixNetSpec::new(vec![sys(&[2, 3]), sys(&[6]), sys(&[3])], vec![1; 5]).unwrap();
         assert_eq!(spec.flattened_radices(), vec![2, 3, 6, 3]);
         assert_eq!(spec.total_radices(), 4);
     }

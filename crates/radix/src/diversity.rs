@@ -241,8 +241,7 @@ mod tests {
         for first in systems_with_product(8) {
             for last in final_systems(8) {
                 let total = first.len() + last.len();
-                let spec =
-                    RadixNetSpec::new(vec![first.clone(), last], vec![1; total + 1]);
+                let spec = RadixNetSpec::new(vec![first.clone(), last], vec![1; total + 1]);
                 assert!(spec.is_ok());
                 accepted += 1;
             }

@@ -121,9 +121,7 @@ impl Fnnt {
         );
         let submatrices = layer_sizes
             .windows(2)
-            .map(|w| {
-                radix_sparse::kron_ones_left(w[0], w[1], &CsrMatrix::<u64>::identity(1))
-            })
+            .map(|w| radix_sparse::kron_ones_left(w[0], w[1], &CsrMatrix::<u64>::identity(1)))
             .collect();
         Fnnt { submatrices }
     }
@@ -169,7 +167,10 @@ impl Fnnt {
     /// Total number of edges (counting multiplicities).
     #[must_use]
     pub fn num_edges(&self) -> u64 {
-        self.submatrices.iter().map(|w| w.data().iter().sum::<u64>()).sum()
+        self.submatrices
+            .iter()
+            .map(|w| w.data().iter().sum::<u64>())
+            .sum()
     }
 
     /// Number of distinct stored edges (ignoring multiplicities).
@@ -424,11 +425,7 @@ mod tests {
     #[test]
     fn disconnected_detected() {
         // Two parallel identity layers: node u only reaches output u.
-        let g = Fnnt::try_new(vec![
-            CsrMatrix::identity(3),
-            CsrMatrix::identity(3),
-        ])
-        .unwrap();
+        let g = Fnnt::try_new(vec![CsrMatrix::identity(3), CsrMatrix::identity(3)]).unwrap();
         match g.check_symmetry() {
             Symmetry::Disconnected { input, output } => {
                 assert_eq!(input, 0);
@@ -533,10 +530,7 @@ mod tests {
             g.layer_sizes().into_iter().rev().collect::<Vec<_>>()
         );
         assert_eq!(g.check_symmetry(), r.check_symmetry());
-        assert_eq!(
-            r.path_count_matrix(),
-            g.path_count_matrix().transpose()
-        );
+        assert_eq!(r.path_count_matrix(), g.path_count_matrix().transpose());
     }
 
     #[test]

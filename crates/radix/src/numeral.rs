@@ -144,11 +144,7 @@ impl MixedRadixSystem {
     pub fn digits_to_value(&self, digits: &[usize]) -> usize {
         assert_eq!(digits.len(), self.radices.len(), "digit count mismatch");
         let mut value = 0usize;
-        for ((&d, &r), &pv) in digits
-            .iter()
-            .zip(&self.radices)
-            .zip(&self.place_values)
-        {
+        for ((&d, &r), &pv) in digits.iter().zip(&self.radices).zip(&self.place_values) {
             assert!(d < r, "digit {d} out of range for radix {r}");
             value += d * pv;
         }

@@ -61,9 +61,8 @@ pub fn parse_spec(s: &str) -> Result<RadixNetSpec, RadixError> {
             )));
         }
     }
-    let widths = widths.ok_or_else(|| {
-        RadixError::InvalidFnnt("spec string missing D: field".into())
-    })?;
+    let widths =
+        widths.ok_or_else(|| RadixError::InvalidFnnt("spec string missing D: field".into()))?;
     RadixNetSpec::new(systems, widths)
 }
 

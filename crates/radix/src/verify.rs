@@ -139,12 +139,8 @@ mod tests {
     #[test]
     fn lemma2_emr_path_count() {
         // M = 3 full systems, widths 1: m = (N')^{M−1} = 12² = 144.
-        let spec = RadixNetSpec::extended_mixed_radix(vec![
-            sys(&[3, 4]),
-            sys(&[2, 6]),
-            sys(&[12]),
-        ])
-        .unwrap();
+        let spec = RadixNetSpec::extended_mixed_radix(vec![sys(&[3, 4]), sys(&[2, 6]), sys(&[12])])
+            .unwrap();
         let report = verify_spec(&spec);
         assert_eq!(report.predicted, PathCount(144));
         assert!(report.matches, "observed {:?}", report.observed);
@@ -155,8 +151,8 @@ mod tests {
     fn theorem1_with_widths() {
         // M = 2 systems over N' = 6, D = (2,3,2,1,2):
         // m = (N')^{1} · D_1·D_2·D_3 = 6 · 3·2·1 = 36.
-        let spec = RadixNetSpec::new(vec![sys(&[2, 3]), sys(&[3, 2])], vec![2, 3, 2, 1, 2])
-            .unwrap();
+        let spec =
+            RadixNetSpec::new(vec![sys(&[2, 3]), sys(&[3, 2])], vec![2, 3, 2, 1, 2]).unwrap();
         let report = verify_spec(&spec);
         assert_eq!(report.predicted, PathCount(6 * 3 * 2));
         assert!(report.matches, "observed {:?}", report.observed);
@@ -167,8 +163,7 @@ mod tests {
         // N' = 8, last system (2,2) with product 4 | 8. M = 2 systems.
         // Generalized: (N')^{0} · 4 · ∏ interior D (all 1) = 4.
         // Paper's literal formula would claim 8.
-        let spec =
-            RadixNetSpec::extended_mixed_radix(vec![sys(&[2, 2, 2]), sys(&[2, 2])]).unwrap();
+        let spec = RadixNetSpec::extended_mixed_radix(vec![sys(&[2, 2, 2]), sys(&[2, 2])]).unwrap();
         let report = verify_spec(&spec);
         assert_eq!(report.predicted, PathCount(4));
         assert!(report.matches, "observed {:?}", report.observed);
@@ -179,12 +174,8 @@ mod tests {
     fn three_systems_divisor_last() {
         // N' = 12, systems (3,4), (4,3) full, then (6) with 6 | 12.
         // Generalized: (12)^{1} · 6 = 72.
-        let spec = RadixNetSpec::extended_mixed_radix(vec![
-            sys(&[3, 4]),
-            sys(&[4, 3]),
-            sys(&[6]),
-        ])
-        .unwrap();
+        let spec = RadixNetSpec::extended_mixed_radix(vec![sys(&[3, 4]), sys(&[4, 3]), sys(&[6])])
+            .unwrap();
         let report = verify_spec(&spec);
         assert_eq!(report.predicted, PathCount(72));
         assert!(report.matches, "observed {:?}", report.observed);

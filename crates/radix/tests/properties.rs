@@ -43,10 +43,10 @@ fn small_spec() -> impl Strategy<Value = RadixNetSpec> {
         let divisors: Vec<usize> = (2..=n_prime).filter(|d| n_prime % d == 0).collect();
         let d = divisors[(next() as usize) % divisors.len()];
         let last_facts = radix_net::diversity::ordered_factorizations(d);
-        systems.push(MixedRadixSystem::new(
-            last_facts[(next() as usize) % last_facts.len()].clone(),
-        )
-        .unwrap());
+        systems.push(
+            MixedRadixSystem::new(last_facts[(next() as usize) % last_facts.len()].clone())
+                .unwrap(),
+        );
 
         let total: usize = systems.iter().map(MixedRadixSystem::len).sum();
         let widths: Vec<usize> = (0..=total).map(|_| (next() as usize) % 3 + 1).collect();

@@ -1,0 +1,325 @@
+//! Offline, API-compatible stand-in for the parts of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. Bench files keep their authoring surface —
+//! [`Criterion`], [`criterion_group!`] / [`criterion_main!`],
+//! [`BenchmarkId`], [`Throughput`], benchmark groups, and `Bencher::iter` —
+//! and this shim times each closure with [`std::time::Instant`], printing a
+//! mean wall-clock per iteration (plus a derived element rate when a
+//! throughput is set). There is no statistical analysis, no HTML report,
+//! and no saved baselines; when `cargo test` runs a `harness = false` bench
+//! target it passes `--test`, which switches the shim to a one-iteration
+//! smoke run so test suites stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark point in normal mode; sampling stops at
+/// the budget even if fewer than `sample_size` iterations have run.
+const TIME_BUDGET: Duration = Duration::from_millis(250);
+
+/// Identifies one benchmark point, typically `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. nonzeros) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    quick: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly (once in `--test` smoke mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let reps = if self.quick {
+            1
+        } else {
+            self.sample_size.max(1)
+        };
+        let start = Instant::now();
+        for done in 0..reps {
+            std::hint::black_box(f());
+            self.iters_done = done as u64 + 1;
+            if !self.quick && start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver (mirroring `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench -- <filter>` passes other args we simply ignore.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many iterations each benchmark point samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// No-op kept for API compatibility with real criterion.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmark points.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark point.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (sample_size, quick) = (self.sample_size, self.quick);
+        run_point(&id.label, None, sample_size, quick, |b| f(b));
+        self
+    }
+}
+
+/// A group of related benchmark points sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override; as in real criterion it must not leak into
+    /// later groups, so the parent's setting is left untouched.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the units processed per iteration for subsequent points.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark point with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let (sample_size, quick) = (self.effective_sample_size(), self.criterion.quick);
+        run_point(&label, self.throughput, sample_size, quick, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Runs one benchmark point without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let (sample_size, quick) = (self.effective_sample_size(), self.criterion.quick);
+        run_point(&label, self.throughput, sample_size, quick, |b| f(b));
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark point and prints its summary line.
+fn run_point<F: FnOnce(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    quick: bool,
+    f: F,
+) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+        quick,
+        sample_size,
+    };
+    f(&mut bencher);
+    if quick {
+        println!("bench {label}: ok (smoke run)");
+        return;
+    }
+    if bencher.iters_done == 0 {
+        println!("bench {label}: closure never called Bencher::iter");
+        return;
+    }
+    let per_iter = bencher.total.as_secs_f64() / bencher.iters_done as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!(", {:.3e} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!(", {:.3e} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label}: {:.3} us/iter over {} iter(s){rate}",
+        per_iter * 1e6,
+        bencher.iters_done
+    );
+}
+
+/// Declares a benchmark group function (mirroring criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (mirroring criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("serial", "n64").label, "serial/n64");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default().sample_size(3);
+        c.quick = true;
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(10));
+            group.bench_with_input(BenchmarkId::new("a", 1), &5usize, |b, &x| {
+                b.iter(|| x * 2);
+                calls += 1;
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak() {
+        let mut c = Criterion::default().sample_size(100);
+        {
+            let mut group = c.benchmark_group("g1");
+            group.sample_size(5);
+            assert_eq!(group.effective_sample_size(), 5);
+            group.finish();
+        }
+        let group2 = c.benchmark_group("g2");
+        assert_eq!(group2.effective_sample_size(), 100);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.quick = true;
+        let mut ran = false;
+        c.bench_function("solo", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

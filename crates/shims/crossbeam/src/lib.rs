@@ -1,0 +1,176 @@
+//! Offline, API-compatible stand-in for the parts of `crossbeam` this
+//! workspace uses: bounded MPMC-ish channels ([`channel::bounded`]) and
+//! scoped threads ([`scope`]).
+//!
+//! Channels are backed by [`std::sync::mpsc::sync_channel`] (bounded,
+//! blocking, disconnect-on-drop — the same semantics the pipelined
+//! inference schedule relies on), and scoped threads by
+//! [`std::thread::scope`]. The one semantic difference from real crossbeam:
+//! if a spawned thread panics, [`scope`] propagates the panic instead of
+//! returning `Err`, which is strictly stricter than the `.expect(…)` the
+//! call sites apply to the result anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// Bounded blocking channels (mirroring `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel; clonable for fan-in.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is handed back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued, or returns `Err` if the
+        /// receiving side has disconnected.
+        ///
+        /// # Errors
+        /// Returns [`SendError`] carrying `msg` back if every receiver has
+        /// been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, or returns `Err` once the channel
+        /// is disconnected and drained.
+        ///
+        /// # Errors
+        /// Returns [`RecvError`] if every sender has been dropped and the
+        /// buffer is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Iterates messages until the channel disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// A scope handle passed to [`scope`] closures and nested spawns.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that may borrow from the enclosing scope; the closure
+    /// receives the scope handle again so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope handle, joining every spawned thread before
+/// returning (mirroring `crossbeam::scope`).
+///
+/// # Errors
+/// Never returns `Err` in this shim; a panicking child thread propagates its
+/// panic out of `scope` instead (see the crate docs).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn channel_roundtrip_in_order() {
+        let (tx, rx) = bounded::<usize>(2);
+        super::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<usize> = rx.into_iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let out = super::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21usize);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,355 @@
+//! Offline, API-compatible stand-in for the parts of the `rand` crate this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real `rand` cannot be
+//! fetched; this shim implements the same call-site surface — [`Rng`],
+//! [`SeedableRng`], [`rngs::StdRng`], and [`seq::SliceRandom`] — on top of a
+//! deterministic xoshiro256** generator seeded via SplitMix64. Streams are
+//! **not** bit-compatible with the real `rand` crate, but they are uniform,
+//! deterministic per seed, and stable across platforms, which is all the
+//! workspace's seeded tests and initializers rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirroring `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of seeded generators (mirroring `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → uniform over the representable grid in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that a uniform value can be drawn from (mirroring
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over bounded ranges (mirroring
+/// `rand::distributions::uniform::SampleUniform`). The blanket
+/// [`SampleRange`] impls below are generic over this trait — exactly like
+/// the real crate — so type inference can unify an unsuffixed range literal
+/// with the surrounding expression's float/integer type.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Uniform integer below `n` via Lemire-style widening multiply (the modulo
+/// bias at these range sizes is far below anything a statistical test in
+/// this workspace could see, but the multiply is cheap and unbiased enough).
+fn below_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = hi.abs_diff(lo) as u64;
+                lo.wrapping_add(below_u64(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(below_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = hi - lo;
+                assert!(span.is_finite(), "gen_range: span {lo}..{hi} overflows");
+                // The lerp can round up to exactly `hi` (e.g. unit_f64's max
+                // rounds to 1.0f32); redraw to honour the [lo, hi) contract.
+                loop {
+                    let v = lo + span * unit_f64(rng.next_u64()) as $t;
+                    if v < hi {
+                        return v;
+                    }
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = hi - lo;
+                assert!(span.is_finite(), "gen_range: span {lo}..={hi} overflows");
+                // 53-bit grid including both endpoints; the lerp can round
+                // just past either endpoint on asymmetric ranges, so clamp.
+                let u = ((rng.next_u64() >> 11) as f64
+                    / ((1u64 << 53) - 1) as f64) as $t;
+                (lo + span * u).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f64, f32);
+
+/// Named generators (mirroring `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded through
+    /// SplitMix64 (not the ChaCha-based `StdRng` of the real crate, but the
+    /// same trait surface and determinism guarantees).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding procedure.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (mirroring `rand::seq`).
+pub mod seq {
+    use super::{below_u64, Rng};
+
+    /// Slice shuffling and sampling (mirroring `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffles the whole slice in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Shuffles a uniformly chosen `amount`-element prefix into place and
+        /// returns `(shuffled_prefix, rest)`.
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+        /// Returns a uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let amount = amount.min(self.len());
+            for i in 0..amount {
+                let j = i + below_u64(rng, (self.len() - i) as u64) as usize;
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[below_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-1i32..=1);
+            assert!((-1..=1).contains(&w));
+            let f = rng.gen_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let g = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_never_overshoots() {
+        // Asymmetric range where `hi - lo` rounds up in f32, so the lerp at
+        // u ≈ 1 lands just past `hi` without the clamp.
+        let mut rng = StdRng::seed_from_u64(13);
+        let (lo, hi) = (-0.100_003_59_f32, 0.024_996_43_f32);
+        for _ in 0..100_000 {
+            let v = rng.gen_range(lo..=hi);
+            assert!((lo..=hi).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn range_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_splits_at_amount() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..10).collect();
+        let (head, tail) = v.partial_shuffle(&mut rng, 4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(tail.len(), 6);
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!([9u8].choose(&mut rng), Some(&9));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline, API-compatible stand-in for the parts of `rayon` this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the real `rayon` cannot
+//! be fetched. Unlike most shims this one is **not** a sequential fake: it
+//! materializes the items of a "parallel iterator" eagerly and fans them out
+//! over [`std::thread::scope`] threads (one contiguous block per hardware
+//! thread), so `par_*` kernels genuinely run in parallel. There is no work
+//! stealing — RadiX-Net workloads are regular (every row costs about the
+//! same), so static contiguous blocks balance well.
+//!
+//! Supported surface: `into_par_iter()` on ranges and vectors,
+//! `par_chunks_mut` on slices, and the adaptors `enumerate`, `map`,
+//! `map_init`, `for_each`, and `collect`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Everything call sites need: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
+}
+
+/// Number of worker threads to fan out over (the `RAYON_NUM_THREADS`
+/// environment variable overrides the hardware default, as in real rayon).
+fn num_threads() -> usize {
+    let hardware = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("RAYON_NUM_THREADS") {
+        // As in real rayon, 0 (and anything unparseable) means "choose
+        // automatically", not "run serially".
+        Ok(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(hardware),
+        Err(_) => hardware(),
+    }
+}
+
+/// Splits `items` into at most `parts` contiguous blocks of near-equal size.
+fn split_blocks<I>(mut items: Vec<I>, parts: usize) -> Vec<Vec<I>> {
+    let n = items.len();
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    // Pop blocks off the back so each drain is O(block), then restore order.
+    let mut blocks: Vec<Vec<I>> = Vec::with_capacity(parts);
+    for p in (0..parts).rev() {
+        let len = base + usize::from(p < extra);
+        blocks.push(items.split_off(items.len() - len));
+    }
+    blocks.reverse();
+    blocks
+}
+
+/// An eager "parallel iterator": the items are already materialized, and
+/// every consuming adaptor fans them out over scoped threads.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs every item with its index, like [`Iterator::enumerate`].
+    #[must_use]
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        let threads = num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            self.items.into_iter().for_each(f);
+            return;
+        }
+        let blocks = split_blocks(self.items, threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for block in blocks {
+                scope.spawn(move || block.into_iter().for_each(f));
+            }
+        });
+    }
+
+    /// Maps every item through `f` across worker threads, preserving order.
+    pub fn map<F, R>(self, f: F) -> ParIter<R>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        self.map_init(|| (), |_state: &mut (), item| f(item))
+    }
+
+    /// Like [`ParIter::map`], but each worker thread first builds a scratch
+    /// state with `init` and threads it through its items (rayon's
+    /// `map_init`).
+    pub fn map_init<INIT, S, F, R>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, I) -> R + Sync,
+        R: Send,
+    {
+        let threads = num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            let mut state = init();
+            return ParIter {
+                items: self.items.into_iter().map(|i| f(&mut state, i)).collect(),
+            };
+        }
+        let blocks = split_blocks(self.items, threads);
+        let init = &init;
+        let f = &f;
+        let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .into_iter()
+                .map(|block| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        block
+                            .into_iter()
+                            .map(|item| f(&mut state, item))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect()
+        });
+        ParIter {
+            items: mapped.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Gathers the (already computed, order-preserved) items.
+    #[must_use]
+    pub fn collect<C: From<Vec<I>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the parallel iterator.
+    type Item: Send;
+
+    /// Materializes `self` as a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Parallel mutable-chunk views of slices (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into non-overlapping mutable chunks of `chunk_size`
+    /// (the last chunk may be shorter) as a parallel iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        let expect: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(squares, expect);
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        // Each worker's scratch buffer grows once per item it handles; the
+        // output stays order-preserved and independent of the partitioning.
+        let out: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                debug_assert!(!scratch.is_empty());
+                i as u64
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut data = vec![0u32; 103];
+        data.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = i as u32 + 1;
+                }
+            });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn for_each_visits_all_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let mut empty: Vec<u8> = Vec::new();
+        empty.as_mut_slice().par_chunks_mut(4).for_each(|_| {});
+    }
+}

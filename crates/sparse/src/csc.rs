@@ -202,22 +202,10 @@ mod tests {
     #[test]
     fn try_from_parts_validates() {
         // Column with unsorted row indices must be rejected.
-        let bad = CscMatrix::<f64>::try_from_parts(
-            3,
-            1,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 1.0],
-        );
+        let bad = CscMatrix::<f64>::try_from_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
         assert!(bad.is_err());
 
-        let good = CscMatrix::<f64>::try_from_parts(
-            3,
-            1,
-            vec![0, 2],
-            vec![0, 2],
-            vec![1.0, 1.0],
-        );
+        let good = CscMatrix::<f64>::try_from_parts(3, 1, vec![0, 2], vec![0, 2], vec![1.0, 1.0]);
         assert!(good.is_ok());
     }
 }

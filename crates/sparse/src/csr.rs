@@ -494,32 +494,19 @@ mod tests {
 
     #[test]
     fn try_from_parts_rejects_decreasing_indptr() {
-        let e =
-            CsrMatrix::<f64>::try_from_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]);
+        let e = CsrMatrix::<f64>::try_from_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]);
         assert!(e.is_err());
     }
 
     #[test]
     fn try_from_parts_rejects_unsorted_columns() {
-        let e = CsrMatrix::<f64>::try_from_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 1.0],
-        );
+        let e = CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
         assert!(e.is_err());
     }
 
     #[test]
     fn try_from_parts_rejects_duplicate_columns() {
-        let e = CsrMatrix::<f64>::try_from_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![1, 1],
-            vec![1.0, 1.0],
-        );
+        let e = CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]);
         assert!(e.is_err());
     }
 

@@ -77,7 +77,10 @@ mod tests {
         let a = csr(&[&[1.0, 0.0], &[0.0, 0.0]]);
         let b = csr(&[&[0.0, 2.0], &[3.0, 0.0]]);
         let c = add(&a, &b).unwrap();
-        assert_eq!(c.to_dense(), DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 0.0]]));
+        assert_eq!(
+            c.to_dense(),
+            DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 0.0]])
+        );
     }
 
     #[test]

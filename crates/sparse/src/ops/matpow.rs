@@ -56,9 +56,9 @@ pub fn matpow<T: Scalar>(a: &CsrMatrix<T>, k: usize) -> Result<CsrMatrix<T>, Spa
 /// Returns [`SparseError::InvalidStructure`] for an empty chain and
 /// [`SparseError::ShapeMismatch`] for non-conformable neighbors.
 pub fn chain_product<T: Scalar>(chain: &[CsrMatrix<T>]) -> Result<CsrMatrix<T>, SparseError> {
-    let (first, rest) = chain.split_first().ok_or_else(|| {
-        SparseError::InvalidStructure("chain_product of empty chain".into())
-    })?;
+    let (first, rest) = chain
+        .split_first()
+        .ok_or_else(|| SparseError::InvalidStructure("chain_product of empty chain".into()))?;
     let mut acc = first.clone();
     for w in rest {
         acc = spmm(&acc, w)?;

@@ -176,7 +176,13 @@ pub fn par_spmm<T: Scalar>(
                 let mut out_cols = Vec::new();
                 let mut out_vals = Vec::new();
                 spa_row(
-                    acols, avals, b, workspace, touched, &mut out_cols, &mut out_vals,
+                    acols,
+                    avals,
+                    b,
+                    workspace,
+                    touched,
+                    &mut out_cols,
+                    &mut out_vals,
                 );
                 (out_cols, out_vals)
             },

@@ -171,10 +171,7 @@ mod tests {
     #[test]
     fn par_matches_serial() {
         let (x, w) = sample();
-        assert_eq!(
-            par_dense_spmm(&x, &w).unwrap(),
-            dense_spmm(&x, &w).unwrap()
-        );
+        assert_eq!(par_dense_spmm(&x, &w).unwrap(), dense_spmm(&x, &w).unwrap());
     }
 
     #[test]
@@ -185,10 +182,7 @@ mod tests {
         let via_kernel = dense_spmm_transposed(&x, &w).unwrap();
         let via_transpose = dense_spmm(&x, &w.transpose()).unwrap();
         assert_eq!(via_kernel, via_transpose);
-        assert_eq!(
-            par_dense_spmm_transposed(&x, &w).unwrap(),
-            via_kernel
-        );
+        assert_eq!(par_dense_spmm_transposed(&x, &w).unwrap(), via_kernel);
     }
 
     #[test]

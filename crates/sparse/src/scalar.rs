@@ -143,11 +143,7 @@ mod tests {
         assert_eq!(a.add(T::ZERO), a, "additive identity");
         assert_eq!(a.mul(T::ONE), a, "multiplicative identity");
         assert_eq!(a.mul(T::ZERO), T::ZERO, "zero annihilates");
-        assert_eq!(
-            a.mul(b.add(c)),
-            a.mul(b).add(a.mul(c)),
-            "distributivity"
-        );
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)), "distributivity");
     }
 
     #[test]

@@ -47,12 +47,8 @@ impl XNetSpec {
     /// degree).
     pub fn build(&self) -> Result<Fnnt, XNetError> {
         let layers: Vec<CsrMatrix<u64>> = match &self.kind {
-            XNetKind::Random { seed } => {
-                random_xnet_layers(&self.layer_sizes, self.degree, *seed)?
-            }
-            XNetKind::Cayley { generators } => {
-                cayley_xnet_layers(&self.layer_sizes, generators)?
-            }
+            XNetKind::Random { seed } => random_xnet_layers(&self.layer_sizes, self.degree, *seed)?,
+            XNetKind::Cayley { generators } => cayley_xnet_layers(&self.layer_sizes, generators)?,
         };
         Fnnt::try_new(layers).map_err(|e| XNetError::BadGeneratorSet(e.to_string()))
     }

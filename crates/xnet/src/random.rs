@@ -140,9 +140,18 @@ mod tests {
     #[test]
     fn empty_inputs_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(random_xlinear(0, 4, 1, &mut rng), Err(XNetError::EmptyLayer));
-        assert_eq!(random_xlinear(4, 0, 1, &mut rng), Err(XNetError::EmptyLayer));
-        assert_eq!(random_xlinear(4, 4, 0, &mut rng), Err(XNetError::EmptyLayer));
+        assert_eq!(
+            random_xlinear(0, 4, 1, &mut rng),
+            Err(XNetError::EmptyLayer)
+        );
+        assert_eq!(
+            random_xlinear(4, 0, 1, &mut rng),
+            Err(XNetError::EmptyLayer)
+        );
+        assert_eq!(
+            random_xlinear(4, 4, 0, &mut rng),
+            Err(XNetError::EmptyLayer)
+        );
         assert_eq!(random_xnet_layers(&[4], 1, 0), Err(XNetError::EmptyLayer));
     }
 

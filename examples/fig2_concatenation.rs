@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example fig2_concatenation`
 
-use radixnet::net::{
-    verify_spec, MixedRadixSystem, RadixError, RadixNetSpec,
-};
+use radixnet::net::{verify_spec, MixedRadixSystem, RadixError, RadixNetSpec};
 
 fn main() {
     // Three systems with product 36, one final system with product 6 | 36.
@@ -25,8 +23,12 @@ fn main() {
     let systems = vec![n1.clone(), n2, n3, n4];
     let total: usize = systems.iter().map(MixedRadixSystem::len).sum();
     let spec = RadixNetSpec::extended_mixed_radix(systems).expect("constraints hold");
-    println!("N' = {}, {} edge layers, layer sizes {:?}",
-        spec.n_prime(), total, spec.build().fnnt().layer_sizes());
+    println!(
+        "N' = {}, {} edge layers, layer sizes {:?}",
+        spec.n_prime(),
+        total,
+        spec.build().fnnt().layer_sizes()
+    );
 
     let report = verify_spec(&spec);
     println!(
@@ -53,14 +55,12 @@ fn main() {
     }
 
     // Constraint 2 violated: final product does not divide N'.
-    let bad_divisor = RadixNetSpec::extended_mixed_radix(vec![
-        n1,
-        MixedRadixSystem::new([5]).expect("valid"),
-    ]);
+    let bad_divisor =
+        RadixNetSpec::extended_mixed_radix(vec![n1, MixedRadixSystem::new([5]).expect("valid")]);
     match bad_divisor {
-        Err(RadixError::LastProductDoesNotDivide { last, n_prime }) => println!(
-            "constraint 2 rejected as expected: {last} does not divide {n_prime}"
-        ),
+        Err(RadixError::LastProductDoesNotDivide { last, n_prime }) => {
+            println!("constraint 2 rejected as expected: {last} does not divide {n_prime}")
+        }
         other => println!("unexpected: {other:?}"),
     }
 }

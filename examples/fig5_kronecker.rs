@@ -32,8 +32,10 @@ fn main() {
     // Theorem 1 on this net: (N')^{M−1} ∏ interior D = 8^0 · 5·4 = 20.
     match net.fnnt().check_symmetry() {
         Symmetry::Symmetric(m) => {
-            println!("paths per i/o pair: {m} (Theorem 1 predicts {})",
-                predicted_path_count(&spec));
+            println!(
+                "paths per i/o pair: {m} (Theorem 1 predicts {})",
+                predicted_path_count(&spec)
+            );
         }
         other => println!("unexpected: {other:?}"),
     }

@@ -29,7 +29,11 @@ fn main() {
     assert_eq!(y_serial, y_piped, "pipelined schedule must agree bitwise");
 
     println!("batch        : {batch}");
-    println!("final active : {} / {}", stats_serial.final_active, batch * config.neurons());
+    println!(
+        "final active : {} / {}",
+        stats_serial.final_active,
+        batch * config.neurons()
+    );
     println!("serial rate  : {:.3e} edges/s", stats_serial.rate);
     println!("rayon rate   : {:.3e} edges/s", stats_parallel.rate);
     println!(

@@ -30,7 +30,10 @@ fn main() {
     let cayley_geo = cayley_xlinear(n, &geometric_generators(degree)).expect("valid");
 
     println!("layer-by-layer reach of input node 0 through the RadiX-Net (4,4,4):");
-    println!("  {:?}  (radix place values force full mixing in exactly L layers)", reach_profile(radix_fnnt, 0));
+    println!(
+        "  {:?}  (radix place values force full mixing in exactly L layers)",
+        reach_profile(radix_fnnt, 0)
+    );
 
     println!("\nmixing depth of one repeated 64-node degree-{degree} layer:");
     for (name, layer) in [

@@ -16,9 +16,11 @@ fn main() {
 
     println!("layer sizes : {:?}", net.fnnt().layer_sizes());
     println!("edges       : {}", net.fnnt().num_distinct_edges());
-    println!("density     : {:.4} (eq.4: {:.4})",
+    println!(
+        "density     : {:.4} (eq.4: {:.4})",
         net.fnnt().density(),
-        density::density_exact(&spec));
+        density::density_exact(&spec)
+    );
 
     // 2. The paper's headline guarantee — symmetry: the same number of
     //    paths between every input/output pair (Theorem 1).

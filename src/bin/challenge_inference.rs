@@ -18,11 +18,11 @@ fn main() {
     // (radix, depth_per_system, num_systems): scaled ladder echoing the
     // official 1024×120 … configurations.
     let ladder = [
-        (2usize, 6usize, 4usize),  //   64 neurons ×  24 layers, deg 2
-        (4, 4, 6),                 //  256 neurons ×  24 layers, deg 4
-        (4, 5, 6),                 // 1024 neurons ×  30 layers, deg 4
-        (32, 2, 15),               // 1024 neurons ×  30 layers, deg 32
-        (16, 3, 10),               // 4096 neurons ×  30 layers, deg 16
+        (2usize, 6usize, 4usize), //   64 neurons ×  24 layers, deg 2
+        (4, 4, 6),                //  256 neurons ×  24 layers, deg 4
+        (4, 5, 6),                // 1024 neurons ×  30 layers, deg 4
+        (32, 2, 15),              // 1024 neurons ×  30 layers, deg 32
+        (16, 3, 10),              // 4096 neurons ×  30 layers, deg 16
     ];
 
     println!("# Graph-Challenge-style inference, batch = {batch}");

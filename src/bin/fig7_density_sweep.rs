@@ -12,10 +12,7 @@ use radix_net::{density, MixedRadixSystem, RadixNetSpec};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let max_mu: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let max_mu: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     let max_d: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
 
     println!("# Figure 7 — density of RadiX-Net topologies vs (mu, d)");

@@ -33,18 +33,15 @@ fn main() {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 3 {
-        return Err(
-            "usage: generate <out_dir> <widths-csv> <system-csv> [system-csv...]".into(),
-        );
+        return Err("usage: generate <out_dir> <widths-csv> <system-csv> [system-csv...]".into());
     }
     let out_dir = PathBuf::from(&args[0]);
     let widths = parse_csv(&args[1])?;
     let systems: Vec<MixedRadixSystem> = args[2..]
         .iter()
         .map(|s| {
-            parse_csv(s).and_then(|radices| {
-                MixedRadixSystem::new(radices).map_err(|e| e.to_string())
-            })
+            parse_csv(s)
+                .and_then(|radices| MixedRadixSystem::new(radices).map_err(|e| e.to_string()))
         })
         .collect::<Result<_, _>>()?;
 
@@ -71,6 +68,10 @@ fn run() -> Result<(), String> {
     );
     fs::write(out_dir.join("meta.txt"), &meta).map_err(|e| e.to_string())?;
     print!("{meta}");
-    println!("wrote {} layer files to {}", net.fnnt().num_edge_layers(), out_dir.display());
+    println!(
+        "wrote {} layer files to {}",
+        net.fnnt().num_edge_layers(),
+        out_dir.display()
+    );
     Ok(())
 }

@@ -11,8 +11,8 @@ fn radixnet_reach_is_product_of_radices() {
     // After k layers, one input influences exactly ∏_{i≤k} N_i nodes — the
     // decision-tree fan-out of Figure 1, for every source node.
     for radices in [vec![2usize, 3, 2], vec![4, 4], vec![5, 2, 2]] {
-        let g = MixedRadixTopology::new(MixedRadixSystem::new(radices.clone()).unwrap())
-            .into_fnnt();
+        let g =
+            MixedRadixTopology::new(MixedRadixSystem::new(radices.clone()).unwrap()).into_fnnt();
         let expect: Vec<usize> = radices
             .iter()
             .scan(1usize, |acc, &r| {
@@ -57,8 +57,7 @@ fn random_xnet_is_irregular_with_high_probability() {
 
 #[test]
 fn xnet_reach_varies_across_sources_radixnet_does_not() {
-    let radix = MixedRadixTopology::new(MixedRadixSystem::new([2, 2, 2, 2]).unwrap())
-        .into_fnnt();
+    let radix = MixedRadixTopology::new(MixedRadixSystem::new([2, 2, 2, 2]).unwrap()).into_fnnt();
     let profiles: std::collections::BTreeSet<Vec<usize>> =
         (0..16).map(|s| reach_profile(&radix, s)).collect();
     assert_eq!(profiles.len(), 1, "RadiX-Net reach is source-independent");

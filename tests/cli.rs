@@ -73,7 +73,9 @@ fn challenge_inference_prints_ladder() {
     // Five ladder rows.
     let rows = stdout
         .lines()
-        .filter(|l| !l.starts_with('#') && l.split_whitespace().count() == 7 && !l.contains("neurons"))
+        .filter(|l| {
+            !l.starts_with('#') && l.split_whitespace().count() == 7 && !l.contains("neurons")
+        })
         .count();
     assert_eq!(rows, 5);
 }

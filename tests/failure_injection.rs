@@ -3,20 +3,18 @@
 //! saturation — never panics in library code paths, and never silently
 //! wrong numbers.
 
-use radixnet::net::{
-    parse_spec, predicted_path_count, MixedRadixSystem, RadixError, RadixNetSpec,
-};
+use radixnet::net::{parse_spec, predicted_path_count, MixedRadixSystem, RadixError, RadixNetSpec};
 use radixnet::sparse::{io, CsrMatrix, PathCount, SparseError};
 
 #[test]
 fn corrupted_tsv_variants_all_rejected_with_line_numbers() {
     let cases: &[(&str, usize)] = &[
-        ("1 1 1.0\nx 2 1.0\n", 2),       // non-numeric row
-        ("1 1 1.0\n2 y 1.0\n", 2),       // non-numeric col
-        ("1 1 zz\n", 1),                 // non-numeric value
-        ("1 1\n", 1),                    // missing value
-        ("0 1 1.0\n", 1),                // zero-based index
-        ("1 1 1.0 junk\n", 1),           // trailing field
+        ("1 1 1.0\nx 2 1.0\n", 2), // non-numeric row
+        ("1 1 1.0\n2 y 1.0\n", 2), // non-numeric col
+        ("1 1 zz\n", 1),           // non-numeric value
+        ("1 1\n", 1),              // missing value
+        ("0 1 1.0\n", 1),          // zero-based index
+        ("1 1 1.0 junk\n", 1),     // trailing field
     ];
     for (text, want_line) in cases {
         match io::read_tsv::<f64, _>(text.as_bytes(), 4, 4) {
@@ -41,13 +39,13 @@ fn out_of_bounds_tsv_coordinates_rejected() {
 fn malformed_csr_parts_rejected_not_panicking() {
     // Every class of structural corruption yields InvalidStructure.
     let bad: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = vec![
-        (vec![0, 2], vec![0], vec![1.0]),            // indptr end != nnz
-        (vec![1, 1], vec![], vec![]),                // indptr[0] != 0
-        (vec![0, 1, 0], vec![0], vec![1.0]),         // decreasing indptr
-        (vec![0, 2], vec![1, 0], vec![1.0, 1.0]),    // unsorted columns
-        (vec![0, 2], vec![0, 0], vec![1.0, 1.0]),    // duplicate columns
-        (vec![0, 1], vec![9], vec![1.0]),            // column out of range
-        (vec![0, 1], vec![0], vec![0.0]),            // explicit zero
+        (vec![0, 2], vec![0], vec![1.0]),         // indptr end != nnz
+        (vec![1, 1], vec![], vec![]),             // indptr[0] != 0
+        (vec![0, 1, 0], vec![0], vec![1.0]),      // decreasing indptr
+        (vec![0, 2], vec![1, 0], vec![1.0, 1.0]), // unsorted columns
+        (vec![0, 2], vec![0, 0], vec![1.0, 1.0]), // duplicate columns
+        (vec![0, 1], vec![9], vec![1.0]),         // column out of range
+        (vec![0, 1], vec![0], vec![0.0]),         // explicit zero
     ];
     for (indptr, indices, data) in bad {
         let nrows = indptr.len() - 1;
@@ -108,10 +106,7 @@ fn every_builder_constraint_violation_is_distinct() {
             RadixNetSpec::new(vec![s22.clone()], vec![1; 9]),
             "wrong width count",
         ),
-        (
-            RadixNetSpec::new(vec![s22], vec![1, 0, 1]),
-            "zero width",
-        ),
+        (RadixNetSpec::new(vec![s22], vec![1, 0, 1]), "zero width"),
     ];
     let mut kinds = std::collections::BTreeSet::new();
     for (res, what) in cases {

@@ -50,9 +50,7 @@ fn eq5_width_sensitivity() {
     let sys = MixedRadixSystem::uniform(3, 3).unwrap();
     let narrow = RadixNetSpec::new(vec![sys.clone()], vec![1, 1, 1, 1]).unwrap();
     let wide = RadixNetSpec::new(vec![sys], vec![7, 2, 9, 4]).unwrap();
-    assert!(
-        (density::density_exact(&narrow) - density::density_exact(&wide)).abs() < 1e-15
-    );
+    assert!((density::density_exact(&narrow) - density::density_exact(&wide)).abs() < 1e-15);
 
     // High variance (radices 2 and 12): asymmetric widths shift the
     // density (the weighted mean of eq. (4) tilts toward one radix).

@@ -13,16 +13,58 @@ fn fig1_topology_golden_edges() {
     let g = t.fnnt();
     let expected: [&[(usize, usize)]; 3] = [
         &[
-            (0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 4),
-            (4, 4), (4, 5), (5, 5), (5, 6), (6, 6), (6, 7), (7, 7), (7, 0),
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (1, 2),
+            (2, 2),
+            (2, 3),
+            (3, 3),
+            (3, 4),
+            (4, 4),
+            (4, 5),
+            (5, 5),
+            (5, 6),
+            (6, 6),
+            (6, 7),
+            (7, 7),
+            (7, 0),
         ],
         &[
-            (0, 0), (0, 2), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 5),
-            (4, 4), (4, 6), (5, 5), (5, 7), (6, 6), (6, 0), (7, 7), (7, 1),
+            (0, 0),
+            (0, 2),
+            (1, 1),
+            (1, 3),
+            (2, 2),
+            (2, 4),
+            (3, 3),
+            (3, 5),
+            (4, 4),
+            (4, 6),
+            (5, 5),
+            (5, 7),
+            (6, 6),
+            (6, 0),
+            (7, 7),
+            (7, 1),
         ],
         &[
-            (0, 0), (0, 4), (1, 1), (1, 5), (2, 2), (2, 6), (3, 3), (3, 7),
-            (4, 4), (4, 0), (5, 5), (5, 1), (6, 6), (6, 2), (7, 7), (7, 3),
+            (0, 0),
+            (0, 4),
+            (1, 1),
+            (1, 5),
+            (2, 2),
+            (2, 6),
+            (3, 3),
+            (3, 7),
+            (4, 4),
+            (4, 0),
+            (5, 5),
+            (5, 1),
+            (6, 6),
+            (6, 2),
+            (7, 7),
+            (7, 3),
         ],
     ];
     for (layer, want) in expected.iter().enumerate() {

@@ -158,5 +158,8 @@ fn lr_decay_freezes_late_training() {
             }
         }
     }
-    assert!(max_delta < 1e-6, "late-epoch step moved weights by {max_delta}");
+    assert!(
+        max_delta < 1e-6,
+        "late-epoch step moved weights by {max_delta}"
+    );
 }

@@ -5,8 +5,8 @@
 //! formula.
 
 use radixnet::net::{
-    diversity, paper_path_count, predicted_path_count, verify_spec, MixedRadixSystem,
-    RadixNetSpec, Symmetry,
+    diversity, paper_path_count, predicted_path_count, verify_spec, MixedRadixSystem, RadixNetSpec,
+    Symmetry,
 };
 use radixnet::sparse::PathCount;
 
@@ -36,8 +36,7 @@ fn lemma2_emr_topologies() {
     let systems_12 = diversity::systems_with_product(12);
     for a in &systems_12 {
         for b in &systems_12 {
-            let spec =
-                RadixNetSpec::extended_mixed_radix(vec![a.clone(), b.clone()]).unwrap();
+            let spec = RadixNetSpec::extended_mixed_radix(vec![a.clone(), b.clone()]).unwrap();
             let report = verify_spec(&spec);
             assert!(report.matches, "{a} + {b}: {:?}", report.observed);
             assert_eq!(report.predicted, PathCount(12)); // (N')^{M-1} = 12
@@ -62,8 +61,7 @@ fn theorem1_width_grid() {
     for d0 in 1..=2usize {
         for d1 in 1..=3usize {
             for d2 in 1..=2usize {
-                let spec =
-                    RadixNetSpec::new(vec![sys.clone()], vec![d0, d1, d2]).unwrap();
+                let spec = RadixNetSpec::new(vec![sys.clone()], vec![d0, d1, d2]).unwrap();
                 let report = verify_spec(&spec);
                 assert!(report.matches, "D = ({d0},{d1},{d2})");
                 assert_eq!(report.predicted, PathCount(d1 as u128));
@@ -84,10 +82,13 @@ fn divisor_last_system_family() {
                 continue;
             }
             let last = MixedRadixSystem::new(last_radices.clone()).unwrap();
-            let spec =
-                RadixNetSpec::extended_mixed_radix(vec![first.clone(), last]).unwrap();
+            let spec = RadixNetSpec::extended_mixed_radix(vec![first.clone(), last]).unwrap();
             let report = verify_spec(&spec);
-            assert!(report.matches, "last {last_radices:?}: {:?}", report.observed);
+            assert!(
+                report.matches,
+                "last {last_radices:?}: {:?}",
+                report.observed
+            );
             assert_eq!(report.predicted, PathCount(s as u128));
             if s == 16 {
                 assert_eq!(predicted_path_count(&spec), paper_path_count(&spec));
@@ -119,10 +120,9 @@ fn xnet_baseline_fails_symmetry_radixnet_passes() {
     // The paper's comparative point in one test: at the same density, the
     // random X-Net lacks the deterministic symmetry guarantee.
     use radixnet::xnet::{XNetKind, XNetSpec};
-    let radix = RadixNetSpec::extended_mixed_radix(vec![
-        MixedRadixSystem::new([2, 2, 2, 2]).unwrap(),
-    ])
-    .unwrap();
+    let radix =
+        RadixNetSpec::extended_mixed_radix(vec![MixedRadixSystem::new([2, 2, 2, 2]).unwrap()])
+            .unwrap();
     assert!(verify_spec(&radix).matches);
 
     let x = XNetSpec {

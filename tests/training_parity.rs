@@ -57,7 +57,10 @@ fn radixnet_matches_dense_on_digits() {
     let acc_sparse = fit(&mut sparse, &data.x, &data.labels);
     let acc_dense = fit(&mut dense, &data.x, &data.labels);
 
-    assert!(acc_dense > 0.9, "dense baseline failed to learn: {acc_dense}");
+    assert!(
+        acc_dense > 0.9,
+        "dense baseline failed to learn: {acc_dense}"
+    );
     assert!(
         acc_sparse > acc_dense - 0.08,
         "sparse train acc {acc_sparse} fell more than 8 points behind dense {acc_dense}"
@@ -118,7 +121,11 @@ fn teacher_student_sparse_explains_most_variance() {
     let var = {
         let n = (y.nrows() * y.ncols()) as f32;
         let mean: f32 = y.as_slice().iter().sum::<f32>() / n;
-        y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n
+        y.as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n
     };
 
     let spec = RadixNetSpec::new(
