@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt fmt-check clippy bench-check bench clean
+.PHONY: verify build test fmt fmt-check clippy bench-check bench bench-json bench-json-smoke clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -30,6 +30,17 @@ bench-check:
 
 bench:
 	$(CARGO) bench
+
+## Run the pinned kernel subset and write BENCH_kernels.json (edges/sec
+## per kernel) — the perf baseline future PRs diff against.
+bench-json:
+	$(CARGO) run --release -p radix-bench --bin bench_kernels
+
+## CI smoke: one iteration per kernel, JSON written to a scratch path so
+## the committed baseline is never clobbered by throwaway numbers.
+bench-json-smoke:
+	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels_smoke.json \
+		$(CARGO) run --release -p radix-bench --bin bench_kernels
 
 clean:
 	$(CARGO) clean

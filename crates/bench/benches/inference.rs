@@ -1,13 +1,30 @@
 //! Graph-Challenge inference bench: the `Y ← clamp(ReLU(Y·W + b))` chain
-//! on RadiX-Net networks across the scaled size ladder, under the three
-//! schedules (serial, Rayon row-parallel, crossbeam-pipelined) — DESIGN.md
-//! ablation §6.4.
+//! on RadiX-Net networks across the scaled size ladder. Schedules: the
+//! legacy unprepared path (generic CSR product + separate nonlinearity
+//! pass, allocate-per-layer), the prepared ELL + fused-epilogue +
+//! ping-pong-workspace kernels (serial and Rayon), and the
+//! crossbeam-pipelined schedule — DESIGN.md ablation §6.4.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use radix_challenge::{forward_pipelined, ChallengeConfig, ChallengeNetwork};
+use radix_challenge::{forward_pipelined, ChallengeConfig, ChallengeNetwork, InferWorkspace};
 use radix_data::sparse_binary_batch;
+use radix_sparse::DenseMatrix;
+
+/// The pre-prepared-kernel inference loop, kept as the bench baseline:
+/// generic CSR product allocating a fresh output per layer, then a second
+/// full pass over the output for bias + ReLU + clamp.
+fn forward_csr_unfused(net: &ChallengeNetwork, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    let bias = net.bias();
+    let ymax = net.ymax();
+    let mut y = x.clone();
+    for w in net.layers() {
+        y = radix_sparse::ops::dense_spmm(&y, w.as_csr()).expect("layer widths chain");
+        y.map_inplace(|v| (v + bias).clamp(0.0, ymax));
+    }
+    y
+}
 
 fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
@@ -21,11 +38,21 @@ fn bench_inference(c: &mut Criterion) {
         let net = ChallengeNetwork::from_config(&config).unwrap();
         let x = sparse_binary_batch(batch, net.n_in(), 0.5, 7);
         group.throughput(Throughput::Elements((batch * net.total_nnz()) as u64));
-        group.bench_with_input(BenchmarkId::new("serial", label), &(), |b, ()| {
-            b.iter(|| black_box(net.forward(&x, false)))
+        group.bench_with_input(BenchmarkId::new("csr_unfused", label), &(), |b, ()| {
+            b.iter(|| black_box(forward_csr_unfused(&net, &x)))
         });
-        group.bench_with_input(BenchmarkId::new("rayon", label), &(), |b, ()| {
-            b.iter(|| black_box(net.forward(&x, true)))
+        let mut ws = InferWorkspace::for_network(&net, batch);
+        group.bench_with_input(BenchmarkId::new("prepared_serial", label), &(), |b, ()| {
+            b.iter(|| {
+                let y = net.forward_with(&x, false, &mut ws);
+                black_box(y.as_slice().last().copied())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prepared_rayon", label), &(), |b, ()| {
+            b.iter(|| {
+                let y = net.forward_with(&x, true, &mut ws);
+                black_box(y.as_slice().last().copied())
+            })
         });
         group.bench_with_input(BenchmarkId::new("pipelined", label), &(), |b, ()| {
             b.iter(|| black_box(forward_pipelined(&net, &x, batch / 8)))

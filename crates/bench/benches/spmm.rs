@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use radix_sparse::ops;
-use radix_sparse::{CsrMatrix, CyclicShift, DenseMatrix};
+use radix_sparse::{CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights};
 
 fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
     CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| 1.0 / degree as f32)
@@ -31,14 +31,46 @@ fn bench_dense_spmm(c: &mut Criterion) {
         (16384, 8, 32),
     ] {
         let w = layer(n, degree);
+        let prepared = PreparedWeights::from_csr(w.clone());
+        assert!(prepared.is_ell(), "RadiX layers have constant degree");
         let x = activations(batch, n);
         group.throughput(Throughput::Elements((batch * w.nnz()) as u64));
         let label = format!("n{n}_deg{degree}_b{batch}");
-        group.bench_with_input(BenchmarkId::new("serial", &label), &(), |b, ()| {
+        // Baseline: generic CSR kernels, allocate-per-call.
+        group.bench_with_input(BenchmarkId::new("csr_serial", &label), &(), |b, ()| {
             b.iter(|| black_box(ops::dense_spmm(&x, &w).unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("rayon", &label), &(), |b, ()| {
+        group.bench_with_input(BenchmarkId::new("csr_rayon", &label), &(), |b, ()| {
             b.iter(|| black_box(ops::par_dense_spmm(&x, &w).unwrap()))
+        });
+        // Prepared ELL kernels into a reused buffer.
+        let mut out = DenseMatrix::<f32>::zeros(batch, n);
+        group.bench_with_input(BenchmarkId::new("prepared_serial", &label), &(), |b, ()| {
+            b.iter(|| {
+                prepared
+                    .spmm_into(&x, &mut out, &Epilogue::identity())
+                    .unwrap();
+                black_box(out.as_slice().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prepared_rayon", &label), &(), |b, ()| {
+            b.iter(|| {
+                prepared
+                    .par_spmm_into(&x, &mut out, &Epilogue::identity())
+                    .unwrap();
+                black_box(out.as_slice().len())
+            })
+        });
+        // Prepared with the bias + clamp epilogue fused in (what the
+        // Challenge inference loop actually runs).
+        let epi = Epilogue::new(radix_sparse::Bias::Uniform(-0.5f32), |v: f32| {
+            v.clamp(0.0, 32.0)
+        });
+        group.bench_with_input(BenchmarkId::new("prepared_fused", &label), &(), |b, ()| {
+            b.iter(|| {
+                prepared.spmm_into(&x, &mut out, &epi).unwrap();
+                black_box(out.as_slice().len())
+            })
         });
     }
     group.finish();

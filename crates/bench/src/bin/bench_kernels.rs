@@ -1,0 +1,204 @@
+//! Pinned kernel benchmark → `BENCH_kernels.json`.
+//!
+//! Runs a fixed subset of the SpMM kernel matrix — the two acceptance
+//! layer configs (`n=16384, deg=8` and `n=4096, deg=16`) × {generic CSR
+//! unfused, prepared ELL, prepared ELL fused, serial and Rayon} — and
+//! writes edges/second per kernel as JSON, so successive PRs have a
+//! machine-readable perf baseline to diff against.
+//!
+//! Invocation (see `make bench-json`):
+//!
+//! ```text
+//! cargo run --release -p radix-bench --bin bench_kernels
+//! ```
+//!
+//! Environment:
+//! * `RADIX_BENCH_QUICK=1` — one timed iteration per kernel (CI smoke:
+//!   proves the emitter runs and the JSON schema is intact; numbers are
+//!   not meaningful),
+//! * `RADIX_BENCH_OUT` — output path (default `BENCH_kernels.json`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use radix_bench::format_json_f64;
+use radix_sparse::ops;
+use radix_sparse::{Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights};
+
+/// Wall-clock budget per kernel point in normal mode.
+const TIME_BUDGET_SECS: f64 = 0.25;
+/// Iteration cap per kernel point in normal mode.
+const MAX_ITERS: u32 = 200;
+
+struct KernelResult {
+    name: &'static str,
+    seconds_per_iter: f64,
+    edges_per_sec: f64,
+}
+
+/// Times `f` (after one warm-up call) under the budget; returns mean
+/// seconds per iteration.
+fn time_kernel<F: FnMut()>(quick: bool, mut f: F) -> f64 {
+    f(); // warm-up: drives buffers to their high-water mark
+    let iters = if quick { 1 } else { MAX_ITERS };
+    let start = Instant::now();
+    let mut done = 0u32;
+    for _ in 0..iters {
+        f();
+        done += 1;
+        if !quick && start.elapsed().as_secs_f64() > TIME_BUDGET_SECS {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / f64::from(done.max(1))
+}
+
+fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
+    CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| 1.0 / degree as f32)
+}
+
+fn activations(rows: usize, cols: usize) -> DenseMatrix<f32> {
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        let r: &mut [f32] = m.row_mut(i);
+        for (j, v) in r.iter_mut().enumerate() {
+            *v = ((i * 31 + j * 17) % 13) as f32 * 0.07;
+        }
+    }
+    m
+}
+
+fn bench_config(n: usize, degree: usize, batch: usize, quick: bool) -> (u64, Vec<KernelResult>) {
+    let w = layer(n, degree);
+    let prepared = PreparedWeights::from_csr(w.clone());
+    assert!(prepared.is_ell(), "RadiX layers have constant degree");
+    let x = activations(batch, n);
+    let edges = (batch * w.nnz()) as u64;
+    let epi_identity = Epilogue::<f32>::identity();
+    let epi_fused = Epilogue::new(Bias::Uniform(-0.3f32), |v: f32| v.clamp(0.0, 32.0));
+    let mut out = DenseMatrix::<f32>::zeros(batch, n);
+
+    // The unfused baselines replicate the pre-prepared-kernel layer step:
+    // allocate-per-call product, then a second pass for bias + clamp.
+    let mut results = Vec::new();
+    let mut push = |name: &'static str, secs: f64| {
+        results.push(KernelResult {
+            name,
+            seconds_per_iter: secs,
+            edges_per_sec: edges as f64 / secs.max(1e-12),
+        });
+    };
+
+    push(
+        "csr_serial_unfused",
+        time_kernel(quick, || {
+            let mut y = ops::dense_spmm(&x, &w).unwrap();
+            y.map_inplace(|v| (v - 0.3).clamp(0.0, 32.0));
+            black_box(y.as_slice().len());
+        }),
+    );
+    push(
+        "csr_rayon_unfused",
+        time_kernel(quick, || {
+            let mut y = ops::par_dense_spmm(&x, &w).unwrap();
+            y.map_inplace(|v| (v - 0.3).clamp(0.0, 32.0));
+            black_box(y.as_slice().len());
+        }),
+    );
+    push(
+        "prepared_serial",
+        time_kernel(quick, || {
+            prepared.spmm_into(&x, &mut out, &epi_identity).unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+    push(
+        "prepared_serial_fused",
+        time_kernel(quick, || {
+            prepared.spmm_into(&x, &mut out, &epi_fused).unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+    push(
+        "prepared_rayon_fused",
+        time_kernel(quick, || {
+            prepared.par_spmm_into(&x, &mut out, &epi_fused).unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+
+    // SpGEMM (CSR × CSR) points so the two-pass par_spmm stitch has a
+    // tracked baseline too; "edges" here is the same batch·nnz budget for
+    // comparability of the JSON schema, not a flop count.
+    push(
+        "spgemm_serial",
+        time_kernel(quick, || {
+            black_box(ops::spmm(&w, &w).unwrap().nnz());
+        }),
+    );
+    push(
+        "spgemm_rayon",
+        time_kernel(quick, || {
+            black_box(ops::par_spmm(&w, &w).unwrap().nnz());
+        }),
+    );
+
+    (edges, results)
+}
+
+fn main() {
+    let quick = std::env::var("RADIX_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let out_path =
+        std::env::var("RADIX_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+
+    // The pinned subset: the two acceptance-criteria layer configs.
+    let configs = [(16384usize, 8usize, 32usize), (4096, 16, 64)];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"radix-bench-kernels/v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str(
+        "  \"note\": \"edges/sec per kernel on the pinned layer configs; \
+         quick=true means single-iteration CI smoke numbers\",\n",
+    );
+    json.push_str("  \"configs\": [\n");
+    for (ci, &(n, degree, batch)) in configs.iter().enumerate() {
+        eprintln!("bench_kernels: n={n} deg={degree} batch={batch} (quick={quick})");
+        let (edges, results) = bench_config(n, degree, batch, quick);
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"n{n}_deg{degree}_b{batch}\",");
+        let _ = writeln!(json, "      \"n\": {n},");
+        let _ = writeln!(json, "      \"degree\": {degree},");
+        let _ = writeln!(json, "      \"batch\": {batch},");
+        let _ = writeln!(json, "      \"edges_per_iter\": {edges},");
+        let _ = writeln!(json, "      \"kernels\": [");
+        for (ki, k) in results.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"name\": \"{}\", \"seconds_per_iter\": {}, \"edges_per_sec\": {}}}{}",
+                k.name,
+                format_json_f64(k.seconds_per_iter),
+                format_json_f64(k.edges_per_sec),
+                if ki + 1 == results.len() { "" } else { "," }
+            );
+            println!(
+                "{:>22}  n{n}_deg{degree}_b{batch}  {:>12.3} us/iter  {:>12.3e} edges/s",
+                k.name,
+                k.seconds_per_iter * 1e6,
+                k.edges_per_sec
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ci + 1 == configs.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

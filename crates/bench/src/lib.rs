@@ -1,1 +1,36 @@
-//! placeholder
+//! Support library for the `radix-bench` benchmark crate: the criterion
+//! benches live under `benches/`, the pinned JSON baseline emitter under
+//! `src/bin/bench_kernels.rs`. This library holds the small shared pieces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Formats an `f64` for embedding in JSON: finite values print with enough
+/// precision to round-trip usefully; non-finite values (which raw JSON
+/// cannot represent) degrade to `0`.
+#[must_use]
+pub fn format_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_values_roundtrip() {
+        let s = format_json_f64(12345.678);
+        let back: f64 = s.parse().unwrap();
+        assert!((back - 12345.678).abs() < 1e-2);
+    }
+
+    #[test]
+    fn non_finite_degrades_to_zero() {
+        assert_eq!(format_json_f64(f64::NAN), "0");
+        assert_eq!(format_json_f64(f64::INFINITY), "0");
+    }
+}

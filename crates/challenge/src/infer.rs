@@ -4,21 +4,85 @@
 //! with `Y` the batch-major dense activations and `W` a sparse layer. The
 //! reported metric is the edge-processing rate: `batch · Σ nnz(W_l)`
 //! divided by wall time ("input-edges per second").
+//!
+//! The layers are held as [`PreparedWeights`]: RadiX-Net layer matrices
+//! have constant row degree, so every product runs on the ELL fast path
+//! with the bias + ReLU + `YMAX` clamp fused into the kernel as an
+//! [`Epilogue`], and activations ping-pong between two
+//! [`InferWorkspace`] buffers. After the workspace warm-up the timed
+//! region performs **zero heap allocation** (`tests/zero_alloc.rs` pins
+//! this down with a counting allocator).
 
 use std::time::Instant;
 
-use radix_sparse::ops::{dense_spmm, par_dense_spmm};
-use radix_sparse::{CsrMatrix, DenseMatrix};
+use radix_sparse::kernel::{use_parallel, PingPong};
+use radix_sparse::{Bias, CsrMatrix, DenseMatrix, Epilogue, PreparedWeights};
 
 use crate::config::ChallengeConfig;
 
-/// A Challenge network instance: sparse weight layers plus the scalar
-/// bias/clamp parameters applied uniformly (as in the official benchmark).
+/// A Challenge network instance: prepared sparse weight layers plus the
+/// scalar bias/clamp parameters applied uniformly (as in the official
+/// benchmark).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChallengeNetwork {
-    layers: Vec<CsrMatrix<f32>>,
+    layers: Vec<PreparedWeights<f32>>,
     bias: f32,
     ymax: f32,
+}
+
+/// Ping-pong activation buffers for allocation-free Challenge inference.
+/// Size once (or let the first pass grow them to the high-water mark),
+/// then every subsequent forward pass is allocation-free. The buffer
+/// alternation is `radix_sparse::kernel`'s [`PingPong`] driver, shared
+/// with the `radix-nn` forward workspace.
+#[derive(Debug, Clone, Default)]
+pub struct InferWorkspace {
+    buffers: PingPong<f32>,
+}
+
+impl InferWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        InferWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `net` at the given batch size, so even
+    /// the first forward pass allocates nothing.
+    #[must_use]
+    pub fn for_network(net: &ChallengeNetwork, batch: usize) -> Self {
+        let widest = net
+            .layers
+            .iter()
+            .map(PreparedWeights::ncols)
+            .max()
+            .unwrap_or(0);
+        InferWorkspace {
+            buffers: PingPong::with_capacity(batch, widest),
+        }
+    }
+
+    /// The output of the most recent forward pass.
+    #[must_use]
+    pub fn output(&self) -> &DenseMatrix<f32> {
+        self.buffers.output()
+    }
+
+    /// Takes the most recent output out of the workspace (leaving an
+    /// empty buffer that will regrow on next use).
+    #[must_use]
+    pub fn take_output(&mut self) -> DenseMatrix<f32> {
+        self.buffers.take_output()
+    }
+}
+
+/// How a forward pass chooses between the serial and Rayon kernels.
+#[derive(Clone, Copy)]
+enum Schedule {
+    /// Caller-forced choice for every layer.
+    Fixed(bool),
+    /// Per-layer decision via the shared work heuristic.
+    Auto,
 }
 
 /// Result of one timed inference run.
@@ -47,7 +111,7 @@ impl ChallengeNetwork {
             .fnnt()
             .submatrices()
             .iter()
-            .map(|w| w.map(|_| weight))
+            .map(|w| PreparedWeights::from_csr(w.map(|_| weight)))
             .collect();
         Ok(ChallengeNetwork {
             layers,
@@ -67,12 +131,16 @@ impl ChallengeNetwork {
         for pair in layers.windows(2) {
             assert_eq!(pair[0].ncols(), pair[1].nrows(), "layers must chain");
         }
-        ChallengeNetwork { layers, bias, ymax }
+        ChallengeNetwork {
+            layers: layers.into_iter().map(PreparedWeights::from_csr).collect(),
+            bias,
+            ymax,
+        }
     }
 
-    /// The weight layers.
+    /// The prepared weight layers.
     #[must_use]
-    pub fn layers(&self) -> &[CsrMatrix<f32>] {
+    pub fn layers(&self) -> &[PreparedWeights<f32>] {
         &self.layers
     }
 
@@ -85,7 +153,7 @@ impl ChallengeNetwork {
     /// Total stored edges.
     #[must_use]
     pub fn total_nnz(&self) -> usize {
-        self.layers.iter().map(CsrMatrix::nnz).sum()
+        self.layers.iter().map(PreparedWeights::nnz).sum()
     }
 
     /// The uniform bias applied before ReLU at every layer.
@@ -100,42 +168,97 @@ impl ChallengeNetwork {
         self.ymax
     }
 
-    /// Applies bias, ReLU, and the `YMAX` clamp in place — the Challenge
-    /// nonlinearity.
-    fn nonlinearity(&self, y: &mut DenseMatrix<f32>) {
-        let bias = self.bias;
+    /// The Challenge nonlinearity `v ↦ clamp(v + bias, 0, YMAX)` as a
+    /// fused epilogue (the ReLU is the lower clamp bound).
+    pub(crate) fn epilogue(&self) -> Epilogue<'static, f32, impl Fn(f32) -> f32 + Sync + Copy> {
         let ymax = self.ymax;
-        y.map_inplace(|v| (v + bias).clamp(0.0, ymax));
+        Epilogue::new(Bias::Uniform(self.bias), move |v: f32| v.clamp(0.0, ymax))
     }
 
     /// Runs the full forward pass, returning final activations.
+    ///
+    /// Allocates a transient workspace; hot loops should hold an
+    /// [`InferWorkspace`] and call [`ChallengeNetwork::forward_with`].
     ///
     /// # Panics
     /// Panics if `x.ncols() != n_in()`.
     #[must_use]
     pub fn forward(&self, x: &DenseMatrix<f32>, parallel: bool) -> DenseMatrix<f32> {
-        let mut y = x.clone();
-        for w in &self.layers {
-            y = if parallel {
-                par_dense_spmm(&y, w)
+        let mut ws = InferWorkspace::new();
+        self.forward_with(x, parallel, &mut ws);
+        ws.take_output()
+    }
+
+    /// Forward pass through ping-pong workspace buffers: each layer's
+    /// product + fused nonlinearity writes the buffer the previous layer
+    /// read from, so a warmed-up pass performs no heap allocation.
+    /// Returns the final output, which lives inside the workspace.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    pub fn forward_with<'w>(
+        &self,
+        x: &DenseMatrix<f32>,
+        parallel: bool,
+        ws: &'w mut InferWorkspace,
+    ) -> &'w DenseMatrix<f32> {
+        self.forward_schedule(x, Schedule::Fixed(parallel), ws)
+    }
+
+    /// Forward pass that picks serial vs Rayon **per layer** with the
+    /// shared `radix_sparse::kernel` work heuristic
+    /// (`RADIX_PAR_THRESHOLD`) — the same switch the `radix-nn` layers
+    /// use — instead of a caller-supplied flag.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    pub fn forward_auto_with<'w>(
+        &self,
+        x: &DenseMatrix<f32>,
+        ws: &'w mut InferWorkspace,
+    ) -> &'w DenseMatrix<f32> {
+        self.forward_schedule(x, Schedule::Auto, ws)
+    }
+
+    /// Shared ping-pong driver behind [`ChallengeNetwork::forward_with`]
+    /// and [`ChallengeNetwork::forward_auto_with`].
+    fn forward_schedule<'w>(
+        &self,
+        x: &DenseMatrix<f32>,
+        schedule: Schedule,
+        ws: &'w mut InferWorkspace,
+    ) -> &'w DenseMatrix<f32> {
+        let epi = self.epilogue();
+        ws.buffers.run(x, self.layers.len(), |l, src, dst| {
+            let w = &self.layers[l];
+            let parallel = match schedule {
+                Schedule::Fixed(p) => p,
+                Schedule::Auto => use_parallel(w.work(src.nrows())),
+            };
+            if parallel {
+                w.par_spmm_into(src, dst, &epi)
             } else {
-                dense_spmm(&y, w)
+                w.spmm_into(src, dst, &epi)
             }
             .expect("layer widths chain");
-            self.nonlinearity(&mut y);
-        }
-        y
+        })
     }
 
     /// Timed forward pass with Challenge-style statistics.
+    ///
+    /// The workspace is sized before the clock starts, so the timed
+    /// region is the pure compute kernel: prepared ELL products with the
+    /// fused nonlinearity, zero heap allocation.
     ///
     /// # Panics
     /// Panics if `x.ncols() != n_in()`.
     #[must_use]
     pub fn run(&self, x: &DenseMatrix<f32>, parallel: bool) -> (DenseMatrix<f32>, InferenceStats) {
+        let mut ws = InferWorkspace::for_network(self, x.nrows());
         let start = Instant::now();
-        let y = self.forward(x, parallel);
+        self.forward_with(x, parallel, &mut ws);
         let seconds = start.elapsed().as_secs_f64().max(1e-12);
+        let y = ws.take_output();
         let edges_processed = x.nrows() as u64 * self.total_nnz() as u64;
         let final_active = y.count_nonzero();
         (
@@ -180,12 +303,41 @@ mod tests {
     }
 
     #[test]
+    fn layers_run_on_the_ell_fast_path() {
+        // RadiX-Net layers have constant row degree by construction, so
+        // the prepared kernels must all take the ELL path.
+        let net = small_net();
+        assert!(net.layers().iter().all(PreparedWeights::is_ell));
+    }
+
+    #[test]
     fn parallel_matches_serial() {
         let net = small_net();
         let x = sparse_binary_batch(8, net.n_in(), 0.3, 0);
         let ys = net.forward(&x, false);
         let yp = net.forward(&x, true);
         assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn auto_matches_explicit() {
+        let net = small_net();
+        let x = sparse_binary_batch(8, net.n_in(), 0.3, 3);
+        let reference = net.forward(&x, false);
+        let mut ws = InferWorkspace::new();
+        assert_eq!(net.forward_auto_with(&x, &mut ws), &reference);
+    }
+
+    #[test]
+    fn workspace_reuse_is_consistent() {
+        // Repeated passes through one workspace give identical results.
+        let net = small_net();
+        let x = sparse_binary_batch(5, net.n_in(), 0.4, 1);
+        let reference = net.forward(&x, false);
+        let mut ws = InferWorkspace::for_network(&net, 5);
+        for _ in 0..3 {
+            assert_eq!(net.forward_with(&x, false, &mut ws), &reference);
+        }
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!   the Challenge generator's recipe at laptop scale,
 //! * [`ChallengeNetwork`] — the timed batch-synchronous kernel
 //!   `Y ← clamp(ReLU(Y·W + b), 0, YMAX)` with Rayon row parallelism and
-//!   edges/second reporting (the Challenge metric),
+//!   edges/second reporting (the Challenge metric). Layers are prepared
+//!   ELL-layout weights (`radix_sparse::kernel`) with the nonlinearity
+//!   fused in, and activations ping-pong through an [`InferWorkspace`] so
+//!   the timed region performs zero heap allocation after warm-up,
 //! * [`forward_pipelined`] — a crossbeam-channel depth-pipelined schedule,
 //!   bit-identical results, different parallel structure (ablation bench).
 
@@ -25,6 +28,6 @@ pub mod stream;
 
 pub use catalog::{challenge_ladder, CatalogEntry};
 pub use config::ChallengeConfig;
-pub use infer::{ChallengeNetwork, InferenceStats};
+pub use infer::{ChallengeNetwork, InferWorkspace, InferenceStats};
 pub use pipeline::forward_pipelined;
 pub use stream::{run_stream, LayerActivationStats, StreamResult};

@@ -11,7 +11,6 @@
 
 use crossbeam::channel::bounded;
 
-use radix_sparse::ops::dense_spmm;
 use radix_sparse::DenseMatrix;
 
 use crate::infer::ChallengeNetwork;
@@ -52,8 +51,7 @@ pub fn forward_pipelined(
         .collect();
     let num_tiles = tiles.len();
     let layers = net.layers();
-    let bias = net_bias(net);
-    let ymax = net_ymax(net);
+    let epi = net.epilogue();
 
     let out_cols = layers.last().unwrap().ncols();
     let mut collected: Vec<Option<DenseMatrix<f32>>> = vec![None; num_tiles];
@@ -72,9 +70,12 @@ pub fn forward_pipelined(
 
         for (w, in_rx, out_tx) in stage_rxs {
             scope.spawn(move |_| {
+                // Output tiles are owned by the channel, so each is a fresh
+                // buffer; the nonlinearity is fused into the prepared kernel.
                 for (t, tile) in in_rx {
-                    let mut y = dense_spmm(&tile, w).expect("layer widths chain");
-                    y.map_inplace(|v| (v + bias).clamp(0.0, ymax));
+                    let mut y = DenseMatrix::default();
+                    w.spmm_into(&tile, &mut y, &epi)
+                        .expect("layer widths chain");
                     if out_tx.send((t, y)).is_err() {
                         break;
                     }
@@ -107,16 +108,6 @@ pub fn forward_pipelined(
         }
     }
     out
-}
-
-// ChallengeNetwork keeps bias/ymax private; tiny accessors live here to
-// avoid widening the public API surface for a scheduling detail.
-fn net_bias(net: &ChallengeNetwork) -> f32 {
-    net.bias()
-}
-
-fn net_ymax(net: &ChallengeNetwork) -> f32 {
-    net.ymax()
 }
 
 #[cfg(test)]

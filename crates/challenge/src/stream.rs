@@ -47,18 +47,21 @@ pub fn run_stream(net: &ChallengeNetwork, batches: &[DenseMatrix<f32>]) -> Strea
         rows: 0,
     };
     let mut categories = Vec::new();
+    // Ping-pong buffers shared across every batch in the stream: the
+    // prepared kernels resize them in place, so steady-state batches run
+    // allocation-free with the bias/ReLU/clamp epilogue fused in.
+    let epi = net.epilogue();
+    let mut buffers = radix_sparse::kernel::PingPong::new();
     for batch in batches {
         assert_eq!(batch.ncols(), net.n_in(), "batch width mismatch");
         stats.rows += batch.nrows();
-        let mut y = batch.clone();
-        record(&mut stats, 0, &y);
-        for (l, w) in net.layers().iter().enumerate() {
-            y = radix_sparse::ops::par_dense_spmm(&y, w).expect("widths chain");
-            let bias = net.bias();
-            let ymax = net.ymax();
-            y.map_inplace(|v| (v + bias).clamp(0.0, ymax));
-            record(&mut stats, l + 1, &y);
-        }
+        record(&mut stats, 0, batch);
+        let y = buffers.run(batch, net.layers().len(), |l, src, dst| {
+            net.layers()[l]
+                .par_spmm_into(src, dst, &epi)
+                .expect("widths chain");
+            record(&mut stats, l + 1, dst);
+        });
         for i in 0..y.nrows() {
             let active: Vec<usize> = y
                 .row(i)

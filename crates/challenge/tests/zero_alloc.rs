@@ -1,0 +1,96 @@
+//! Verifies the acceptance criterion of the prepared-kernel engine: after
+//! workspace warm-up, the Challenge inference timed region performs **no
+//! heap allocation**. A counting global allocator wraps the system
+//! allocator; the serial forward pass through a warmed [`InferWorkspace`]
+//! must leave the allocation counter untouched.
+//!
+//! The check targets the serial kernel: the parallel variant is
+//! arithmetically identical but fans work out over scoped threads, whose
+//! spawn machinery allocates (thread stacks, join handles) — that is
+//! scheduling overhead, not per-layer buffer churn.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use radix_challenge::{ChallengeConfig, ChallengeNetwork, InferWorkspace};
+use radix_data::sparse_binary_batch;
+
+/// Counts every allocation (alloc + realloc) made through the global
+/// allocator, delegating the actual memory management to [`System`].
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to the system allocator; the
+// only added behavior is a relaxed atomic counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+// One test function on purpose: the counter is process-global, so two
+// tests measuring "no allocations happened in my window" concurrently
+// would see each other's setup allocations and fail spuriously under the
+// default parallel test harness.
+#[test]
+fn inference_timed_region_is_allocation_free() {
+    // Part 1: warmed-up workspace — repeated passes allocate nothing.
+    let net = ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 5, 3)).unwrap();
+    let batch = 16usize;
+    let x = sparse_binary_batch(batch, net.n_in(), 0.5, 7);
+    let mut ws = InferWorkspace::for_network(&net, batch);
+
+    // Warm-up: drives every buffer to its high-water mark.
+    let reference = net.forward_with(&x, false, &mut ws).clone();
+
+    // Timed-region equivalent: repeated serial passes through the warmed
+    // workspace must not allocate at all.
+    let before = allocations();
+    for _ in 0..3 {
+        let y = net.forward_with(&x, false, &mut ws);
+        assert_eq!(y.shape(), reference.shape());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up serial inference must be allocation-free"
+    );
+
+    // And the results are still correct.
+    assert_eq!(net.forward_with(&x, false, &mut ws), &reference);
+
+    // Part 2: a workspace pre-sized with for_network makes even the
+    // *first* pass allocation-free.
+    let net2 = ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 4, 2)).unwrap();
+    let batch2 = 8usize;
+    let x2 = sparse_binary_batch(batch2, net2.n_in(), 0.4, 3);
+    let mut ws2 = InferWorkspace::for_network(&net2, batch2);
+
+    let before = allocations();
+    let _ = net2.forward_with(&x2, false, &mut ws2);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "a workspace pre-sized with for_network must never allocate"
+    );
+}

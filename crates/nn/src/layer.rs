@@ -6,14 +6,10 @@
 
 use rayon::prelude::*;
 
-use radix_sparse::ops::{dense_spmm, dense_spmm_transposed, par_dense_spmm};
-use radix_sparse::{CsrMatrix, DenseMatrix};
+use radix_sparse::kernel::use_parallel;
+use radix_sparse::{Bias, CsrMatrix, DenseMatrix, Epilogue, PreparedWeights};
 
 use crate::activation::Activation;
-
-/// Work threshold (batch rows × weight nnz) above which forward/backward
-/// kernels switch to their Rayon-parallel variants.
-const PAR_THRESHOLD: usize = 1 << 15;
 
 /// Gradients of one layer's parameters, laid out to match the layer's own
 /// parameter storage (`w` parallel to the weight values, `b` to the bias).
@@ -45,12 +41,24 @@ impl LayerGrads {
             *a += o * scale;
         }
     }
+
+    /// Resizes to the given lengths and zero-fills, reusing allocations —
+    /// the gradient analogue of `DenseMatrix::resize_zeroed`.
+    pub fn resize_zeroed(&mut self, w_len: usize, b_len: usize) {
+        self.w.clear();
+        self.w.resize(w_len, 0.0);
+        self.b.clear();
+        self.b.resize(b_len, 0.0);
+    }
 }
 
-/// A linear layer with a sparse (CSR) weight matrix and per-output bias.
+/// A linear layer with a sparse weight matrix and per-output bias. The
+/// weights are held as [`PreparedWeights`]: RadiX-Net/X-Net patterns have
+/// constant row degree, so forward/backward run on the ELL fast path with
+/// the bias + activation epilogue fused into the kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseLinear {
-    w: CsrMatrix<f32>,
+    w: PreparedWeights<f32>,
     b: Vec<f32>,
     act: Activation,
 }
@@ -75,16 +83,28 @@ pub enum Layer {
 }
 
 impl SparseLinear {
-    /// Creates a sparse layer from weights and activation; bias starts at 0.
+    /// Creates a sparse layer from weights and activation; bias starts at
+    /// 0. The weight matrix is prepared once here (constant-row-degree
+    /// detection for the ELL fast path).
     #[must_use]
     pub fn new(w: CsrMatrix<f32>, act: Activation) -> Self {
         let b = vec![0.0; w.ncols()];
-        SparseLinear { w, b, act }
+        SparseLinear {
+            w: PreparedWeights::from_csr(w),
+            b,
+            act,
+        }
     }
 
-    /// The weight matrix.
+    /// The weight matrix in CSR form.
     #[must_use]
     pub fn weights(&self) -> &CsrMatrix<f32> {
+        self.w.as_csr()
+    }
+
+    /// The prepared weight matrix the kernels actually run on.
+    #[must_use]
+    pub fn prepared(&self) -> &PreparedWeights<f32> {
         &self.w
     }
 
@@ -155,31 +175,46 @@ impl Layer {
 
     /// Forward pass: `act(X · W + b)` for batch-major `X`.
     ///
+    /// Allocates a fresh output; hot loops should use
+    /// [`Layer::forward_into`] with a reused buffer instead.
+    ///
     /// # Panics
     /// Panics if `x.ncols() != n_in()`.
     #[must_use]
     pub fn forward(&self, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
-        let mut out = match self {
-            Layer::Sparse(l) => if x.nrows() * l.w.nnz() >= PAR_THRESHOLD {
-                par_dense_spmm(x, &l.w)
-            } else {
-                dense_spmm(x, &l.w)
-            }
-            .expect("layer width mismatch"),
-            Layer::Dense(l) => x.matmul(&l.w).expect("layer width mismatch"),
-        };
-        let (b, act) = match self {
-            Layer::Sparse(l) => (&l.b, l.act),
-            Layer::Dense(l) => (&l.b, l.act),
-        };
-        for i in 0..out.nrows() {
-            let row: &mut [f32] = out.row_mut(i);
-            for (v, &bias) in row.iter_mut().zip(b) {
-                *v += bias;
-            }
-            act.apply_slice(row);
-        }
+        let mut out = DenseMatrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// Forward pass into a caller-provided buffer: `out ← act(X · W + b)`.
+    ///
+    /// `out` is resized in place (reusing its allocation when possible).
+    /// Sparse layers run the prepared kernel with the bias + activation
+    /// epilogue fused into the product; serial vs Rayon is chosen by the
+    /// shared `radix_sparse::kernel` work heuristic.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    pub fn forward_into(&self, x: &DenseMatrix<f32>, out: &mut DenseMatrix<f32>) {
+        match self {
+            Layer::Sparse(l) => {
+                let act = l.act;
+                let epi = Epilogue::new(Bias::PerOutput(&l.b), move |v: f32| act.apply(v));
+                l.w.spmm_auto_into(x, out, &epi)
+                    .expect("layer width mismatch");
+            }
+            Layer::Dense(l) => {
+                x.matmul_into(&l.w, out).expect("layer width mismatch");
+                for i in 0..out.nrows() {
+                    let row: &mut [f32] = out.row_mut(i);
+                    for (v, &bias) in row.iter_mut().zip(&l.b) {
+                        *v += bias;
+                    }
+                    l.act.apply_slice(row);
+                }
+            }
+        }
     }
 
     /// Backward pass. Given the layer input `x`, its forward output `out`
@@ -195,11 +230,32 @@ impl Layer {
         out: &DenseMatrix<f32>,
         grad_out: &DenseMatrix<f32>,
     ) -> (LayerGrads, DenseMatrix<f32>) {
-        assert_eq!(out.shape(), grad_out.shape(), "output/grad shape mismatch");
+        let mut delta = grad_out.clone();
+        let mut grads = LayerGrads::zeros(0, 0);
+        let mut grad_in = DenseMatrix::zeros(0, 0);
+        self.backward_into(x, out, &mut delta, &mut grads, &mut grad_in);
+        (grads, grad_in)
+    }
+
+    /// Backward pass into caller-provided buffers. On entry `delta` must
+    /// hold the loss gradient w.r.t. `out`; it is scaled by `act'(out)` in
+    /// place (becoming scratch). `grads` and `grad_in` are resized
+    /// (reusing allocations) and filled.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches between `x`, `out`, and `delta`.
+    pub fn backward_into(
+        &self,
+        x: &DenseMatrix<f32>,
+        out: &DenseMatrix<f32>,
+        delta: &mut DenseMatrix<f32>,
+        grads: &mut LayerGrads,
+        grad_in: &mut DenseMatrix<f32>,
+    ) {
+        assert_eq!(out.shape(), delta.shape(), "output/grad shape mismatch");
         assert_eq!(x.nrows(), out.nrows(), "batch size mismatch");
         let act = self.activation();
-        // delta = grad_out ⊙ act'(out), computed once.
-        let mut delta = grad_out.clone();
+        // delta ← delta ⊙ act'(out), in place.
         for i in 0..delta.nrows() {
             let drow: &mut [f32] = delta.row_mut(i);
             let orow = out.row(i);
@@ -208,41 +264,41 @@ impl Layer {
             }
         }
 
-        let grad_b: Vec<f32> = {
-            let mut acc = vec![0.0f32; delta.ncols()];
-            for i in 0..delta.nrows() {
-                for (a, &d) in acc.iter_mut().zip(delta.row(i)) {
-                    *a += d;
-                }
+        let (w_len, b_len) = self.param_lens();
+        grads.resize_zeroed(w_len, b_len);
+        for i in 0..delta.nrows() {
+            for (a, &d) in grads.b.iter_mut().zip(delta.row(i)) {
+                *a += d;
             }
-            acc
-        };
+        }
 
         match self {
             Layer::Sparse(l) => {
-                let grad_w = sparse_weight_grads(&l.w, x, &delta);
-                let grad_in = dense_spmm_transposed(&delta, &l.w)
+                sparse_weight_grads_into(&l.w, x, delta, &mut grads.w);
+                l.w.spmm_transposed_auto_into(delta, grad_in, &Epilogue::identity())
                     .expect("delta width matches weight columns");
-                (
-                    LayerGrads {
-                        w: grad_w,
-                        b: grad_b,
-                    },
-                    grad_in,
-                )
             }
             Layer::Dense(l) => {
-                let grad_w = x.transpose().matmul(&delta).expect("shapes agree");
-                let grad_in = delta
-                    .matmul(&l.w.transpose())
+                // grad_w[i, j] = Σ_b x[b, i] · delta[b, j], accumulated
+                // straight into the (zeroed) workspace buffer — no
+                // transpose temp, no allocate-then-copy.
+                let n_out = l.w.ncols();
+                for b in 0..x.nrows() {
+                    let xrow = x.row(b);
+                    let drow = delta.row(b);
+                    for (i, &xv) in xrow.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let seg = &mut grads.w[i * n_out..(i + 1) * n_out];
+                        for (g, &d) in seg.iter_mut().zip(drow) {
+                            *g += xv * d;
+                        }
+                    }
+                }
+                delta
+                    .matmul_transposed_into(&l.w, grad_in)
                     .expect("delta width matches weight columns");
-                (
-                    LayerGrads {
-                        w: grad_w.into_vec(),
-                        b: grad_b,
-                    },
-                    grad_in,
-                )
             }
         }
     }
@@ -257,7 +313,7 @@ impl Layer {
         match self {
             Layer::Sparse(l) => {
                 assert_eq!(w_delta.len(), l.w.nnz(), "weight update length");
-                for (w, &d) in l.w.data_mut().iter_mut().zip(w_delta) {
+                for (w, &d) in l.w.values_mut().iter_mut().zip(w_delta) {
                     *w -= d;
                 }
                 assert_eq!(b_delta.len(), l.b.len(), "bias update length");
@@ -294,27 +350,30 @@ impl Layer {
 }
 
 /// Gradients of the structural nonzeros only:
-/// `grad_w[(i,j)] = Σ_b x[b,i] · delta[b,j]`, in CSR value order.
-/// Parallel over weight rows (each row's gradient segment is independent).
-fn sparse_weight_grads(
-    w: &CsrMatrix<f32>,
+/// `grad_w[(i,j)] = Σ_b x[b,i] · delta[b,j]`, in CSR (= ELL) value order,
+/// written into the caller's (already zeroed) buffer.
+/// Parallel over weight rows (each row's gradient segment is independent),
+/// switched by the shared `radix_sparse::kernel` heuristic.
+fn sparse_weight_grads_into(
+    w: &PreparedWeights<f32>,
     x: &DenseMatrix<f32>,
     delta: &DenseMatrix<f32>,
-) -> Vec<f32> {
-    let mut grads = vec![0.0f32; w.nnz()];
+    grads: &mut [f32],
+) {
+    let csr = w.as_csr();
+    assert_eq!(grads.len(), csr.nnz(), "gradient buffer length");
     // Split the flat gradient vector into per-row segments (safe: CSR rows
     // partition the value array).
-    let mut segments: Vec<(usize, &mut [f32])> = Vec::with_capacity(w.nrows());
-    let mut rest = grads.as_mut_slice();
-    for i in 0..w.nrows() {
-        let len = w.row_nnz(i);
+    let mut segments: Vec<(usize, &mut [f32])> = Vec::with_capacity(csr.nrows());
+    let mut rest = grads;
+    for i in 0..csr.nrows() {
+        let len = csr.row_nnz(i);
         let (seg, tail) = rest.split_at_mut(len);
         segments.push((i, seg));
         rest = tail;
     }
-    let work = x.nrows() * w.nnz();
     let body = |(i, seg): (usize, &mut [f32])| {
-        let (cols, _) = w.row(i);
+        let (cols, _) = csr.row(i);
         for b in 0..x.nrows() {
             let xv = x.get(b, i);
             if xv == 0.0 {
@@ -326,12 +385,11 @@ fn sparse_weight_grads(
             }
         }
     };
-    if work >= PAR_THRESHOLD {
+    if use_parallel(w.work(x.nrows())) {
         segments.into_par_iter().for_each(body);
     } else {
         segments.into_iter().for_each(body);
     }
-    grads
 }
 
 #[cfg(test)]

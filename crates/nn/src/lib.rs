@@ -16,7 +16,12 @@
 //! * [`Optimizer`] — SGD / momentum / Adam,
 //! * [`train_classifier`] / [`train_regressor`] — mini-batch loops,
 //! * [`Init`] — structural-fan-in-aware initialization (a sparse layer's
-//!   fan-in is its column degree, not the layer width).
+//!   fan-in is its column degree, not the layer width),
+//! * [`ForwardWorkspace`] / [`GradWorkspace`] — reusable activation and
+//!   gradient buffers: forward passes ping-pong two buffers, training
+//!   reuses its trace/delta/gradient storage across mini-batches, and the
+//!   sparse layers run `radix_sparse::kernel`'s prepared ELL kernels with
+//!   the bias + activation epilogue fused in.
 //!
 //! ## Quick example
 //!
@@ -45,6 +50,7 @@ pub mod loss;
 pub mod network;
 pub mod optimizer;
 pub mod train;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use eval::ConfusionMatrix;
@@ -54,3 +60,4 @@ pub use loss::{accuracy, softmax_row, Loss};
 pub use network::{matched_dense_twin, Network, Targets};
 pub use optimizer::Optimizer;
 pub use train::{clip_gradients, train_classifier, train_regressor, History, TrainConfig};
+pub use workspace::{ForwardWorkspace, GradWorkspace};

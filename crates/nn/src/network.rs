@@ -18,6 +18,7 @@ use crate::activation::Activation;
 use crate::init::{init_dense, init_sparse, Init};
 use crate::layer::{DenseLinear, Layer, LayerGrads, SparseLinear};
 use crate::loss::Loss;
+use crate::workspace::{ForwardWorkspace, GradWorkspace};
 
 /// Training targets: class labels or regression values.
 #[derive(Debug, Clone, Copy)]
@@ -144,49 +145,110 @@ impl Network {
     }
 
     /// Forward pass returning the final output (logits).
+    ///
+    /// Allocates a transient workspace; repeated callers should hold a
+    /// [`ForwardWorkspace`] and use [`Network::forward_with`] instead.
     #[must_use]
     pub fn forward(&self, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward(&cur);
-        }
-        cur
+        let mut ws = ForwardWorkspace::new();
+        self.forward_with(x, &mut ws);
+        ws.take_output()
+    }
+
+    /// Forward pass through ping-pong workspace buffers: layer `l` reads
+    /// one buffer and writes the other, so the whole pass performs no heap
+    /// allocation once the workspace has reached its high-water mark.
+    /// Returns the final output, which lives inside the workspace.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    pub fn forward_with<'w>(
+        &self,
+        x: &DenseMatrix<f32>,
+        ws: &'w mut ForwardWorkspace,
+    ) -> &'w DenseMatrix<f32> {
+        ws.buffers.run(x, self.layers.len(), |l, src, dst| {
+            self.layers[l].forward_into(src, dst);
+        })
     }
 
     /// Forward pass retaining every intermediate activation (input
     /// excluded; `result[i]` is the output of layer `i`).
     #[must_use]
     pub fn forward_trace(&self, x: &DenseMatrix<f32>) -> Vec<DenseMatrix<f32>> {
-        let mut outs = Vec::with_capacity(self.layers.len());
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward(&cur);
-            outs.push(cur.clone());
-        }
+        let mut outs = Vec::new();
+        self.forward_trace_into(x, &mut outs);
         outs
+    }
+
+    /// Forward pass writing every intermediate activation into reusable
+    /// buffers: `trace[i]` becomes the output of layer `i`. The vector is
+    /// resized to the layer count; existing buffers are reused in place.
+    ///
+    /// # Panics
+    /// Panics if `x.ncols() != n_in()`.
+    pub fn forward_trace_into(&self, x: &DenseMatrix<f32>, trace: &mut Vec<DenseMatrix<f32>>) {
+        let n = self.layers.len();
+        trace.resize_with(n, || DenseMatrix::zeros(0, 0));
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = trace.split_at_mut(i);
+            let src: &DenseMatrix<f32> = if i == 0 { x } else { &head[i - 1] };
+            layer.forward_into(src, &mut tail[0]);
+        }
     }
 
     /// Computes the mean loss and parameter gradients on one batch
     /// (serial).
     ///
+    /// Allocates a transient workspace; the training loops hold a
+    /// [`GradWorkspace`] and call [`Network::grad_batch_with`] so buffers
+    /// persist across mini-batches.
+    ///
     /// # Panics
     /// Panics on target/batch shape mismatches.
     #[must_use]
     pub fn grad_batch(&self, x: &DenseMatrix<f32>, targets: Targets<'_>) -> (f32, Vec<LayerGrads>) {
-        let outs = self.forward_trace(x);
-        let logits = outs.last().expect("at least one layer");
-        let (loss, mut grad) = match targets {
+        let mut ws = GradWorkspace::new();
+        let loss = self.grad_batch_with(x, targets, &mut ws);
+        (loss, std::mem::take(&mut ws.grads))
+    }
+
+    /// Computes the mean loss and parameter gradients on one batch using
+    /// workspace buffers: the activation trace, the backpropagated
+    /// gradient ping-pong pair, and the per-layer gradients all live in
+    /// `ws` and are reused across calls (gradients are readable afterwards
+    /// via [`GradWorkspace::grads`]).
+    ///
+    /// # Panics
+    /// Panics on target/batch shape mismatches.
+    pub fn grad_batch_with(
+        &self,
+        x: &DenseMatrix<f32>,
+        targets: Targets<'_>,
+        ws: &mut GradWorkspace,
+    ) -> f32 {
+        ws.ensure(self);
+        let GradWorkspace {
+            trace,
+            delta,
+            grad_in,
+            grads,
+        } = ws;
+        self.forward_trace_into(x, trace);
+        let logits = trace.last().expect("at least one layer");
+        let (loss, grad) = match targets {
             Targets::Labels(labels) => self.loss.eval_classification(logits, labels),
             Targets::Values(values) => self.loss.eval_regression(logits, values),
         };
-        let mut grads = vec![LayerGrads::zeros(0, 0); self.layers.len()];
+        *delta = grad;
         for i in (0..self.layers.len()).rev() {
-            let input = if i == 0 { x } else { &outs[i - 1] };
-            let (g, grad_in) = self.layers[i].backward(input, &outs[i], &grad);
-            grads[i] = g;
-            grad = grad_in;
+            let input = if i == 0 { x } else { &trace[i - 1] };
+            self.layers[i].backward_into(input, &trace[i], delta, &mut grads[i], grad_in);
+            // The gradient w.r.t. this layer's input is the next (earlier)
+            // layer's upstream gradient; delta's buffer becomes scratch.
+            std::mem::swap(delta, grad_in);
         }
-        (loss, grads)
+        loss
     }
 
     /// Data-parallel gradient computation: splits the batch into

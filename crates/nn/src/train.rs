@@ -9,6 +9,7 @@ use radix_sparse::DenseMatrix;
 use crate::loss::accuracy;
 use crate::network::{Network, Targets};
 use crate::optimizer::Optimizer;
+use crate::workspace::{ForwardWorkspace, GradWorkspace};
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -93,13 +94,41 @@ impl History {
     }
 }
 
-fn gather_rows(x: &DenseMatrix<f32>, idx: &[usize]) -> DenseMatrix<f32> {
-    let mut out = DenseMatrix::zeros(idx.len(), x.ncols());
+fn gather_rows_into(x: &DenseMatrix<f32>, idx: &[usize], out: &mut DenseMatrix<f32>) {
+    // Every row is copy_from_slice-overwritten below, so skip zeroing.
+    out.resize_for_overwrite(idx.len(), x.ncols());
     for (local, &global) in idx.iter().enumerate() {
         let dst: &mut [f32] = out.row_mut(local);
         dst.copy_from_slice(x.row(global));
     }
-    out
+}
+
+/// One optimizer step on a gathered mini-batch: gradients via the
+/// persistent workspace (serial) or the Rayon data-parallel path, then
+/// weight decay, clipping, and the update — shared by both training loops.
+fn train_step(
+    net: &mut Network,
+    xb: &DenseMatrix<f32>,
+    targets: Targets<'_>,
+    opt: &mut Optimizer,
+    config: &TrainConfig,
+    ws: &mut GradWorkspace,
+) -> f32 {
+    let loss = if config.parallel_chunks > 1 {
+        let (loss, grads) = net.par_grad_batch(xb, targets, config.parallel_chunks);
+        ws.set_grads(grads);
+        loss
+    } else {
+        net.grad_batch_with(xb, targets, ws)
+    };
+    if config.weight_decay > 0.0 {
+        net.add_weight_decay(ws.grads_mut(), config.weight_decay);
+    }
+    if let Some(max_norm) = config.grad_clip {
+        clip_gradients(ws.grads_mut(), max_norm);
+    }
+    net.apply_gradients(ws.grads(), opt);
+    loss
 }
 
 /// Trains a classifier with softmax cross-entropy.
@@ -118,31 +147,29 @@ pub fn train_classifier(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..x.nrows()).collect();
     let mut history = History::default();
+    // Persistent buffers: mini-batch gather, forward/backward workspace,
+    // and the full-set evaluation workspace reach their high-water mark in
+    // epoch 0 and are reused afterwards. (One allocation per batch
+    // remains: Loss::eval_* builds the initial gradient matrix — see the
+    // ROADMAP "loss eval_into" open item.)
+    let mut xb = DenseMatrix::zeros(0, 0);
+    let mut yb: Vec<usize> = Vec::new();
+    let mut ws = GradWorkspace::new();
+    let mut eval_ws = ForwardWorkspace::new();
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0u32;
         for chunk in order.chunks(config.batch_size) {
-            let xb = gather_rows(x, chunk);
-            let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-            let (loss, mut grads) = if config.parallel_chunks > 1 {
-                net.par_grad_batch(&xb, Targets::Labels(&yb), config.parallel_chunks)
-            } else {
-                net.grad_batch(&xb, Targets::Labels(&yb))
-            };
-            if config.weight_decay > 0.0 {
-                net.add_weight_decay(&mut grads, config.weight_decay);
-            }
-            if let Some(max_norm) = config.grad_clip {
-                clip_gradients(&mut grads, max_norm);
-            }
-            net.apply_gradients(&grads, opt);
-            epoch_loss += loss;
+            gather_rows_into(x, chunk, &mut xb);
+            yb.clear();
+            yb.extend(chunk.iter().map(|&i| labels[i]));
+            epoch_loss += train_step(net, &xb, Targets::Labels(&yb), opt, config, &mut ws);
             batches += 1;
         }
         history.losses.push(epoch_loss / batches.max(1) as f32);
-        let logits = net.forward(x);
-        history.accuracies.push(accuracy(&logits, labels));
+        let logits = net.forward_with(x, &mut eval_ws);
+        history.accuracies.push(accuracy(logits, labels));
         if config.lr_decay != 1.0 {
             opt.scale_lr(config.lr_decay);
         }
@@ -166,26 +193,17 @@ pub fn train_regressor(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..x.nrows()).collect();
     let mut history = History::default();
+    let mut xb = DenseMatrix::zeros(0, 0);
+    let mut yb = DenseMatrix::zeros(0, 0);
+    let mut ws = GradWorkspace::new();
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0u32;
         for chunk in order.chunks(config.batch_size) {
-            let xb = gather_rows(x, chunk);
-            let yb = gather_rows(y, chunk);
-            let (loss, mut grads) = if config.parallel_chunks > 1 {
-                net.par_grad_batch(&xb, Targets::Values(&yb), config.parallel_chunks)
-            } else {
-                net.grad_batch(&xb, Targets::Values(&yb))
-            };
-            if config.weight_decay > 0.0 {
-                net.add_weight_decay(&mut grads, config.weight_decay);
-            }
-            if let Some(max_norm) = config.grad_clip {
-                clip_gradients(&mut grads, max_norm);
-            }
-            net.apply_gradients(&grads, opt);
-            epoch_loss += loss;
+            gather_rows_into(x, chunk, &mut xb);
+            gather_rows_into(y, chunk, &mut yb);
+            epoch_loss += train_step(net, &xb, Targets::Values(&yb), opt, config, &mut ws);
             batches += 1;
         }
         history.losses.push(epoch_loss / batches.max(1) as f32);

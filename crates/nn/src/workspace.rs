@@ -1,0 +1,118 @@
+//! Reusable forward/backward buffers: size once per network, reuse across
+//! batches and epochs.
+//!
+//! Every buffer here is resized with
+//! [`DenseMatrix::resize_zeroed`], which reuses the
+//! existing allocation whenever capacity suffices — so after the first
+//! batch (the high-water mark) a training epoch or inference loop performs
+//! no per-layer heap allocation. This is the network-level half of the
+//! prepared-kernel engine in `radix_sparse::kernel`; the layer-level half
+//! (ELL layouts, fused epilogues) lives there.
+
+use radix_sparse::kernel::PingPong;
+use radix_sparse::DenseMatrix;
+
+use crate::layer::LayerGrads;
+use crate::network::Network;
+
+/// Ping-pong activation buffers for allocation-free forward passes.
+///
+/// [`Network::forward_with`] alternates the two buffers layer by layer:
+/// layer `l` reads from one and writes into the other, so a network of any
+/// depth needs exactly two buffers, each as large as the widest layer ×
+/// batch. The alternation itself is `radix_sparse::kernel`'s [`PingPong`]
+/// driver, shared with the Challenge inference workspace.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardWorkspace {
+    pub(crate) buffers: PingPong<f32>,
+}
+
+impl ForwardWorkspace {
+    /// An empty workspace; buffers grow to their high-water mark on first
+    /// use.
+    #[must_use]
+    pub fn new() -> Self {
+        ForwardWorkspace {
+            buffers: PingPong::new(),
+        }
+    }
+
+    /// A workspace pre-sized for `net` at the given batch size, so even the
+    /// first forward pass allocates nothing.
+    #[must_use]
+    pub fn for_network(net: &Network, batch: usize) -> Self {
+        let widest = net
+            .layers()
+            .iter()
+            .map(crate::layer::Layer::n_out)
+            .max()
+            .unwrap_or(0);
+        ForwardWorkspace {
+            buffers: PingPong::with_capacity(batch, widest),
+        }
+    }
+
+    /// The output of the most recent [`Network::forward_with`] call.
+    #[must_use]
+    pub fn output(&self) -> &DenseMatrix<f32> {
+        self.buffers.output()
+    }
+
+    /// Takes the most recent output out of the workspace (leaving an empty
+    /// buffer that will regrow on next use).
+    #[must_use]
+    pub fn take_output(&mut self) -> DenseMatrix<f32> {
+        self.buffers.take_output()
+    }
+}
+
+/// Buffers for a full forward + backward pass, reused across mini-batches:
+/// the per-layer activation trace, the backpropagated gradient ping-pong
+/// pair, and the per-layer parameter gradients.
+#[derive(Debug, Clone, Default)]
+pub struct GradWorkspace {
+    /// `trace[i]` holds the (post-activation) output of layer `i`.
+    pub(crate) trace: Vec<DenseMatrix<f32>>,
+    /// Upstream gradient flowing into the current layer (becomes the
+    /// activation-scaled delta in place during the layer's backward).
+    pub(crate) delta: DenseMatrix<f32>,
+    /// Gradient w.r.t. the current layer's input, swapped with `delta`
+    /// after each layer.
+    pub(crate) grad_in: DenseMatrix<f32>,
+    /// Per-layer parameter gradients, laid out like the layers' parameters.
+    pub(crate) grads: Vec<LayerGrads>,
+}
+
+impl GradWorkspace {
+    /// An empty workspace; buffers grow to their high-water mark on first
+    /// use.
+    #[must_use]
+    pub fn new() -> Self {
+        GradWorkspace::default()
+    }
+
+    /// Ensures the per-layer vectors match `net`'s layer count.
+    pub(crate) fn ensure(&mut self, net: &Network) {
+        let n = net.layers().len();
+        self.trace.resize_with(n, || DenseMatrix::zeros(0, 0));
+        self.grads.resize_with(n, || LayerGrads::zeros(0, 0));
+    }
+
+    /// The parameter gradients of the most recent backward pass.
+    #[must_use]
+    pub fn grads(&self) -> &[LayerGrads] {
+        &self.grads
+    }
+
+    /// Mutable access to the parameter gradients (for weight decay and
+    /// gradient clipping between backward and the optimizer step).
+    pub fn grads_mut(&mut self) -> &mut [LayerGrads] {
+        &mut self.grads
+    }
+
+    /// Replaces the stored gradients (used when a data-parallel path
+    /// computed them out-of-workspace).
+    pub fn set_grads(&mut self, grads: Vec<LayerGrads>) {
+        self.grads = grads;
+    }
+}

@@ -16,6 +16,14 @@ pub struct DenseMatrix<T> {
     data: Vec<T>,
 }
 
+impl<T: Scalar> Default for DenseMatrix<T> {
+    /// The empty `0 × 0` matrix (no allocation) — the natural seed for
+    /// buffers grown with [`DenseMatrix::resize_zeroed`].
+    fn default() -> Self {
+        DenseMatrix::zeros(0, 0)
+    }
+}
+
 impl<T: Scalar> DenseMatrix<T> {
     /// Creates an all-zero matrix of the given shape.
     #[must_use]
@@ -157,6 +165,29 @@ impl<T: Scalar> DenseMatrix<T> {
         self.data
     }
 
+    /// Reshapes to `nrows × ncols` and zero-fills, reusing the existing
+    /// allocation whenever its capacity suffices. This is the workhorse of
+    /// the `_into` kernels: an output buffer resized this way allocates at
+    /// most once per high-water mark, so ping-pong workspaces reach a
+    /// steady state with zero heap traffic.
+    pub fn resize_zeroed(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.clear();
+        self.data.resize(nrows * ncols, T::ZERO);
+    }
+
+    /// Reshapes to `nrows × ncols` **without** clearing: retained elements
+    /// keep stale values (newly grown ones are zero). For kernels that
+    /// overwrite every output element — gathers, row copies — this skips
+    /// the zero-fill pass that [`DenseMatrix::resize_zeroed`] pays.
+    /// Callers must write every element before reading any.
+    pub fn resize_for_overwrite(&mut self, nrows: usize, ncols: usize) {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.data.resize(nrows * ncols, T::ZERO);
+    }
+
     /// Number of nonzero entries.
     #[must_use]
     pub fn count_nonzero(&self) -> usize {
@@ -169,6 +200,21 @@ impl<T: Scalar> DenseMatrix<T> {
     /// # Errors
     /// Returns [`SparseError::ShapeMismatch`] if inner dimensions differ.
     pub fn matmul(&self, rhs: &DenseMatrix<T>) -> Result<DenseMatrix<T>, SparseError> {
+        let mut out: DenseMatrix<T> = DenseMatrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Dense matrix product `self · rhs` written into a caller-provided
+    /// buffer, which is resized (reusing its allocation) as needed.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul_into(
+        &self,
+        rhs: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+    ) -> Result<(), SparseError> {
         if self.ncols != rhs.nrows {
             return Err(SparseError::ShapeMismatch {
                 op: "dense matmul",
@@ -176,7 +222,7 @@ impl<T: Scalar> DenseMatrix<T> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out: DenseMatrix<T> = DenseMatrix::zeros(self.nrows, rhs.ncols);
+        out.resize_zeroed(self.nrows, rhs.ncols);
         for i in 0..self.nrows {
             for k in 0..self.ncols {
                 let a = self.get(i, k);
@@ -190,7 +236,42 @@ impl<T: Scalar> DenseMatrix<T> {
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Dense product with the transpose of `rhs` **without materializing
+    /// the transpose**: `out[b, i] = Σ_j self[b, j] · rhs[i, j]`, i.e.
+    /// `out = self · rhsᵀ`. A gather kernel (every output element is one
+    /// dot product), so `out` is resized without zero-filling.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `self.ncols() != rhs.ncols()`.
+    pub fn matmul_transposed_into(
+        &self,
+        rhs: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+    ) -> Result<(), SparseError> {
+        if self.ncols != rhs.ncols {
+            return Err(SparseError::ShapeMismatch {
+                op: "dense matmul_transposed",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize_for_overwrite(self.nrows, rhs.nrows);
+        for b in 0..self.nrows {
+            let xrow = self.row(b);
+            let orow: &mut [T] = out.row_mut(b);
+            for (i, o) in orow.iter_mut().enumerate() {
+                let rrow = rhs.row(i);
+                let mut acc = T::ZERO;
+                for (&xv, &rv) in xrow.iter().zip(rrow) {
+                    acc = acc.add(xv.mul(rv));
+                }
+                *o = acc;
+            }
+        }
+        Ok(())
     }
 
     /// Transpose (copying).
@@ -277,6 +358,20 @@ mod tests {
             a.matmul(&b),
             Err(SparseError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn matmul_transposed_into_matches_explicit_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0f64, 2.0, 0.0], &[0.5, -1.0, 3.0]]);
+        let b = DenseMatrix::from_rows(&[&[4.0f64, 0.0, 1.0], &[2.0, 5.0, -2.0]]);
+        // Reused buffer with stale contents must be fully overwritten.
+        let mut out = DenseMatrix::ones(7, 7);
+        a.matmul_transposed_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b.transpose()).unwrap());
+        let mut bad = DenseMatrix::default();
+        assert!(a
+            .matmul_transposed_into(&DenseMatrix::zeros(2, 2), &mut bad)
+            .is_err());
     }
 
     #[test]

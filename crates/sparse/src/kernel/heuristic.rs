@@ -1,0 +1,58 @@
+//! The shared serial-vs-parallel switch used by every consumer of the
+//! prepared kernels.
+//!
+//! Before this module existed, `radix-nn`'s layers and `radix-challenge`'s
+//! inference loop each hard-coded their own threshold for "is this product
+//! big enough to be worth fanning out over Rayon?". Both now call
+//! [`use_parallel`] with the same work estimate — `batch rows × weight nnz`,
+//! the number of multiply-adds the product performs — so there is exactly
+//! one tunable, overridable at runtime via the `RADIX_PAR_THRESHOLD`
+//! environment variable.
+
+use std::sync::OnceLock;
+
+/// Default work threshold (rows × nnz multiply-adds) above which kernels
+/// switch to their Rayon-parallel variants. Chosen so that a product
+/// cheaper than roughly one thread-spawn round trip stays serial.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 15;
+
+/// The active parallelism threshold: `RADIX_PAR_THRESHOLD` from the
+/// environment if set to a parseable `usize`, otherwise
+/// [`DEFAULT_PAR_THRESHOLD`]. Read once and cached for the process
+/// lifetime, so the hot path pays one atomic load.
+#[must_use]
+pub fn par_threshold() -> usize {
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("RADIX_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    })
+}
+
+/// Whether a product performing `work` multiply-adds (typically
+/// `rows × nnz`) should use the Rayon-parallel kernel.
+#[inline]
+#[must_use]
+pub fn use_parallel(work: usize) -> bool {
+    work >= par_threshold()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_stable_across_calls() {
+        assert_eq!(par_threshold(), par_threshold());
+    }
+
+    #[test]
+    fn use_parallel_compares_against_threshold() {
+        let t = par_threshold();
+        assert!(!use_parallel(t.saturating_sub(1)));
+        assert!(use_parallel(t));
+        assert!(use_parallel(t + 1));
+    }
+}

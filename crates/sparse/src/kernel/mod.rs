@@ -1,0 +1,36 @@
+//! Prepared-kernel execution engine: fixed-degree (ELLPACK-style) weight
+//! layouts, caller-provided output buffers, and fused bias/activation
+//! epilogues.
+//!
+//! The generic [`crate::ops`] kernels treat every CSR matrix as irregular:
+//! each row access chases `indptr`, every product allocates a fresh output,
+//! and consumers make a second full pass over that output for bias +
+//! activation + clamp. RadiX-Net layer matrices are better than that —
+//! every row has the same degree by construction — and this module exploits
+//! it:
+//!
+//! * [`PreparedWeights`] — a weight matrix analyzed once; constant-degree
+//!   matrices get unit-stride ELL row addressing, irregular ones fall back
+//!   to CSR transparently,
+//! * [`Epilogue`] / [`Bias`] — bias + elementwise map fused into the
+//!   kernel's per-row finish, eliminating the separate output pass,
+//! * `spmm_into` / `spmm_transposed_into` (plus `par_` and `auto_`
+//!   variants) — products that write into reusable buffers instead of
+//!   allocating,
+//! * [`PingPong`] — the two-buffer driver every layered forward pass
+//!   alternates through,
+//! * [`use_parallel`] / [`par_threshold`] — the single shared
+//!   serial-vs-Rayon heuristic (`RADIX_PAR_THRESHOLD` overridable).
+//!
+//! Everything is bitwise-equivalent to the naive path; see
+//! `tests/prepared_kernels.rs`.
+
+mod epilogue;
+mod heuristic;
+mod pingpong;
+mod prepared;
+
+pub use epilogue::{Bias, Epilogue};
+pub use heuristic::{par_threshold, use_parallel, DEFAULT_PAR_THRESHOLD};
+pub use pingpong::PingPong;
+pub use prepared::PreparedWeights;

@@ -1,0 +1,591 @@
+//! Prepared fixed-degree weights: the ELLPACK fast path.
+//!
+//! A RadiX-Net layer matrix is a sum of cyclic-shift permutation matrices
+//! (paper eq. 2), so every row stores exactly the same number of entries —
+//! the layer's radix. For such matrices CSR's `indptr` array carries no
+//! information: row `i`'s entries are always `indices[i·d .. (i+1)·d]`.
+//! [`PreparedWeights`] detects this at construction and switches its
+//! kernels to an ELLPACK-style unit-stride walk (`degree × nrows`, no
+//! per-row pointer chasing); irregular matrices fall back to ordinary CSR
+//! row slicing transparently — same API, same results.
+//!
+//! All kernels here are `_into` variants: they write into a caller-provided
+//! [`DenseMatrix`] (resized in place, reusing its allocation) and take an
+//! [`Epilogue`] fused into the loop, so a layer step is one pass over the
+//! output instead of "allocate, product, second pass for bias+activation".
+//!
+//! Accumulation order is identical to the un-prepared kernels
+//! ([`crate::ops::dense_spmm`] and friends), so results are bitwise equal
+//! to the naive path — the property suite in `tests/prepared_kernels.rs`
+//! pins that down.
+
+use rayon::prelude::*;
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::kernel::epilogue::Epilogue;
+use crate::kernel::heuristic::use_parallel;
+use crate::scalar::Scalar;
+
+/// A weight matrix prepared for repeated products: CSR storage plus a
+/// one-time constant-row-degree analysis that unlocks the ELL fast path.
+///
+/// The CSR arrays of a constant-degree matrix *are* the ELLPACK layout
+/// (row `i` occupies `[i·d, (i+1)·d)` of `indices`/`values`, unit stride),
+/// so preparation costs one `O(nrows)` scan and zero extra memory, and
+/// [`PreparedWeights::values_mut`] keeps training updates in sync with the
+/// kernels for free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedWeights<T> {
+    csr: CsrMatrix<T>,
+    /// `Some(d)` when every row stores exactly `d` entries (the ELL fast
+    /// path is valid); `None` for irregular matrices (CSR fallback).
+    degree: Option<usize>,
+}
+
+/// Detects whether every row of `csr` has the same number of entries.
+fn constant_degree<T: Scalar>(csr: &CsrMatrix<T>) -> Option<usize> {
+    if csr.nrows() == 0 {
+        return None;
+    }
+    let d = csr.row_nnz(0);
+    let indptr = csr.indptr();
+    indptr.windows(2).all(|w| w[1] - w[0] == d).then_some(d)
+}
+
+impl<T: Scalar> PreparedWeights<T> {
+    /// Prepares a CSR matrix for repeated products (one `O(nrows)` scan).
+    #[must_use]
+    pub fn from_csr(csr: CsrMatrix<T>) -> Self {
+        let degree = constant_degree(&csr);
+        PreparedWeights { csr, degree }
+    }
+
+    /// The underlying CSR matrix (structure and values unchanged).
+    #[must_use]
+    pub fn as_csr(&self) -> &CsrMatrix<T> {
+        &self.csr
+    }
+
+    /// Consumes `self`, returning the underlying CSR matrix.
+    #[must_use]
+    pub fn into_csr(self) -> CsrMatrix<T> {
+        self.csr
+    }
+
+    /// `Some(d)` when the ELL fast path is active (every row has exactly
+    /// `d` stored entries), `None` when kernels fall back to CSR.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.degree
+    }
+
+    /// Whether the ELL fast path is active.
+    #[must_use]
+    pub fn is_ell(&self) -> bool {
+        self.degree.is_some()
+    }
+
+    /// Number of rows (the kernel's input width).
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    /// Number of columns (the kernel's output width).
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.csr.shape()
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// The stored values, in CSR (= ELL, for constant degree) order.
+    #[must_use]
+    pub fn values(&self) -> &[T] {
+        self.csr.data()
+    }
+
+    /// Mutable access to the stored values; the pattern (and therefore the
+    /// prepared layout) stays fixed, which is exactly the "train values on
+    /// a frozen topology" regime of the paper.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        self.csr.data_mut()
+    }
+
+    /// The multiply-add work of one product against a `rows`-row batch,
+    /// the quantity [`use_parallel`] thresholds on.
+    #[must_use]
+    pub fn work(&self, batch_rows: usize) -> usize {
+        batch_rows.saturating_mul(self.nnz())
+    }
+
+    fn check_spmm(&self, x: &DenseMatrix<T>, op: &'static str) -> Result<(), SparseError> {
+        if x.ncols() != self.nrows() {
+            return Err(SparseError::ShapeMismatch {
+                op,
+                lhs: x.shape(),
+                rhs: self.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_spmm_t(&self, x: &DenseMatrix<T>, op: &'static str) -> Result<(), SparseError> {
+        if x.ncols() != self.ncols() {
+            return Err(SparseError::ShapeMismatch {
+                op,
+                lhs: x.shape(),
+                rhs: self.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serial `out ← epi(X · W)`: scatter over the rows of `W` reached by
+    /// each batch row, epilogue fused onto each completed output row.
+    ///
+    /// `out` is resized in place (its allocation is reused when large
+    /// enough), so steady-state calls perform no heap allocation.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
+    pub fn spmm_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        self.check_spmm(x, "prepared spmm_into")?;
+        out.resize_zeroed(x.nrows(), self.ncols());
+        match self.degree {
+            Some(d) => {
+                let inds = self.csr.indices();
+                let vals = self.csr.data();
+                for b in 0..x.nrows() {
+                    let xrow = x.row(b);
+                    let orow: &mut [T] = out.row_mut(b);
+                    scatter_row_ell(xrow, inds, vals, d, orow);
+                    epi.apply_row(orow);
+                }
+            }
+            None => {
+                for b in 0..x.nrows() {
+                    let xrow = x.row(b);
+                    let orow: &mut [T] = out.row_mut(b);
+                    scatter_row_csr(xrow, &self.csr, orow);
+                    epi.apply_row(orow);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rayon batch-row-parallel `out ← epi(X · W)`.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
+    pub fn par_spmm_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        self.check_spmm(x, "prepared par_spmm_into")?;
+        let ncols_out = self.ncols();
+        out.resize_zeroed(x.nrows(), ncols_out);
+        match self.degree {
+            Some(d) => {
+                let inds = self.csr.indices();
+                let vals = self.csr.data();
+                out.as_mut_slice()
+                    .par_chunks_mut(ncols_out.max(1))
+                    .enumerate()
+                    .for_each(|(b, orow)| {
+                        scatter_row_ell(x.row(b), inds, vals, d, orow);
+                        epi.apply_row(orow);
+                    });
+            }
+            None => {
+                out.as_mut_slice()
+                    .par_chunks_mut(ncols_out.max(1))
+                    .enumerate()
+                    .for_each(|(b, orow)| {
+                        scatter_row_csr(x.row(b), &self.csr, orow);
+                        epi.apply_row(orow);
+                    });
+            }
+        }
+        Ok(())
+    }
+
+    /// `out ← epi(X · W)`, choosing serial or parallel via the shared
+    /// [`use_parallel`] heuristic on `x.nrows() × nnz`.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
+    pub fn spmm_auto_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        if use_parallel(self.work(x.nrows())) {
+            self.par_spmm_into(x, out, epi)
+        } else {
+            self.spmm_into(x, out, epi)
+        }
+    }
+
+    /// Serial `out ← epi(X · Wᵀ)` without materializing the transpose:
+    /// `out[b, i] = Σ_j X[b, j] · W[i, j]`. A gather kernel — with the ELL
+    /// layout each output element is a fixed-length dot product, and the
+    /// epilogue applies at the final store.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
+    pub fn spmm_transposed_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        self.check_spmm_t(x, "prepared spmm_transposed_into")?;
+        // The gather loops assign every output element, so skip zeroing.
+        out.resize_for_overwrite(x.nrows(), self.nrows());
+        match self.degree {
+            Some(d) => {
+                let inds = self.csr.indices();
+                let vals = self.csr.data();
+                for b in 0..x.nrows() {
+                    let xrow = x.row(b);
+                    let orow: &mut [T] = out.row_mut(b);
+                    gather_row_ell(xrow, inds, vals, d, orow);
+                    epi.apply_row(orow);
+                }
+            }
+            None => {
+                for b in 0..x.nrows() {
+                    let xrow = x.row(b);
+                    let orow: &mut [T] = out.row_mut(b);
+                    gather_row_csr(xrow, &self.csr, orow);
+                    epi.apply_row(orow);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rayon batch-row-parallel `out ← epi(X · Wᵀ)`.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
+    pub fn par_spmm_transposed_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        self.check_spmm_t(x, "prepared par_spmm_transposed_into")?;
+        let ncols_out = self.nrows();
+        // The gather loops assign every output element, so skip zeroing.
+        out.resize_for_overwrite(x.nrows(), ncols_out);
+        match self.degree {
+            Some(d) => {
+                let inds = self.csr.indices();
+                let vals = self.csr.data();
+                out.as_mut_slice()
+                    .par_chunks_mut(ncols_out.max(1))
+                    .enumerate()
+                    .for_each(|(b, orow)| {
+                        gather_row_ell(x.row(b), inds, vals, d, orow);
+                        epi.apply_row(orow);
+                    });
+            }
+            None => {
+                out.as_mut_slice()
+                    .par_chunks_mut(ncols_out.max(1))
+                    .enumerate()
+                    .for_each(|(b, orow)| {
+                        gather_row_csr(x.row(b), &self.csr, orow);
+                        epi.apply_row(orow);
+                    });
+            }
+        }
+        Ok(())
+    }
+
+    /// `out ← epi(X · Wᵀ)`, serial or parallel via [`use_parallel`].
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
+    pub fn spmm_transposed_auto_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        if use_parallel(self.work(x.nrows())) {
+            self.par_spmm_transposed_into(x, out, epi)
+        } else {
+            self.spmm_transposed_into(x, out, epi)
+        }
+    }
+}
+
+impl<T: Scalar> From<CsrMatrix<T>> for PreparedWeights<T> {
+    fn from(csr: CsrMatrix<T>) -> Self {
+        PreparedWeights::from_csr(csr)
+    }
+}
+
+/// One output row of `X · W` in the ELL layout: for each nonzero `x[i]`,
+/// scatter `x[i] · W[i, :]` into `orow` through the unit-stride slices
+/// `[i·d, (i+1)·d)` — no `indptr` loads.
+#[inline]
+fn scatter_row_ell<T: Scalar>(xrow: &[T], inds: &[usize], vals: &[T], d: usize, orow: &mut [T]) {
+    for (i, &xv) in xrow.iter().enumerate() {
+        if xv.is_zero() {
+            continue;
+        }
+        let base = i * d;
+        let cols = &inds[base..base + d];
+        let ws = &vals[base..base + d];
+        for (&j, &wv) in cols.iter().zip(ws) {
+            orow[j] = orow[j].add(xv.mul(wv));
+        }
+    }
+}
+
+/// One output row of `X · W` through CSR row slicing (irregular fallback).
+#[inline]
+fn scatter_row_csr<T: Scalar>(xrow: &[T], w: &CsrMatrix<T>, orow: &mut [T]) {
+    for (i, &xv) in xrow.iter().enumerate() {
+        if xv.is_zero() {
+            continue;
+        }
+        let (cols, ws) = w.row(i);
+        for (&j, &wv) in cols.iter().zip(ws) {
+            orow[j] = orow[j].add(xv.mul(wv));
+        }
+    }
+}
+
+/// One output row of `X · Wᵀ` in the ELL layout: each element is a
+/// fixed-length dot product over row `i` of `W`.
+#[inline]
+fn gather_row_ell<T: Scalar>(xrow: &[T], inds: &[usize], vals: &[T], d: usize, orow: &mut [T]) {
+    for (i, o) in orow.iter_mut().enumerate() {
+        let base = i * d;
+        let cols = &inds[base..base + d];
+        let ws = &vals[base..base + d];
+        let mut acc = T::ZERO;
+        for (&j, &wv) in cols.iter().zip(ws) {
+            acc = acc.add(xrow[j].mul(wv));
+        }
+        *o = acc;
+    }
+}
+
+/// One output row of `X · Wᵀ` through CSR row slicing (irregular fallback).
+#[inline]
+fn gather_row_csr<T: Scalar>(xrow: &[T], w: &CsrMatrix<T>, orow: &mut [T]) {
+    for (i, o) in orow.iter_mut().enumerate() {
+        let (cols, ws) = w.row(i);
+        let mut acc = T::ZERO;
+        for (&j, &wv) in cols.iter().zip(ws) {
+            acc = acc.add(xrow[j].mul(wv));
+        }
+        *o = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::epilogue::Bias;
+    use crate::ops::{dense_spmm, dense_spmm_transposed};
+    use crate::perm::CyclicShift;
+
+    fn regular() -> CsrMatrix<f64> {
+        CyclicShift::radix_submatrix::<u64>(12, 3, 1).map(|v| v as f64 * 0.5)
+    }
+
+    fn irregular() -> CsrMatrix<f64> {
+        CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 0.0, 0.0],
+            &[3.0, 4.0, 5.0],
+        ]))
+    }
+
+    fn batch(rows: usize, cols: usize) -> DenseMatrix<f64> {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                // A mix of zeros and varied values.
+                if (i + j) % 3 != 0 {
+                    m.set(i, j, (i * cols + j) as f64 * 0.25 - 1.0);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn degree_detection() {
+        assert_eq!(PreparedWeights::from_csr(regular()).degree(), Some(3));
+        assert_eq!(PreparedWeights::from_csr(irregular()).degree(), None);
+        assert!(PreparedWeights::from_csr(CsrMatrix::<f64>::identity(4)).is_ell());
+        // Zero matrix: constant degree 0.
+        assert_eq!(
+            PreparedWeights::from_csr(CsrMatrix::<f64>::zeros(3, 3)).degree(),
+            Some(0)
+        );
+        // Empty matrix: no rows to be constant over.
+        assert_eq!(
+            PreparedWeights::from_csr(CsrMatrix::<f64>::zeros(0, 3)).degree(),
+            None
+        );
+    }
+
+    #[test]
+    fn ell_spmm_matches_naive_bitwise() {
+        let w = regular();
+        let p = PreparedWeights::from_csr(w.clone());
+        assert!(p.is_ell());
+        let x = batch(5, 12);
+        let naive = dense_spmm(&x, &w).unwrap();
+        let mut out = DenseMatrix::zeros(0, 0);
+        p.spmm_into(&x, &mut out, &Epilogue::identity()).unwrap();
+        assert_eq!(out, naive);
+        p.par_spmm_into(&x, &mut out, &Epilogue::identity())
+            .unwrap();
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn csr_fallback_matches_naive_bitwise() {
+        let w = irregular();
+        let p = PreparedWeights::from_csr(w.clone());
+        assert!(!p.is_ell());
+        let x = batch(4, 3);
+        let naive = dense_spmm(&x, &w).unwrap();
+        let mut out = DenseMatrix::zeros(0, 0);
+        p.spmm_into(&x, &mut out, &Epilogue::identity()).unwrap();
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn transposed_matches_naive_bitwise() {
+        for w in [regular(), irregular()] {
+            let p = PreparedWeights::from_csr(w.clone());
+            let x = batch(4, w.ncols());
+            let naive = dense_spmm_transposed(&x, &w).unwrap();
+            let mut out = DenseMatrix::zeros(0, 0);
+            p.spmm_transposed_into(&x, &mut out, &Epilogue::identity())
+                .unwrap();
+            assert_eq!(out, naive);
+            p.par_spmm_transposed_into(&x, &mut out, &Epilogue::identity())
+                .unwrap();
+            assert_eq!(out, naive);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_two_pass() {
+        let w = regular();
+        let p = PreparedWeights::from_csr(w.clone());
+        let x = batch(6, 12);
+        let bias: Vec<f64> = (0..12).map(|j| j as f64 * 0.1 - 0.5).collect();
+        // Naive: product, then a separate bias pass, then a separate map.
+        let mut naive = dense_spmm(&x, &w).unwrap();
+        for b in 0..naive.nrows() {
+            let row: &mut [f64] = naive.row_mut(b);
+            for (v, &bv) in row.iter_mut().zip(&bias) {
+                *v += bv;
+            }
+            for v in row.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        let epi = Epilogue::new(Bias::PerOutput(&bias), |v: f64| v.max(0.0));
+        let mut out = DenseMatrix::zeros(0, 0);
+        p.spmm_into(&x, &mut out, &epi).unwrap();
+        assert_eq!(out, naive);
+        p.spmm_auto_into(&x, &mut out, &epi).unwrap();
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn output_buffer_is_reused() {
+        let p = PreparedWeights::from_csr(regular());
+        let x = batch(8, 12);
+        let mut out = DenseMatrix::zeros(0, 0);
+        p.spmm_into(&x, &mut out, &Epilogue::identity()).unwrap();
+        let ptr = out.as_slice().as_ptr();
+        let cap_before = {
+            // Same-size reuse must not reallocate.
+            p.spmm_into(&x, &mut out, &Epilogue::identity()).unwrap();
+            out.as_slice().as_ptr()
+        };
+        assert_eq!(ptr, cap_before, "steady-state call must reuse the buffer");
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        let p = PreparedWeights::from_csr(regular());
+        let bad = DenseMatrix::<f64>::zeros(2, 5);
+        let mut out = DenseMatrix::zeros(0, 0);
+        assert!(p.spmm_into(&bad, &mut out, &Epilogue::identity()).is_err());
+        assert!(p
+            .par_spmm_into(&bad, &mut out, &Epilogue::identity())
+            .is_err());
+        assert!(p
+            .spmm_transposed_into(&bad, &mut out, &Epilogue::identity())
+            .is_err());
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // 0-row batch.
+        let p = PreparedWeights::from_csr(regular());
+        let x = DenseMatrix::<f64>::zeros(0, 12);
+        let mut out = DenseMatrix::zeros(3, 3);
+        p.spmm_into(&x, &mut out, &Epilogue::identity()).unwrap();
+        assert_eq!(out.shape(), (0, 12));
+        // 1-column weight.
+        let w1 = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[&[2.0f64], &[3.0]]));
+        let p1 = PreparedWeights::from_csr(w1);
+        let x1 = DenseMatrix::from_rows(&[&[1.0f64, 1.0]]);
+        p1.spmm_into(&x1, &mut out, &Epilogue::identity()).unwrap();
+        assert_eq!(out.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn values_mut_feeds_kernels() {
+        let mut p = PreparedWeights::from_csr(regular());
+        let x = batch(2, 12);
+        let mut before = DenseMatrix::zeros(0, 0);
+        p.spmm_into(&x, &mut before, &Epilogue::identity()).unwrap();
+        for v in p.values_mut() {
+            *v *= 2.0;
+        }
+        let mut after = DenseMatrix::zeros(0, 0);
+        p.spmm_into(&x, &mut after, &Epilogue::identity()).unwrap();
+        for (a, b) in after.as_slice().iter().zip(before.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+}

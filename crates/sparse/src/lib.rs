@@ -21,6 +21,10 @@
 //!   path used by the RadiX-Net builder,
 //! * [`ops`] — SpMV, SpMM (serial and Rayon-parallel), chained products,
 //!   matrix powers over an abstract [`Scalar`] semiring,
+//! * [`kernel`] — the prepared-kernel engine: [`PreparedWeights`] with an
+//!   ELLPACK fast path for the constant-row-degree matrices RadiX-Net
+//!   produces, allocation-free `_into` products, and fused
+//!   bias/activation [`Epilogue`]s,
 //! * [`PathCount`] — a saturating `u128` scalar so Theorem-1 verification
 //!   cannot silently overflow,
 //! * [`io`] — Graph-Challenge-style TSV reading/writing.
@@ -57,6 +61,7 @@ pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod io;
+pub mod kernel;
 pub mod kron;
 pub mod ops;
 pub mod perm;
@@ -67,6 +72,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
+pub use kernel::{Bias, Epilogue, PreparedWeights};
 pub use kron::{kron, kron_ones_left};
 pub use perm::CyclicShift;
 pub use scalar::{PathCount, Scalar};

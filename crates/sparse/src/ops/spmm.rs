@@ -79,6 +79,27 @@ pub fn par_spmm_dense<T: Scalar>(
     Ok(c)
 }
 
+/// Accumulates `A[i,:] · B` into the SPA workspace, recording which columns
+/// were touched (unsorted).
+#[inline]
+fn spa_accumulate<T: Scalar>(
+    acols: &[usize],
+    avals: &[T],
+    b: &CsrMatrix<T>,
+    workspace: &mut [T],
+    touched: &mut Vec<usize>,
+) {
+    for (&k, &v) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(k);
+        for (&j, &bv) in bcols.iter().zip(bvals) {
+            if workspace[j].is_zero() {
+                touched.push(j);
+            }
+            workspace[j] = workspace[j].add(v.mul(bv));
+        }
+    }
+}
+
 /// One row of a Gustavson SPA product: accumulate `A[i,:] · B` into the
 /// workspace, then harvest sorted nonzeros.
 fn spa_row<T: Scalar>(
@@ -90,15 +111,7 @@ fn spa_row<T: Scalar>(
     out_cols: &mut Vec<usize>,
     out_vals: &mut Vec<T>,
 ) {
-    for (&k, &v) in acols.iter().zip(avals) {
-        let (bcols, bvals) = b.row(k);
-        for (&j, &bv) in bcols.iter().zip(bvals) {
-            if workspace[j].is_zero() {
-                touched.push(j);
-            }
-            workspace[j] = workspace[j].add(v.mul(bv));
-        }
-    }
+    spa_accumulate(acols, avals, b, workspace, touched);
     touched.sort_unstable();
     for &j in touched.iter() {
         let val = workspace[j];
@@ -109,6 +122,29 @@ fn spa_row<T: Scalar>(
         }
     }
     touched.clear();
+}
+
+/// Counting-only variant of [`spa_row`]: returns how many entries the row
+/// product stores (numeric cancellations excluded, matching the harvest),
+/// leaving the workspace reset. No sort needed — only the count matters.
+fn spa_row_count<T: Scalar>(
+    acols: &[usize],
+    avals: &[T],
+    b: &CsrMatrix<T>,
+    workspace: &mut [T],
+    touched: &mut Vec<usize>,
+) -> usize {
+    spa_accumulate(acols, avals, b, workspace, touched);
+    let mut count = 0usize;
+    for &j in touched.iter() {
+        let val = workspace[j];
+        workspace[j] = T::ZERO;
+        if !val.is_zero() {
+            count += 1;
+        }
+    }
+    touched.clear();
+    count
 }
 
 /// Serial CSR × CSR → CSR (Gustavson SPA).
@@ -151,8 +187,24 @@ pub fn spmm<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T
     ))
 }
 
-/// Rayon row-parallel CSR × CSR → CSR. Each worker owns one SPA workspace
-/// (`map_init`), per-row results are stitched into CSR afterwards.
+/// Rayon row-parallel CSR × CSR → CSR, with a two-pass stitch-free scheme:
+///
+/// 1. **Count** — each row's output nnz is computed in parallel (SPA
+///    accumulate + numeric-cancellation-aware count, one workspace per
+///    worker via `map_init`),
+/// 2. **Prefix-sum** — the counts become `indptr` directly,
+/// 3. **Write** — the final `indices`/`data` buffers are allocated once,
+///    split into disjoint per-row segments, and filled in parallel.
+///
+/// Unlike the previous implementation this never materializes a
+/// `(Vec<usize>, Vec<T>)` pair per output row (two heap allocations per
+/// row, then a serial copy into the final buffers): the only allocations
+/// are the three output arrays plus one SPA workspace per worker. The row
+/// product is computed twice (once to count, once to write), but each pass
+/// is embarrassingly parallel and allocation-free, which wins on the
+/// high-row-count matrices this kernel exists for. Accumulation order per
+/// row is identical in both passes, so counts match writes exactly even
+/// under floating-point cancellation.
 ///
 /// # Errors
 /// Returns [`SparseError::ShapeMismatch`] if `A.ncols() != B.nrows()`.
@@ -167,38 +219,68 @@ pub fn par_spmm<T: Scalar>(
             rhs: b.shape(),
         });
     }
-    let rows: Vec<(Vec<usize>, Vec<T>)> = (0..a.nrows())
+
+    // Pass 1: per-row output counts.
+    let counts: Vec<usize> = (0..a.nrows())
         .into_par_iter()
         .map_init(
             || (vec![T::ZERO; b.ncols()], Vec::new()),
             |(workspace, touched), i| {
                 let (acols, avals) = a.row(i);
-                let mut out_cols = Vec::new();
-                let mut out_vals = Vec::new();
-                spa_row(
-                    acols,
-                    avals,
-                    b,
-                    workspace,
-                    touched,
-                    &mut out_cols,
-                    &mut out_vals,
-                );
-                (out_cols, out_vals)
+                spa_row_count(acols, avals, b, workspace, touched)
             },
         )
         .collect();
 
-    let nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    // Prefix-sum the counts into the row-pointer array.
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
-    let mut indices = Vec::with_capacity(nnz);
-    let mut data = Vec::with_capacity(nnz);
-    indptr.push(0);
-    for (cols, vals) in rows {
-        indices.extend(cols);
-        data.extend(vals);
-        indptr.push(indices.len());
+    indptr.push(0usize);
+    let mut running = 0usize;
+    for &c in &counts {
+        running += c;
+        indptr.push(running);
     }
+    let nnz = running;
+
+    // Pass 2: parallel write into disjoint per-row segments of the final
+    // buffers (CSR rows partition the index/value arrays, so the split is
+    // safe and lock-free).
+    let mut indices = vec![0usize; nnz];
+    let mut data = vec![T::ZERO; nnz];
+    let mut segments: Vec<(usize, &mut [usize], &mut [T])> = Vec::with_capacity(a.nrows());
+    let mut ind_rest = indices.as_mut_slice();
+    let mut dat_rest = data.as_mut_slice();
+    for (i, &len) in counts.iter().enumerate() {
+        let (iseg, itail) = ind_rest.split_at_mut(len);
+        let (dseg, dtail) = dat_rest.split_at_mut(len);
+        segments.push((i, iseg, dseg));
+        ind_rest = itail;
+        dat_rest = dtail;
+    }
+    let _: Vec<()> = segments
+        .into_par_iter()
+        .map_init(
+            || (vec![T::ZERO; b.ncols()], Vec::new()),
+            |(workspace, touched), (i, iseg, dseg)| {
+                let (acols, avals) = a.row(i);
+                spa_accumulate(acols, avals, b, workspace, touched);
+                touched.sort_unstable();
+                let mut k = 0usize;
+                for &j in touched.iter() {
+                    let val = workspace[j];
+                    workspace[j] = T::ZERO;
+                    if !val.is_zero() {
+                        iseg[k] = j;
+                        dseg[k] = val;
+                        k += 1;
+                    }
+                }
+                touched.clear();
+                debug_assert_eq!(k, iseg.len(), "count pass must match write pass");
+            },
+        )
+        .collect();
+
     Ok(CsrMatrix::from_parts_unchecked(
         a.nrows(),
         b.ncols(),

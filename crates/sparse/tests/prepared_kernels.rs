@@ -1,0 +1,296 @@
+//! Property-based equivalence suite for the prepared-kernel engine
+//! (`radix_sparse::kernel`): on random inputs, the prepared/fused kernels
+//! — ELL fast path and CSR fallback, serial and Rayon-parallel, with and
+//! without an epilogue — must produce **bitwise-identical** output to the
+//! existing naive path (`dense_spmm` / `dense_spmm_transposed` followed by
+//! separate bias and activation passes). Bitwise, not approximate: the
+//! prepared kernels accumulate in the same order as the naive ones, so
+//! even floating-point results must match exactly.
+
+use proptest::prelude::*;
+use proptest::Just;
+
+use radix_sparse::ops::{dense_spmm, dense_spmm_transposed, par_spmm, spmm};
+use radix_sparse::{
+    Bias, CooMatrix, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights,
+};
+
+/// Strategy: an irregular random sparse f64 matrix of bounded shape
+/// (row degrees vary, so the prepared kernels take the CSR fallback —
+/// except when the dice land on a constant-degree pattern, which then
+/// exercises the ELL path on irregular-looking data).
+fn irregular_matrix(max_dim: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r, 0..c, 0.25f64..4.0), 0..(r * c).min(40)).prop_map(
+            move |triplets| {
+                let mut coo = CooMatrix::new(r, c);
+                for (i, j, v) in triplets {
+                    coo.push(i, j, v);
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+/// Strategy: a constant-row-degree RadiX-style matrix (the ELL fast path),
+/// `n` nodes with `degree` cyclic-shift edges each, non-uniform values.
+fn regular_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (2usize..24, 1usize..5, 0usize..7).prop_map(|(n, degree, offset)| {
+        let degree = degree.min(n);
+        let mut k = 0u64;
+        CyclicShift::radix_submatrix::<u64>(n, degree, offset % n.max(1)).map(|_| {
+            k += 1;
+            (k % 13) as f64 * 0.375 - 2.0
+        })
+    })
+}
+
+/// Strategy: a dense batch conformable with `rows`-row weight matrices,
+/// with a mix of zeros (exercising the x==0 skip) and varied values.
+fn batch_for(rows: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
+    (1usize..6).prop_flat_map(move |b| {
+        proptest::collection::vec(-2.0f64..2.0, b * rows).prop_map(move |mut vals| {
+            for (k, v) in vals.iter_mut().enumerate() {
+                if k % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            DenseMatrix::from_vec(b, rows, vals).unwrap()
+        })
+    })
+}
+
+/// The naive reference: allocate-and-return product, then a separate
+/// full pass for bias, then another for the activation map.
+fn naive_forward(
+    x: &DenseMatrix<f64>,
+    w: &CsrMatrix<f64>,
+    bias: Option<&[f64]>,
+    map: Option<fn(f64) -> f64>,
+) -> DenseMatrix<f64> {
+    let mut out = dense_spmm(x, w).unwrap();
+    if let Some(bs) = bias {
+        for i in 0..out.nrows() {
+            let row: &mut [f64] = out.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(bs) {
+                *v += b;
+            }
+        }
+    }
+    if let Some(f) = map {
+        out.map_inplace(f);
+    }
+    out
+}
+
+fn relu(v: f64) -> f64 {
+    v.max(0.0)
+}
+
+/// Shared body: fused bias + ReLU epilogue vs the naive two-extra-passes
+/// path, all prepared variants.
+fn check_fused(
+    w: &CsrMatrix<f64>,
+    x: &DenseMatrix<f64>,
+    bias_scale: f64,
+) -> Result<(), TestCaseError> {
+    let bias: Vec<f64> = (0..w.ncols())
+        .map(|j| bias_scale * (j as f64 * 0.3 - 1.0))
+        .collect();
+    let p = PreparedWeights::from_csr(w.clone());
+    let expect = naive_forward(x, w, Some(&bias), Some(relu));
+    let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::new(Bias::PerOutput(&bias), relu);
+    assert_all_variants_eq(&p, x, &epi, &expect)
+}
+
+/// Shared body: transposed kernels vs `dense_spmm_transposed`.
+fn check_transposed(w: &CsrMatrix<f64>, x: &DenseMatrix<f64>) -> Result<(), TestCaseError> {
+    let p = PreparedWeights::from_csr(w.clone());
+    let expect = dense_spmm_transposed(x, w).unwrap();
+    let mut out = DenseMatrix::default();
+    let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::identity();
+    p.spmm_transposed_into(x, &mut out, &epi).unwrap();
+    prop_assert_eq!(&out, &expect, "serial");
+    p.par_spmm_transposed_into(x, &mut out, &epi).unwrap();
+    prop_assert_eq!(&out, &expect, "parallel");
+    p.spmm_transposed_auto_into(x, &mut out, &epi).unwrap();
+    prop_assert_eq!(&out, &expect, "auto");
+    Ok(())
+}
+
+/// Asserts all prepared variants (serial, parallel, auto) equal `expect`.
+fn assert_all_variants_eq(
+    p: &PreparedWeights<f64>,
+    x: &DenseMatrix<f64>,
+    epi: &Epilogue<'_, f64, fn(f64) -> f64>,
+    expect: &DenseMatrix<f64>,
+) -> Result<(), TestCaseError> {
+    let mut out = DenseMatrix::default();
+    p.spmm_into(x, &mut out, epi).unwrap();
+    prop_assert_eq!(&out, expect, "serial");
+    p.par_spmm_into(x, &mut out, epi).unwrap();
+    prop_assert_eq!(&out, expect, "parallel");
+    p.spmm_auto_into(x, &mut out, epi).unwrap();
+    prop_assert_eq!(&out, expect, "auto");
+    Ok(())
+}
+
+proptest! {
+    /// ELL fast path, no epilogue: bitwise equal to `dense_spmm`.
+    #[test]
+    fn ell_bare_product_matches_naive(w in regular_matrix(), seed in 0u64..1000) {
+        let x = batch_deterministic(w.nrows(), seed);
+        let p = PreparedWeights::from_csr(w.clone());
+        prop_assert!(p.is_ell());
+        let expect = naive_forward(&x, &w, None, None);
+        assert_all_variants_eq(&p, &x, &Epilogue::identity(), &expect)?;
+    }
+
+    /// CSR fallback (irregular matrices), no epilogue.
+    #[test]
+    fn irregular_bare_product_matches_naive(
+        (w, x) in irregular_matrix(8).prop_flat_map(|w| {
+            let rows = w.nrows();
+            (Just(w), batch_for(rows))
+        })
+    ) {
+        let p = PreparedWeights::from_csr(w.clone());
+        let expect = naive_forward(&x, &w, None, None);
+        assert_all_variants_eq(&p, &x, &Epilogue::identity(), &expect)?;
+    }
+
+    /// Fused bias + activation epilogue vs the two-extra-passes naive
+    /// path, on the ELL fast path.
+    #[test]
+    fn ell_fused_epilogue_matches_two_pass(
+        w in regular_matrix(),
+        seed in 0u64..1000,
+        bias_scale in -1.0f64..1.0,
+    ) {
+        let x = batch_deterministic(w.nrows(), seed);
+        check_fused(&w, &x, bias_scale)?;
+    }
+
+    /// Fused bias + activation epilogue vs the two-extra-passes naive
+    /// path, on the CSR fallback.
+    #[test]
+    fn irregular_fused_epilogue_matches_two_pass(
+        (w, x) in irregular_matrix(8).prop_flat_map(|w| {
+            let rows = w.nrows();
+            (Just(w), batch_for(rows))
+        }),
+        bias_scale in -1.0f64..1.0,
+    ) {
+        check_fused(&w, &x, bias_scale)?;
+    }
+
+    /// Transposed kernels (the backward-pass orientation) vs
+    /// `dense_spmm_transposed`, ELL layout, serial and parallel.
+    #[test]
+    fn ell_transposed_matches_naive(w in regular_matrix(), seed in 0u64..1000) {
+        let x = batch_deterministic(w.ncols(), seed);
+        check_transposed(&w, &x)?;
+    }
+
+    /// Transposed kernels vs `dense_spmm_transposed`, CSR fallback.
+    #[test]
+    fn irregular_transposed_matches_naive(
+        (w, x) in irregular_matrix(8).prop_flat_map(|w| {
+            let cols = w.ncols();
+            (Just(w), batch_for(cols))
+        })
+    ) {
+        check_transposed(&w, &x)?;
+    }
+
+    /// A reused output buffer never changes results: run twice through the
+    /// same buffer, then through a fresh one.
+    #[test]
+    fn buffer_reuse_is_idempotent(w in regular_matrix(), seed in 0u64..1000) {
+        let x = batch_deterministic(w.nrows(), seed);
+        let p = PreparedWeights::from_csr(w);
+        let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::map(relu);
+        let mut reused = DenseMatrix::default();
+        p.spmm_into(&x, &mut reused, &epi).unwrap();
+        let first = reused.clone();
+        p.spmm_into(&x, &mut reused, &epi).unwrap();
+        prop_assert_eq!(&reused, &first);
+    }
+
+    /// The rewritten two-pass `par_spmm` (count → prefix-sum → parallel
+    /// write) remains exactly equivalent to the serial Gustavson kernel,
+    /// including under numeric cancellation.
+    #[test]
+    fn par_spmm_two_pass_matches_serial(
+        (a, b) in irregular_matrix(8).prop_flat_map(|a| {
+            let k = a.ncols();
+            let inner = proptest::collection::vec((0..k, 0..6usize, -2.0f64..2.0), 0..24)
+                .prop_map(move |ts| {
+                    let mut coo = CooMatrix::new(k, 6);
+                    for (i, j, v) in ts {
+                        coo.push(i, j, v);
+                    }
+                    coo.to_csr()
+                });
+            (Just(a), inner)
+        })
+    ) {
+        prop_assert_eq!(par_spmm(&a, &b).unwrap(), spmm(&a, &b).unwrap());
+    }
+}
+
+/// A deterministic pseudo-random batch (keeps `regular_matrix` cases fast
+/// while still varying with the proptest seed).
+fn batch_deterministic(rows: usize, seed: u64) -> DenseMatrix<f64> {
+    let b = (seed % 4 + 1) as usize;
+    let mut m = DenseMatrix::zeros(b, rows);
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for i in 0..b {
+        for j in 0..rows {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if !state.is_multiple_of(3) {
+                m.set(i, j, ((state >> 33) % 1000) as f64 * 0.004 - 2.0);
+            }
+        }
+    }
+    m
+}
+
+#[test]
+fn degenerate_shapes_are_handled() {
+    // 0-row batch × regular weights.
+    let w: CsrMatrix<f64> = CyclicShift::radix_submatrix::<u64>(6, 2, 1).map(|v| v as f64);
+    let p = PreparedWeights::from_csr(w);
+    let x = DenseMatrix::<f64>::zeros(0, 6);
+    let mut out = DenseMatrix::default();
+    let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::identity();
+    p.spmm_into(&x, &mut out, &epi).unwrap();
+    assert_eq!(out.shape(), (0, 6));
+    p.par_spmm_into(&x, &mut out, &epi).unwrap();
+    assert_eq!(out.shape(), (0, 6));
+
+    // Single-column weight matrix.
+    let w1 = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[&[1.5f64], &[0.0], &[2.5]]));
+    let p1 = PreparedWeights::from_csr(w1.clone());
+    assert!(!p1.is_ell(), "row degrees 1,0,1 are irregular");
+    let x1 = DenseMatrix::from_rows(&[&[1.0f64, 5.0, 2.0]]);
+    p1.spmm_into(&x1, &mut out, &epi).unwrap();
+    assert_eq!(out, dense_spmm(&x1, &w1).unwrap());
+
+    // Matrix with zero columns in the pattern sense but nonzero shape.
+    let empty = CsrMatrix::<f64>::zeros(4, 4);
+    let pe = PreparedWeights::from_csr(empty);
+    let xe = DenseMatrix::from_rows(&[&[1.0f64, 2.0, 3.0, 4.0]]);
+    pe.spmm_into(&xe, &mut out, &epi).unwrap();
+    assert!(out.all_equal_to(0.0));
+
+    // 0×n matrix: transposed product gives a (batch × 0) output.
+    let z = CsrMatrix::<f64>::zeros(0, 3);
+    let pz = PreparedWeights::from_csr(z);
+    let xz = DenseMatrix::from_rows(&[&[1.0f64, 2.0, 3.0]]);
+    pz.spmm_transposed_into(&xz, &mut out, &epi).unwrap();
+    assert_eq!(out.shape(), (1, 0));
+}
