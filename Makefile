@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt fmt-check clippy bench-check bench bench-json bench-json-smoke clean
+.PHONY: verify build test fmt fmt-check clippy bench-check bench bench-json bench-json-smoke bench-gate calibrate clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -36,11 +36,25 @@ bench:
 bench-json:
 	$(CARGO) run --release -p radix-bench --bin bench_kernels
 
-## CI smoke: one iteration per kernel, JSON written to a scratch path so
-## the committed baseline is never clobbered by throwaway numbers.
+## CI smoke: min-of-3 iterations per kernel, JSON written to a scratch
+## path so the committed baseline is never clobbered by quick numbers.
 bench-json-smoke:
 	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels_smoke.json \
 		$(CARGO) run --release -p radix-bench --bin bench_kernels
+
+## Perf regression gate: a fresh quick-mode run compared against the
+## committed BENCH_kernels.json with a generous tolerance (2x by default;
+## override with RADIX_BENCH_TOLERANCE). Fails on gross regressions.
+bench-gate:
+	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels_gate.json \
+		$(CARGO) run --release -p radix-bench --bin bench_kernels
+	RADIX_BENCH_CANDIDATE=target/BENCH_kernels_gate.json \
+		$(CARGO) run --release -p radix-bench --bin bench_gate
+
+## Measure the serial-vs-parallel crossover and the best RADIX_TILE_COLS
+## on this machine; prints suggested `export` lines.
+calibrate:
+	$(CARGO) run --release -p radix-bench --bin calibrate
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,105 @@
+//! Perf regression gate: compares a fresh `bench_kernels` run against the
+//! committed `BENCH_kernels.json` baseline and fails on gross regressions.
+//!
+//! Invocation (see `make bench-gate`, wired into CI):
+//!
+//! ```text
+//! RADIX_BENCH_CANDIDATE=target/BENCH_kernels_gate.json \
+//!     cargo run --release -p radix-bench --bin bench_gate
+//! ```
+//!
+//! Environment:
+//! * `RADIX_BENCH_BASELINE` — baseline path (default `BENCH_kernels.json`),
+//! * `RADIX_BENCH_CANDIDATE` — fresh run to check (default
+//!   `target/BENCH_kernels_gate.json`),
+//! * `RADIX_BENCH_TOLERANCE` — allowed slowdown factor per kernel
+//!   (default `2.0`; generous on purpose — CI runners differ from the
+//!   machine that produced the baseline, so only gross regressions should
+//!   trip the gate).
+//!
+//! Kernels present in the baseline but missing from the candidate fail the
+//! gate (a silently dropped kernel is a regression of coverage); kernels
+//! only in the candidate are reported but don't fail (new kernels land
+//! before their baseline does). Exit code 1 on any failure.
+
+use radix_bench::parse_bench_json;
+
+fn read_points(path: &str, role: &str) -> Vec<radix_bench::BenchPoint> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {role} {path}: {e}"));
+    let points = parse_bench_json(&text);
+    assert!(
+        !points.is_empty(),
+        "bench_gate: {role} {path} contains no kernel points"
+    );
+    points
+}
+
+fn main() {
+    let baseline_path =
+        std::env::var("RADIX_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let candidate_path = std::env::var("RADIX_BENCH_CANDIDATE")
+        .unwrap_or_else(|_| "target/BENCH_kernels_gate.json".to_string());
+    let tolerance = std::env::var("RADIX_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 1.0)
+        .unwrap_or(2.0);
+
+    let baseline = read_points(&baseline_path, "baseline");
+    let candidate = read_points(&candidate_path, "candidate");
+
+    let mut failures = 0usize;
+    println!("bench_gate: candidate {candidate_path} vs baseline {baseline_path} (tolerance {tolerance:.2}x)");
+    for base in &baseline {
+        let found = candidate
+            .iter()
+            .find(|c| c.config == base.config && c.kernel == base.kernel);
+        match found {
+            Some(cand) => {
+                let ratio = cand.seconds_per_iter / base.seconds_per_iter.max(1e-12);
+                let verdict = if ratio > tolerance {
+                    failures += 1;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  [{verdict:>4}] {:<24} {:<24} {:>10.3} us -> {:>10.3} us  ({ratio:.2}x)",
+                    base.config,
+                    base.kernel,
+                    base.seconds_per_iter * 1e6,
+                    cand.seconds_per_iter * 1e6,
+                );
+            }
+            None => {
+                failures += 1;
+                println!(
+                    "  [FAIL] {:<24} {:<24} missing from candidate run",
+                    base.config, base.kernel
+                );
+            }
+        }
+    }
+    for cand in &candidate {
+        if !baseline
+            .iter()
+            .any(|b| b.config == cand.config && b.kernel == cand.kernel)
+        {
+            println!(
+                "  [new ] {:<24} {:<24} {:>10.3} us (no baseline yet)",
+                cand.config,
+                cand.kernel,
+                cand.seconds_per_iter * 1e6
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} kernel(s) regressed beyond {tolerance:.2}x (or went missing)"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: all kernels within {tolerance:.2}x of baseline");
+}

@@ -2,9 +2,11 @@
 //!
 //! Runs a fixed subset of the SpMM kernel matrix — the two acceptance
 //! layer configs (`n=16384, deg=8` and `n=4096, deg=16`) × {generic CSR
-//! unfused, prepared ELL, prepared ELL fused, serial and Rayon} — and
-//! writes edges/second per kernel as JSON, so successive PRs have a
-//! machine-readable perf baseline to diff against.
+//! unfused, prepared ELL, prepared ELL fused, cache-tiled, serial and
+//! Rayon, plus the multi-layer fused Challenge forward pass} — and writes
+//! edges/second per kernel as JSON, so successive PRs have a
+//! machine-readable perf baseline to diff against (`make bench-gate`
+//! compares a fresh run to the committed baseline).
 //!
 //! Invocation (see `make bench-json`):
 //!
@@ -13,16 +15,17 @@
 //! ```
 //!
 //! Environment:
-//! * `RADIX_BENCH_QUICK=1` — one timed iteration per kernel (CI smoke:
-//!   proves the emitter runs and the JSON schema is intact; numbers are
-//!   not meaningful),
+//! * `RADIX_BENCH_QUICK=1` — min-of-three timed iterations per kernel
+//!   (CI smoke and the perf gate: fast, and the min statistic resists
+//!   shared-runner scheduler noise; full-budget means remain the
+//!   committed-baseline methodology),
 //! * `RADIX_BENCH_OUT` — output path (default `BENCH_kernels.json`).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
 use radix_bench::format_json_f64;
+use radix_challenge::{ChallengeNetwork, InferWorkspace};
 use radix_sparse::ops;
 use radix_sparse::{Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights};
 
@@ -37,21 +40,9 @@ struct KernelResult {
     edges_per_sec: f64,
 }
 
-/// Times `f` (after one warm-up call) under the budget; returns mean
-/// seconds per iteration.
-fn time_kernel<F: FnMut()>(quick: bool, mut f: F) -> f64 {
-    f(); // warm-up: drives buffers to their high-water mark
-    let iters = if quick { 1 } else { MAX_ITERS };
-    let start = Instant::now();
-    let mut done = 0u32;
-    for _ in 0..iters {
-        f();
-        done += 1;
-        if !quick && start.elapsed().as_secs_f64() > TIME_BUDGET_SECS {
-            break;
-        }
-    }
-    start.elapsed().as_secs_f64() / f64::from(done.max(1))
+/// [`radix_bench::time_kernel`] at this binary's budget.
+fn time_kernel<F: FnMut()>(quick: bool, f: F) -> f64 {
+    radix_bench::time_kernel(quick, TIME_BUDGET_SECS, MAX_ITERS, f)
 }
 
 fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
@@ -72,6 +63,8 @@ fn activations(rows: usize, cols: usize) -> DenseMatrix<f32> {
 fn bench_config(n: usize, degree: usize, batch: usize, quick: bool) -> (u64, Vec<KernelResult>) {
     let w = layer(n, degree);
     let prepared = PreparedWeights::from_csr(w.clone());
+    let mut tiled = prepared.clone();
+    tiled.tile();
     assert!(prepared.is_ell(), "RadiX layers have constant degree");
     let x = activations(batch, n);
     let edges = (batch * w.nnz()) as u64;
@@ -128,6 +121,37 @@ fn bench_config(n: usize, degree: usize, batch: usize, quick: bool) -> (u64, Vec
         }),
     );
 
+    // Cache-tiled variants: the same products on the column-tiled,
+    // tile-major schedule (RADIX_TILE_COLS-wide tiles; the tiled copy was
+    // built next to `prepared` above).
+    push(
+        "prepared_tiled_fused",
+        time_kernel(quick, || {
+            tiled.spmm_tiled_into(&x, &mut out, &epi_fused).unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+    push(
+        "prepared_tiled_rayon_fused",
+        time_kernel(quick, || {
+            tiled.par_spmm_tiled_into(&x, &mut out, &epi_fused).unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+
+    // Multi-layer tile fusion: a 2-layer Challenge network at this width,
+    // timed per layer so the number is comparable to the single-product
+    // kernels above (same batch·nnz edge budget per layer).
+    {
+        let net = ChallengeNetwork::from_layers(vec![w.clone(), w.clone()], -0.3, 32.0);
+        let mut ws = InferWorkspace::for_network(&net, batch);
+        let secs = time_kernel(quick, || {
+            net.forward_with(&x, false, &mut ws);
+            black_box(ws.output().as_slice().len());
+        });
+        push("fused_2layer_serial_per_layer", secs / 2.0);
+    }
+
     // SpGEMM (CSR × CSR) points so the two-pass par_spmm stitch has a
     // tracked baseline too; "edges" here is the same batch·nnz budget for
     // comparability of the JSON schema, not a flop count.
@@ -161,7 +185,7 @@ fn main() {
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str(
         "  \"note\": \"edges/sec per kernel on the pinned layer configs; \
-         quick=true means single-iteration CI smoke numbers\",\n",
+         quick=true means min-of-3-iteration CI smoke/gate numbers\",\n",
     );
     json.push_str("  \"configs\": [\n");
     for (ci, &(n, degree, batch)) in configs.iter().enumerate() {

@@ -1,0 +1,152 @@
+//! Machine calibration: measures the serial-vs-parallel crossover and the
+//! best column-tile width **on the current machine** and prints suggested
+//! environment values (see `make calibrate`).
+//!
+//! The defaults baked into the kernels (`DEFAULT_PAR_THRESHOLD`,
+//! `DEFAULT_TILE_COLS`) were measured on one machine; cache sizes and
+//! thread-spawn costs vary, so deployments should run this once and export
+//! what it prints:
+//!
+//! ```text
+//! make calibrate
+//! export RADIX_PAR_THRESHOLD=<crossover work>
+//! export RADIX_TILE_COLS=<best tile width>
+//! ```
+//!
+//! Environment: `RADIX_CALIBRATE_QUICK=1` shrinks the problem sizes and
+//! iteration counts (smoke mode: proves the binary runs; numbers are not
+//! meaningful).
+
+use std::hint::black_box;
+
+use radix_sparse::{Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights};
+
+fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
+    CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| 1.0 / degree as f32)
+}
+
+fn activations(rows: usize, cols: usize) -> DenseMatrix<f32> {
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        let r: &mut [f32] = m.row_mut(i);
+        for (j, v) in r.iter_mut().enumerate() {
+            *v = ((i * 31 + j * 17) % 13) as f32 * 0.07;
+        }
+    }
+    m
+}
+
+/// [`radix_bench::time_kernel`] at this binary's budget — the same
+/// methodology as the baseline emitter, so calibrate's suggestions are
+/// measured the way the gate measures.
+fn time_kernel<F: FnMut()>(quick: bool, f: F) -> f64 {
+    radix_bench::time_kernel(quick, 0.25, 400, f)
+}
+
+fn main() {
+    let quick = std::env::var("RADIX_CALIBRATE_QUICK").is_ok_and(|v| v == "1");
+    let threads = rayon::current_num_threads();
+    println!("calibrate: {threads} pool thread(s), quick={quick}");
+
+    // ── Part 1: serial vs parallel crossover ────────────────────────────
+    // Fixed layer, growing batch: work = batch × nnz is the quantity
+    // kernel::use_parallel thresholds on.
+    let n = if quick { 256 } else { 4096 };
+    let degree = 8.min(n);
+    let w = layer(n, degree);
+    let mut prepared = PreparedWeights::from_csr(w);
+    prepared.tile();
+    let epi = Epilogue::new(Bias::Uniform(-0.3f32), |v: f32| v.clamp(0.0, 32.0));
+    let mut out = DenseMatrix::<f32>::default();
+
+    println!("\nserial vs parallel (n={n}, degree={degree}):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "batch", "work", "serial_us", "parallel_us"
+    );
+    let mut crossover: Option<usize> = None;
+    if threads <= 1 {
+        println!("  (single-thread pool: parallel degrades to inline, no crossover to measure)");
+    } else {
+        for batch in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let x = activations(batch, n);
+            let serial = time_kernel(quick, || {
+                prepared.spmm_tiled_into(&x, &mut out, &epi).unwrap();
+                black_box(out.as_slice().len());
+            });
+            let parallel = time_kernel(quick, || {
+                prepared.par_spmm_tiled_into(&x, &mut out, &epi).unwrap();
+                black_box(out.as_slice().len());
+            });
+            let work = prepared.work(batch);
+            // Demand a real margin (5%), not scheduler noise, before
+            // declaring the crossover.
+            let wins = parallel < serial * 0.95;
+            println!(
+                "{batch:>8} {work:>12} {:>12.2} {:>12.2}{}",
+                serial * 1e6,
+                parallel * 1e6,
+                if wins { "  <- parallel wins" } else { "" }
+            );
+            if wins && crossover.is_none() {
+                crossover = Some(work);
+            }
+        }
+    }
+
+    // ── Part 2: best column-tile width ──────────────────────────────────
+    // The wide acceptance config; "0" rows are the untiled reference.
+    let (wn, wdeg, wbatch) = if quick { (512, 4, 4) } else { (16384, 8, 32) };
+    let wide = layer(wn, wdeg);
+    let x = activations(wbatch, wn);
+    println!("\ncolumn-tile width (n={wn}, degree={wdeg}, batch={wbatch}):");
+    println!("{:>10} {:>12}", "tile_cols", "fused_us");
+    let mut best: Option<(usize, f64)> = None;
+    let untiled = {
+        let p = PreparedWeights::from_csr(wide.clone());
+        time_kernel(quick, || {
+            p.spmm_into(&x, &mut out, &epi).unwrap();
+            black_box(out.as_slice().len());
+        })
+    };
+    println!("{:>10} {:>12.2}  (untiled reference)", "-", untiled * 1e6);
+    for width in [256usize, 512, 1024, 2048, 4096, 8192] {
+        if width >= wn {
+            break;
+        }
+        let mut p = PreparedWeights::from_csr(wide.clone());
+        p.tile_with(width);
+        let secs = time_kernel(quick, || {
+            p.spmm_tiled_into(&x, &mut out, &epi).unwrap();
+            black_box(out.as_slice().len());
+        });
+        println!("{width:>10} {:>12.2}", secs * 1e6);
+        if best.is_none_or(|(_, b)| secs < b) {
+            best = Some((width, secs));
+        }
+    }
+
+    // ── Suggestions ─────────────────────────────────────────────────────
+    println!("\nsuggested environment for this machine:");
+    match crossover {
+        Some(work) => println!("  export RADIX_PAR_THRESHOLD={work}"),
+        None if threads <= 1 => {
+            println!("  # single-thread machine: RADIX_PAR_THRESHOLD is irrelevant, keep default");
+        }
+        None => println!(
+            "  export RADIX_PAR_THRESHOLD={}  # parallel never won at tested sizes",
+            usize::MAX
+        ),
+    }
+    if let Some((width, secs)) = best {
+        if secs < untiled {
+            println!("  export RADIX_TILE_COLS={width}");
+        } else {
+            println!(
+                "  export RADIX_TILE_COLS={wn}  # tiling never beat untiled here (best {width} at {:.2} us vs {:.2} us)",
+                secs * 1e6,
+                untiled * 1e6
+            );
+        }
+    }
+}

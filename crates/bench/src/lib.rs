@@ -1,6 +1,11 @@
 //! Support library for the `radix-bench` benchmark crate: the criterion
 //! benches live under `benches/`, the pinned JSON baseline emitter under
-//! `src/bin/bench_kernels.rs`. This library holds the small shared pieces.
+//! `src/bin/bench_kernels.rs`, the baseline comparator (perf regression
+//! gate) under `src/bin/bench_gate.rs`, and the machine calibration run
+//! under `src/bin/calibrate.rs`. This library holds the small shared
+//! pieces: JSON float formatting and a minimal parser for the
+//! `radix-bench-kernels/v1` schema (no serde in the offline build image —
+//! we emit the format, so we can parse it with line scanning).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -15,6 +20,99 @@ pub fn format_json_f64(v: f64) -> String {
     } else {
         "0".to_string()
     }
+}
+
+/// Times `f` (after one warm-up call) and returns the **minimum**
+/// observed seconds per iteration — the standard robust estimator for
+/// perf tracking: the min approximates the true cost of the code, while
+/// means absorb scheduler noise, background load, and frequency ramps
+/// (which on shared runners routinely exceed any reasonable regression
+/// tolerance).
+///
+/// * `quick == false` — min over as many iterations as fit in
+///   `budget_secs` (at most `max_iters`): the baseline-quality number.
+/// * `quick == true` — min of three iterations: fast enough for CI
+///   smoke/gate runs.
+///
+/// Shared by `bench_kernels` (the JSON baseline emitter the perf gate
+/// diffs against) and `calibrate`, so both measure with one methodology.
+pub fn time_kernel<F: FnMut()>(quick: bool, budget_secs: f64, max_iters: u32, mut f: F) -> f64 {
+    f(); // warm-up: drives buffers to their high-water mark
+    let (budget, iters) = if quick {
+        (f64::INFINITY, 3)
+    } else {
+        (budget_secs, max_iters.max(1))
+    };
+    let all = std::time::Instant::now();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+        if all.elapsed().as_secs_f64() > budget {
+            break;
+        }
+    }
+    best
+}
+
+/// One timed kernel point from a `BENCH_kernels.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// The layer config the kernel ran on (e.g. `n16384_deg8_b32`).
+    pub config: String,
+    /// Kernel name (e.g. `prepared_tiled_fused`).
+    pub kernel: String,
+    /// **Minimum** observed wall-clock seconds per iteration (see
+    /// [`time_kernel`] for why the min estimator, not the mean).
+    pub seconds_per_iter: f64,
+}
+
+/// Extracts the string value of a `"key": "value"` pair from a JSON line,
+/// if present.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let start = rest.find('"')? + 1;
+    let end = start + rest[start..].find('"')?;
+    Some(rest[start..end].to_string())
+}
+
+/// Extracts the numeric value of a `"key": 1.23e-4` pair from a JSON
+/// line, if present.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = line[line.find(&tag)? + tag.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a `radix-bench-kernels/v1` JSON file (as written by
+/// `bench_kernels`) into its kernel timing points. The format is
+/// line-oriented by construction: every kernel object sits on one line
+/// carrying both `name` and `seconds_per_iter`; config objects carry a
+/// `name` on its own line. Unknown lines are ignored, so the parser
+/// tolerates added fields.
+#[must_use]
+pub fn parse_bench_json(text: &str) -> Vec<BenchPoint> {
+    let mut points = Vec::new();
+    let mut config = String::new();
+    for line in text.lines() {
+        if let Some(secs) = number_field(line, "seconds_per_iter") {
+            if let Some(kernel) = string_field(line, "name") {
+                points.push(BenchPoint {
+                    config: config.clone(),
+                    kernel,
+                    seconds_per_iter: secs,
+                });
+            }
+        } else if let Some(name) = string_field(line, "name") {
+            config = name;
+        }
+    }
+    points
 }
 
 #[cfg(test)]
@@ -32,5 +130,70 @@ mod tests {
     fn non_finite_degrades_to_zero() {
         assert_eq!(format_json_f64(f64::NAN), "0");
         assert_eq!(format_json_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn time_kernel_counts_calls() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        // Quick mode: 1 warm-up + 3 timed iterations, min returned.
+        let t = time_kernel(true, 1.0, 100, || calls.set(calls.get() + 1));
+        assert_eq!(calls.get(), 4);
+        assert!(t.is_finite() && t >= 0.0);
+        // Normal mode with a zero budget: warm-up + exactly one iteration.
+        calls.set(0);
+        let t = time_kernel(false, 0.0, 100, || calls.set(calls.get() + 1));
+        assert_eq!(calls.get(), 2);
+        assert!(t.is_finite() && t >= 0.0);
+        // Normal mode with a huge budget: capped by max_iters.
+        calls.set(0);
+        let t = time_kernel(false, 1e9, 5, || calls.set(calls.get() + 1));
+        assert_eq!(calls.get(), 6);
+        assert!(t.is_finite() && t >= 0.0);
+    }
+
+    #[test]
+    fn parses_emitter_format() {
+        let text = r#"{
+  "schema": "radix-bench-kernels/v1",
+  "quick": false,
+  "configs": [
+    {
+      "name": "n16_deg2_b4",
+      "n": 16,
+      "kernels": [
+        {"name": "csr_serial_unfused", "seconds_per_iter": 4.089235e-3, "edges_per_sec": 1.025694e9},
+        {"name": "prepared_tiled_fused", "seconds_per_iter": 1.5e-3, "edges_per_sec": 2.0e9}
+      ]
+    },
+    {
+      "name": "n32_deg4_b8",
+      "kernels": [
+        {"name": "csr_serial_unfused", "seconds_per_iter": 2.0e-3, "edges_per_sec": 1.0e9}
+      ]
+    }
+  ]
+}"#;
+        let points = parse_bench_json(text);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].config, "n16_deg2_b4");
+        assert_eq!(points[0].kernel, "csr_serial_unfused");
+        assert!((points[0].seconds_per_iter - 4.089235e-3).abs() < 1e-12);
+        assert_eq!(points[1].kernel, "prepared_tiled_fused");
+        assert_eq!(points[2].config, "n32_deg4_b8");
+    }
+
+    #[test]
+    fn parses_the_committed_baseline_shape() {
+        // The committed baseline must stay parseable; mirror one real line.
+        let line = r#"        {"name": "prepared_serial_fused", "seconds_per_iter": 3.602354e-3, "edges_per_sec": 1.164323e9},"#;
+        let points = parse_bench_json(line);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].kernel, "prepared_serial_fused");
+    }
+
+    #[test]
+    fn ignores_malformed_lines() {
+        assert!(parse_bench_json("not json at all\n{}\n").is_empty());
     }
 }

@@ -6,19 +6,52 @@
 //! divided by wall time ("input-edges per second").
 //!
 //! The layers are held as [`PreparedWeights`]: RadiX-Net layer matrices
-//! have constant row degree, so every product runs on the ELL fast path
-//! with the bias + ReLU + `YMAX` clamp fused into the kernel as an
-//! [`Epilogue`], and activations ping-pong between two
-//! [`InferWorkspace`] buffers. After the workspace warm-up the timed
-//! region performs **zero heap allocation** (`tests/zero_alloc.rs` pins
-//! this down with a counting allocator).
+//! have constant row degree, so every product runs on the ELL fast path —
+//! column-tiled for wide layers (`RADIX_TILE_COLS`) so the scatter targets
+//! stay cache-resident — with the bias + ReLU + `YMAX` clamp fused into
+//! the kernel as an [`Epilogue`].
+//!
+//! The forward pass runs a **multi-layer tile-fused schedule**: instead of
+//! finishing each layer on the whole batch before starting the next (a
+//! full-batch barrier whose intermediate activations round-trip through
+//! memory), consecutive layers are grouped ([`fuse_layers`], env
+//! `RADIX_FUSE_LAYERS`, default 2) and each `FUSE_BLOCK_ROWS`-row block of
+//! the batch is pushed through the whole group while its activations are
+//! still cache-hot. Group outputs ping-pong between the two main
+//! [`InferWorkspace`] buffers exactly as before; the within-group
+//! intermediates live in small per-worker scratch ping-pongs. Every row's
+//! arithmetic is unchanged, so results stay bitwise identical to the
+//! layer-by-layer schedule.
+//!
+//! After the workspace warm-up the timed region performs **zero heap
+//! allocation**, for the serial *and* the pool-parallel schedule
+//! (`tests/zero_alloc.rs` pins both down with a counting allocator).
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use radix_sparse::kernel::{use_parallel, PingPong};
 use radix_sparse::{Bias, CsrMatrix, DenseMatrix, Epilogue, PreparedWeights};
 
 use crate::config::ChallengeConfig;
+
+/// Default number of consecutive layers fused per row block.
+pub const DEFAULT_FUSE_LAYERS: usize = 2;
+
+/// Batch rows per fused block: the block's intermediate activations
+/// (`FUSE_BLOCK_ROWS × layer width` values, twice) must stay
+/// cache-resident across the group's layers.
+const FUSE_BLOCK_ROWS: usize = 32;
+
+/// How many consecutive layers the forward pass fuses per row block:
+/// `RADIX_FUSE_LAYERS` from the environment if set to a positive parseable
+/// `usize` (1 disables fusion), otherwise [`DEFAULT_FUSE_LAYERS`]. Read
+/// once and cached for the process lifetime.
+#[must_use]
+pub fn fuse_layers() -> usize {
+    static FUSE: OnceLock<usize> = OnceLock::new();
+    *FUSE.get_or_init(|| radix_sparse::kernel::env_usize("RADIX_FUSE_LAYERS", DEFAULT_FUSE_LAYERS))
+}
 
 /// A Challenge network instance: prepared sparse weight layers plus the
 /// scalar bias/clamp parameters applied uniformly (as in the official
@@ -34,10 +67,13 @@ pub struct ChallengeNetwork {
 /// Size once (or let the first pass grow them to the high-water mark),
 /// then every subsequent forward pass is allocation-free. The buffer
 /// alternation is `radix_sparse::kernel`'s [`PingPong`] driver, shared
-/// with the `radix-nn` forward workspace.
+/// with the `radix-nn` forward workspace; `scratch` holds one small
+/// per-worker ping-pong for the within-group intermediates of the fused
+/// schedule (index = pool worker slot, so parallel blocks never share).
 #[derive(Debug, Clone, Default)]
 pub struct InferWorkspace {
     buffers: PingPong<f32>,
+    scratch: Vec<PingPong<f32>>,
 }
 
 impl InferWorkspace {
@@ -48,7 +84,8 @@ impl InferWorkspace {
     }
 
     /// A workspace pre-sized for `net` at the given batch size, so even
-    /// the first forward pass allocates nothing.
+    /// the first forward pass allocates nothing (serial or parallel — one
+    /// fused-block scratch pair is pre-sized per pool thread).
     #[must_use]
     pub fn for_network(net: &ChallengeNetwork, batch: usize) -> Self {
         let widest = net
@@ -57,8 +94,13 @@ impl InferWorkspace {
             .map(PreparedWeights::ncols)
             .max()
             .unwrap_or(0);
+        let block = FUSE_BLOCK_ROWS.min(batch.max(1));
+        let scratch = (0..rayon::current_num_threads())
+            .map(|_| PingPong::with_capacity(block, widest))
+            .collect();
         InferWorkspace {
             buffers: PingPong::with_capacity(batch, widest),
+            scratch,
         }
     }
 
@@ -111,7 +153,12 @@ impl ChallengeNetwork {
             .fnnt()
             .submatrices()
             .iter()
-            .map(|w| PreparedWeights::from_csr(w.map(|_| weight)))
+            .map(|w| {
+                let mut p = PreparedWeights::from_csr(w.map(|_| weight));
+                // One-time column-tiling pass; narrow layers stay untiled.
+                p.tile();
+                p
+            })
             .collect();
         Ok(ChallengeNetwork {
             layers,
@@ -132,7 +179,14 @@ impl ChallengeNetwork {
             assert_eq!(pair[0].ncols(), pair[1].nrows(), "layers must chain");
         }
         ChallengeNetwork {
-            layers: layers.into_iter().map(PreparedWeights::from_csr).collect(),
+            layers: layers
+                .into_iter()
+                .map(|w| {
+                    let mut p = PreparedWeights::from_csr(w);
+                    p.tile();
+                    p
+                })
+                .collect(),
             bias,
             ymax,
         }
@@ -220,27 +274,39 @@ impl ChallengeNetwork {
         self.forward_schedule(x, Schedule::Auto, ws)
     }
 
-    /// Shared ping-pong driver behind [`ChallengeNetwork::forward_with`]
-    /// and [`ChallengeNetwork::forward_auto_with`].
+    /// Shared driver behind [`ChallengeNetwork::forward_with`] and
+    /// [`ChallengeNetwork::forward_auto_with`]: the layers are cut into
+    /// groups of [`fuse_layers`] consecutive layers, group outputs
+    /// ping-pong through the two main workspace buffers, and within a
+    /// group each row block is chained through every layer while its
+    /// activations stay cache-hot (see [`forward_group`]).
     fn forward_schedule<'w>(
         &self,
         x: &DenseMatrix<f32>,
         schedule: Schedule,
         ws: &'w mut InferWorkspace,
     ) -> &'w DenseMatrix<f32> {
+        let depth = fuse_layers();
+        let nlayers = self.layers.len();
+        // Non-empty layers are a construction invariant, so groups >= 1.
+        let groups = nlayers.div_ceil(depth);
+        let InferWorkspace { buffers, scratch } = ws;
+        // One fused-block scratch pair per pool worker slot; reaches its
+        // high-water mark on the first (warm-up) pass.
+        scratch.resize_with(rayon::current_num_threads(), PingPong::new);
         let epi = self.epilogue();
-        ws.buffers.run(x, self.layers.len(), |l, src, dst| {
-            let w = &self.layers[l];
+        buffers.run(x, groups, |g, src, dst| {
+            let lo = g * depth;
+            let hi = (lo + depth).min(nlayers);
+            let group = &self.layers[lo..hi];
             let parallel = match schedule {
                 Schedule::Fixed(p) => p,
-                Schedule::Auto => use_parallel(w.work(src.nrows())),
+                Schedule::Auto => {
+                    let work: usize = group.iter().map(|w| w.work(src.nrows())).sum();
+                    use_parallel(work)
+                }
             };
-            if parallel {
-                w.par_spmm_into(src, dst, &epi)
-            } else {
-                w.spmm_into(src, dst, &epi)
-            }
-            .expect("layer widths chain");
+            forward_group(group, src, dst, &epi, parallel, scratch);
         })
     }
 
@@ -271,6 +337,94 @@ impl ChallengeNetwork {
             },
         )
     }
+}
+
+/// Applies one fused layer group to the whole batch, `src → dst`.
+///
+/// A single-layer group is one tiled product straight into `dst`. A deeper
+/// group cuts the batch into [`FUSE_BLOCK_ROWS`]-row blocks and chains each
+/// block through every layer of the group (intermediates in the worker's
+/// scratch ping-pong, final layer writing its slice of `dst` directly), so
+/// a block's activations never leave cache between layers. Parallel
+/// execution hands blocks to the persistent pool via the allocation-free
+/// chunk dispatch, one scratch pair per worker slot.
+fn forward_group<F: Fn(f32) -> f32 + Sync>(
+    group: &[PreparedWeights<f32>],
+    src: &DenseMatrix<f32>,
+    dst: &mut DenseMatrix<f32>,
+    epi: &Epilogue<'_, f32, F>,
+    parallel: bool,
+    scratch: &mut [PingPong<f32>],
+) {
+    if group.len() == 1 {
+        let w = &group[0];
+        if parallel {
+            w.par_spmm_tiled_into(src, dst, epi)
+        } else {
+            w.spmm_tiled_into(src, dst, epi)
+        }
+        .expect("layer widths chain");
+        return;
+    }
+    let batch = src.nrows();
+    let out_cols = group.last().expect("non-empty group").ncols();
+    // Every block is fully written by the last layer's spmm_rows_to.
+    dst.resize_for_overwrite(batch, out_cols);
+    if batch == 0 || out_cols == 0 {
+        dst.as_mut_slice().fill(0.0);
+        return;
+    }
+    if parallel {
+        rayon::for_each_chunk_mut_with(
+            dst.as_mut_slice(),
+            FUSE_BLOCK_ROWS * out_cols,
+            scratch,
+            |pp, blk, chunk| {
+                let rows = chunk.len() / out_cols;
+                fused_block(group, src, blk * FUSE_BLOCK_ROWS, rows, chunk, pp, epi);
+            },
+        );
+    } else {
+        let slice = dst.as_mut_slice();
+        let pp = &mut scratch[0];
+        let mut start = 0usize;
+        while start < batch {
+            let rows = FUSE_BLOCK_ROWS.min(batch - start);
+            let chunk = &mut slice[start * out_cols..(start + rows) * out_cols];
+            fused_block(group, src, start, rows, chunk, pp, epi);
+            start += rows;
+        }
+    }
+}
+
+/// Chains one row block through every layer of a fused group: layer 0
+/// reads rows `[start, start + rows)` of `src`, intermediates alternate
+/// between the scratch pair, the last layer writes `dst_block`.
+fn fused_block<F: Fn(f32) -> f32 + Sync>(
+    group: &[PreparedWeights<f32>],
+    src: &DenseMatrix<f32>,
+    start: usize,
+    rows: usize,
+    dst_block: &mut [f32],
+    pp: &mut PingPong<f32>,
+    epi: &Epilogue<'_, f32, F>,
+) {
+    let (mut cur, mut nxt) = pp.buffers_mut();
+    cur.resize_for_overwrite(rows, group[0].ncols());
+    group[0]
+        .spmm_rows_to(src, start, rows, cur.as_mut_slice(), epi)
+        .expect("layer widths chain");
+    for w in &group[1..group.len() - 1] {
+        nxt.resize_for_overwrite(rows, w.ncols());
+        w.spmm_rows_to(cur, 0, rows, nxt.as_mut_slice(), epi)
+            .expect("layer widths chain");
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    group
+        .last()
+        .expect("non-empty group")
+        .spmm_rows_to(cur, 0, rows, dst_block, epi)
+        .expect("layer widths chain");
 }
 
 #[cfg(test)]
@@ -317,6 +471,41 @@ mod tests {
         let ys = net.forward(&x, false);
         let yp = net.forward(&x, true);
         assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn fused_schedule_matches_layer_by_layer() {
+        // The fused group schedule must be bitwise identical to the plain
+        // one-layer-at-a-time reference, at batch sizes that exercise a
+        // partial block, exactly one block, and several blocks (including
+        // a trailing partial one) of FUSE_BLOCK_ROWS = 32 rows.
+        let net = ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 5, 3)).unwrap();
+        let epi = net.epilogue();
+        for batch in [1usize, 7, 31, 32, 33, 64, 80] {
+            let x = sparse_binary_batch(batch, net.n_in(), 0.4, batch as u64);
+            // Reference: whole-batch barrier between layers, untiled order
+            // of application (kernels themselves are bitwise-equal either
+            // way, pinned by the radix-sparse proptest suite).
+            let mut cur = x.clone();
+            let mut nxt = DenseMatrix::default();
+            for w in net.layers() {
+                w.spmm_into(&cur, &mut nxt, &epi).unwrap();
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+            for parallel in [false, true] {
+                assert_eq!(
+                    &net.forward(&x, parallel),
+                    &cur,
+                    "batch {batch}, parallel {parallel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fuse_layers_is_stable_and_positive() {
+        assert!(fuse_layers() >= 1);
+        assert_eq!(fuse_layers(), fuse_layers());
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! * [`ChallengeConfig`] — `r^k` neurons × `k·S` layers at `r` connections
 //!   per neuron, constant weight `1/r`, small negative bias, `YMAX` clamp —
 //!   the Challenge generator's recipe at laptop scale,
-//! * [`ChallengeNetwork`] — the timed batch-synchronous kernel
+//! * [`ChallengeNetwork`] — the timed inference kernel
 //!   `Y ← clamp(ReLU(Y·W + b), 0, YMAX)` with Rayon row parallelism and
 //!   edges/second reporting (the Challenge metric). Layers are prepared
-//!   ELL-layout weights (`radix_sparse::kernel`) with the nonlinearity
-//!   fused in, and activations ping-pong through an [`InferWorkspace`] so
-//!   the timed region performs zero heap allocation after warm-up,
+//!   ELL-layout weights (`radix_sparse::kernel`), column-tiled for cache
+//!   residency, with the nonlinearity fused in; the forward pass fuses
+//!   [`fuse_layers`] consecutive layers per row block so intermediate
+//!   activations stay cache-hot, and group outputs ping-pong through an
+//!   [`InferWorkspace`] so the timed region performs zero heap allocation
+//!   after warm-up (serial and pool-parallel),
 //! * [`forward_pipelined`] — a crossbeam-channel depth-pipelined schedule,
 //!   bit-identical results, different parallel structure (ablation bench).
 
@@ -28,6 +31,8 @@ pub mod stream;
 
 pub use catalog::{challenge_ladder, CatalogEntry};
 pub use config::ChallengeConfig;
-pub use infer::{ChallengeNetwork, InferWorkspace, InferenceStats};
+pub use infer::{
+    fuse_layers, ChallengeNetwork, InferWorkspace, InferenceStats, DEFAULT_FUSE_LAYERS,
+};
 pub use pipeline::forward_pipelined;
 pub use stream::{run_stream, LayerActivationStats, StreamResult};

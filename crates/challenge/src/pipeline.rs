@@ -71,10 +71,13 @@ pub fn forward_pipelined(
         for (w, in_rx, out_tx) in stage_rxs {
             scope.spawn(move |_| {
                 // Output tiles are owned by the channel, so each is a fresh
-                // buffer; the nonlinearity is fused into the prepared kernel.
+                // buffer; the nonlinearity is fused into the prepared
+                // kernel, and wide layers run the cache-tiled schedule
+                // (serial within a stage — the stages themselves are the
+                // parallelism here).
                 for (t, tile) in in_rx {
                     let mut y = DenseMatrix::default();
-                    w.spmm_into(&tile, &mut y, &epi)
+                    w.spmm_tiled_into(&tile, &mut y, &epi)
                         .expect("layer widths chain");
                     if out_tx.send((t, y)).is_err() {
                         break;

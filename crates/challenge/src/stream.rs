@@ -49,7 +49,10 @@ pub fn run_stream(net: &ChallengeNetwork, batches: &[DenseMatrix<f32>]) -> Strea
     let mut categories = Vec::new();
     // Ping-pong buffers shared across every batch in the stream: the
     // prepared kernels resize them in place, so steady-state batches run
-    // allocation-free with the bias/ReLU/clamp epilogue fused in.
+    // allocation-free with the bias/ReLU/clamp epilogue fused in. Layers
+    // run the cache-tiled pool-parallel kernel (the per-layer stats
+    // recording needs every layer's full output, so the multi-layer fused
+    // schedule does not apply here).
     let epi = net.epilogue();
     let mut buffers = radix_sparse::kernel::PingPong::new();
     for batch in batches {
@@ -58,7 +61,7 @@ pub fn run_stream(net: &ChallengeNetwork, batches: &[DenseMatrix<f32>]) -> Strea
         record(&mut stats, 0, batch);
         let y = buffers.run(batch, net.layers().len(), |l, src, dst| {
             net.layers()[l]
-                .par_spmm_into(src, dst, &epi)
+                .par_spmm_tiled_into(src, dst, &epi)
                 .expect("widths chain");
             record(&mut stats, l + 1, dst);
         });

@@ -1,13 +1,18 @@
 //! Verifies the acceptance criterion of the prepared-kernel engine: after
 //! workspace warm-up, the Challenge inference timed region performs **no
-//! heap allocation**. A counting global allocator wraps the system
-//! allocator; the serial forward pass through a warmed [`InferWorkspace`]
-//! must leave the allocation counter untouched.
+//! heap allocation** — on the serial path *and* on the pool-parallel
+//! cache-tiled path. A counting global allocator wraps the system
+//! allocator; a forward pass through a warmed [`InferWorkspace`] must
+//! leave the allocation counter untouched.
 //!
-//! The check targets the serial kernel: the parallel variant is
-//! arithmetically identical but fans work out over scoped threads, whose
-//! spawn machinery allocates (thread stacks, join handles) — that is
-//! scheduling overhead, not per-layer buffer churn.
+//! The parallel guarantee is what the persistent worker pool in the rayon
+//! shim buys: thread stacks and join handles are paid once at pool
+//! creation (part of warm-up), and the steady-state dispatch — condvar
+//! wake, atomic chunk cursor, per-worker scratch reuse — touches the heap
+//! not at all. The test forces a 4-thread pool and a small tile width via
+//! environment variables set before anything touches the pool or the tile
+//! configuration (both are read once, at first use, and this test binary
+//! is its own process).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +57,13 @@ fn allocations() -> u64 {
 // default parallel test harness.
 #[test]
 fn inference_timed_region_is_allocation_free() {
+    // Force a real multi-thread pool (even on 1-core CI) and a tile width
+    // small enough that this test's layers actually take the tiled path.
+    // Must happen before the first pool / tile_cols use; both are cached
+    // process-wide after that.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    std::env::set_var("RADIX_TILE_COLS", "8");
+
     // Part 1: warmed-up workspace — repeated passes allocate nothing.
     let net = ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 5, 3)).unwrap();
     let batch = 16usize;
@@ -60,6 +72,13 @@ fn inference_timed_region_is_allocation_free() {
 
     // Warm-up: drives every buffer to its high-water mark.
     let reference = net.forward_with(&x, false, &mut ws).clone();
+
+    // The counter is process-global, and libtest's harness thread lazily
+    // allocates its channel-parking context the first time it gets
+    // scheduled — which, on a single-core machine, can land in the middle
+    // of a measured window. Yield long enough for the harness thread to
+    // finish that one-time setup before any measurement starts.
+    std::thread::sleep(std::time::Duration::from_millis(100));
 
     // Timed-region equivalent: repeated serial passes through the warmed
     // workspace must not allocate at all.
@@ -93,4 +112,38 @@ fn inference_timed_region_is_allocation_free() {
         0,
         "a workspace pre-sized with for_network must never allocate"
     );
+
+    // Part 3: the pool-parallel cache-tiled path. The layers are tiled
+    // (RADIX_TILE_COLS=8 < 32 columns); the batch spans several fused row
+    // blocks, so multi-layer groups dispatch blocks to the 4-thread pool
+    // (per-worker scratch ping-pongs) and single-layer groups run the
+    // pool-parallel tiled product. Warm-up pays for pool spawn and
+    // per-worker scratch growth; after that, repeated parallel passes must
+    // allocate nothing.
+    assert!(
+        net.layers().iter().all(|w| w.is_tiled()),
+        "test layers must take the tiled path"
+    );
+    let batch3 = 80usize; // > 2 fuse blocks of 32 rows
+    let x3 = sparse_binary_batch(batch3, net.n_in(), 0.5, 11);
+    let serial_reference = net.forward(&x3, false);
+    let mut ws3 = InferWorkspace::for_network(&net, batch3);
+    let par_reference = net.forward_with(&x3, true, &mut ws3).clone();
+    assert_eq!(
+        par_reference, serial_reference,
+        "parallel must match serial"
+    );
+
+    let before = allocations();
+    for _ in 0..3 {
+        let y = net.forward_with(&x3, true, &mut ws3);
+        assert_eq!(y.shape(), par_reference.shape());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up pool-parallel tiled inference must be allocation-free"
+    );
+    assert_eq!(net.forward_with(&x3, true, &mut ws3), &par_reference);
 }

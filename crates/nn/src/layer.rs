@@ -108,6 +108,15 @@ impl SparseLinear {
         &self.w
     }
 
+    /// Builds the column-tiled layout for cache-blocked forward products
+    /// (`RADIX_TILE_COLS`-wide tiles; narrow layers stay untiled). Worth
+    /// calling on a **frozen** network before inference-heavy use; a
+    /// training update (`apply_update`) drops the tiles again, since they
+    /// hold a reordered copy of the weight values.
+    pub fn tile(&mut self) -> bool {
+        self.w.tile()
+    }
+
     /// Number of trainable parameters (weights + biases).
     #[must_use]
     pub fn num_params(&self) -> usize {
@@ -201,7 +210,10 @@ impl Layer {
             Layer::Sparse(l) => {
                 let act = l.act;
                 let epi = Epilogue::new(Bias::PerOutput(&l.b), move |v: f32| act.apply(v));
-                l.w.spmm_auto_into(x, out, &epi)
+                // Tiled-aware: layers tiled via SparseLinear::tile run the
+                // cache-blocked schedule, untrained/untiled layers fall
+                // back to the plain ELL walk (bitwise-identical results).
+                l.w.spmm_tiled_auto_into(x, out, &epi)
                     .expect("layer width mismatch");
             }
             Layer::Dense(l) => {

@@ -2,7 +2,11 @@
 //!
 //! Both return the mean loss over the batch and the gradient of that mean
 //! with respect to the network's raw outputs (logits), which seeds the
-//! backward pass.
+//! backward pass. The `_into` variants write the gradient into a
+//! caller-provided buffer (resized in place) — with them, the training
+//! loop's per-batch heap traffic is zero: `Network::grad_batch_with` seeds
+//! the `GradWorkspace` delta buffer directly instead of allocating a fresh
+//! gradient matrix every batch.
 
 use radix_sparse::DenseMatrix;
 
@@ -42,10 +46,29 @@ impl Loss {
         outputs: &DenseMatrix<f32>,
         targets: &DenseMatrix<f32>,
     ) -> (f32, DenseMatrix<f32>) {
+        let mut grad = DenseMatrix::default();
+        let loss = self.eval_regression_into(outputs, targets, &mut grad);
+        (loss, grad)
+    }
+
+    /// Like [`Loss::eval_regression`], but writes the gradient into a
+    /// caller-provided buffer (resized in place, reusing its allocation) —
+    /// the allocation-free variant the training loop's `GradWorkspace`
+    /// feeds its delta buffer with.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or if called on a classification loss.
+    pub fn eval_regression_into(
+        self,
+        outputs: &DenseMatrix<f32>,
+        targets: &DenseMatrix<f32>,
+        grad: &mut DenseMatrix<f32>,
+    ) -> f32 {
         assert_eq!(self, Loss::Mse, "regression targets need Loss::Mse");
         assert_eq!(outputs.shape(), targets.shape(), "shape mismatch");
         let b = outputs.nrows() as f32;
-        let mut grad = DenseMatrix::zeros(outputs.nrows(), outputs.ncols());
+        // Every element is overwritten below, so skip the zero-fill.
+        grad.resize_for_overwrite(outputs.nrows(), outputs.ncols());
         let mut loss = 0.0f32;
         for i in 0..outputs.nrows() {
             let orow = outputs.row(i);
@@ -57,7 +80,7 @@ impl Loss {
                 *g = d / b;
             }
         }
-        (loss / b, grad)
+        loss / b
     }
 
     /// Mean loss and gradient for classification targets given as class
@@ -71,6 +94,22 @@ impl Loss {
         logits: &DenseMatrix<f32>,
         labels: &[usize],
     ) -> (f32, DenseMatrix<f32>) {
+        let mut grad = DenseMatrix::default();
+        let loss = self.eval_classification_into(logits, labels, &mut grad);
+        (loss, grad)
+    }
+
+    /// Like [`Loss::eval_classification`], but writes the gradient into a
+    /// caller-provided buffer (resized in place, reusing its allocation).
+    ///
+    /// # Panics
+    /// Panics if a label is out of range or if called on a regression loss.
+    pub fn eval_classification_into(
+        self,
+        logits: &DenseMatrix<f32>,
+        labels: &[usize],
+        grad: &mut DenseMatrix<f32>,
+    ) -> f32 {
         assert_eq!(
             self,
             Loss::SoftmaxCrossEntropy,
@@ -79,7 +118,10 @@ impl Loss {
         assert_eq!(logits.nrows(), labels.len(), "batch size mismatch");
         let b = logits.nrows() as f32;
         let classes = logits.ncols();
-        let mut grad = logits.clone();
+        // Start from a copy of the logits (softmax then runs in place);
+        // every element is overwritten, so skip the zero-fill.
+        grad.resize_for_overwrite(logits.nrows(), logits.ncols());
+        grad.as_mut_slice().copy_from_slice(logits.as_slice());
         let mut loss = 0.0f32;
         for (i, &label) in labels.iter().enumerate() {
             assert!(label < classes, "label {label} out of range");
@@ -91,7 +133,7 @@ impl Loss {
                 *v /= b;
             }
         }
-        (loss / b, grad)
+        loss / b
     }
 }
 
@@ -209,6 +251,30 @@ mod tests {
         assert!(loss < 1e-3);
         let (bad, _) = Loss::SoftmaxCrossEntropy.eval_classification(&logits, &[1]);
         assert!(bad > 5.0);
+    }
+
+    #[test]
+    fn eval_into_matches_allocating_variants_and_reuses_buffer() {
+        let logits = DenseMatrix::from_rows(&[&[0.2f32, -0.1, 0.5], &[1.0, 0.0, -1.0]]);
+        let labels = vec![2usize, 0];
+        let (loss_a, grad_a) = Loss::SoftmaxCrossEntropy.eval_classification(&logits, &labels);
+        let mut grad = DenseMatrix::zeros(2, 3);
+        let ptr = grad.as_slice().as_ptr();
+        let loss_b =
+            Loss::SoftmaxCrossEntropy.eval_classification_into(&logits, &labels, &mut grad);
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(grad_a, grad);
+        assert_eq!(ptr, grad.as_slice().as_ptr(), "same-size call must reuse");
+
+        let y = DenseMatrix::from_rows(&[&[1.0f32, -0.5], &[0.3, 2.0]]);
+        let t = DenseMatrix::from_rows(&[&[0.0f32, 0.0], &[1.0, 1.0]]);
+        let (loss_a, grad_a) = Loss::Mse.eval_regression(&y, &t);
+        let mut grad = DenseMatrix::zeros(2, 2);
+        let ptr = grad.as_slice().as_ptr();
+        let loss_b = Loss::Mse.eval_regression_into(&y, &t, &mut grad);
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(grad_a, grad);
+        assert_eq!(ptr, grad.as_slice().as_ptr(), "same-size call must reuse");
     }
 
     #[test]

@@ -236,11 +236,13 @@ impl Network {
         } = ws;
         self.forward_trace_into(x, trace);
         let logits = trace.last().expect("at least one layer");
-        let (loss, grad) = match targets {
-            Targets::Labels(labels) => self.loss.eval_classification(logits, labels),
-            Targets::Values(values) => self.loss.eval_regression(logits, values),
+        // The loss gradient is written straight into the workspace delta
+        // buffer — the last per-batch allocation the training loop used to
+        // make.
+        let loss = match targets {
+            Targets::Labels(labels) => self.loss.eval_classification_into(logits, labels, delta),
+            Targets::Values(values) => self.loss.eval_regression_into(logits, values, delta),
         };
-        *delta = grad;
         for i in (0..self.layers.len()).rev() {
             let input = if i == 0 { x } else { &trace[i - 1] };
             self.layers[i].backward_into(input, &trace[i], delta, &mut grads[i], grad_in);

@@ -149,9 +149,9 @@ pub fn train_classifier(
     let mut history = History::default();
     // Persistent buffers: mini-batch gather, forward/backward workspace,
     // and the full-set evaluation workspace reach their high-water mark in
-    // epoch 0 and are reused afterwards. (One allocation per batch
-    // remains: Loss::eval_* builds the initial gradient matrix — see the
-    // ROADMAP "loss eval_into" open item.)
+    // epoch 0 and are reused afterwards — including the loss gradient,
+    // which Loss::eval_*_into writes into the workspace delta buffer, so
+    // steady-state batches perform no heap allocation at all.
     let mut xb = DenseMatrix::zeros(0, 0);
     let mut yb: Vec<usize> = Vec::new();
     let mut ws = GradWorkspace::new();

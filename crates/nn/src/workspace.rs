@@ -68,13 +68,16 @@ impl ForwardWorkspace {
 
 /// Buffers for a full forward + backward pass, reused across mini-batches:
 /// the per-layer activation trace, the backpropagated gradient ping-pong
-/// pair, and the per-layer parameter gradients.
+/// pair, and the per-layer parameter gradients. With the loss gradient
+/// written directly into `delta` by `Loss::eval_*_into`, a steady-state
+/// training batch performs **no** heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct GradWorkspace {
     /// `trace[i]` holds the (post-activation) output of layer `i`.
     pub(crate) trace: Vec<DenseMatrix<f32>>,
-    /// Upstream gradient flowing into the current layer (becomes the
-    /// activation-scaled delta in place during the layer's backward).
+    /// Upstream gradient flowing into the current layer. Seeded in place
+    /// by the loss epilogue (`Loss::eval_*_into`), then becomes the
+    /// activation-scaled delta during each layer's backward.
     pub(crate) delta: DenseMatrix<f32>,
     /// Gradient w.r.t. the current layer's input, swapped with `delta`
     /// after each layer.

@@ -2,21 +2,46 @@
 //! uses.
 //!
 //! The build environment has no network access, so the real `rayon` cannot
-//! be fetched. Unlike most shims this one is **not** a sequential fake: it
-//! materializes the items of a "parallel iterator" eagerly and fans them out
-//! over [`std::thread::scope`] threads (one contiguous block per hardware
-//! thread), so `par_*` kernels genuinely run in parallel. There is no work
-//! stealing — RadiX-Net workloads are regular (every row costs about the
-//! same), so static contiguous blocks balance well.
+//! be fetched. Unlike most shims this one is **not** a sequential fake: work
+//! is fanned out over a **persistent worker pool** — `num_threads() - 1`
+//! detached threads spawned once per process, parked on a condvar between
+//! jobs — so a steady-state parallel call costs two condvar round trips and
+//! a handful of atomic operations, with **zero heap allocation** on the
+//! dispatch path. (The previous implementation spawned fresh
+//! [`std::thread::scope`] threads per call, whose stacks and join handles
+//! allocated every time — that made the parallel kernels impossible to run
+//! inside an allocation-free timed region.)
 //!
 //! Supported surface: `into_par_iter()` on ranges and vectors,
-//! `par_chunks_mut` on slices, and the adaptors `enumerate`, `map`,
-//! `map_init`, `for_each`, and `collect`.
+//! `par_chunks_mut` on slices, the adaptors `enumerate`, `map`, `map_init`,
+//! `for_each`, and `collect`, plus two shim-specific zero-allocation
+//! primitives the prepared kernels build on:
+//!
+//! * [`for_each_chunk_mut`] — pool-parallel loop over `chunk`-sized mutable
+//!   chunks of a slice, chunks claimed dynamically via an atomic cursor,
+//! * [`for_each_chunk_mut_with`] — the same, plus one caller-provided
+//!   scratch state per worker slot (rayon's `map_init` shape, but with the
+//!   states owned by the caller so they persist — and stay warm — across
+//!   calls).
+//!
+//! Nested parallel calls (a job that itself calls a `par_*` entry point)
+//! degrade to inline execution on the current thread instead of
+//! deadlocking, mirroring how real rayon absorbs nested scopes into the
+//! running worker.
+//!
+//! This crate contains `unsafe` in two tightly-scoped places: handing the
+//! borrowed job closure to the persistent workers (the broadcast protocol
+//! guarantees the closure outlives every dereference) and splitting
+//! slices/vectors into disjoint per-task pieces across threads (task
+//! indices are claimed exactly once from an atomic cursor). Each unsafe
+//! block carries its own safety argument; everything outside this crate
+//! remains `#![forbid(unsafe_code)]`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Everything call sites need: `use rayon::prelude::*;`.
 pub mod prelude {
@@ -25,6 +50,7 @@ pub mod prelude {
 
 /// Number of worker threads to fan out over (the `RAYON_NUM_THREADS`
 /// environment variable overrides the hardware default, as in real rayon).
+/// Read once, when the pool is built.
 fn num_threads() -> usize {
     let hardware = || {
         std::thread::available_parallelism()
@@ -43,24 +69,346 @@ fn num_threads() -> usize {
     }
 }
 
-/// Splits `items` into at most `parts` contiguous blocks of near-equal size.
-fn split_blocks<I>(mut items: Vec<I>, parts: usize) -> Vec<Vec<I>> {
-    let n = items.len();
-    let parts = parts.min(n).max(1);
-    let base = n / parts;
-    let extra = n % parts;
-    // Pop blocks off the back so each drain is O(block), then restore order.
-    let mut blocks: Vec<Vec<I>> = Vec::with_capacity(parts);
-    for p in (0..parts).rev() {
-        let len = base + usize::from(p < extra);
-        blocks.push(items.split_off(items.len() - len));
+/// Total number of threads that participate in a parallel job: the
+/// persistent pool workers plus the calling thread (rayon's
+/// `current_num_threads`). Callers sizing per-worker scratch state (see
+/// [`for_each_chunk_mut_with`]) should size it to this value.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    pool::get().workers + 1
+}
+
+mod pool {
+    //! The persistent worker pool and its broadcast protocol.
+    //!
+    //! One job at a time: a caller publishes a type-erased `&dyn Fn(usize)`
+    //! under the state mutex, bumps the epoch, and wakes every worker. Each
+    //! participant (workers get slots `1..=N`, the caller runs slot `0`)
+    //! invokes the job once; the caller blocks until all workers have
+    //! decremented `remaining` before returning, which is what makes the
+    //! borrowed-closure hand-off sound.
+
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+    /// Type-erased pointer to the current broadcast's job closure.
+    #[derive(Clone, Copy)]
+    struct Job(*const (dyn Fn(usize) + Sync));
+
+    // SAFETY: the pointee is `Sync` (callable from any thread through a
+    // shared reference), and `broadcast` does not return — even on panic —
+    // until every worker has finished its call, so the pointer never
+    // outlives the closure it was created from.
+    #[allow(unsafe_code)]
+    unsafe impl Send for Job {}
+
+    struct State {
+        /// Bumped once per broadcast; workers use it to detect new jobs.
+        epoch: u64,
+        /// The in-flight job, `None` between broadcasts.
+        job: Option<Job>,
+        /// Workers still running the current job.
+        remaining: usize,
+        /// Whether any worker's job invocation panicked.
+        panicked: bool,
+        /// Workers that have finished thread start-up and parked at the
+        /// job-wait loop. Pool construction blocks on this so that no
+        /// worker-thread bootstrap allocation can leak into a caller's
+        /// post-construction (possibly allocation-measured) code.
+        ready: usize,
     }
-    blocks.reverse();
-    blocks
+
+    struct Shared {
+        state: Mutex<State>,
+        job_ready: Condvar,
+        job_done: Condvar,
+    }
+
+    /// The process-wide pool: workers parked on `job_ready`, plus a gate
+    /// mutex serializing concurrent top-level broadcasts.
+    pub(crate) struct Pool {
+        shared: Arc<Shared>,
+        pub(crate) workers: usize,
+        gate: Mutex<()>,
+    }
+
+    thread_local! {
+        /// Set while this thread is executing a broadcast job; nested
+        /// parallel calls check it and run inline instead of deadlocking.
+        static IN_JOB: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(crate) fn in_job() -> bool {
+        IN_JOB.with(Cell::get)
+    }
+
+    /// The pool, built (and its workers spawned) on first use.
+    pub(crate) fn get() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = super::num_threads().saturating_sub(1);
+            let shared = Arc::new(Shared {
+                state: Mutex::new(State {
+                    epoch: 0,
+                    job: None,
+                    remaining: 0,
+                    panicked: false,
+                    ready: 0,
+                }),
+                job_ready: Condvar::new(),
+                job_done: Condvar::new(),
+            });
+            for slot in 1..=workers {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("radix-rayon-{slot}"))
+                    .spawn(move || worker_loop(&sh, slot))
+                    .expect("spawn rayon-shim pool worker");
+            }
+            // Wait for every worker to park: thread start-up (TLS setup,
+            // runtime bookkeeping) may allocate on the worker threads, and
+            // it must all be charged to pool construction, not to whatever
+            // the caller measures afterwards.
+            {
+                let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                while st.ready < workers {
+                    st = shared
+                        .job_done
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            Pool {
+                shared,
+                workers,
+                gate: Mutex::new(()),
+            }
+        })
+    }
+
+    fn worker_loop(shared: &Shared, slot: usize) {
+        let mut seen = 0u64;
+        // Touch the thread-local once so its (allocation-free, but still
+        // lazy) registration happens here, then report ready.
+        IN_JOB.with(|c| c.set(false));
+        {
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.ready += 1;
+            shared.job_done.notify_all();
+        }
+        loop {
+            let job = {
+                let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if st.epoch != seen {
+                        seen = st.epoch;
+                        if let Some(job) = st.job {
+                            break job;
+                        }
+                    }
+                    st = shared
+                        .job_ready
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // SAFETY: `broadcast` keeps the closure alive until `remaining`
+            // reaches zero, and this worker decrements `remaining` only
+            // after the call below returns.
+            #[allow(unsafe_code)]
+            let f = unsafe { &*job.0 };
+            IN_JOB.with(|c| c.set(true));
+            let ok = catch_unwind(AssertUnwindSafe(|| f(slot))).is_ok();
+            IN_JOB.with(|c| c.set(false));
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if !ok {
+                st.panicked = true;
+            }
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                shared.job_done.notify_all();
+            }
+        }
+    }
+
+    /// Clean-up that must run even if the caller's own `job(0)` panics:
+    /// clear the in-job flag, wait for every worker, retire the job.
+    struct CallGuard<'a>(&'a Shared);
+
+    impl Drop for CallGuard<'_> {
+        fn drop(&mut self) {
+            IN_JOB.with(|c| c.set(false));
+            let mut st = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            while st.remaining > 0 {
+                st = self
+                    .0
+                    .job_done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.job = None;
+        }
+    }
+
+    /// Runs `job(slot)` once per participant — the caller as slot `0`, each
+    /// pool worker as slots `1..=workers` — returning once every call has
+    /// finished. With no workers (single-thread machines, nested calls) the
+    /// job runs inline on the caller only. Allocation-free in steady state.
+    ///
+    /// # Panics
+    /// Propagates (as a fresh panic) if any worker's invocation panicked;
+    /// the caller's own panic unwinds normally after all workers finish.
+    pub(crate) fn broadcast(job: &(dyn Fn(usize) + Sync)) {
+        let p = get();
+        if p.workers == 0 || in_job() {
+            job(0);
+            return;
+        }
+        let _gate = p.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        // SAFETY: lifetime erasure only — the fat pointer layout is
+        // unchanged, and the protocol below guarantees the closure outlives
+        // every dereference (the caller blocks until all workers finish).
+        #[allow(unsafe_code)]
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        {
+            let mut st = p
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.job = Some(Job(erased));
+            st.epoch = st.epoch.wrapping_add(1);
+            st.remaining = p.workers;
+            st.panicked = false;
+        }
+        p.shared.job_ready.notify_all();
+        let guard = CallGuard(&p.shared);
+        IN_JOB.with(|c| c.set(true));
+        job(0);
+        drop(guard);
+        let panicked = p
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .panicked;
+        assert!(!panicked, "rayon-shim pool worker panicked");
+    }
+}
+
+/// A raw mutable pointer that may be dereferenced from any pool thread.
+/// Each use site carves out disjoint regions per task/slot index, so no two
+/// threads ever touch the same element.
+struct SharedMutPtr<T>(*mut T);
+
+// SAFETY: the pointer is only used to derive references to *disjoint*
+// regions (distinct chunk indices, distinct worker slots), each claimed
+// exactly once; the data it points into outlives the broadcast.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
+
+impl<T> SharedMutPtr<T> {
+    /// The wrapped pointer. Closures must go through this method (not the
+    /// field) so they capture the `Sync` wrapper, not the raw pointer.
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Pool-parallel loop over `chunk_size`-sized mutable chunks of `data`
+/// (the last chunk may be shorter), with one caller-provided scratch state
+/// per participating thread. `f(state, chunk_index, chunk)` is called once
+/// per chunk; chunks are claimed dynamically from an atomic cursor, so the
+/// schedule load-balances. At most `states.len()` threads participate —
+/// size the slice with [`current_num_threads`] for full parallelism (a
+/// single state forces serial execution).
+///
+/// Unlike [`ParallelSliceMut::par_chunks_mut`], this performs **no heap
+/// allocation**: no chunk list is materialized and the pool threads are
+/// persistent, which is what keeps warmed-up parallel inference inside an
+/// allocation-free timed region.
+///
+/// # Panics
+/// Panics if `chunk_size == 0`, or if `data` is non-empty and `states` is
+/// empty, or if `f` panics on any thread.
+pub fn for_each_chunk_mut_with<T, S, F>(data: &mut [T], chunk_size: usize, states: &mut [S], f: F)
+where
+    T: Send,
+    S: Send,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let len = data.len();
+    let n_tasks = len.div_ceil(chunk_size);
+    if n_tasks == 0 {
+        return;
+    }
+    assert!(!states.is_empty(), "need at least one scratch state");
+    if n_tasks == 1 || states.len() == 1 || pool::get().workers == 0 || pool::in_job() {
+        let state = &mut states[0];
+        for k in 0..n_tasks {
+            let start = k * chunk_size;
+            let end = (start + chunk_size).min(len);
+            f(state, k, &mut data[start..end]);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let data_ptr = SharedMutPtr(data.as_mut_ptr());
+    let states_ptr = SharedMutPtr(states.as_mut_ptr());
+    let n_states = states.len();
+    pool::broadcast(&|slot| {
+        if slot >= n_states {
+            return;
+        }
+        // SAFETY: `slot` is unique per participating thread, so this is the
+        // only live reference to `states[slot]`; the slice outlives the
+        // broadcast.
+        #[allow(unsafe_code)]
+        let state = unsafe { &mut *states_ptr.ptr().add(slot) };
+        loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            if k >= n_tasks {
+                break;
+            }
+            let start = k * chunk_size;
+            let clen = chunk_size.min(len - start);
+            // SAFETY: `k` is claimed exactly once, chunks `[start,
+            // start+clen)` are pairwise disjoint across `k`, and `data`
+            // outlives the broadcast.
+            #[allow(unsafe_code)]
+            let chunk = unsafe { std::slice::from_raw_parts_mut(data_ptr.ptr().add(start), clen) };
+            f(state, k, chunk);
+        }
+    });
+}
+
+/// Stateless variant of [`for_each_chunk_mut_with`]: pool-parallel,
+/// allocation-free loop over `chunk_size`-sized mutable chunks, `f(chunk_index,
+/// chunk)` once per chunk.
+///
+/// # Panics
+/// Panics if `chunk_size == 0` or if `f` panics on any thread.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    /// Upper bound on participating threads for the stateless entry point
+    /// (the unit states live on the stack).
+    const MAX_SLOTS: usize = 128;
+    let mut states = [(); MAX_SLOTS];
+    let slots = current_num_threads().min(MAX_SLOTS);
+    for_each_chunk_mut_with(data, chunk_size, &mut states[..slots.max(1)], |(), k, c| {
+        f(k, c);
+    });
 }
 
 /// An eager "parallel iterator": the items are already materialized, and
-/// every consuming adaptor fans them out over scoped threads.
+/// every consuming adaptor fans them out over the persistent worker pool.
 pub struct ParIter<I> {
     items: Vec<I>,
 }
@@ -74,26 +422,47 @@ impl<I: Send> ParIter<I> {
         }
     }
 
-    /// Applies `f` to every item across worker threads.
+    /// Applies `f` to every item across the pool threads.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(I) + Sync,
     {
-        let threads = num_threads();
-        if threads <= 1 || self.items.len() <= 1 {
+        let n = self.items.len();
+        if n <= 1 || pool::get().workers == 0 || pool::in_job() {
             self.items.into_iter().for_each(f);
             return;
         }
-        let blocks = split_blocks(self.items, threads);
-        let f = &f;
-        std::thread::scope(|scope| {
-            for block in blocks {
-                scope.spawn(move || block.into_iter().for_each(f));
+        // Hand ownership of the buffer to the broadcast: items are moved
+        // out one by one via `ptr::read`, claimed exactly once each from
+        // the cursor, then the (now logically empty) buffer is freed.
+        let mut items = std::mem::ManuallyDrop::new(self.items);
+        let base = SharedMutPtr(items.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        pool::broadcast(&|_slot| loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            if k >= n {
+                break;
             }
+            // SAFETY: each index is claimed exactly once, so every item is
+            // read (moved out) exactly once; the buffer outlives the
+            // broadcast and its elements are never touched again below.
+            #[allow(unsafe_code)]
+            let item = unsafe { std::ptr::read(base.ptr().add(k)) };
+            f(item);
         });
+        // SAFETY: all `n` items were moved out above (the broadcast only
+        // returns after every claimed index has been processed), so the
+        // buffer must be freed without dropping any element. On panic the
+        // `ManuallyDrop` leaks instead — safe, never a double drop.
+        #[allow(unsafe_code)]
+        unsafe {
+            items.set_len(0);
+        }
+        drop(std::mem::ManuallyDrop::into_inner(items));
     }
 
-    /// Maps every item through `f` across worker threads, preserving order.
+    /// Maps every item through `f` across the pool threads, preserving
+    /// order.
     pub fn map<F, R>(self, f: F) -> ParIter<R>
     where
         F: Fn(I) -> R + Sync,
@@ -102,46 +471,68 @@ impl<I: Send> ParIter<I> {
         self.map_init(|| (), |_state: &mut (), item| f(item))
     }
 
-    /// Like [`ParIter::map`], but each worker thread first builds a scratch
-    /// state with `init` and threads it through its items (rayon's
-    /// `map_init`).
+    /// Like [`ParIter::map`], but each participating thread first builds a
+    /// scratch state with `init` and threads it through the items it claims
+    /// (rayon's `map_init`). Order-preserving.
     pub fn map_init<INIT, S, F, R>(self, init: INIT, f: F) -> ParIter<R>
     where
         INIT: Fn() -> S + Sync,
         F: Fn(&mut S, I) -> R + Sync,
         R: Send,
     {
-        let threads = num_threads();
-        if threads <= 1 || self.items.len() <= 1 {
+        let n = self.items.len();
+        if n <= 1 || pool::get().workers == 0 || pool::in_job() {
             let mut state = init();
             return ParIter {
                 items: self.items.into_iter().map(|i| f(&mut state, i)).collect(),
             };
         }
-        let blocks = split_blocks(self.items, threads);
+        let mut items = std::mem::ManuallyDrop::new(self.items);
+        let in_ptr = SharedMutPtr(items.as_mut_ptr());
+        let mut out: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(n);
+        let out_ptr = SharedMutPtr(out.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
         let init = &init;
-        let f = &f;
-        let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = blocks
-                .into_iter()
-                .map(|block| {
-                    scope.spawn(move || {
-                        let mut state = init();
-                        block
-                            .into_iter()
-                            .map(|item| f(&mut state, item))
-                            .collect::<Vec<R>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon-shim worker panicked"))
-                .collect()
+        pool::broadcast(&|_slot| {
+            // State is built lazily so idle threads (more threads than
+            // items) never pay for `init`.
+            let mut state: Option<S> = None;
+            loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let st = state.get_or_insert_with(init);
+                // SAFETY: index `k` is claimed exactly once: the input item
+                // is moved out once, and the output slot is written once;
+                // both buffers outlive the broadcast.
+                #[allow(unsafe_code)]
+                let item = unsafe { std::ptr::read(in_ptr.ptr().add(k)) };
+                let r = f(st, item);
+                #[allow(unsafe_code)]
+                unsafe {
+                    out_ptr.ptr().add(k).write(std::mem::MaybeUninit::new(r));
+                }
+            }
         });
-        ParIter {
-            items: mapped.into_iter().flatten().collect(),
+        // SAFETY: as in `for_each`, every input item was moved out, so the
+        // buffer is freed empty (leaked on panic, never double-dropped).
+        #[allow(unsafe_code)]
+        unsafe {
+            items.set_len(0);
         }
+        drop(std::mem::ManuallyDrop::into_inner(items));
+        // SAFETY: every slot in `0..n` was written exactly once above, and
+        // `MaybeUninit<R>` has the same layout as `R`, so the buffer can be
+        // reinterpreted as an initialized `Vec<R>`.
+        #[allow(unsafe_code)]
+        let results = {
+            let ptr = out.as_mut_ptr().cast::<R>();
+            let cap = out.capacity();
+            std::mem::forget(out);
+            unsafe { Vec::from_raw_parts(ptr, n, cap) }
+        };
+        ParIter { items: results }
     }
 
     /// Gathers the (already computed, order-preserved) items.
@@ -247,10 +638,78 @@ mod tests {
     }
 
     #[test]
+    fn for_each_drops_owned_items_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let drops = Arc::new(AtomicUsize::new(0));
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let items: Vec<Counted> = (0..50).map(|_| Counted(Arc::clone(&drops))).collect();
+        items.into_par_iter().for_each(|item| {
+            std::hint::black_box(&item);
+        });
+        assert_eq!(drops.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
     fn empty_inputs_are_fine() {
         let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
         assert!(v.is_empty());
         let mut empty: Vec<u8> = Vec::new();
         empty.as_mut_slice().par_chunks_mut(4).for_each(|_| {});
+        crate::for_each_chunk_mut(&mut empty, 4, |_, _| {});
+    }
+
+    #[test]
+    fn chunk_primitive_covers_every_chunk() {
+        let mut data = vec![0u32; 103];
+        crate::for_each_chunk_mut(&mut data, 10, |k, chunk| {
+            for v in chunk.iter_mut() {
+                *v = k as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn chunk_primitive_with_state_uses_disjoint_states() {
+        // Every chunk records which state processed it; states count their
+        // own chunks, and the totals must add up.
+        let mut data = vec![0u8; 64];
+        let mut states = vec![0usize; crate::current_num_threads()];
+        crate::for_each_chunk_mut_with(&mut data, 3, &mut states, |st, _, chunk| {
+            *st += 1;
+            for v in chunk.iter_mut() {
+                *v = 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+        assert_eq!(states.iter().sum::<usize>(), 64usize.div_ceil(3));
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        // A parallel job that itself issues parallel calls must complete
+        // (inner calls degrade to inline execution on the worker).
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..4usize).into_par_iter().map(|j| i * 10 + j).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(crate::current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,121 @@
+//! Exercises the persistent worker pool with a forced multi-thread
+//! configuration (its own test binary, so setting `RAYON_NUM_THREADS`
+//! before first pool use cannot race other tests — the pool reads the
+//! variable exactly once, at construction).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+/// Forces a 4-thread pool (even on single-core CI) before any test body
+/// touches it. `#[ctor]`-style tricks are unavailable offline, so every
+/// test calls this first; `Once` semantics come from `OnceLock`.
+fn force_threads() {
+    static INIT: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    INIT.get_or_init(|| {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    });
+}
+
+#[test]
+fn pool_reports_forced_thread_count() {
+    force_threads();
+    assert_eq!(rayon::current_num_threads(), 4);
+}
+
+#[test]
+fn multiple_threads_actually_participate() {
+    force_threads();
+    // A coarse job with a short sleep per item: with 4 threads and 8 items
+    // at least two distinct thread ids must show up.
+    let ids = Mutex::new(std::collections::HashSet::new());
+    (0..8usize).into_par_iter().for_each(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        ids.lock().unwrap().insert(std::thread::current().id());
+    });
+    assert!(
+        ids.into_inner().unwrap().len() >= 2,
+        "a 4-thread pool must run a coarse 8-item job on more than one thread"
+    );
+}
+
+#[test]
+fn chunk_dispatch_is_complete_and_disjoint() {
+    force_threads();
+    // Every element incremented exactly once across many rounds — lost or
+    // doubled chunks would show up as a wrong final value.
+    let mut data = vec![0u32; 1024];
+    for _ in 0..50 {
+        rayon::for_each_chunk_mut(&mut data, 7, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+    }
+    assert!(data.iter().all(|&v| v == 50));
+}
+
+#[test]
+fn states_never_alias() {
+    force_threads();
+    // Each state tracks "currently in use" with an atomic flag; aliasing
+    // two threads onto one state would trip the assertion.
+    struct Probe {
+        busy: AtomicUsize,
+        seen: usize,
+    }
+    let mut states: Vec<Probe> = (0..rayon::current_num_threads())
+        .map(|_| Probe {
+            busy: AtomicUsize::new(0),
+            seen: 0,
+        })
+        .collect();
+    let mut data = vec![0u8; 512];
+    rayon::for_each_chunk_mut_with(&mut data, 2, &mut states, |st, _, _| {
+        assert_eq!(st.busy.fetch_add(1, Ordering::SeqCst), 0, "state aliased");
+        std::hint::black_box(&st.seen);
+        st.seen += 1;
+        st.busy.fetch_sub(1, Ordering::SeqCst);
+    });
+    assert_eq!(states.iter().map(|s| s.seen).sum::<usize>(), 256);
+}
+
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    force_threads();
+    let result = std::panic::catch_unwind(|| {
+        (0..64usize).into_par_iter().for_each(|i| {
+            assert!(i != 17, "injected failure");
+        });
+    });
+    assert!(
+        result.is_err(),
+        "panic inside a parallel job must propagate"
+    );
+    // The pool must remain usable after a panicked job.
+    let sum = AtomicUsize::new(0);
+    (0..100usize).into_par_iter().for_each(|i| {
+        sum.fetch_add(i, Ordering::Relaxed);
+    });
+    assert_eq!(sum.into_inner(), 4950);
+}
+
+#[test]
+fn map_init_results_stay_ordered_under_pool() {
+    force_threads();
+    for _ in 0..20 {
+        let out: Vec<usize> = (0..500usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |st, i| {
+                    *st += 1;
+                    i * 3
+                },
+            )
+            .collect();
+        let expect: Vec<usize> = (0..500).map(|i| i * 3).collect();
+        assert_eq!(out, expect);
+    }
+}

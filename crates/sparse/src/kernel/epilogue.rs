@@ -86,37 +86,74 @@ impl<'a, T: Scalar, F: Fn(T) -> T + Sync> Epilogue<'a, T, F> {
     /// Applies the epilogue to one freshly-computed output row.
     #[inline]
     pub(crate) fn apply_row(&self, row: &mut [T]) {
+        self.assert_width(row.len());
+        self.apply_cols(row, 0);
+    }
+
+    /// Asserts a [`Bias::PerOutput`] vector matches the kernel's output
+    /// width exactly. The whole-row path checks this implicitly per row;
+    /// the tiled path (which only ever sees segments) calls it once per
+    /// kernel invocation so that a mis-sized bias is an error regardless
+    /// of which schedule runs.
+    ///
+    /// # Panics
+    /// Panics if a per-output bias length differs from `ncols`.
+    #[inline]
+    pub(crate) fn assert_width(&self, ncols: usize) {
+        if let Bias::PerOutput(bs) = self.bias {
+            assert_eq!(bs.len(), ncols, "bias length mismatch");
+        }
+    }
+
+    /// Applies the epilogue to a contiguous column segment of an output
+    /// row starting at `col_offset` — the tiled kernels' per-tile finish.
+    /// Elementwise, so segment-at-a-time application is bitwise identical
+    /// to a whole-row [`Epilogue::apply_row`].
+    #[inline]
+    pub(crate) fn apply_cols(&self, seg: &mut [T], col_offset: usize) {
         match (&self.map, self.bias) {
             (None, Bias::None) => {}
             (None, Bias::Uniform(b)) => {
-                for v in row.iter_mut() {
+                for v in seg.iter_mut() {
                     *v = v.add(b);
                 }
             }
             (None, Bias::PerOutput(bs)) => {
-                assert_eq!(bs.len(), row.len(), "bias length mismatch");
-                for (v, &b) in row.iter_mut().zip(bs) {
+                let bs = bias_segment(bs, col_offset, seg.len());
+                for (v, &b) in seg.iter_mut().zip(bs) {
                     *v = v.add(b);
                 }
             }
             (Some(f), Bias::None) => {
-                for v in row.iter_mut() {
+                for v in seg.iter_mut() {
                     *v = f(*v);
                 }
             }
             (Some(f), Bias::Uniform(b)) => {
-                for v in row.iter_mut() {
+                for v in seg.iter_mut() {
                     *v = f(v.add(b));
                 }
             }
             (Some(f), Bias::PerOutput(bs)) => {
-                assert_eq!(bs.len(), row.len(), "bias length mismatch");
-                for (v, &b) in row.iter_mut().zip(bs) {
+                let bs = bias_segment(bs, col_offset, seg.len());
+                for (v, &b) in seg.iter_mut().zip(bs) {
                     *v = f(v.add(b));
                 }
             }
         }
     }
+}
+
+/// The per-output bias slice covering columns `[col_offset, col_offset +
+/// len)`.
+///
+/// # Panics
+/// Panics if the segment extends past the bias vector (the kernel's output
+/// width exceeds the bias length).
+#[inline]
+fn bias_segment<T>(bs: &[T], col_offset: usize, len: usize) -> &[T] {
+    assert!(col_offset + len <= bs.len(), "bias length mismatch");
+    &bs[col_offset..col_offset + len]
 }
 
 #[cfg(test)]
@@ -151,6 +188,26 @@ mod tests {
         let mut row = [-1.0f64, 4.0];
         Epilogue::map(|v: f64| v * 2.0).apply_row(&mut row);
         assert_eq!(row, [-2.0, 8.0]);
+    }
+
+    #[test]
+    fn segment_application_matches_whole_row() {
+        let bias = [1.0f64, -10.0, 0.5, 2.0];
+        let epi = Epilogue::new(Bias::PerOutput(&bias), |v: f64| v.max(0.0));
+        let mut whole = [1.0f64, 2.0, -3.0, 4.0];
+        epi.apply_row(&mut whole);
+        let mut pieces = [1.0f64, 2.0, -3.0, 4.0];
+        epi.apply_cols(&mut pieces[0..1], 0);
+        epi.apply_cols(&mut pieces[1..4], 1);
+        assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length mismatch")]
+    fn segment_past_bias_end_panics() {
+        let bias = [1.0f64, 2.0];
+        let mut seg = [0.0f64, 0.0];
+        Epilogue::<f64>::bias(Bias::PerOutput(&bias)).apply_cols(&mut seg, 1);
     }
 
     #[test]

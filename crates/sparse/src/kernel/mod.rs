@@ -12,11 +12,20 @@
 //! * [`PreparedWeights`] — a weight matrix analyzed once; constant-degree
 //!   matrices get unit-stride ELL row addressing, irregular ones fall back
 //!   to CSR transparently,
+//! * **column tiling** — [`PreparedWeights::tile`] reorders the entries
+//!   tile-contiguous (one-time pass, width [`tile_cols`] /
+//!   `RADIX_TILE_COLS`), and the `_tiled_` kernels run a tile-major,
+//!   cache-blocked schedule whose scatter targets stay L1/L2-resident —
+//!   bitwise identical to the untiled kernels,
 //! * [`Epilogue`] / [`Bias`] — bias + elementwise map fused into the
-//!   kernel's per-row finish, eliminating the separate output pass,
-//! * `spmm_into` / `spmm_transposed_into` (plus `par_` and `auto_`
-//!   variants) — products that write into reusable buffers instead of
-//!   allocating,
+//!   kernel's per-row (per-tile, when tiled) finish, eliminating the
+//!   separate output pass,
+//! * `spmm_into` / `spmm_tiled_into` / `spmm_transposed_into` (plus `par_`
+//!   and `auto_` variants) — products that write into reusable buffers
+//!   instead of allocating; the parallel variants dispatch through the
+//!   rayon shim's persistent worker pool with zero heap allocation,
+//! * [`PreparedWeights::spmm_rows_to`] — the row-block building block
+//!   multi-layer fusion chains layers through,
 //! * [`PingPong`] — the two-buffer driver every layered forward pass
 //!   alternates through,
 //! * [`use_parallel`] / [`par_threshold`] — the single shared
@@ -29,8 +38,10 @@ mod epilogue;
 mod heuristic;
 mod pingpong;
 mod prepared;
+mod tiled;
 
 pub use epilogue::{Bias, Epilogue};
-pub use heuristic::{par_threshold, use_parallel, DEFAULT_PAR_THRESHOLD};
+pub use heuristic::{env_usize, par_threshold, use_parallel, DEFAULT_PAR_THRESHOLD};
 pub use pingpong::PingPong;
 pub use prepared::PreparedWeights;
+pub use tiled::{tile_cols, DEFAULT_TILE_COLS};

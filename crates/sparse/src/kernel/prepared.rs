@@ -19,29 +19,35 @@
 //! to the naive path — the property suite in `tests/prepared_kernels.rs`
 //! pins that down.
 
-use rayon::prelude::*;
-
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::SparseError;
 use crate::kernel::epilogue::Epilogue;
 use crate::kernel::heuristic::use_parallel;
+use crate::kernel::tiled::{tile_cols, ColumnTiles, TILE_BLOCK_ROWS};
 use crate::scalar::Scalar;
 
 /// A weight matrix prepared for repeated products: CSR storage plus a
-/// one-time constant-row-degree analysis that unlocks the ELL fast path.
+/// one-time constant-row-degree analysis that unlocks the ELL fast path,
+/// plus an optional one-time column-tiling pass ([`PreparedWeights::tile`])
+/// that unlocks the cache-blocked tiled kernels for wide layers.
 ///
 /// The CSR arrays of a constant-degree matrix *are* the ELLPACK layout
 /// (row `i` occupies `[i·d, (i+1)·d)` of `indices`/`values`, unit stride),
 /// so preparation costs one `O(nrows)` scan and zero extra memory, and
 /// [`PreparedWeights::values_mut`] keeps training updates in sync with the
-/// kernels for free.
+/// untiled kernels for free (tiles hold a reordered value copy, so mutating
+/// values drops them — see [`PreparedWeights::values_mut`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedWeights<T> {
     csr: CsrMatrix<T>,
     /// `Some(d)` when every row stores exactly `d` entries (the ELL fast
     /// path is valid); `None` for irregular matrices (CSR fallback).
     degree: Option<usize>,
+    /// Column-tiled entry layout (built on demand by
+    /// [`PreparedWeights::tile`]); `None` means the tiled kernels fall
+    /// back to the untiled schedule.
+    tiles: Option<ColumnTiles<T>>,
 }
 
 /// Detects whether every row of `csr` has the same number of entries.
@@ -56,10 +62,57 @@ fn constant_degree<T: Scalar>(csr: &CsrMatrix<T>) -> Option<usize> {
 
 impl<T: Scalar> PreparedWeights<T> {
     /// Prepares a CSR matrix for repeated products (one `O(nrows)` scan).
+    /// No column tiles are built; call [`PreparedWeights::tile`] to enable
+    /// the cache-blocked kernels.
     #[must_use]
     pub fn from_csr(csr: CsrMatrix<T>) -> Self {
         let degree = constant_degree(&csr);
-        PreparedWeights { csr, degree }
+        PreparedWeights {
+            csr,
+            degree,
+            tiles: None,
+        }
+    }
+
+    /// Builds the column-tiled entry layout at the process-wide tile width
+    /// ([`tile_cols`], env `RADIX_TILE_COLS`). Returns whether tiles were
+    /// built: matrices no wider than one tile keep the untiled schedule
+    /// (tiling them would only add overhead). Idempotent.
+    pub fn tile(&mut self) -> bool {
+        self.tile_with(tile_cols())
+    }
+
+    /// Like [`PreparedWeights::tile`] with an explicit tile width.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn tile_with(&mut self, width: usize) -> bool {
+        assert!(width > 0, "tile width must be positive");
+        if self.ncols() <= width {
+            self.tiles = None;
+            return false;
+        }
+        let rebuild = match &self.tiles {
+            Some(t) => t.tile_cols() != width,
+            None => true,
+        };
+        if rebuild {
+            self.tiles = Some(ColumnTiles::build(&self.csr, width));
+        }
+        true
+    }
+
+    /// Whether the column-tiled layout is built (the `_tiled_` kernels run
+    /// the cache-blocked schedule rather than falling back).
+    #[must_use]
+    pub fn is_tiled(&self) -> bool {
+        self.tiles.is_some()
+    }
+
+    /// The active tile width in output columns, if tiled.
+    #[must_use]
+    pub fn tile_width(&self) -> Option<usize> {
+        self.tiles.as_ref().map(ColumnTiles::tile_cols)
     }
 
     /// The underlying CSR matrix (structure and values unchanged).
@@ -120,7 +173,14 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Mutable access to the stored values; the pattern (and therefore the
     /// prepared layout) stays fixed, which is exactly the "train values on
     /// a frozen topology" regime of the paper.
+    ///
+    /// Column tiles hold a reordered **copy** of the values, so they are
+    /// dropped here to keep the tiled kernels consistent; call
+    /// [`PreparedWeights::tile`] again after the update if tiled inference
+    /// is still wanted. (Training layers never tile, so in practice this
+    /// only guards against mixing the two regimes.)
     pub fn values_mut(&mut self) -> &mut [T] {
+        self.tiles = None;
         self.csr.data_mut()
     }
 
@@ -209,22 +269,16 @@ impl<T: Scalar> PreparedWeights<T> {
             Some(d) => {
                 let inds = self.csr.indices();
                 let vals = self.csr.data();
-                out.as_mut_slice()
-                    .par_chunks_mut(ncols_out.max(1))
-                    .enumerate()
-                    .for_each(|(b, orow)| {
-                        scatter_row_ell(x.row(b), inds, vals, d, orow);
-                        epi.apply_row(orow);
-                    });
+                rayon::for_each_chunk_mut(out.as_mut_slice(), ncols_out.max(1), |b, orow| {
+                    scatter_row_ell(x.row(b), inds, vals, d, orow);
+                    epi.apply_row(orow);
+                });
             }
             None => {
-                out.as_mut_slice()
-                    .par_chunks_mut(ncols_out.max(1))
-                    .enumerate()
-                    .for_each(|(b, orow)| {
-                        scatter_row_csr(x.row(b), &self.csr, orow);
-                        epi.apply_row(orow);
-                    });
+                rayon::for_each_chunk_mut(out.as_mut_slice(), ncols_out.max(1), |b, orow| {
+                    scatter_row_csr(x.row(b), &self.csr, orow);
+                    epi.apply_row(orow);
+                });
             }
         }
         Ok(())
@@ -305,22 +359,16 @@ impl<T: Scalar> PreparedWeights<T> {
             Some(d) => {
                 let inds = self.csr.indices();
                 let vals = self.csr.data();
-                out.as_mut_slice()
-                    .par_chunks_mut(ncols_out.max(1))
-                    .enumerate()
-                    .for_each(|(b, orow)| {
-                        gather_row_ell(x.row(b), inds, vals, d, orow);
-                        epi.apply_row(orow);
-                    });
+                rayon::for_each_chunk_mut(out.as_mut_slice(), ncols_out.max(1), |b, orow| {
+                    gather_row_ell(x.row(b), inds, vals, d, orow);
+                    epi.apply_row(orow);
+                });
             }
             None => {
-                out.as_mut_slice()
-                    .par_chunks_mut(ncols_out.max(1))
-                    .enumerate()
-                    .for_each(|(b, orow)| {
-                        gather_row_csr(x.row(b), &self.csr, orow);
-                        epi.apply_row(orow);
-                    });
+                rayon::for_each_chunk_mut(out.as_mut_slice(), ncols_out.max(1), |b, orow| {
+                    gather_row_csr(x.row(b), &self.csr, orow);
+                    epi.apply_row(orow);
+                });
             }
         }
         Ok(())
@@ -342,6 +390,159 @@ impl<T: Scalar> PreparedWeights<T> {
             self.spmm_transposed_into(x, out, epi)
         }
     }
+
+    /// Computes rows `[x_start, x_start + rows)` of `epi(X · W)` into a
+    /// raw row-major output block (`rows × self.ncols()` elements), using
+    /// the cache-blocked gather schedule when tiles are built
+    /// ([`PreparedWeights::tile`]) and the untiled row walk otherwise.
+    /// Every element of the block is written, so stale contents are fine.
+    ///
+    /// This is the building block of multi-layer fusion: a caller can chain
+    /// several layers over one row block (keeping the block's activations
+    /// cache-resident) and point the last layer's output straight into its
+    /// slice of a larger matrix. Results equal
+    /// [`PreparedWeights::spmm_into`] on the same rows (same accumulation
+    /// order; see the `kernel::tiled` module docs for the zero-activation
+    /// fine print).
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() !=
+    /// self.nrows()`.
+    ///
+    /// # Panics
+    /// Panics if `x_start + rows > x.nrows()` or `out.len() != rows *
+    /// self.ncols()`.
+    pub fn spmm_rows_to<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        x_start: usize,
+        rows: usize,
+        out: &mut [T],
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        self.check_spmm(x, "prepared spmm_rows_to")?;
+        assert!(x_start + rows <= x.nrows(), "row block out of range");
+        let ncols = self.ncols();
+        assert_eq!(out.len(), rows * ncols, "output block size");
+        if let Some(tiles) = &self.tiles {
+            tiles.gather_block(x, x_start, rows, out, epi);
+            return Ok(());
+        }
+        out.fill(T::ZERO);
+        if ncols == 0 {
+            return Ok(());
+        }
+        for (b, orow) in out.chunks_mut(ncols).enumerate() {
+            let xrow = x.row(x_start + b);
+            match self.degree {
+                Some(d) => scatter_row_ell(xrow, self.csr.indices(), self.csr.data(), d, orow),
+                None => scatter_row_csr(xrow, &self.csr, orow),
+            }
+            epi.apply_row(orow);
+        }
+        Ok(())
+    }
+
+    /// Serial cache-tiled `out ← epi(X · W)`: a gather over column tiles,
+    /// tile-major over [`TILE_BLOCK_ROWS`]-row blocks, so each tile's
+    /// entry list stays cache-resident across the row block and every
+    /// output element is one register-accumulated dot product written
+    /// exactly once. Falls back to [`PreparedWeights::spmm_into`] when no
+    /// tiles are built. Same per-element accumulation order as the untiled
+    /// kernels (see `kernel::tiled` for the zero-activation fine print).
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
+    pub fn spmm_tiled_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        if self.tiles.is_none() {
+            return self.spmm_into(x, out, epi);
+        }
+        self.check_spmm(x, "prepared spmm_tiled_into")?;
+        let ncols = self.ncols();
+        // Every element is written exactly once by the gather, so skip zeroing.
+        out.resize_for_overwrite(x.nrows(), ncols);
+        let batch = x.nrows();
+        if batch == 0 || ncols == 0 {
+            out.as_mut_slice().fill(T::ZERO);
+            return Ok(());
+        }
+        let tiles = self.tiles.as_ref().expect("checked above");
+        let slice = out.as_mut_slice();
+        for blk in 0..batch.div_ceil(TILE_BLOCK_ROWS) {
+            let start = blk * TILE_BLOCK_ROWS;
+            let rows = TILE_BLOCK_ROWS.min(batch - start);
+            let block = &mut slice[start * ncols..(start + rows) * ncols];
+            tiles.gather_block(x, start, rows, block, epi);
+        }
+        Ok(())
+    }
+
+    /// Pool-parallel cache-tiled `out ← epi(X · W)`: batch rows are split
+    /// into blocks claimed dynamically by the persistent worker pool, each
+    /// block running the tile-major schedule. Allocation-free in steady
+    /// state (the pool dispatch materializes nothing). Falls back to
+    /// [`PreparedWeights::par_spmm_into`] when no tiles are built.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
+    pub fn par_spmm_tiled_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        if self.tiles.is_none() {
+            return self.par_spmm_into(x, out, epi);
+        }
+        self.check_spmm(x, "prepared par_spmm_tiled_into")?;
+        let ncols = self.ncols();
+        out.resize_for_overwrite(x.nrows(), ncols);
+        let batch = x.nrows();
+        if batch == 0 || ncols == 0 {
+            out.as_mut_slice().fill(T::ZERO);
+            return Ok(());
+        }
+        let tiles = self.tiles.as_ref().expect("checked above");
+        let block_rows = par_block_rows(batch);
+        rayon::for_each_chunk_mut(out.as_mut_slice(), block_rows * ncols, |blk, chunk| {
+            let rows = chunk.len() / ncols;
+            tiles.gather_block(x, blk * block_rows, rows, chunk, epi);
+        });
+        Ok(())
+    }
+
+    /// `out ← epi(X · W)` on the tiled schedule, serial or pool-parallel
+    /// via the shared [`use_parallel`] heuristic.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
+    pub fn spmm_tiled_auto_into<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+        epi: &Epilogue<'_, T, F>,
+    ) -> Result<(), SparseError> {
+        if use_parallel(self.work(x.nrows())) {
+            self.par_spmm_tiled_into(x, out, epi)
+        } else {
+            self.spmm_tiled_into(x, out, epi)
+        }
+    }
+}
+
+/// Rows per parallel block: small enough for load balance across the pool,
+/// large enough ([`TILE_BLOCK_ROWS`] at most) to amortize each tile's entry
+/// stream over several rows.
+fn par_block_rows(batch: usize) -> usize {
+    let threads = rayon::current_num_threads();
+    batch
+        .div_ceil(threads.saturating_mul(2).max(1))
+        .clamp(1, TILE_BLOCK_ROWS)
 }
 
 impl<T: Scalar> From<CsrMatrix<T>> for PreparedWeights<T> {
@@ -571,6 +772,106 @@ mod tests {
         let x1 = DenseMatrix::from_rows(&[&[1.0f64, 1.0]]);
         p1.spmm_into(&x1, &mut out, &Epilogue::identity()).unwrap();
         assert_eq!(out.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn tiled_kernels_match_untiled_bitwise() {
+        let w = regular();
+        let x = batch(40, 12); // spans multiple TILE_BLOCK_ROWS blocks
+        let untiled = PreparedWeights::from_csr(w.clone());
+        let epi = Epilogue::new(Bias::Uniform(0.25), |v: f64| v.max(0.0));
+        let mut expect = DenseMatrix::default();
+        untiled.spmm_into(&x, &mut expect, &epi).unwrap();
+        for width in [1, 4, 5, 11] {
+            let mut p = PreparedWeights::from_csr(w.clone());
+            assert!(p.tile_with(width), "12 cols > width {width} must tile");
+            assert_eq!(p.tile_width(), Some(width));
+            let mut out = DenseMatrix::default();
+            p.spmm_tiled_into(&x, &mut out, &epi).unwrap();
+            assert_eq!(out, expect, "serial tiled, width {width}");
+            p.par_spmm_tiled_into(&x, &mut out, &epi).unwrap();
+            assert_eq!(out, expect, "parallel tiled, width {width}");
+            p.spmm_tiled_auto_into(&x, &mut out, &epi).unwrap();
+            assert_eq!(out, expect, "auto tiled, width {width}");
+        }
+    }
+
+    #[test]
+    fn tile_skips_narrow_matrices_and_falls_back() {
+        let mut p = PreparedWeights::from_csr(regular());
+        assert!(!p.tile_with(12), "12 cols fit one 12-wide tile");
+        assert!(!p.is_tiled());
+        // Untiled _tiled_ calls fall back and still compute correctly.
+        let x = batch(3, 12);
+        let mut expect = DenseMatrix::default();
+        p.spmm_into(&x, &mut expect, &Epilogue::identity()).unwrap();
+        let mut out = DenseMatrix::default();
+        p.spmm_tiled_into(&x, &mut out, &Epilogue::identity())
+            .unwrap();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn spmm_rows_to_matches_full_product_rows() {
+        let w = regular();
+        let x = batch(9, 12);
+        let mut p = PreparedWeights::from_csr(w);
+        let epi = Epilogue::new(Bias::Uniform(-0.5), |v: f64| v.max(0.0));
+        let mut expect = DenseMatrix::default();
+        p.spmm_into(&x, &mut expect, &epi).unwrap();
+        for tiled in [false, true] {
+            if tiled {
+                assert!(p.tile_with(5));
+            }
+            let mut block = vec![99.0f64; 4 * 12];
+            p.spmm_rows_to(&x, 3, 4, &mut block, &epi).unwrap();
+            for (b, row) in block.chunks(12).enumerate() {
+                assert_eq!(row, expect.row(b + 3), "tiled={tiled} block row {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length mismatch")]
+    fn tiled_kernels_reject_mis_sized_bias() {
+        // The tiled gather must enforce the same per-output bias contract
+        // as the whole-row kernels, even though it only applies segments.
+        let mut p = PreparedWeights::from_csr(regular());
+        assert!(p.tile_with(4));
+        let x = batch(2, 12);
+        let long_bias = vec![0.0f64; 20]; // 12 columns, 20 biases
+        let epi = Epilogue::new(Bias::PerOutput(&long_bias), |v: f64| v);
+        let mut out = DenseMatrix::default();
+        let _ = p.spmm_tiled_into(&x, &mut out, &epi);
+    }
+
+    #[test]
+    fn values_mut_drops_tiles() {
+        let mut p = PreparedWeights::from_csr(regular());
+        assert!(p.tile_with(4));
+        assert!(p.is_tiled());
+        p.values_mut()[0] *= 2.0;
+        assert!(!p.is_tiled(), "stale tile values must not survive");
+    }
+
+    #[test]
+    fn tiled_degenerate_shapes() {
+        // Zero-row batch through the tiled path.
+        let mut p = PreparedWeights::from_csr(regular());
+        assert!(p.tile_with(4));
+        let x = DenseMatrix::<f64>::zeros(0, 12);
+        let mut out = DenseMatrix::zeros(3, 3);
+        p.spmm_tiled_into(&x, &mut out, &Epilogue::identity())
+            .unwrap();
+        assert_eq!(out.shape(), (0, 12));
+        p.par_spmm_tiled_into(&x, &mut out, &Epilogue::identity())
+            .unwrap();
+        assert_eq!(out.shape(), (0, 12));
+        // Shape mismatch still errors.
+        let bad = DenseMatrix::<f64>::zeros(2, 5);
+        assert!(p
+            .spmm_tiled_into(&bad, &mut out, &Epilogue::identity())
+            .is_err());
     }
 
     #[test]

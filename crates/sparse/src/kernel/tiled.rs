@@ -1,0 +1,298 @@
+//! Column tiling: cache-blocked, gather-formulated layout for the
+//! prepared product kernels.
+//!
+//! The untiled kernel computes `out ← X · W` as a **scatter**: for each
+//! batch row it walks the weight rows and read-modify-writes `degree`
+//! output positions per input, touching every output element `degree`
+//! times and streaming the full `usize` index array once per batch row.
+//! The tiled layout turns the product into a **gather** over column tiles:
+//!
+//! * entries are reordered — once, at preparation time — into CSC order
+//!   (by output column, ascending source row within a column) with source
+//!   rows narrowed to `u32`, halving the index bandwidth;
+//! * each output element is then one register-accumulated dot product,
+//!   written exactly once — no read-modify-write traffic;
+//! * the kernel loops **tile-major over a block of batch rows** (tile of
+//!   [`tile_cols`] columns outer, row inner), so a tile's entry list —
+//!   small enough to stay cache-resident — is reused across the whole row
+//!   block, and the epilogue runs on each freshly-written, cache-hot tile
+//!   segment.
+//!
+//! Within a column, entries keep ascending source-row order, so every
+//! output element accumulates its contributions in exactly the same order
+//! as the untiled kernel and tiled results equal the untiled path (pinned
+//! by the property suite in `tests/prepared_kernels.rs`). One deliberate
+//! deviation: the untiled scatter *skips* zero activations, while the
+//! gather multiplies through — the per-entry branch mispredicts on
+//! realistic activation patterns and costs ~30% on the wide configs this
+//! module exists for. For finite weights the extra `x·w` terms with
+//! `x == ±0.0` are `±0.0`, an additive identity (up to the sign of an
+//! all-zero sum, which IEEE equality cannot distinguish), so results are
+//! equal everywhere it matters; matrices storing non-finite weights
+//! (`0 · ∞ = NaN`) should simply not be tiled.
+
+use std::sync::OnceLock;
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::kernel::epilogue::Epilogue;
+use crate::scalar::Scalar;
+
+/// Default output-column tile width (elements). Chosen by measuring the
+/// `n=16384, deg=8` Graph-Challenge config with `make calibrate` (which
+/// re-measures on the current machine): 1024-column tiles keep a tile's
+/// entry list and output segment cache-resident while the per-tile column
+/// loop stays long enough to amortize the row-block setup; 512–2048 all
+/// measure within a few percent.
+pub const DEFAULT_TILE_COLS: usize = 1024;
+
+/// The active column-tile width: `RADIX_TILE_COLS` from the environment if
+/// set to a positive parseable `usize`, otherwise [`DEFAULT_TILE_COLS`].
+/// Read once and cached for the process lifetime.
+#[must_use]
+pub fn tile_cols() -> usize {
+    static TILE: OnceLock<usize> = OnceLock::new();
+    *TILE.get_or_init(|| crate::kernel::heuristic::env_usize("RADIX_TILE_COLS", DEFAULT_TILE_COLS))
+}
+
+/// Rows per block in the tile-major loop: one pass over a tile's entries
+/// serves this many batch rows, so the reordered weight data is re-read
+/// from cache `block / TILE_BLOCK_ROWS` times less often than the untiled
+/// per-row stream.
+pub(crate) const TILE_BLOCK_ROWS: usize = 32;
+
+/// The one-time column-tiling pass over a prepared weight matrix: the CSC
+/// (gather) layout with `u32` source rows, consumed tile-major by
+/// [`ColumnTiles::gather_block`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ColumnTiles<T> {
+    /// Tile width in output columns.
+    tile_cols: usize,
+    /// Total output columns (cached from the matrix).
+    ncols: usize,
+    /// Column `j`'s entries occupy `src/vals[col_ptr[j]..col_ptr[j + 1]]`,
+    /// in ascending source-row order.
+    col_ptr: Vec<usize>,
+    /// Source (input) row of each entry.
+    src: Vec<u32>,
+    /// Weight value of each entry.
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> ColumnTiles<T> {
+    /// Builds the column-major (CSC) entry layout from a CSR matrix: one
+    /// counting pass plus one placement pass, both `O(nnz)`. Iterating CSR
+    /// rows in order makes each column's entries ascend in source row,
+    /// which is what keeps the gather bitwise-equal to the scatter.
+    ///
+    /// # Panics
+    /// Panics if `tile_cols == 0` or the row count overflows `u32`
+    /// (RadiX-Net layer sizes are far below that).
+    pub(crate) fn build(csr: &CsrMatrix<T>, tile_cols: usize) -> Self {
+        assert!(tile_cols > 0, "tile width must be positive");
+        assert!(
+            csr.nrows() <= u32::MAX as usize,
+            "matrix row count exceeds the tiled kernel's u32 index range"
+        );
+        let ncols = csr.ncols();
+        let nnz = csr.nnz();
+
+        let mut col_ptr = vec![0usize; ncols + 1];
+        for &j in csr.indices() {
+            col_ptr[j + 1] += 1;
+        }
+        for j in 0..ncols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+
+        let mut cursor = col_ptr[..ncols].to_vec();
+        let mut src = vec![0u32; nnz];
+        let mut vals = vec![T::ZERO; nnz];
+        for i in 0..csr.nrows() {
+            let (cols, ws) = csr.row(i);
+            for (&j, &w) in cols.iter().zip(ws) {
+                let pos = cursor[j];
+                cursor[j] += 1;
+                src[pos] = i as u32;
+                vals[pos] = w;
+            }
+        }
+
+        ColumnTiles {
+            tile_cols,
+            ncols,
+            col_ptr,
+            src,
+            vals,
+        }
+    }
+
+    /// Tile width in output columns.
+    pub(crate) fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Number of column tiles.
+    pub(crate) fn ntiles(&self) -> usize {
+        self.ncols.div_ceil(self.tile_cols).max(1)
+    }
+
+    /// Computes rows `[x_start, x_start + rows)` of `epi(X · W)` into
+    /// `out` (row-major, `rows × ncols`), tile-major: for each column
+    /// tile, every row of the block gathers its tile segment (one dot
+    /// product per output element, written exactly once — stale `out`
+    /// contents don't matter), then the epilogue runs on that cache-hot
+    /// segment.
+    ///
+    /// Per output element, contributions accumulate in ascending source
+    /// row — exactly the untiled scatter's order. Zero activations are
+    /// multiplied through rather than branch-skipped (see the module docs
+    /// for why that is both faster and value-preserving for finite
+    /// weights).
+    pub(crate) fn gather_block<F: Fn(T) -> T + Sync>(
+        &self,
+        x: &DenseMatrix<T>,
+        x_start: usize,
+        rows: usize,
+        out: &mut [T],
+        epi: &Epilogue<'_, T, F>,
+    ) {
+        let ncols = self.ncols;
+        debug_assert_eq!(out.len(), rows * ncols, "output block size");
+        // Same contract as the per-row kernels: a mis-sized per-output
+        // bias is an error even though the tiled loop only sees segments.
+        epi.assert_width(ncols);
+        if ncols == 0 {
+            return;
+        }
+        for t in 0..self.ntiles() {
+            let base = t * self.tile_cols;
+            let width = self.tile_cols.min(ncols - base);
+            let col_ptr = &self.col_ptr[base..base + width + 1];
+            for b in 0..rows {
+                let xrow = x.row(x_start + b);
+                let oseg = &mut out[b * ncols + base..b * ncols + base + width];
+                gather_tile_row(col_ptr, &self.src, &self.vals, xrow, oseg);
+                epi.apply_cols(oseg, base);
+            }
+        }
+    }
+}
+
+/// One (tile, batch row) pass of the gather: `oseg[jl] = Σ x[src[e]]·w[e]`
+/// over each column's entry range. Deliberately `#[inline(never)]` and
+/// free of the epilogue type parameter: the loop is tight enough that its
+/// code placement measurably affects throughput, and keeping it a
+/// standalone symbol gives every consumer crate the same layout instead
+/// of whatever inlining context the call site happens to have.
+#[inline(never)]
+fn gather_tile_row<T: Scalar>(
+    col_ptr: &[usize],
+    src: &[u32],
+    vals: &[T],
+    xrow: &[T],
+    oseg: &mut [T],
+) {
+    for (jl, o) in oseg.iter_mut().enumerate() {
+        let lo = col_ptr[jl];
+        let hi = col_ptr[jl + 1];
+        let mut acc = T::ZERO;
+        for (&i, &wv) in src[lo..hi].iter().zip(&vals[lo..hi]) {
+            acc = acc.add(xrow[i as usize].mul(wv));
+        }
+        *o = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::epilogue::Bias;
+    use crate::ops::dense_spmm;
+    use crate::perm::CyclicShift;
+
+    fn weights(n: usize, degree: usize) -> CsrMatrix<f64> {
+        let mut k = 0u64;
+        CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| {
+            k += 1;
+            (k % 7) as f64 * 0.5 - 1.0
+        })
+    }
+
+    fn batch(rows: usize, cols: usize) -> DenseMatrix<f64> {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if (i + j) % 3 != 0 {
+                    m.set(i, j, (i * cols + j) as f64 * 0.25 - 3.0);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn build_partitions_every_entry() {
+        let w = weights(24, 3);
+        let tiles = ColumnTiles::build(&w, 7);
+        assert_eq!(tiles.ntiles(), 24usize.div_ceil(7));
+        assert_eq!(*tiles.col_ptr.last().unwrap(), w.nnz());
+        let dense = w.to_dense();
+        for j in 0..24 {
+            let lo = tiles.col_ptr[j];
+            let hi = tiles.col_ptr[j + 1];
+            // Ascending source rows within a column (the bitwise-order
+            // invariant), and every entry matches the dense matrix.
+            let rows: Vec<u32> = tiles.src[lo..hi].to_vec();
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "column {j} order");
+            for e in lo..hi {
+                let i = tiles.src[e] as usize;
+                assert_eq!(dense.get(i, j), tiles.vals[e], "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_block_matches_naive_bitwise() {
+        let w = weights(24, 3);
+        let x = batch(5, 24);
+        let expect = dense_spmm(&x, &w).unwrap();
+        for tile_cols in [1, 3, 8, 24, 100] {
+            let tiles = ColumnTiles::build(&w, tile_cols);
+            let mut out = vec![9.0f64; 5 * 24]; // stale contents must not matter
+            tiles.gather_block(&x, 0, 5, &mut out, &Epilogue::identity());
+            assert_eq!(out, expect.as_slice(), "tile_cols = {tile_cols}");
+        }
+    }
+
+    #[test]
+    fn gather_block_offsets_and_epilogue() {
+        let w = weights(12, 2);
+        let x = batch(6, 12);
+        let bias: Vec<f64> = (0..12).map(|j| j as f64 * 0.1).collect();
+        let epi = Epilogue::new(Bias::PerOutput(&bias), |v: f64| v.max(0.0));
+        // Reference: full product + bias + relu.
+        let mut expect = dense_spmm(&x, &w).unwrap();
+        for i in 0..6 {
+            let row: &mut [f64] = expect.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(&bias) {
+                *v = (*v + b).max(0.0);
+            }
+        }
+        // Tiled, rows [2, 5) only.
+        let tiles = ColumnTiles::build(&w, 5);
+        let mut out = vec![7.0f64; 3 * 12];
+        tiles.gather_block(&x, 2, 3, &mut out, &epi);
+        for (b, row) in out.chunks(12).enumerate() {
+            assert_eq!(row, expect.row(b + 2), "block row {b}");
+        }
+    }
+
+    #[test]
+    fn tile_cols_env_default() {
+        // Cannot set the env var here (process-global, racy across tests);
+        // just pin that the cached value is positive and stable.
+        assert!(tile_cols() > 0);
+        assert_eq!(tile_cols(), tile_cols());
+    }
+}

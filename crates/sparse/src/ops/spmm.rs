@@ -124,24 +124,31 @@ fn spa_row<T: Scalar>(
     touched.clear();
 }
 
-/// Counting-only variant of [`spa_row`]: returns how many entries the row
-/// product stores (numeric cancellations excluded, matching the harvest),
-/// leaving the workspace reset. No sort needed — only the count matters.
-fn spa_row_count<T: Scalar>(
+/// Symbolic (pattern-only) row count: the number of **structurally**
+/// reachable output columns of one row product — no multiplications, no
+/// value reads, just a boolean mark per touched column. This upper-bounds
+/// the numeric count: it includes entries that later cancel to exact zero
+/// (which the numeric harvest drops); [`par_spmm`] allocates with the
+/// symbolic counts and compacts afterwards in the (rare) cancellation
+/// case.
+fn spa_row_symbolic_count(
     acols: &[usize],
-    avals: &[T],
-    b: &CsrMatrix<T>,
-    workspace: &mut [T],
+    b_indptr: &[usize],
+    b_indices: &[usize],
+    marks: &mut [bool],
     touched: &mut Vec<usize>,
 ) -> usize {
-    spa_accumulate(acols, avals, b, workspace, touched);
-    let mut count = 0usize;
-    for &j in touched.iter() {
-        let val = workspace[j];
-        workspace[j] = T::ZERO;
-        if !val.is_zero() {
-            count += 1;
+    for &k in acols {
+        for &j in &b_indices[b_indptr[k]..b_indptr[k + 1]] {
+            if !marks[j] {
+                marks[j] = true;
+                touched.push(j);
+            }
         }
+    }
+    let count = touched.len();
+    for &j in touched.iter() {
+        marks[j] = false;
     }
     touched.clear();
     count
@@ -189,22 +196,25 @@ pub fn spmm<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T
 
 /// Rayon row-parallel CSR × CSR → CSR, with a two-pass stitch-free scheme:
 ///
-/// 1. **Count** — each row's output nnz is computed in parallel (SPA
-///    accumulate + numeric-cancellation-aware count, one workspace per
-///    worker via `map_init`),
-/// 2. **Prefix-sum** — the counts become `indptr` directly,
+/// 1. **Symbolic count** — each row's *structural* output nnz is computed
+///    in parallel from the patterns alone: boolean marks, **no
+///    multiplications and no value reads**, so the first pass costs half
+///    the arithmetic of the old numeric count pass,
+/// 2. **Prefix-sum** — the symbolic counts become a provisional `indptr`,
 /// 3. **Write** — the final `indices`/`data` buffers are allocated once,
-///    split into disjoint per-row segments, and filled in parallel.
+///    split into disjoint per-row segments, and filled numerically in
+///    parallel; each row reports how many entries it actually stored,
+/// 4. **Compact** — only if some entry cancelled to exact zero (numeric
+///    count < symbolic count, rare in practice and impossible for the
+///    non-negative path-counting semirings): rows are shifted left in one
+///    serial `O(nnz)` sweep and `indptr` is rebuilt from the actual
+///    counts, restoring exact equality with the serial [`spmm`] (which
+///    never stores explicit zeros).
 ///
-/// Unlike the previous implementation this never materializes a
-/// `(Vec<usize>, Vec<T>)` pair per output row (two heap allocations per
-/// row, then a serial copy into the final buffers): the only allocations
-/// are the three output arrays plus one SPA workspace per worker. The row
-/// product is computed twice (once to count, once to write), but each pass
-/// is embarrassingly parallel and allocation-free, which wins on the
-/// high-row-count matrices this kernel exists for. Accumulation order per
-/// row is identical in both passes, so counts match writes exactly even
-/// under floating-point cancellation.
+/// This never materializes a `(Vec<usize>, Vec<T>)` pair per output row:
+/// the only allocations are the three output arrays plus one mark/SPA
+/// workspace per worker. Accumulation order per row matches the serial
+/// kernel, so values (and cancellations) are bitwise identical.
 ///
 /// # Errors
 /// Returns [`SparseError::ShapeMismatch`] if `A.ncols() != B.nrows()`.
@@ -220,19 +230,21 @@ pub fn par_spmm<T: Scalar>(
         });
     }
 
-    // Pass 1: per-row output counts.
+    // Pass 1: symbolic per-row counts (pattern union, no multiplies).
+    let b_indptr = b.indptr();
+    let b_indices = b.indices();
     let counts: Vec<usize> = (0..a.nrows())
         .into_par_iter()
         .map_init(
-            || (vec![T::ZERO; b.ncols()], Vec::new()),
-            |(workspace, touched), i| {
-                let (acols, avals) = a.row(i);
-                spa_row_count(acols, avals, b, workspace, touched)
+            || (vec![false; b.ncols()], Vec::new()),
+            |(marks, touched), i| {
+                let (acols, _) = a.row(i);
+                spa_row_symbolic_count(acols, b_indptr, b_indices, marks, touched)
             },
         )
         .collect();
 
-    // Prefix-sum the counts into the row-pointer array.
+    // Prefix-sum the symbolic counts into a provisional row-pointer array.
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     indptr.push(0usize);
     let mut running = 0usize;
@@ -240,13 +252,14 @@ pub fn par_spmm<T: Scalar>(
         running += c;
         indptr.push(running);
     }
-    let nnz = running;
+    let symbolic_nnz = running;
 
-    // Pass 2: parallel write into disjoint per-row segments of the final
-    // buffers (CSR rows partition the index/value arrays, so the split is
-    // safe and lock-free).
-    let mut indices = vec![0usize; nnz];
-    let mut data = vec![T::ZERO; nnz];
+    // Pass 2: parallel numeric write into disjoint per-row segments of the
+    // final buffers (CSR rows partition the index/value arrays, so the
+    // split is safe and lock-free). Each row returns its actual stored
+    // count (≤ the symbolic segment length: cancellations are dropped).
+    let mut indices = vec![0usize; symbolic_nnz];
+    let mut data = vec![T::ZERO; symbolic_nnz];
     let mut segments: Vec<(usize, &mut [usize], &mut [T])> = Vec::with_capacity(a.nrows());
     let mut ind_rest = indices.as_mut_slice();
     let mut dat_rest = data.as_mut_slice();
@@ -257,7 +270,7 @@ pub fn par_spmm<T: Scalar>(
         ind_rest = itail;
         dat_rest = dtail;
     }
-    let _: Vec<()> = segments
+    let actual: Vec<usize> = segments
         .into_par_iter()
         .map_init(
             || (vec![T::ZERO; b.ncols()], Vec::new()),
@@ -276,10 +289,29 @@ pub fn par_spmm<T: Scalar>(
                     }
                 }
                 touched.clear();
-                debug_assert_eq!(k, iseg.len(), "count pass must match write pass");
+                debug_assert!(k <= iseg.len(), "symbolic count is an upper bound");
+                k
             },
         )
         .collect();
+
+    // Pass 3 (rare): compact away the slack left by exact cancellations.
+    let actual_nnz: usize = actual.iter().sum();
+    if actual_nnz != symbolic_nnz {
+        let mut write = 0usize;
+        for (i, &len) in actual.iter().enumerate() {
+            let start = indptr[i];
+            if write != start {
+                indices.copy_within(start..start + len, write);
+                data.copy_within(start..start + len, write);
+            }
+            indptr[i] = write;
+            write += len;
+        }
+        indptr[a.nrows()] = write;
+        indices.truncate(write);
+        data.truncate(write);
+    }
 
     Ok(CsrMatrix::from_parts_unchecked(
         a.nrows(),
@@ -362,6 +394,27 @@ mod tests {
         let b = CsrMatrix::from_dense(&dense(&[&[1.0], &[-1.0]]));
         let c = spmm(&a, &b).unwrap();
         assert_eq!(c.nnz(), 0, "exact cancellation must not store a zero");
+    }
+
+    #[test]
+    fn par_spmm_compacts_cancellations_exactly() {
+        // Rows with full, partial, and no cancellation: the symbolic count
+        // pass over-counts rows 0 and 2, and the compaction sweep must
+        // shift the surviving rows into place.
+        let a = CsrMatrix::from_dense(&dense(&[
+            &[1.0, 1.0, 0.0], // cancels completely against b
+            &[2.0, 0.0, 1.0], // no cancellation
+            &[0.0, 1.0, 1.0], // partial: one of two outputs cancels
+            &[0.0, 0.0, 3.0], // no cancellation
+        ]));
+        let b = CsrMatrix::from_dense(&dense(&[&[1.0, 0.0], &[-1.0, 1.0], &[1.0, -1.0]]));
+        let serial = spmm(&a, &b).unwrap();
+        let parallel = par_spmm(&a, &b).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(
+            serial.nnz() < a.nnz(),
+            "the case must actually exercise cancellation"
+        );
     }
 
     #[test]

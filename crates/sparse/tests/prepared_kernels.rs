@@ -136,6 +136,42 @@ fn assert_all_variants_eq(
     Ok(())
 }
 
+/// Asserts the cache-tiled variants (serial, parallel, auto) at the given
+/// tile width — plus the row-block kernel assembled block by block — are
+/// bitwise equal to `expect` (the untiled prepared result).
+fn assert_tiled_variants_eq(
+    w: &CsrMatrix<f64>,
+    tile_width: usize,
+    x: &DenseMatrix<f64>,
+    epi: &Epilogue<'_, f64, fn(f64) -> f64>,
+    expect: &DenseMatrix<f64>,
+) -> Result<(), TestCaseError> {
+    let mut p = PreparedWeights::from_csr(w.clone());
+    p.tile_with(tile_width);
+    let mut out = DenseMatrix::default();
+    p.spmm_tiled_into(x, &mut out, epi).unwrap();
+    prop_assert_eq!(&out, expect, "tiled serial (width {})", tile_width);
+    p.par_spmm_tiled_into(x, &mut out, epi).unwrap();
+    prop_assert_eq!(&out, expect, "tiled parallel (width {})", tile_width);
+    p.spmm_tiled_auto_into(x, &mut out, epi).unwrap();
+    prop_assert_eq!(&out, expect, "tiled auto (width {})", tile_width);
+    // Row-block kernel: assemble the product from uneven blocks.
+    if x.nrows() > 0 && w.ncols() > 0 {
+        let block_rows = (x.nrows() / 2).max(1);
+        let mut assembled = DenseMatrix::zeros(x.nrows(), w.ncols());
+        let mut start = 0usize;
+        while start < x.nrows() {
+            let rows = block_rows.min(x.nrows() - start);
+            let slice =
+                &mut assembled.as_mut_slice()[start * w.ncols()..(start + rows) * w.ncols()];
+            p.spmm_rows_to(x, start, rows, slice, epi).unwrap();
+            start += rows;
+        }
+        prop_assert_eq!(&assembled, expect, "spmm_rows_to (width {})", tile_width);
+    }
+    Ok(())
+}
+
 proptest! {
     /// ELL fast path, no epilogue: bitwise equal to `dense_spmm`.
     #[test]
@@ -216,6 +252,45 @@ proptest! {
         let first = reused.clone();
         p.spmm_into(&x, &mut reused, &epi).unwrap();
         prop_assert_eq!(&reused, &first);
+    }
+
+    /// Cache-tiled kernels on the ELL fast path: serial, pool-parallel,
+    /// auto, and the row-block kernel, at random tile widths, with a fused
+    /// bias + ReLU epilogue — all bitwise equal to the untiled prepared
+    /// path (and therefore to the naive path, by the tests above).
+    #[test]
+    fn ell_tiled_matches_untiled(
+        w in regular_matrix(),
+        seed in 0u64..1000,
+        tile_width in 1usize..16,
+        bias_scale in -1.0f64..1.0,
+    ) {
+        let x = batch_deterministic(w.nrows(), seed);
+        let bias: Vec<f64> = (0..w.ncols())
+            .map(|j| bias_scale * (j as f64 * 0.3 - 1.0))
+            .collect();
+        let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::new(Bias::PerOutput(&bias), relu);
+        let p = PreparedWeights::from_csr(w.clone());
+        let mut expect = DenseMatrix::default();
+        p.spmm_into(&x, &mut expect, &epi).unwrap();
+        assert_tiled_variants_eq(&w, tile_width, &x, &epi, &expect)?;
+    }
+
+    /// Cache-tiled kernels on the CSR fallback (irregular matrices), bare
+    /// product: bitwise equal to the untiled prepared path.
+    #[test]
+    fn irregular_tiled_matches_untiled(
+        (w, x) in irregular_matrix(8).prop_flat_map(|w| {
+            let rows = w.nrows();
+            (Just(w), batch_for(rows))
+        }),
+        tile_width in 1usize..10,
+    ) {
+        let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::identity();
+        let p = PreparedWeights::from_csr(w.clone());
+        let mut expect = DenseMatrix::default();
+        p.spmm_into(&x, &mut expect, &epi).unwrap();
+        assert_tiled_variants_eq(&w, tile_width, &x, &epi, &expect)?;
     }
 
     /// The rewritten two-pass `par_spmm` (count → prefix-sum → parallel
