@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt fmt-check clippy bench-check bench bench-json bench-json-smoke bench-gate calibrate clean
+.PHONY: verify build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-gate calibrate clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -23,6 +23,12 @@ fmt-check:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+## Documentation coverage gate: rustdoc warnings (missing docs under the
+## crates' deny(missing_docs), broken intra-doc links) fail the build.
+## Doctests themselves run under `make test`.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
 
 ## Compile (but do not run) the criterion benches.
 bench-check:

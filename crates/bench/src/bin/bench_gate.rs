@@ -21,10 +21,18 @@
 //! gate (a silently dropped kernel is a regression of coverage); kernels
 //! only in the candidate are reported but don't fail (new kernels land
 //! before their baseline does). Exit code 1 on any failure.
+//!
+//! **Thread keying:** pool-dispatch (`*rayon*`) kernel timings depend on
+//! the machine's core count, so a baseline measured on a 1-core container
+//! must not gate a multi-core run (or vice versa). Both files carry a
+//! top-level `"threads"` key; when the counts differ — or the baseline
+//! predates the key — parallel kernels are reported informationally
+//! (`skip`) and only the serial kernels gate. Coverage is still enforced:
+//! a parallel kernel missing from the candidate fails regardless.
 
-use radix_bench::parse_bench_json;
+use radix_bench::{is_parallel_kernel, parse_bench_json, parse_bench_threads};
 
-fn read_points(path: &str, role: &str) -> Vec<radix_bench::BenchPoint> {
+fn read_points(path: &str, role: &str) -> (Vec<radix_bench::BenchPoint>, Option<usize>) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_gate: cannot read {role} {path}: {e}"));
     let points = parse_bench_json(&text);
@@ -32,7 +40,7 @@ fn read_points(path: &str, role: &str) -> Vec<radix_bench::BenchPoint> {
         !points.is_empty(),
         "bench_gate: {role} {path} contains no kernel points"
     );
-    points
+    (points, parse_bench_threads(&text))
 }
 
 fn main() {
@@ -46,11 +54,24 @@ fn main() {
         .filter(|t| t.is_finite() && *t >= 1.0)
         .unwrap_or(2.0);
 
-    let baseline = read_points(&baseline_path, "baseline");
-    let candidate = read_points(&candidate_path, "candidate");
+    let (baseline, base_threads) = read_points(&baseline_path, "baseline");
+    let (candidate, cand_threads) = read_points(&candidate_path, "candidate");
+    // Pool kernels only gate like-for-like: both runs must declare the
+    // same thread count (a baseline predating the key matches nothing).
+    let threads_match = matches!((base_threads, cand_threads), (Some(b), Some(c)) if b == c);
 
     let mut failures = 0usize;
     println!("bench_gate: candidate {candidate_path} vs baseline {baseline_path} (tolerance {tolerance:.2}x)");
+    println!(
+        "bench_gate: baseline threads {}, candidate threads {} -> pool kernels {}",
+        base_threads.map_or_else(|| "unknown".to_string(), |t| t.to_string()),
+        cand_threads.map_or_else(|| "unknown".to_string(), |t| t.to_string()),
+        if threads_match {
+            "gated"
+        } else {
+            "report-only (machine mismatch)"
+        }
+    );
     for base in &baseline {
         let found = candidate
             .iter()
@@ -58,11 +79,14 @@ fn main() {
         match found {
             Some(cand) => {
                 let ratio = cand.seconds_per_iter / base.seconds_per_iter.max(1e-12);
-                let verdict = if ratio > tolerance {
+                let gated = threads_match || !is_parallel_kernel(&base.kernel);
+                let verdict = if ratio <= tolerance {
+                    "ok"
+                } else if gated {
                     failures += 1;
                     "FAIL"
                 } else {
-                    "ok"
+                    "skip"
                 };
                 println!(
                     "  [{verdict:>4}] {:<24} {:<24} {:>10.3} us -> {:>10.3} us  ({ratio:.2}x)",

@@ -2,11 +2,18 @@
 //!
 //! Runs a fixed subset of the SpMM kernel matrix — the two acceptance
 //! layer configs (`n=16384, deg=8` and `n=4096, deg=16`) × {generic CSR
-//! unfused, prepared ELL, prepared ELL fused, cache-tiled, serial and
-//! Rayon, plus the multi-layer fused Challenge forward pass} — and writes
+//! unfused, prepared ELL, prepared ELL fused, cache-tiled, **transposed**
+//! (untiled vs tiled — the backward/training orientation), the
+//! activation-sparsity schedules at 90% sparse input, serial and Rayon,
+//! plus the multi-layer fused Challenge forward pass} — and writes
 //! edges/second per kernel as JSON, so successive PRs have a
 //! machine-readable perf baseline to diff against (`make bench-gate`
 //! compares a fresh run to the committed baseline).
+//!
+//! The JSON records the worker-pool width as a top-level `"threads"` key
+//! (the machine key): pool-dispatch (`*rayon*`) numbers measured on a
+//! 1-core container are degenerate, so the gate only compares them
+//! between runs at the same thread count.
 //!
 //! Invocation (see `make bench-json`):
 //!
@@ -27,7 +34,9 @@ use std::hint::black_box;
 use radix_bench::format_json_f64;
 use radix_challenge::{ChallengeNetwork, InferWorkspace};
 use radix_sparse::ops;
-use radix_sparse::{Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights};
+use radix_sparse::{
+    ActivationSchedule, Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights,
+};
 
 /// Wall-clock budget per kernel point in normal mode.
 const TIME_BUDGET_SECS: f64 = 0.25;
@@ -55,6 +64,21 @@ fn activations(rows: usize, cols: usize) -> DenseMatrix<f32> {
         let r: &mut [f32] = m.row_mut(i);
         for (j, v) in r.iter_mut().enumerate() {
             *v = ((i * 31 + j * 17) % 13) as f32 * 0.07;
+        }
+    }
+    m
+}
+
+/// A 90%-sparse activation batch (exactly one in ten entries nonzero) —
+/// the post-ReLU deep-layer regime the scatter schedule targets.
+fn sparse_activations(rows: usize, cols: usize) -> DenseMatrix<f32> {
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        let r: &mut [f32] = m.row_mut(i);
+        for (j, v) in r.iter_mut().enumerate() {
+            if (i * 31 + j * 17) % 10 == 0 {
+                *v = ((i + j) % 13) as f32 * 0.07 + 0.05;
+            }
         }
     }
     m
@@ -139,6 +163,73 @@ fn bench_config(n: usize, degree: usize, batch: usize, quick: bool) -> (u64, Vec
         }),
     );
 
+    // Transposed (backward/training) orientation: untiled per-row gather
+    // vs the tile-major schedule (zero-copy over the ELL layout — the
+    // `prepared` copy is untiled, proving no forward tiles are needed).
+    // Identity epilogue, as in the backward pass.
+    push(
+        "transposed_serial",
+        time_kernel(quick, || {
+            prepared
+                .spmm_transposed_into(&x, &mut out, &epi_identity)
+                .unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+    push(
+        "transposed_tiled",
+        time_kernel(quick, || {
+            prepared
+                .spmm_transposed_tiled_into(&x, &mut out, &epi_identity)
+                .unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+    push(
+        "transposed_tiled_rayon",
+        time_kernel(quick, || {
+            prepared
+                .par_spmm_transposed_tiled_into(&x, &mut out, &epi_identity)
+                .unwrap();
+            black_box(out.as_slice().len());
+        }),
+    );
+
+    // Activation-sparsity schedules at 90% sparse input (the deep
+    // post-ReLU regime): the branch-free gather that multiplies zeros
+    // through vs the zero-skipping scatter the Auto dispatch switches to.
+    {
+        let x90 = sparse_activations(batch, n);
+        push(
+            "tiled_act90_gather",
+            time_kernel(quick, || {
+                tiled
+                    .spmm_tiled_scheduled_into(
+                        &x90,
+                        &mut out,
+                        &epi_fused,
+                        ActivationSchedule::Gather,
+                    )
+                    .unwrap();
+                black_box(out.as_slice().len());
+            }),
+        );
+        push(
+            "tiled_act90_scatter",
+            time_kernel(quick, || {
+                tiled
+                    .spmm_tiled_scheduled_into(
+                        &x90,
+                        &mut out,
+                        &epi_fused,
+                        ActivationSchedule::Scatter,
+                    )
+                    .unwrap();
+                black_box(out.as_slice().len());
+            }),
+        );
+    }
+
     // Multi-layer tile fusion: a 2-layer Challenge network at this width,
     // timed per layer so the number is comparable to the single-product
     // kernels above (same batch·nnz edge budget per layer).
@@ -181,11 +272,13 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"radix-bench-kernels/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"radix-bench-kernels/v2\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
     json.push_str(
         "  \"note\": \"edges/sec per kernel on the pinned layer configs; \
-         quick=true means min-of-3-iteration CI smoke/gate numbers\",\n",
+         quick=true means min-of-3-iteration CI smoke/gate numbers; pool \
+         (*rayon*) kernels gate only against baselines at equal threads\",\n",
     );
     json.push_str("  \"configs\": [\n");
     for (ci, &(n, degree, batch)) in configs.iter().enumerate() {

@@ -1,16 +1,18 @@
-//! Machine calibration: measures the serial-vs-parallel crossover and the
-//! best column-tile width **on the current machine** and prints suggested
-//! environment values (see `make calibrate`).
+//! Machine calibration: measures the serial-vs-parallel crossover, the
+//! best column-tile width, and the activation-sparsity crossover **on the
+//! current machine** and prints suggested environment values (see
+//! `make calibrate`).
 //!
 //! The defaults baked into the kernels (`DEFAULT_PAR_THRESHOLD`,
-//! `DEFAULT_TILE_COLS`) were measured on one machine; cache sizes and
-//! thread-spawn costs vary, so deployments should run this once and export
-//! what it prints:
+//! `DEFAULT_TILE_COLS`, `DEFAULT_ACT_SPARSE_PERCENT`) were measured on
+//! one machine; cache sizes and thread-spawn costs vary, so deployments
+//! should run this once and export what it prints:
 //!
 //! ```text
 //! make calibrate
 //! export RADIX_PAR_THRESHOLD=<crossover work>
 //! export RADIX_TILE_COLS=<best tile width>
+//! export RADIX_ACT_SPARSE_THRESHOLD=<percent nonzero below which to scatter>
 //! ```
 //!
 //! Environment: `RADIX_CALIBRATE_QUICK=1` shrinks the problem sizes and
@@ -19,7 +21,9 @@
 
 use std::hint::black_box;
 
-use radix_sparse::{Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights};
+use radix_sparse::{
+    ActivationSchedule, Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights,
+};
 
 fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
     CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| 1.0 / degree as f32)
@@ -126,6 +130,53 @@ fn main() {
         }
     }
 
+    // ── Part 3: activation-sparsity crossover ───────────────────────────
+    // Same wide config; sweep the nonzero fraction of the input batch and
+    // time the forced gather vs the forced scatter schedule. The largest
+    // nonzero percent where the scatter wins (with a real 5% margin) is
+    // the suggested RADIX_ACT_SPARSE_THRESHOLD.
+    let mut tiled_wide = PreparedWeights::from_csr(wide.clone());
+    tiled_wide.tile();
+    println!("\nactivation-sparsity crossover (n={wn}, degree={wdeg}, batch={wbatch}):");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "nonzero_pct", "gather_us", "scatter_us"
+    );
+    let mut act_crossover: Option<usize> = None;
+    for pct in [50usize, 25, 12, 10, 6, 3, 1] {
+        let mut xs = DenseMatrix::<f32>::zeros(wbatch, wn);
+        for i in 0..wbatch {
+            let row: &mut [f32] = xs.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                if (i * 31 + j * 17) % 100 < pct {
+                    *v = ((i + j) % 13) as f32 * 0.07 + 0.05;
+                }
+            }
+        }
+        let gather = time_kernel(quick, || {
+            tiled_wide
+                .spmm_tiled_scheduled_into(&xs, &mut out, &epi, ActivationSchedule::Gather)
+                .unwrap();
+            black_box(out.as_slice().len());
+        });
+        let scatter = time_kernel(quick, || {
+            tiled_wide
+                .spmm_tiled_scheduled_into(&xs, &mut out, &epi, ActivationSchedule::Scatter)
+                .unwrap();
+            black_box(out.as_slice().len());
+        });
+        let wins = scatter < gather * 0.95;
+        println!(
+            "{pct:>12} {:>12.2} {:>12.2}{}",
+            gather * 1e6,
+            scatter * 1e6,
+            if wins { "  <- scatter wins" } else { "" }
+        );
+        if wins && act_crossover.is_none() {
+            act_crossover = Some(pct);
+        }
+    }
+
     // ── Suggestions ─────────────────────────────────────────────────────
     println!("\nsuggested environment for this machine:");
     match crossover {
@@ -148,5 +199,11 @@ fn main() {
                 untiled * 1e6
             );
         }
+    }
+    match act_crossover {
+        Some(pct) => println!("  export RADIX_ACT_SPARSE_THRESHOLD={pct}"),
+        None => println!(
+            "  export RADIX_ACT_SPARSE_THRESHOLD=0  # scatter never won at tested sparsities"
+        ),
     }
 }

@@ -89,6 +89,29 @@ fn number_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts the `"threads"` count a `BENCH_kernels.json` run was measured
+/// with (the machine key the perf gate uses): `bench_kernels` records the
+/// worker-pool width — effectively `nproc`, unless `RAYON_NUM_THREADS`
+/// overrode it — so baselines measured on 1-core containers can be
+/// recognized and their degenerate `par_*`/pool numbers excluded from
+/// gating a multi-core run (and vice versa). Returns `None` for baselines
+/// predating the field.
+#[must_use]
+pub fn parse_bench_threads(text: &str) -> Option<usize> {
+    text.lines()
+        .find_map(|line| number_field(line, "threads"))
+        .map(|v| v as usize)
+}
+
+/// Whether a kernel point runs on the worker pool (its timing depends on
+/// the machine's core count): the pinned subset names every pool-dispatch
+/// variant with `rayon`. The perf gate compares these points only between
+/// runs measured at the same thread count.
+#[must_use]
+pub fn is_parallel_kernel(name: &str) -> bool {
+    name.contains("rayon")
+}
+
 /// Parses a `radix-bench-kernels/v1` JSON file (as written by
 /// `bench_kernels`) into its kernel timing points. The format is
 /// line-oriented by construction: every kernel object sits on one line
@@ -195,5 +218,38 @@ mod tests {
     #[test]
     fn ignores_malformed_lines() {
         assert!(parse_bench_json("not json at all\n{}\n").is_empty());
+    }
+
+    #[test]
+    fn parses_thread_count_when_present() {
+        let text = "{\n  \"schema\": \"radix-bench-kernels/v2\",\n  \"threads\": 4,\n}";
+        assert_eq!(parse_bench_threads(text), Some(4));
+        // Baselines predating the field have no thread key.
+        assert_eq!(parse_bench_threads("{\n  \"quick\": false\n}"), None);
+    }
+
+    #[test]
+    fn classifies_pool_kernels() {
+        for name in [
+            "csr_rayon_unfused",
+            "prepared_rayon_fused",
+            "prepared_tiled_rayon_fused",
+            "transposed_tiled_rayon",
+            "spgemm_rayon",
+        ] {
+            assert!(is_parallel_kernel(name), "{name}");
+        }
+        for name in [
+            "csr_serial_unfused",
+            "prepared_tiled_fused",
+            "transposed_serial",
+            "transposed_tiled",
+            "tiled_act90_gather",
+            "tiled_act90_scatter",
+            "fused_2layer_serial_per_layer",
+            "spgemm_serial",
+        ] {
+            assert!(!is_parallel_kernel(name), "{name}");
+        }
     }
 }

@@ -9,7 +9,12 @@
 //! have constant row degree, so every product runs on the ELL fast path —
 //! column-tiled for wide layers (`RADIX_TILE_COLS`) so the scatter targets
 //! stay cache-resident — with the bias + ReLU + `YMAX` clamp fused into
-//! the kernel as an [`Epilogue`].
+//! the kernel as an [`Epilogue`]. Tiled products run the
+//! activation-sparsity dispatch (`radix_sparse::kernel`'s
+//! `ActivationSchedule::Auto`): deep Challenge layers whose post-ReLU
+//! activations fall below the `RADIX_ACT_SPARSE_THRESHOLD` nonzero
+//! fraction switch from the branch-free gather to a zero-skipping
+//! scatter, block by block, with identical results.
 //!
 //! The forward pass runs a **multi-layer tile-fused schedule**: instead of
 //! finishing each layer on the whole batch before starting the next (a

@@ -3,7 +3,10 @@
 //! heap allocation** — on the serial path *and* on the pool-parallel
 //! cache-tiled path. A counting global allocator wraps the system
 //! allocator; a forward pass through a warmed [`InferWorkspace`] must
-//! leave the allocation counter untouched.
+//! leave the allocation counter untouched. (The training-side twin of
+//! this test — a full gradient step through the tiled transposed kernels
+//! — lives in `crates/nn/tests/zero_alloc.rs`; each needs its own test
+//! binary because the counter is process-global.)
 //!
 //! The parallel guarantee is what the persistent worker pool in the rayon
 //! shim buys: thread stacks and join handles are paid once at pool

@@ -74,6 +74,28 @@ pub struct DenseLinear {
 
 /// Either kind of layer; networks hold a `Vec<Layer>` so sparse and dense
 /// topologies train through identical code.
+///
+/// # Example: forward and backward through one sparse layer
+///
+/// ```
+/// use radix_nn::{Activation, Layer, SparseLinear};
+/// use radix_sparse::{CsrMatrix, DenseMatrix};
+///
+/// let w = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[
+///     &[0.5f32, 0.0],
+///     &[0.0, 0.25],
+/// ]));
+/// let layer = Layer::Sparse(SparseLinear::new(w, Activation::Relu));
+/// let x = DenseMatrix::from_rows(&[&[2.0f32, -4.0]]);
+/// let mut y = DenseMatrix::default();
+/// layer.forward_into(&x, &mut y); // act(X · W + b), fused epilogue
+/// assert_eq!(y.row(0), &[1.0, 0.0]);
+/// // Backward: parameter grads + input grads via the tiled transposed
+/// // kernel (hot loops pass reused buffers to backward_into instead).
+/// let (grads, grad_in) = layer.backward(&x, &y, &y);
+/// assert_eq!(grads.b.len(), 2);
+/// assert_eq!(grad_in.shape(), (1, 2));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Layer {
     /// Sparse-topology linear layer.
@@ -254,6 +276,15 @@ impl Layer {
     /// place (becoming scratch). `grads` and `grad_in` are resized
     /// (reusing allocations) and filled.
     ///
+    /// Sparse layers run entirely on the prepared engine: the weight
+    /// gradients accumulate through the pool's allocation-free chunk
+    /// dispatch, and the input gradient `delta · Wᵀ` runs the **tiled
+    /// transposed** kernel (`spmm_transposed_tiled_auto_into`), which is
+    /// zero-copy over the ELL layout — so wide training layers get the
+    /// cache-blocked schedule without ever calling
+    /// [`SparseLinear::tile`], and a steady-state train step performs no
+    /// heap allocation (`tests/zero_alloc.rs` pins this down).
+    ///
     /// # Panics
     /// Panics on shape mismatches between `x`, `out`, and `delta`.
     pub fn backward_into(
@@ -287,7 +318,9 @@ impl Layer {
         match self {
             Layer::Sparse(l) => {
                 sparse_weight_grads_into(&l.w, x, delta, &mut grads.w);
-                l.w.spmm_transposed_auto_into(delta, grad_in, &Epilogue::identity())
+                // The backward orientation needs no prebuilt tiles: the
+                // transpose's gather layout is the ELL storage itself.
+                l.w.spmm_transposed_tiled_auto_into(delta, grad_in, &Epilogue::identity())
                     .expect("delta width matches weight columns");
             }
             Layer::Dense(l) => {
@@ -364,8 +397,16 @@ impl Layer {
 /// Gradients of the structural nonzeros only:
 /// `grad_w[(i,j)] = Σ_b x[b,i] · delta[b,j]`, in CSR (= ELL) value order,
 /// written into the caller's (already zeroed) buffer.
-/// Parallel over weight rows (each row's gradient segment is independent),
-/// switched by the shared `radix_sparse::kernel` heuristic.
+///
+/// At constant degree (every RadiX/X-Net layer) the flat gradient vector
+/// partitions into `degree`-sized per-row segments, so the parallel path
+/// runs on the persistent pool's **allocation-free** chunk dispatch
+/// (`rayon::for_each_chunk_mut`, chunk index = weight row) — this is what
+/// keeps the steady-state train step heap-silent. Irregular CSR layers
+/// still parallelize (a per-row segment list is materialized per call —
+/// they sit outside the zero-alloc RadiX regime); small products walk
+/// `indptr` slices serially. The serial-vs-pool switch is the shared
+/// `radix_sparse::kernel` heuristic.
 fn sparse_weight_grads_into(
     w: &PreparedWeights<f32>,
     x: &DenseMatrix<f32>,
@@ -374,17 +415,10 @@ fn sparse_weight_grads_into(
 ) {
     let csr = w.as_csr();
     assert_eq!(grads.len(), csr.nnz(), "gradient buffer length");
-    // Split the flat gradient vector into per-row segments (safe: CSR rows
-    // partition the value array).
-    let mut segments: Vec<(usize, &mut [f32])> = Vec::with_capacity(csr.nrows());
-    let mut rest = grads;
-    for i in 0..csr.nrows() {
-        let len = csr.row_nnz(i);
-        let (seg, tail) = rest.split_at_mut(len);
-        segments.push((i, seg));
-        rest = tail;
+    if grads.is_empty() {
+        return;
     }
-    let body = |(i, seg): (usize, &mut [f32])| {
+    let row_grads = |i: usize, seg: &mut [f32]| {
         let (cols, _) = csr.row(i);
         for b in 0..x.nrows() {
             let xv = x.get(b, i);
@@ -397,10 +431,31 @@ fn sparse_weight_grads_into(
             }
         }
     };
-    if use_parallel(w.work(x.nrows())) {
-        segments.into_par_iter().for_each(body);
-    } else {
-        segments.into_iter().for_each(body);
+    let parallel = use_parallel(w.work(x.nrows()));
+    match w.degree() {
+        Some(d) if d > 0 && parallel => {
+            rayon::for_each_chunk_mut(grads, d, row_grads);
+        }
+        None if parallel => {
+            // Irregular rows: split the flat vector into per-row segments
+            // (CSR rows partition the value array) and fan out.
+            let mut segments: Vec<(usize, &mut [f32])> = Vec::with_capacity(csr.nrows());
+            let mut rest = grads;
+            for i in 0..csr.nrows() {
+                let (seg, tail) = rest.split_at_mut(csr.row_nnz(i));
+                segments.push((i, seg));
+                rest = tail;
+            }
+            segments
+                .into_par_iter()
+                .for_each(|(i, seg)| row_grads(i, seg));
+        }
+        _ => {
+            let indptr = csr.indptr();
+            for i in 0..csr.nrows() {
+                row_grads(i, &mut grads[indptr[i]..indptr[i + 1]]);
+            }
+        }
     }
 }
 

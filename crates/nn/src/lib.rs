@@ -39,7 +39,7 @@
 //! # Ok::<(), radix_net::RadixError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod activation;

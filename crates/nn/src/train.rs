@@ -148,14 +148,15 @@ pub fn train_classifier(
     let mut order: Vec<usize> = (0..x.nrows()).collect();
     let mut history = History::default();
     // Persistent buffers: mini-batch gather, forward/backward workspace,
-    // and the full-set evaluation workspace reach their high-water mark in
-    // epoch 0 and are reused afterwards — including the loss gradient,
-    // which Loss::eval_*_into writes into the workspace delta buffer, so
-    // steady-state batches perform no heap allocation at all.
+    // and the full-set evaluation workspace are pre-sized to their
+    // high-water mark and reused across every batch and epoch — including
+    // the loss gradient, which Loss::eval_*_into writes into the workspace
+    // delta buffer, so training batches perform no heap allocation at all
+    // (pinned down by `tests/zero_alloc.rs`).
     let mut xb = DenseMatrix::zeros(0, 0);
     let mut yb: Vec<usize> = Vec::new();
-    let mut ws = GradWorkspace::new();
-    let mut eval_ws = ForwardWorkspace::new();
+    let mut ws = GradWorkspace::for_network(net, config.batch_size.min(x.nrows().max(1)));
+    let mut eval_ws = ForwardWorkspace::for_network(net, x.nrows());
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
@@ -195,7 +196,7 @@ pub fn train_regressor(
     let mut history = History::default();
     let mut xb = DenseMatrix::zeros(0, 0);
     let mut yb = DenseMatrix::zeros(0, 0);
-    let mut ws = GradWorkspace::new();
+    let mut ws = GradWorkspace::for_network(net, config.batch_size.min(x.nrows().max(1)));
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;

@@ -69,8 +69,33 @@ impl ForwardWorkspace {
 /// Buffers for a full forward + backward pass, reused across mini-batches:
 /// the per-layer activation trace, the backpropagated gradient ping-pong
 /// pair, and the per-layer parameter gradients. With the loss gradient
-/// written directly into `delta` by `Loss::eval_*_into`, a steady-state
-/// training batch performs **no** heap allocation.
+/// written directly into `delta` by `Loss::eval_*_into` and the input
+/// gradients running the tiled transposed kernels, a steady-state
+/// training batch performs **no** heap allocation
+/// (`crates/nn/tests/zero_alloc.rs` proves it with a counting global
+/// allocator).
+///
+/// # Example: an allocation-free train step
+///
+/// ```
+/// use radix_net::{MixedRadixSystem, MixedRadixTopology};
+/// use radix_nn::{Activation, GradWorkspace, Init, Loss, Network, Targets};
+/// use radix_sparse::DenseMatrix;
+///
+/// let fnnt = MixedRadixTopology::new(MixedRadixSystem::new([2, 2])?).into_fnnt();
+/// let net = Network::from_fnnt(&fnnt, Activation::Tanh, Init::Xavier,
+///                              Loss::SoftmaxCrossEntropy, 0);
+/// let x = DenseMatrix::ones(8, net.n_in());
+/// let labels = vec![0usize; 8];
+/// // Pre-sized: even the first batch allocates nothing.
+/// let mut ws = GradWorkspace::for_network(&net, 8);
+/// // Forward trace + loss gradient (written straight into the workspace
+/// // delta buffer) + tiled transposed backward, all through reused buffers.
+/// let loss = net.grad_batch_with(&x, Targets::Labels(&labels), &mut ws);
+/// assert!(loss.is_finite());
+/// assert_eq!(ws.grads().len(), net.layers().len());
+/// # Ok::<(), radix_net::RadixError>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct GradWorkspace {
     /// `trace[i]` holds the (post-activation) output of layer `i`.
@@ -92,6 +117,35 @@ impl GradWorkspace {
     #[must_use]
     pub fn new() -> Self {
         GradWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `net` at the given batch size, so even
+    /// the **first** training batch allocates nothing: the activation
+    /// trace, the delta/grad-in ping-pong pair (sized to the widest layer
+    /// boundary, input included), and every per-layer gradient buffer are
+    /// all at their high-water mark up front. The training loops use this
+    /// with their configured batch size.
+    #[must_use]
+    pub fn for_network(net: &Network, batch: usize) -> Self {
+        let mut ws = GradWorkspace::default();
+        ws.ensure(net);
+        let widest = net
+            .layers()
+            .iter()
+            .map(crate::layer::Layer::n_out)
+            .max()
+            .unwrap_or(0)
+            .max(net.n_in());
+        for (t, layer) in ws.trace.iter_mut().zip(net.layers()) {
+            t.resize_zeroed(batch, layer.n_out());
+        }
+        for (g, layer) in ws.grads.iter_mut().zip(net.layers()) {
+            let (w_len, b_len) = layer.param_lens();
+            g.resize_zeroed(w_len, b_len);
+        }
+        ws.delta.resize_zeroed(batch, widest);
+        ws.grad_in.resize_zeroed(batch, widest);
+        ws
     }
 
     /// Ensures the per-layer vectors match `net`'s layer count.

@@ -48,6 +48,34 @@ pub fn use_parallel(work: usize) -> bool {
     work >= par_threshold()
 }
 
+/// Default activation-sparsity crossover: row blocks whose input
+/// activations are at most this percent nonzero (i.e. at least 90%
+/// zeros) take the zero-skipping scatter path instead of the tiled
+/// gather. Chosen conservatively — the gather's branch-free stream wins
+/// until activations are *very* sparse — and re-measurable on the current
+/// machine with `make calibrate`.
+pub const DEFAULT_ACT_SPARSE_PERCENT: usize = 10;
+
+/// The active activation-sparsity crossover, as a **percent of nonzero
+/// activations**: a row block at or below this nonzero fraction runs the
+/// scatter-over-nonzeros schedule. `RADIX_ACT_SPARSE_THRESHOLD` from the
+/// environment if set to a parseable `usize` (`0` disables the sparse
+/// path entirely; values ≥ 100 force it always), otherwise
+/// [`DEFAULT_ACT_SPARSE_PERCENT`]. Read once and cached for the process
+/// lifetime.
+#[must_use]
+pub fn act_sparse_percent() -> usize {
+    static PERCENT: OnceLock<usize> = OnceLock::new();
+    // Unlike `env_usize`, an explicit `0` is meaningful here (it turns the
+    // sparse path off), so parse without the positivity filter.
+    *PERCENT.get_or_init(|| {
+        std::env::var("RADIX_ACT_SPARSE_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_ACT_SPARSE_PERCENT)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +100,13 @@ mod tests {
         assert!(!use_parallel(t.saturating_sub(1)));
         assert!(use_parallel(t));
         assert!(use_parallel(t + 1));
+    }
+
+    #[test]
+    fn act_sparse_percent_is_stable_across_calls() {
+        // Cannot set the env var here (process-global, racy across tests);
+        // pin that the cached value is stable and within a sane range when
+        // the environment doesn't override it.
+        assert_eq!(act_sparse_percent(), act_sparse_percent());
     }
 }

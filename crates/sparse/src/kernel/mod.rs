@@ -17,6 +17,17 @@
 //!   `RADIX_TILE_COLS`), and the `_tiled_` kernels run a tile-major,
 //!   cache-blocked schedule whose scatter targets stay L1/L2-resident —
 //!   bitwise identical to the untiled kernels,
+//! * **tiled transposed kernels** — `spmm_transposed_tiled_into` and
+//!   friends run the same tile-major schedule for the backward/training
+//!   orientation `X · Wᵀ`, **zero-copy**: the transpose's CSC layout is
+//!   `W`'s own CSR/ELL storage, so no [`PreparedWeights::tile`] call is
+//!   needed and training layers (whose updates drop forward tiles) stay
+//!   tiled throughout,
+//! * [`ActivationSchedule`] — the activation-sparsity dispatch: per
+//!   32-row block, a cheap nonzero count picks the branch-free gather
+//!   (dense activations) or the zero-skipping scatter (post-ReLU sparse
+//!   activations), crossover [`act_sparse_percent`] /
+//!   `RADIX_ACT_SPARSE_THRESHOLD`,
 //! * [`Epilogue`] / [`Bias`] — bias + elementwise map fused into the
 //!   kernel's per-row (per-tile, when tiled) finish, eliminating the
 //!   separate output pass,
@@ -41,7 +52,10 @@ mod prepared;
 mod tiled;
 
 pub use epilogue::{Bias, Epilogue};
-pub use heuristic::{env_usize, par_threshold, use_parallel, DEFAULT_PAR_THRESHOLD};
+pub use heuristic::{
+    act_sparse_percent, env_usize, par_threshold, use_parallel, DEFAULT_ACT_SPARSE_PERCENT,
+    DEFAULT_PAR_THRESHOLD,
+};
 pub use pingpong::PingPong;
 pub use prepared::PreparedWeights;
-pub use tiled::{tile_cols, DEFAULT_TILE_COLS};
+pub use tiled::{tile_cols, ActivationSchedule, DEFAULT_TILE_COLS};

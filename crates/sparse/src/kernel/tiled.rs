@@ -30,6 +30,22 @@
 //! all-zero sum, which IEEE equality cannot distinguish), so results are
 //! equal everywhere it matters; matrices storing non-finite weights
 //! (`0 · ∞ = NaN`) should simply not be tiled.
+//!
+//! Multiplying zeros through is the right call for *dense* activations,
+//! but deep ReLU networks routinely produce blocks that are > 90% zeros,
+//! where the gather burns its bandwidth on additive identities. The
+//! [`ActivationSchedule`] dispatch restores the zero-skip selectively: a
+//! cheap per-32-row-block nonzero count on the input activations picks the
+//! gather (dense blocks) or the zero-skipping scatter (sparse blocks),
+//! with the crossover settable via `RADIX_ACT_SPARSE_THRESHOLD`
+//! ([`crate::kernel::act_sparse_percent`], measured by `make calibrate`).
+//!
+//! The same tile-major treatment also serves the **transposed** products
+//! of the backward/training pass: `X · Wᵀ` gathers over the columns of
+//! `Wᵀ`, whose CSC layout *is* `W`'s CSR (= ELL) layout — so the tiled
+//! transposed kernels in [`crate::kernel::PreparedWeights`] tile over
+//! blocks of `W` rows zero-copy, via `gather_t_block_ell` /
+//! `gather_t_block_csr` below, and need no prebuilt `ColumnTiles`.
 
 use std::sync::OnceLock;
 
@@ -60,6 +76,36 @@ pub fn tile_cols() -> usize {
 /// from cache `block / TILE_BLOCK_ROWS` times less often than the untiled
 /// per-row stream.
 pub(crate) const TILE_BLOCK_ROWS: usize = 32;
+
+/// How the tiled forward kernels treat the input activations of each
+/// 32-row batch block.
+///
+/// The tiled gather deliberately multiplies zero activations through
+/// (branch-free stream — see the module docs), which is fastest for dense
+/// activations but wasteful when a block is almost entirely zeros (deep
+/// ReLU layers). The scatter schedule walks only the nonzero activations
+/// of each row — the untiled ELL/CSR scatter with its zero-skip — at the
+/// cost of read-modify-write output traffic. Accumulation order is
+/// ascending source row under **both** schedules, so results are equal
+/// whichever is picked (up to the sign of an all-zero sum; pinned by the
+/// property suite in `tests/prepared_kernels.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActivationSchedule {
+    /// Count each block's nonzero activations and choose per block: at or
+    /// below [`crate::kernel::act_sparse_percent`] percent nonzero
+    /// (`RADIX_ACT_SPARSE_THRESHOLD`) the block scatters, otherwise it
+    /// gathers. The count is branch-free within a row and early-exits at
+    /// the first row boundary past the threshold, so dense blocks (the
+    /// common case) pay only ~1% of the product's multiply-adds for the
+    /// test; sparse blocks pay one full pass (`1/degree` of the kernel
+    /// work), dwarfed by what the scatter then saves.
+    #[default]
+    Auto,
+    /// Always the branch-free tiled gather (the dense-activation choice).
+    Gather,
+    /// Always the zero-skipping scatter (the sparse-activation choice).
+    Scatter,
+}
 
 /// The one-time column-tiling pass over a prepared weight matrix: the CSC
 /// (gather) layout with `u32` source rows, consumed tile-major by
@@ -204,6 +250,107 @@ fn gather_tile_row<T: Scalar>(
     }
 }
 
+/// Computes rows `[x_start, x_start + rows)` of `epi(X · Wᵀ)` into `out`
+/// (row-major, `rows × nout` with `nout = W.nrows()`), tile-major over
+/// `tile_width`-wide blocks of transpose output columns — which are rows
+/// of `W`, so a tile's entries are the **contiguous** ELL range
+/// `[base·d, (base+width)·d)`: no reordered copy exists or is needed. One
+/// pass over that range serves the whole row block from cache, instead of
+/// re-streaming the full `indices`/`values` arrays once per batch row as
+/// the untiled per-row gather does.
+///
+/// Per output element, contributions accumulate in ascending entry order
+/// within the `W` row — exactly the untiled transposed gather's order, so
+/// results are bitwise equal to `spmm_transposed_into`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_t_block_ell<T: Scalar, F: Fn(T) -> T + Sync>(
+    inds: &[usize],
+    vals: &[T],
+    d: usize,
+    nout: usize,
+    tile_width: usize,
+    x: &DenseMatrix<T>,
+    x_start: usize,
+    rows: usize,
+    out: &mut [T],
+    epi: &Epilogue<'_, T, F>,
+) {
+    debug_assert_eq!(out.len(), rows * nout, "output block size");
+    if nout == 0 {
+        return;
+    }
+    for t in 0..nout.div_ceil(tile_width) {
+        let base = t * tile_width;
+        let width = tile_width.min(nout - base);
+        let tinds = &inds[base * d..(base + width) * d];
+        let tvals = &vals[base * d..(base + width) * d];
+        for b in 0..rows {
+            let xrow = x.row(x_start + b);
+            let oseg = &mut out[b * nout + base..b * nout + base + width];
+            gather_t_tile_row_ell(tinds, tvals, d, xrow, oseg);
+            epi.apply_cols(oseg, base);
+        }
+    }
+}
+
+/// One (tile, batch row) pass of the transposed gather in the ELL layout:
+/// `oseg[il] = Σ_e x[cols(e)]·w(e)` over local row `il`'s fixed-length
+/// entry slice. `#[inline(never)]` for the same code-placement stability
+/// reason as [`gather_tile_row`].
+#[inline(never)]
+fn gather_t_tile_row_ell<T: Scalar>(
+    tinds: &[usize],
+    tvals: &[T],
+    d: usize,
+    xrow: &[T],
+    oseg: &mut [T],
+) {
+    for (il, o) in oseg.iter_mut().enumerate() {
+        let lo = il * d;
+        let mut acc = T::ZERO;
+        for (&j, &wv) in tinds[lo..lo + d].iter().zip(&tvals[lo..lo + d]) {
+            acc = acc.add(xrow[j].mul(wv));
+        }
+        *o = acc;
+    }
+}
+
+/// [`gather_t_block_ell`] for irregular matrices: same tile-major loop,
+/// rows addressed through CSR `indptr` slicing instead of the unit-stride
+/// ELL ranges.
+pub(crate) fn gather_t_block_csr<T: Scalar, F: Fn(T) -> T + Sync>(
+    csr: &CsrMatrix<T>,
+    tile_width: usize,
+    x: &DenseMatrix<T>,
+    x_start: usize,
+    rows: usize,
+    out: &mut [T],
+    epi: &Epilogue<'_, T, F>,
+) {
+    let nout = csr.nrows();
+    debug_assert_eq!(out.len(), rows * nout, "output block size");
+    if nout == 0 {
+        return;
+    }
+    for t in 0..nout.div_ceil(tile_width) {
+        let base = t * tile_width;
+        let width = tile_width.min(nout - base);
+        for b in 0..rows {
+            let xrow = x.row(x_start + b);
+            let oseg = &mut out[b * nout + base..b * nout + base + width];
+            for (il, o) in oseg.iter_mut().enumerate() {
+                let (cols, ws) = csr.row(base + il);
+                let mut acc = T::ZERO;
+                for (&j, &wv) in cols.iter().zip(ws) {
+                    acc = acc.add(xrow[j].mul(wv));
+                }
+                *o = acc;
+            }
+            epi.apply_cols(oseg, base);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +432,55 @@ mod tests {
         tiles.gather_block(&x, 2, 3, &mut out, &epi);
         for (b, row) in out.chunks(12).enumerate() {
             assert_eq!(row, expect.row(b + 2), "block row {b}");
+        }
+    }
+
+    #[test]
+    fn transposed_block_loops_match_naive() {
+        use crate::ops::dense_spmm_transposed;
+        // `weights` can drop zero-mapped values (irregular → CSR path);
+        // the ELL loop needs a genuinely constant-degree matrix, so use
+        // values that never map to zero.
+        let mut k = 0u64;
+        let ell: CsrMatrix<f64> = CyclicShift::radix_submatrix::<u64>(24, 3, 1).map(|_| {
+            k += 1;
+            (k % 6) as f64 * 0.5 - 1.3
+        });
+        assert_eq!(ell.nnz(), 24 * 3, "constant degree required");
+        let csr = weights(24, 3);
+        let x = batch(5, 24);
+        let bias: Vec<f64> = (0..24).map(|i| i as f64 * 0.05 - 0.3).collect();
+        let epi = Epilogue::new(Bias::PerOutput(&bias), |v: f64| v.max(0.0));
+        let expect_ell = dense_spmm_transposed(&x, &ell).unwrap();
+        let mut expect_csr = dense_spmm_transposed(&x, &csr).unwrap();
+        for i in 0..5 {
+            let row: &mut [f64] = expect_csr.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(&bias) {
+                *v = (*v + b).max(0.0);
+            }
+        }
+        for width in [1usize, 5, 24, 100] {
+            // ELL: identity epilogue, full row range, stale output.
+            let mut out = vec![9.0f64; 5 * 24];
+            gather_t_block_ell(
+                ell.indices(),
+                ell.data(),
+                3,
+                24,
+                width,
+                &x,
+                0,
+                5,
+                &mut out,
+                &Epilogue::identity(),
+            );
+            assert_eq!(out, expect_ell.as_slice(), "ell width {width}");
+            // CSR: fused epilogue, partial row block [2, 5).
+            let mut out = vec![7.0f64; 3 * 24];
+            gather_t_block_csr(&csr, width, &x, 2, 3, &mut out, &epi);
+            for (b, row) in out.chunks(24).enumerate() {
+                assert_eq!(row, expect_csr.row(b + 2), "csr width {width} row {b}");
+            }
         }
     }
 

@@ -52,7 +52,7 @@
 //! assert_eq!(y, vec![2.0; 4]); // row sums: every node has out-degree 2
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod coo;
@@ -72,7 +72,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
-pub use kernel::{Bias, Epilogue, PreparedWeights};
+pub use kernel::{ActivationSchedule, Bias, Epilogue, PreparedWeights};
 pub use kron::{kron, kron_ones_left};
 pub use perm::CyclicShift;
 pub use scalar::{PathCount, Scalar};

@@ -12,7 +12,8 @@ use proptest::Just;
 
 use radix_sparse::ops::{dense_spmm, dense_spmm_transposed, par_spmm, spmm};
 use radix_sparse::{
-    Bias, CooMatrix, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights,
+    ActivationSchedule, Bias, CooMatrix, CsrMatrix, CyclicShift, DenseMatrix, Epilogue,
+    PreparedWeights,
 };
 
 /// Strategy: an irregular random sparse f64 matrix of bounded shape
@@ -116,6 +117,65 @@ fn check_transposed(w: &CsrMatrix<f64>, x: &DenseMatrix<f64>) -> Result<(), Test
     prop_assert_eq!(&out, &expect, "parallel");
     p.spmm_transposed_auto_into(x, &mut out, &epi).unwrap();
     prop_assert_eq!(&out, &expect, "auto");
+    Ok(())
+}
+
+/// Shared body: tiled transposed kernels (serial, parallel, default-width
+/// and auto wrappers) at an explicit tile width, with a fused bias + ReLU
+/// epilogue, vs the untiled `spmm_transposed_into` — bitwise.
+fn check_transposed_tiled(
+    w: &CsrMatrix<f64>,
+    x: &DenseMatrix<f64>,
+    tile_width: usize,
+    bias_scale: f64,
+) -> Result<(), TestCaseError> {
+    let bias: Vec<f64> = (0..w.nrows())
+        .map(|i| bias_scale * (i as f64 * 0.2 - 0.7))
+        .collect();
+    let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::new(Bias::PerOutput(&bias), relu);
+    let p = PreparedWeights::from_csr(w.clone());
+    let mut expect = DenseMatrix::default();
+    p.spmm_transposed_into(x, &mut expect, &epi).unwrap();
+    let mut out = DenseMatrix::default();
+    p.spmm_transposed_tiled_with(x, &mut out, &epi, tile_width)
+        .unwrap();
+    prop_assert_eq!(&out, &expect, "tiled serial (width {})", tile_width);
+    p.par_spmm_transposed_tiled_with(x, &mut out, &epi, tile_width)
+        .unwrap();
+    prop_assert_eq!(&out, &expect, "tiled parallel (width {})", tile_width);
+    p.spmm_transposed_tiled_into(x, &mut out, &epi).unwrap();
+    prop_assert_eq!(&out, &expect, "tiled default width");
+    p.spmm_transposed_tiled_auto_into(x, &mut out, &epi)
+        .unwrap();
+    prop_assert_eq!(&out, &expect, "tiled auto");
+    Ok(())
+}
+
+/// Shared body: the forced activation schedules (gather / scatter) and the
+/// auto dispatch, serial and parallel, vs the untiled prepared forward.
+fn check_scheduled(
+    w: &CsrMatrix<f64>,
+    x: &DenseMatrix<f64>,
+    tile_width: usize,
+) -> Result<(), TestCaseError> {
+    let epi: Epilogue<'_, f64, fn(f64) -> f64> = Epilogue::map(relu);
+    let mut p = PreparedWeights::from_csr(w.clone());
+    let mut expect = DenseMatrix::default();
+    p.spmm_into(x, &mut expect, &epi).unwrap();
+    p.tile_with(tile_width);
+    let mut out = DenseMatrix::default();
+    for sched in [
+        ActivationSchedule::Auto,
+        ActivationSchedule::Gather,
+        ActivationSchedule::Scatter,
+    ] {
+        p.spmm_tiled_scheduled_into(x, &mut out, &epi, sched)
+            .unwrap();
+        prop_assert_eq!(&out, &expect, "serial {:?} (width {})", sched, tile_width);
+        p.par_spmm_tiled_scheduled_into(x, &mut out, &epi, sched)
+            .unwrap();
+        prop_assert_eq!(&out, &expect, "parallel {:?} (width {})", sched, tile_width);
+    }
     Ok(())
 }
 
@@ -293,6 +353,60 @@ proptest! {
         assert_tiled_variants_eq(&w, tile_width, &x, &epi, &expect)?;
     }
 
+    /// Tiled transposed kernels (the backward-pass orientation) on the
+    /// ELL fast path: serial, pool-parallel, default-width and auto
+    /// wrappers, at random tile widths, with a fused epilogue — all
+    /// bitwise equal to the untiled `spmm_transposed_into`.
+    #[test]
+    fn ell_transposed_tiled_matches_untiled(
+        w in regular_matrix(),
+        seed in 0u64..1000,
+        tile_width in 1usize..16,
+        bias_scale in -1.0f64..1.0,
+    ) {
+        let x = batch_deterministic(w.ncols(), seed);
+        check_transposed_tiled(&w, &x, tile_width, bias_scale)?;
+    }
+
+    /// Tiled transposed kernels on the CSR fallback (irregular matrices).
+    #[test]
+    fn irregular_transposed_tiled_matches_untiled(
+        (w, x) in irregular_matrix(8).prop_flat_map(|w| {
+            let cols = w.ncols();
+            (Just(w), batch_for(cols))
+        }),
+        tile_width in 1usize..10,
+        bias_scale in -1.0f64..1.0,
+    ) {
+        check_transposed_tiled(&w, &x, tile_width, bias_scale)?;
+    }
+
+    /// The activation-sparsity dispatch: forced gather, forced scatter,
+    /// and the per-block auto count all produce the untiled result, on
+    /// dense-ish batches.
+    #[test]
+    fn activation_schedules_match_untiled(
+        w in regular_matrix(),
+        seed in 0u64..1000,
+        tile_width in 1usize..16,
+    ) {
+        let x = batch_deterministic(w.nrows(), seed);
+        check_scheduled(&w, &x, tile_width)?;
+    }
+
+    /// The activation-sparsity dispatch on ~95%-zero batches (the regime
+    /// the scatter path exists for), where Auto actually takes the
+    /// scatter branch.
+    #[test]
+    fn activation_schedules_match_untiled_on_sparse_batches(
+        w in regular_matrix(),
+        seed in 0u64..1000,
+        tile_width in 1usize..16,
+    ) {
+        let x = batch_deterministic_sparse(w.nrows(), seed);
+        check_scheduled(&w, &x, tile_width)?;
+    }
+
     /// The rewritten two-pass `par_spmm` (count → prefix-sum → parallel
     /// write) remains exactly equivalent to the serial Gustavson kernel,
     /// including under numeric cancellation.
@@ -328,6 +442,25 @@ fn batch_deterministic(rows: usize, seed: u64) -> DenseMatrix<f64> {
                 .wrapping_add(1442695040888963407);
             if !state.is_multiple_of(3) {
                 m.set(i, j, ((state >> 33) % 1000) as f64 * 0.004 - 2.0);
+            }
+        }
+    }
+    m
+}
+
+/// Like [`batch_deterministic`], but ~95% zeros — the post-ReLU
+/// deep-layer regime the scatter schedule targets.
+fn batch_deterministic_sparse(rows: usize, seed: u64) -> DenseMatrix<f64> {
+    let b = (seed % 4 + 1) as usize;
+    let mut m = DenseMatrix::zeros(b, rows);
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+    for i in 0..b {
+        for j in 0..rows {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (state >> 33).is_multiple_of(20) {
+                m.set(i, j, ((state >> 13) % 1000) as f64 * 0.004 - 2.0);
             }
         }
     }
