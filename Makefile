@@ -3,11 +3,20 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-gate calibrate clean
+.PHONY: verify verify-mt build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-gate bench-baseline calibrate clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
+
+## The pool-sensitive suites under a forced multi-thread worker pool —
+## what CI's `verify-mt` matrix job runs (POOL_THREADS=2 and 4 there).
+## Single-thread runs silently skip the pool dispatch paths; this doesn't.
+POOL_THREADS ?= 4
+verify-mt:
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p rayon
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test zero_alloc
 
 build:
 	$(CARGO) build --release
@@ -50,12 +59,25 @@ bench-json-smoke:
 
 ## Perf regression gate: a fresh quick-mode run compared against the
 ## committed BENCH_kernels.json with a generous tolerance (2x by default;
-## override with RADIX_BENCH_TOLERANCE). Fails on gross regressions.
+## override with RADIX_BENCH_TOLERANCE). Fails on gross regressions and
+## prints a per-kernel delta table of every offender. CI uploads the
+## scratch JSON as a workflow artifact.
 bench-gate:
-	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels_gate.json \
+	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels.scratch.json \
 		$(CARGO) run --release -p radix-bench --bin bench_kernels
-	RADIX_BENCH_CANDIDATE=target/BENCH_kernels_gate.json \
+	RADIX_BENCH_CANDIDATE=target/BENCH_kernels.scratch.json \
 		$(CARGO) run --release -p radix-bench --bin bench_gate
+
+## Rewrite the committed baseline for THIS machine's thread count: a
+## full-budget emitter run merged into BENCH_kernels.json keyed by the
+## worker-pool width (runs at other widths are preserved). Run once per
+## machine shape — e.g. `RADIX_POOL_THREADS=2 make bench-baseline` to
+## commit the multi-core rows the pool kernels gate against on 2-core CI.
+bench-baseline:
+	RADIX_BENCH_OUT=target/BENCH_kernels_fresh.json \
+		$(CARGO) run --release -p radix-bench --bin bench_kernels
+	RADIX_BENCH_FRESH=target/BENCH_kernels_fresh.json \
+		$(CARGO) run --release -p radix-bench --bin bench_baseline
 
 ## Measure the serial-vs-parallel crossover and the best RADIX_TILE_COLS
 ## on this machine; prints suggested `export` lines.

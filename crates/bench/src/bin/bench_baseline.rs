@@ -1,0 +1,72 @@
+//! Baseline merger: folds a fresh `bench_kernels` run into the committed
+//! `BENCH_kernels.json`, **keyed by thread count** — the run measured at
+//! the same worker-pool width is replaced, runs at other widths are kept.
+//! This is how the baseline accumulates one entry per machine shape
+//! (1-core container, 2-core CI runner, …) so the perf gate can compare
+//! pool (`*rayon*`) kernels like-for-like instead of skipping them
+//! whenever the widths differ.
+//!
+//! Invocation (see `make bench-baseline`):
+//!
+//! ```text
+//! RADIX_BENCH_FRESH=target/BENCH_kernels_fresh.json \
+//!     cargo run --release -p radix-bench --bin bench_baseline
+//! ```
+//!
+//! Environment:
+//! * `RADIX_BENCH_FRESH` — the fresh emitter output to fold in (default
+//!   `target/BENCH_kernels_fresh.json`),
+//! * `RADIX_BENCH_BASELINE` — the baseline to rewrite (default
+//!   `BENCH_kernels.json`; created if absent).
+//!
+//! The rewritten baseline uses the `radix-bench-kernels/v3` schema: a
+//! `runs` array with one `{threads, configs}` entry per measured width,
+//! sorted by thread count for stable diffs.
+
+use radix_bench::{emit_bench_runs, parse_bench_runs, BenchRun};
+
+fn main() {
+    let fresh_path = std::env::var("RADIX_BENCH_FRESH")
+        .unwrap_or_else(|_| "target/BENCH_kernels_fresh.json".to_string());
+    let baseline_path =
+        std::env::var("RADIX_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+
+    let fresh_text = std::fs::read_to_string(&fresh_path)
+        .unwrap_or_else(|e| panic!("bench_baseline: cannot read fresh run {fresh_path}: {e}"));
+    let mut fresh = parse_bench_runs(&fresh_text);
+    assert_eq!(
+        fresh.len(),
+        1,
+        "bench_baseline: the fresh file must hold exactly one run (emitter output)"
+    );
+    let fresh: BenchRun = fresh.pop().expect("checked above");
+    assert!(
+        !fresh.points.is_empty(),
+        "bench_baseline: fresh run {fresh_path} contains no kernel points"
+    );
+    let width = fresh.threads;
+
+    let mut runs: Vec<BenchRun> = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_bench_runs(&text),
+        Err(_) => {
+            println!("bench_baseline: no baseline at {baseline_path}, starting fresh");
+            Vec::new()
+        }
+    };
+    let replaced = runs.iter().any(|r| r.threads == width);
+    runs.retain(|r| r.threads != width);
+    runs.push(fresh);
+    runs.sort_by_key(|r| r.threads.unwrap_or(0));
+
+    std::fs::write(&baseline_path, emit_bench_runs(&runs)).expect("write merged baseline");
+    println!(
+        "bench_baseline: {} run at threads={} into {baseline_path} ({} run(s) total: {})",
+        if replaced { "replaced" } else { "added" },
+        width.map_or_else(|| "unknown".to_string(), |t| t.to_string()),
+        runs.len(),
+        runs.iter()
+            .map(|r| r.threads.unwrap_or(0).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

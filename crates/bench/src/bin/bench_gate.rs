@@ -4,14 +4,15 @@
 //! Invocation (see `make bench-gate`, wired into CI):
 //!
 //! ```text
-//! RADIX_BENCH_CANDIDATE=target/BENCH_kernels_gate.json \
+//! RADIX_BENCH_CANDIDATE=target/BENCH_kernels.scratch.json \
 //!     cargo run --release -p radix-bench --bin bench_gate
 //! ```
 //!
 //! Environment:
 //! * `RADIX_BENCH_BASELINE` — baseline path (default `BENCH_kernels.json`),
 //! * `RADIX_BENCH_CANDIDATE` — fresh run to check (default
-//!   `target/BENCH_kernels_gate.json`),
+//!   `target/BENCH_kernels.scratch.json`; CI uploads this file as a
+//!   workflow artifact so failures are diagnosable offline),
 //! * `RADIX_BENCH_TOLERANCE` — allowed slowdown factor per kernel
 //!   (default `2.0`; generous on purpose — CI runners differ from the
 //!   machine that produced the baseline, so only gross regressions should
@@ -20,60 +21,100 @@
 //! Kernels present in the baseline but missing from the candidate fail the
 //! gate (a silently dropped kernel is a regression of coverage); kernels
 //! only in the candidate are reported but don't fail (new kernels land
-//! before their baseline does). Exit code 1 on any failure.
+//! before their baseline does). On failure, a per-kernel delta table of
+//! every failing point is printed at the end so the regression is
+//! diagnosable from the CI log alone. Exit code 1 on any failure.
 //!
 //! **Thread keying:** pool-dispatch (`*rayon*`) kernel timings depend on
 //! the machine's core count, so a baseline measured on a 1-core container
-//! must not gate a multi-core run (or vice versa). Both files carry a
-//! top-level `"threads"` key; when the counts differ — or the baseline
-//! predates the key — parallel kernels are reported informationally
-//! (`skip`) and only the serial kernels gate. Coverage is still enforced:
-//! a parallel kernel missing from the candidate fails regardless.
+//! must not gate a multi-core run (or vice versa). The baseline may hold
+//! **several runs**, one per thread count (`make bench-baseline` merges
+//! them); the gate picks the run matching the candidate's `"threads"` key.
+//! When no run matches, the first run still gates the serial kernels and
+//! parallel kernels are reported informationally (`skip`). Coverage is
+//! still enforced: a parallel kernel missing from the candidate fails
+//! regardless.
 
-use radix_bench::{is_parallel_kernel, parse_bench_json, parse_bench_threads};
+use radix_bench::{is_parallel_kernel, parse_bench_runs, parse_bench_threads};
 
-fn read_points(path: &str, role: &str) -> (Vec<radix_bench::BenchPoint>, Option<usize>) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("bench_gate: cannot read {role} {path}: {e}"));
-    let points = parse_bench_json(&text);
-    assert!(
-        !points.is_empty(),
-        "bench_gate: {role} {path} contains no kernel points"
-    );
-    (points, parse_bench_threads(&text))
+struct Failure {
+    config: String,
+    kernel: String,
+    base_us: f64,
+    cand_us: f64,
+    ratio: f64,
+    missing: bool,
 }
 
 fn main() {
     let baseline_path =
         std::env::var("RADIX_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
     let candidate_path = std::env::var("RADIX_BENCH_CANDIDATE")
-        .unwrap_or_else(|_| "target/BENCH_kernels_gate.json".to_string());
+        .unwrap_or_else(|_| "target/BENCH_kernels.scratch.json".to_string());
     let tolerance = std::env::var("RADIX_BENCH_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .filter(|t| t.is_finite() && *t >= 1.0)
         .unwrap_or(2.0);
 
-    let (baseline, base_threads) = read_points(&baseline_path, "baseline");
-    let (candidate, cand_threads) = read_points(&candidate_path, "candidate");
-    // Pool kernels only gate like-for-like: both runs must declare the
-    // same thread count (a baseline predating the key matches nothing).
-    let threads_match = matches!((base_threads, cand_threads), (Some(b), Some(c)) if b == c);
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read baseline {baseline_path}: {e}"));
+    let candidate_text = std::fs::read_to_string(&candidate_path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read candidate {candidate_path}: {e}"));
+    let baseline_runs = parse_bench_runs(&baseline_text);
+    assert!(
+        baseline_runs.iter().any(|r| !r.points.is_empty()),
+        "bench_gate: baseline {baseline_path} contains no kernel points"
+    );
+    let candidate = {
+        let runs = parse_bench_runs(&candidate_text);
+        assert_eq!(
+            runs.len(),
+            1,
+            "bench_gate: candidate {candidate_path} must hold exactly one run"
+        );
+        runs.into_iter().next().expect("checked above")
+    };
+    assert!(
+        !candidate.points.is_empty(),
+        "bench_gate: candidate {candidate_path} contains no kernel points"
+    );
+    let cand_threads = candidate
+        .threads
+        .or_else(|| parse_bench_threads(&candidate_text));
 
-    let mut failures = 0usize;
-    println!("bench_gate: candidate {candidate_path} vs baseline {baseline_path} (tolerance {tolerance:.2}x)");
+    // Pool kernels only gate like-for-like: pick the baseline run measured
+    // at the candidate's thread count; fall back to the first run (serial
+    // kernels only) when no width matches.
+    let matched = baseline_runs
+        .iter()
+        .find(|r| r.threads.is_some() && r.threads == cand_threads);
+    let threads_match = matched.is_some();
+    let baseline = matched
+        .or_else(|| baseline_runs.first())
+        .expect("non-empty checked above");
+
+    let mut failures: Vec<Failure> = Vec::new();
     println!(
-        "bench_gate: baseline threads {}, candidate threads {} -> pool kernels {}",
-        base_threads.map_or_else(|| "unknown".to_string(), |t| t.to_string()),
+        "bench_gate: candidate {candidate_path} vs baseline {baseline_path} (tolerance {tolerance:.2}x)"
+    );
+    println!(
+        "bench_gate: baseline runs at threads [{}], candidate threads {} -> pool kernels {}",
+        baseline_runs
+            .iter()
+            .map(|r| r.threads.map_or_else(|| "?".to_string(), |t| t.to_string()))
+            .collect::<Vec<_>>()
+            .join(", "),
         cand_threads.map_or_else(|| "unknown".to_string(), |t| t.to_string()),
         if threads_match {
-            "gated"
+            "gated (matched run)"
         } else {
-            "report-only (machine mismatch)"
+            "report-only (no baseline run at this width)"
         }
     );
-    for base in &baseline {
+    for base in &baseline.points {
         let found = candidate
+            .points
             .iter()
             .find(|c| c.config == base.config && c.kernel == base.kernel);
         match found {
@@ -83,13 +124,20 @@ fn main() {
                 let verdict = if ratio <= tolerance {
                     "ok"
                 } else if gated {
-                    failures += 1;
+                    failures.push(Failure {
+                        config: base.config.clone(),
+                        kernel: base.kernel.clone(),
+                        base_us: base.seconds_per_iter * 1e6,
+                        cand_us: cand.seconds_per_iter * 1e6,
+                        ratio,
+                        missing: false,
+                    });
                     "FAIL"
                 } else {
                     "skip"
                 };
                 println!(
-                    "  [{verdict:>4}] {:<24} {:<24} {:>10.3} us -> {:>10.3} us  ({ratio:.2}x)",
+                    "  [{verdict:>4}] {:<24} {:<28} {:>10.3} us -> {:>10.3} us  ({ratio:.2}x)",
                     base.config,
                     base.kernel,
                     base.seconds_per_iter * 1e6,
@@ -97,21 +145,29 @@ fn main() {
                 );
             }
             None => {
-                failures += 1;
+                failures.push(Failure {
+                    config: base.config.clone(),
+                    kernel: base.kernel.clone(),
+                    base_us: base.seconds_per_iter * 1e6,
+                    cand_us: f64::NAN,
+                    ratio: f64::INFINITY,
+                    missing: true,
+                });
                 println!(
-                    "  [FAIL] {:<24} {:<24} missing from candidate run",
+                    "  [FAIL] {:<24} {:<28} missing from candidate run",
                     base.config, base.kernel
                 );
             }
         }
     }
-    for cand in &candidate {
+    for cand in &candidate.points {
         if !baseline
+            .points
             .iter()
             .any(|b| b.config == cand.config && b.kernel == cand.kernel)
         {
             println!(
-                "  [new ] {:<24} {:<24} {:>10.3} us (no baseline yet)",
+                "  [new ] {:<24} {:<28} {:>10.3} us (no baseline yet)",
                 cand.config,
                 cand.kernel,
                 cand.seconds_per_iter * 1e6
@@ -119,10 +175,32 @@ fn main() {
         }
     }
 
-    if failures > 0 {
+    if !failures.is_empty() {
+        // The full delta table of every offender, in one block at the end,
+        // so a CI log tail shows the complete regression picture — not
+        // just the first kernel that happened to trip.
+        eprintln!();
         eprintln!(
-            "bench_gate: {failures} kernel(s) regressed beyond {tolerance:.2}x (or went missing)"
+            "bench_gate: {} kernel(s) regressed beyond {tolerance:.2}x (or went missing):",
+            failures.len()
         );
+        eprintln!(
+            "  {:<24} {:<28} {:>12} {:>12} {:>8}",
+            "config", "kernel", "baseline", "candidate", "ratio"
+        );
+        for f in &failures {
+            if f.missing {
+                eprintln!(
+                    "  {:<24} {:<28} {:>9.3} us {:>12} {:>8}",
+                    f.config, f.kernel, f.base_us, "missing", "-"
+                );
+            } else {
+                eprintln!(
+                    "  {:<24} {:<28} {:>9.3} us {:>9.3} us {:>7.2}x",
+                    f.config, f.kernel, f.base_us, f.cand_us, f.ratio
+                );
+            }
+        }
         std::process::exit(1);
     }
     println!("bench_gate: all kernels within {tolerance:.2}x of baseline");

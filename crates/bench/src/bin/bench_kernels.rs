@@ -33,6 +33,10 @@ use std::hint::black_box;
 
 use radix_bench::format_json_f64;
 use radix_challenge::{ChallengeNetwork, InferWorkspace};
+use radix_nn::{
+    Activation, GradWorkspace, GradWorkspacePool, Layer, LayerGrads, Loss, Network, SparseLinear,
+    Targets,
+};
 use radix_sparse::ops;
 use radix_sparse::{
     ActivationSchedule, Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights,
@@ -243,6 +247,50 @@ fn bench_config(n: usize, degree: usize, batch: usize, quick: bool) -> (u64, Vec
         push("fused_2layer_serial_per_layer", secs / 2.0);
     }
 
+    // Training: a full 2-layer gradient batch (forward trace + loss
+    // gradient + backward) at this width — serial, the retired
+    // copy-per-chunk `into_par_iter` shape (replicated below as the
+    // historical baseline), and the pool-native path with zero-copy chunk
+    // views and the fixed-order reduction. The acceptance criterion is
+    // pool ≥ chunked_alloc at equal thread count.
+    {
+        const TRAIN_CHUNKS: usize = 4;
+        let net = Network::new(
+            vec![
+                Layer::Sparse(SparseLinear::new(w.clone(), Activation::Tanh)),
+                Layer::Sparse(SparseLinear::new(w.clone(), Activation::Identity)),
+            ],
+            Loss::Mse,
+        );
+        let y = activations(batch, net.n_out());
+        let mut ws = GradWorkspace::for_network(&net, batch);
+        push(
+            "train_step_serial",
+            time_kernel(quick, || {
+                black_box(net.grad_batch_with(&x, Targets::values(&y), &mut ws));
+            }),
+        );
+        push(
+            "train_step_chunked_alloc_rayon",
+            time_kernel(quick, || {
+                black_box(old_copying_par_grad(&net, &x, &y, TRAIN_CHUNKS));
+            }),
+        );
+        let mut pool = GradWorkspacePool::for_network(&net, batch, TRAIN_CHUNKS);
+        push(
+            "train_step_pool_rayon",
+            time_kernel(quick, || {
+                black_box(net.par_grad_batch_with(
+                    &x,
+                    Targets::values(&y),
+                    TRAIN_CHUNKS,
+                    &mut pool,
+                    &mut ws,
+                ));
+            }),
+        );
+    }
+
     // SpGEMM (CSR × CSR) points so the two-pass par_spmm stitch has a
     // tracked baseline too; "edges" here is the same batch·nnz budget for
     // comparability of the JSON schema, not a flop count.
@@ -260,6 +308,60 @@ fn bench_config(n: usize, degree: usize, batch: usize, quick: bool) -> (u64, Vec
     );
 
     (edges, results)
+}
+
+/// The data-parallel gradient shape this PR retired, replicated as the
+/// bench baseline the pool-native path is measured against: one freshly
+/// allocated input/target copy plus one freshly allocated gradient vector
+/// set **per chunk per call**, fanned out with `into_par_iter`, combined
+/// with a sequential weighted sweep.
+fn old_copying_par_grad(
+    net: &Network,
+    x: &DenseMatrix<f32>,
+    y: &DenseMatrix<f32>,
+    chunks: usize,
+) -> f32 {
+    use rayon::prelude::*;
+    let batch = x.nrows();
+    let chunk_size = batch.div_ceil(chunks);
+    let ranges: Vec<std::ops::Range<usize>> = (0..batch)
+        .step_by(chunk_size)
+        .map(|start| start..(start + chunk_size).min(batch))
+        .collect();
+    let partials: Vec<(usize, f32, Vec<LayerGrads>)> = ranges
+        .into_par_iter()
+        .map(|range| {
+            let rows = range.len();
+            let mut xs = DenseMatrix::zeros(rows, x.ncols());
+            let mut ys = DenseMatrix::zeros(rows, y.ncols());
+            for (local, global) in range.enumerate() {
+                let dst: &mut [f32] = xs.row_mut(local);
+                dst.copy_from_slice(x.row(global));
+                let dst: &mut [f32] = ys.row_mut(local);
+                dst.copy_from_slice(y.row(global));
+            }
+            let (loss, grads) = net.grad_batch(&xs, Targets::values(&ys));
+            (rows, loss, grads)
+        })
+        .collect();
+    let mut total = 0.0f32;
+    let mut combined: Vec<LayerGrads> = net
+        .layers()
+        .iter()
+        .map(|l| {
+            let (w, b) = l.param_lens();
+            LayerGrads::zeros(w, b)
+        })
+        .collect();
+    for (rows, loss, grads) in partials {
+        let weight = rows as f32 / batch as f32;
+        total += loss * weight;
+        for (acc, g) in combined.iter_mut().zip(&grads) {
+            acc.add_scaled(g, weight);
+        }
+    }
+    std::hint::black_box(combined.len());
+    total
 }
 
 fn main() {

@@ -66,6 +66,23 @@ pub struct BenchPoint {
     /// **Minimum** observed wall-clock seconds per iteration (see
     /// [`time_kernel`] for why the min estimator, not the mean).
     pub seconds_per_iter: f64,
+    /// Throughput in edges/second (0 when the file predates the field) —
+    /// carried so `bench_baseline` can re-emit merged baselines losslessly.
+    pub edges_per_sec: f64,
+}
+
+/// One measured run within a baseline file: its worker-pool width and its
+/// kernel points. A v1/v2 file holds exactly one run; the merged v3
+/// baselines that `make bench-baseline` writes hold one run **per thread
+/// count**, so pool kernels can gate like-for-like on both 1-core
+/// containers and multi-core CI runners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Worker-pool width the run was measured at (`None` for files
+    /// predating the `threads` key).
+    pub threads: Option<usize>,
+    /// The run's kernel timing points.
+    pub points: Vec<BenchPoint>,
 }
 
 /// Extracts the string value of a `"key": "value"` pair from a JSON line,
@@ -112,30 +129,121 @@ pub fn is_parallel_kernel(name: &str) -> bool {
     name.contains("rayon")
 }
 
-/// Parses a `radix-bench-kernels/v1` JSON file (as written by
-/// `bench_kernels`) into its kernel timing points. The format is
-/// line-oriented by construction: every kernel object sits on one line
-/// carrying both `name` and `seconds_per_iter`; config objects carry a
-/// `name` on its own line. Unknown lines are ignored, so the parser
-/// tolerates added fields.
+/// Parses a `radix-bench-kernels/v1..v3` JSON file (as written by
+/// `bench_kernels` or merged by `bench_baseline`) into its kernel timing
+/// points, flattened across runs. The format is line-oriented by
+/// construction: every kernel object sits on one line carrying both `name`
+/// and `seconds_per_iter`; config objects carry a `name` on its own line.
+/// Unknown lines are ignored, so the parser tolerates added fields.
 #[must_use]
 pub fn parse_bench_json(text: &str) -> Vec<BenchPoint> {
-    let mut points = Vec::new();
+    parse_bench_runs(text)
+        .into_iter()
+        .flat_map(|r| r.points)
+        .collect()
+}
+
+/// Parses a baseline file into its per-thread-count runs. Every `"threads"`
+/// line starts a new run (v3 merged baselines carry several); a v1 file with
+/// no `threads` key yields one run with `threads: None`. Kernel points
+/// encountered before any `threads` line also land in a `None` run (no
+/// emitter writes that shape, but truncated files stay parseable).
+#[must_use]
+pub fn parse_bench_runs(text: &str) -> Vec<BenchRun> {
+    let mut runs: Vec<BenchRun> = Vec::new();
     let mut config = String::new();
     for line in text.lines() {
         if let Some(secs) = number_field(line, "seconds_per_iter") {
             if let Some(kernel) = string_field(line, "name") {
-                points.push(BenchPoint {
-                    config: config.clone(),
-                    kernel,
-                    seconds_per_iter: secs,
-                });
+                if runs.is_empty() {
+                    runs.push(BenchRun {
+                        threads: None,
+                        points: Vec::new(),
+                    });
+                }
+                runs.last_mut()
+                    .expect("pushed above")
+                    .points
+                    .push(BenchPoint {
+                        config: config.clone(),
+                        kernel,
+                        seconds_per_iter: secs,
+                        edges_per_sec: number_field(line, "edges_per_sec").unwrap_or(0.0),
+                    });
             }
+        } else if let Some(t) = number_field(line, "threads") {
+            runs.push(BenchRun {
+                // 0 is the emitter's encoding of "unknown width".
+                threads: Some(t as usize).filter(|&t| t > 0),
+                points: Vec::new(),
+            });
         } else if let Some(name) = string_field(line, "name") {
             config = name;
         }
     }
-    points
+    // A file with a threads key but no points still reports its one run.
+    runs
+}
+
+/// Serializes runs as a `radix-bench-kernels/v3` baseline: one entry per
+/// thread count, each holding its configs and kernel points — the format
+/// `make bench-baseline` writes and [`parse_bench_runs`] reads back.
+/// Config metadata beyond the name (n/degree/batch) is not carried; the
+/// config name (`n16384_deg8_b32`) encodes it.
+#[must_use]
+pub fn emit_bench_runs(runs: &[BenchRun]) -> String {
+    use std::fmt::Write as _;
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"radix-bench-kernels/v3\",\n");
+    json.push_str(
+        "  \"note\": \"edges/sec per kernel on the pinned layer configs, one run per \
+         worker-pool width; written by `make bench-baseline` (full-budget min-statistic \
+         numbers); the perf gate compares a candidate against the run measured at the \
+         candidate's own width\",\n",
+    );
+    json.push_str("  \"runs\": [\n");
+    for (ri, run) in runs.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"threads\": {},", run.threads.unwrap_or(0));
+        let _ = writeln!(json, "      \"configs\": [");
+        // Group points by config, preserving first-appearance order.
+        let mut configs: Vec<&str> = Vec::new();
+        for p in &run.points {
+            if !configs.contains(&p.config.as_str()) {
+                configs.push(&p.config);
+            }
+        }
+        for (ci, cfg) in configs.iter().enumerate() {
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"name\": \"{cfg}\",");
+            let _ = writeln!(json, "          \"kernels\": [");
+            let points: Vec<&BenchPoint> = run.points.iter().filter(|p| p.config == *cfg).collect();
+            for (ki, p) in points.iter().enumerate() {
+                let _ = writeln!(
+                    json,
+                    "            {{\"name\": \"{}\", \"seconds_per_iter\": {}, \"edges_per_sec\": {}}}{}",
+                    p.kernel,
+                    format_json_f64(p.seconds_per_iter),
+                    format_json_f64(p.edges_per_sec),
+                    if ki + 1 == points.len() { "" } else { "," }
+                );
+            }
+            let _ = writeln!(json, "          ]");
+            let _ = writeln!(
+                json,
+                "        }}{}",
+                if ci + 1 == configs.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ri + 1 == runs.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
 }
 
 #[cfg(test)]
@@ -226,6 +334,64 @@ mod tests {
         assert_eq!(parse_bench_threads(text), Some(4));
         // Baselines predating the field have no thread key.
         assert_eq!(parse_bench_threads("{\n  \"quick\": false\n}"), None);
+    }
+
+    #[test]
+    fn parses_single_run_files_as_one_run() {
+        let text = "{\n  \"schema\": \"radix-bench-kernels/v2\",\n  \"threads\": 2,\n  \"configs\": [\n    {\n      \"name\": \"n16_deg2_b4\",\n      \"kernels\": [\n        {\"name\": \"a\", \"seconds_per_iter\": 1.0e-3, \"edges_per_sec\": 2.0e9}\n      ]\n    }\n  ]\n}";
+        let runs = parse_bench_runs(text);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].threads, Some(2));
+        assert_eq!(runs[0].points.len(), 1);
+        assert_eq!(runs[0].points[0].edges_per_sec, 2.0e9);
+        // v1 shape (no threads key): one run, unknown width.
+        let v1 = "{\n  \"configs\": [\n    {\"name\": \"c\"},\n        {\"name\": \"k\", \"seconds_per_iter\": 2.0e-3, \"edges_per_sec\": 1.0e9}\n  ]\n}";
+        let runs = parse_bench_runs(v1);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].threads, None);
+    }
+
+    #[test]
+    fn merged_baselines_roundtrip_through_emit_and_parse() {
+        let runs = vec![
+            BenchRun {
+                threads: Some(1),
+                points: vec![
+                    BenchPoint {
+                        config: "n16_deg2_b4".into(),
+                        kernel: "serial".into(),
+                        seconds_per_iter: 1.5e-3,
+                        edges_per_sec: 2.0e9,
+                    },
+                    BenchPoint {
+                        config: "n32_deg4_b8".into(),
+                        kernel: "serial".into(),
+                        seconds_per_iter: 2.5e-3,
+                        edges_per_sec: 1.0e9,
+                    },
+                ],
+            },
+            BenchRun {
+                threads: Some(2),
+                points: vec![BenchPoint {
+                    config: "n16_deg2_b4".into(),
+                    kernel: "pool_rayon".into(),
+                    seconds_per_iter: 0.9e-3,
+                    edges_per_sec: 3.0e9,
+                }],
+            },
+        ];
+        let text = emit_bench_runs(&runs);
+        let back = parse_bench_runs(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].threads, Some(1));
+        assert_eq!(back[1].threads, Some(2));
+        assert_eq!(back[0].points.len(), 2);
+        assert_eq!(back[0].points[1].config, "n32_deg4_b8");
+        assert_eq!(back[1].points[0].kernel, "pool_rayon");
+        assert!((back[1].points[0].seconds_per_iter - 0.9e-3).abs() < 1e-9);
+        // Flattening matches the per-run view.
+        assert_eq!(parse_bench_json(&text).len(), 3);
     }
 
     #[test]

@@ -64,6 +64,9 @@ fn inference_timed_region_is_allocation_free() {
     // small enough that this test's layers actually take the tiled path.
     // Must happen before the first pool / tile_cols use; both are cached
     // process-wide after that.
+    // RADIX_POOL_THREADS has highest precedence (the CI multi-thread
+    // matrix sets it process-wide), so force it too.
+    std::env::set_var("RADIX_POOL_THREADS", "4");
     std::env::set_var("RAYON_NUM_THREADS", "4");
     std::env::set_var("RADIX_TILE_COLS", "8");
 

@@ -7,7 +7,9 @@
 use rayon::prelude::*;
 
 use radix_sparse::kernel::use_parallel;
-use radix_sparse::{Bias, CsrMatrix, DenseMatrix, Epilogue, PreparedWeights};
+use radix_sparse::{
+    AsDenseView, Bias, CsrMatrix, DenseMatrix, DenseView, Epilogue, PreparedWeights,
+};
 
 use crate::activation::Activation;
 
@@ -48,6 +50,16 @@ impl LayerGrads {
         self.w.clear();
         self.w.resize(w_len, 0.0);
         self.b.clear();
+        self.b.resize(b_len, 0.0);
+    }
+
+    /// Resizes **without** clearing: retained elements keep stale values
+    /// (newly grown ones are zero) — the gradient analogue of
+    /// `DenseMatrix::resize_for_overwrite`, for buffers whose every
+    /// element is about to be assigned (the data-parallel reduction
+    /// target). Callers must write every element before reading any.
+    pub fn resize_for_overwrite(&mut self, w_len: usize, b_len: usize) {
+        self.w.resize(w_len, 0.0);
         self.b.resize(b_len, 0.0);
     }
 }
@@ -223,11 +235,13 @@ impl Layer {
     /// `out` is resized in place (reusing its allocation when possible).
     /// Sparse layers run the prepared kernel with the bias + activation
     /// epilogue fused into the product; serial vs Rayon is chosen by the
-    /// shared `radix_sparse::kernel` work heuristic.
+    /// shared `radix_sparse::kernel` work heuristic. `x` may be an owned
+    /// matrix or a zero-copy row-range view — the data-parallel training
+    /// path feeds each worker its batch chunk as a `DenseView`.
     ///
     /// # Panics
     /// Panics if `x.ncols() != n_in()`.
-    pub fn forward_into(&self, x: &DenseMatrix<f32>, out: &mut DenseMatrix<f32>) {
+    pub fn forward_into(&self, x: &impl AsDenseView<f32>, out: &mut DenseMatrix<f32>) {
         match self {
             Layer::Sparse(l) => {
                 let act = l.act;
@@ -239,7 +253,9 @@ impl Layer {
                     .expect("layer width mismatch");
             }
             Layer::Dense(l) => {
-                x.matmul_into(&l.w, out).expect("layer width mismatch");
+                x.as_view()
+                    .matmul_into(&l.w, out)
+                    .expect("layer width mismatch");
                 for i in 0..out.nrows() {
                     let row: &mut [f32] = out.row_mut(i);
                     for (v, &bias) in row.iter_mut().zip(&l.b) {
@@ -289,12 +305,13 @@ impl Layer {
     /// Panics on shape mismatches between `x`, `out`, and `delta`.
     pub fn backward_into(
         &self,
-        x: &DenseMatrix<f32>,
+        x: &impl AsDenseView<f32>,
         out: &DenseMatrix<f32>,
         delta: &mut DenseMatrix<f32>,
         grads: &mut LayerGrads,
         grad_in: &mut DenseMatrix<f32>,
     ) {
+        let x = x.as_view();
         assert_eq!(out.shape(), delta.shape(), "output/grad shape mismatch");
         assert_eq!(x.nrows(), out.nrows(), "batch size mismatch");
         let act = self.activation();
@@ -317,7 +334,7 @@ impl Layer {
 
         match self {
             Layer::Sparse(l) => {
-                sparse_weight_grads_into(&l.w, x, delta, &mut grads.w);
+                sparse_weight_grads_into(&l.w, x, delta.view(), &mut grads.w);
                 // The backward orientation needs no prebuilt tiles: the
                 // transpose's gather layout is the ELL storage itself.
                 l.w.spmm_transposed_tiled_auto_into(delta, grad_in, &Epilogue::identity())
@@ -409,8 +426,8 @@ impl Layer {
 /// `radix_sparse::kernel` heuristic.
 fn sparse_weight_grads_into(
     w: &PreparedWeights<f32>,
-    x: &DenseMatrix<f32>,
-    delta: &DenseMatrix<f32>,
+    x: DenseView<'_, f32>,
+    delta: DenseView<'_, f32>,
     grads: &mut [f32],
 ) {
     let csr = w.as_csr();

@@ -60,4 +60,4 @@ pub use loss::{accuracy, softmax_row, Loss};
 pub use network::{matched_dense_twin, Network, Targets};
 pub use optimizer::Optimizer;
 pub use train::{clip_gradients, train_classifier, train_regressor, History, TrainConfig};
-pub use workspace::{ForwardWorkspace, GradWorkspace};
+pub use workspace::{ForwardWorkspace, GradWorkspace, GradWorkspacePool};

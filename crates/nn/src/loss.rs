@@ -8,7 +8,7 @@
 //! the `GradWorkspace` delta buffer directly instead of allocating a fresh
 //! gradient matrix every batch.
 
-use radix_sparse::DenseMatrix;
+use radix_sparse::{AsDenseView, DenseMatrix};
 
 /// Loss function selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,16 +54,18 @@ impl Loss {
     /// Like [`Loss::eval_regression`], but writes the gradient into a
     /// caller-provided buffer (resized in place, reusing its allocation) —
     /// the allocation-free variant the training loop's `GradWorkspace`
-    /// feeds its delta buffer with.
+    /// feeds its delta buffer with. `targets` may be an owned matrix or a
+    /// zero-copy row-range view (the data-parallel chunk shape).
     ///
     /// # Panics
     /// Panics on shape mismatch or if called on a classification loss.
     pub fn eval_regression_into(
         self,
         outputs: &DenseMatrix<f32>,
-        targets: &DenseMatrix<f32>,
+        targets: &impl AsDenseView<f32>,
         grad: &mut DenseMatrix<f32>,
     ) -> f32 {
+        let targets = targets.as_view();
         assert_eq!(self, Loss::Mse, "regression targets need Loss::Mse");
         assert_eq!(outputs.shape(), targets.shape(), "shape mismatch");
         let b = outputs.nrows() as f32;

@@ -9,24 +9,65 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 use radix_net::Fnnt;
-use radix_sparse::DenseMatrix;
+use radix_sparse::{AsDenseView, DenseMatrix, DenseView};
 
 use crate::activation::Activation;
 use crate::init::{init_dense, init_sparse, Init};
 use crate::layer::{DenseLinear, Layer, LayerGrads, SparseLinear};
 use crate::loss::Loss;
-use crate::workspace::{ForwardWorkspace, GradWorkspace};
+use crate::workspace::{ForwardWorkspace, GradWorkspace, GradWorkspacePool};
 
 /// Training targets: class labels or regression values.
+///
+/// Regression values are held as a zero-copy [`DenseView`] so a row range
+/// of the targets can be sliced for each data-parallel chunk without
+/// copying ([`Targets::slice`]); build one from an owned matrix with
+/// [`Targets::values`] (or `Targets::Values(y.view())`).
 #[derive(Debug, Clone, Copy)]
 pub enum Targets<'a> {
     /// Class indices (softmax cross-entropy).
     Labels(&'a [usize]),
     /// Regression targets, same shape as the network output (MSE).
-    Values(&'a DenseMatrix<f32>),
+    Values(DenseView<'a, f32>),
+}
+
+impl<'a> Targets<'a> {
+    /// Regression targets from an owned matrix (a zero-copy view of it).
+    #[must_use]
+    pub fn values(y: &'a DenseMatrix<f32>) -> Self {
+        Targets::Values(y.view())
+    }
+
+    /// Number of target rows (must equal the batch size).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Targets::Labels(l) => l.len(),
+            Targets::Values(v) => v.nrows(),
+        }
+    }
+
+    /// Whether there are no targets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The targets of batch rows `range`, zero-copy — how the
+    /// data-parallel gradient path hands each chunk its slice of the
+    /// batch targets.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the target rows or is decreasing.
+    #[must_use]
+    pub fn slice(self, range: std::ops::Range<usize>) -> Targets<'a> {
+        match self {
+            Targets::Labels(l) => Targets::Labels(&l[range]),
+            Targets::Values(v) => Targets::Values(v.rows_view(range)),
+        }
+    }
 }
 
 /// A feedforward neural network.
@@ -184,16 +225,21 @@ impl Network {
     /// Forward pass writing every intermediate activation into reusable
     /// buffers: `trace[i]` becomes the output of layer `i`. The vector is
     /// resized to the layer count; existing buffers are reused in place.
+    /// `x` may be an owned matrix or a zero-copy row-range view.
     ///
     /// # Panics
     /// Panics if `x.ncols() != n_in()`.
-    pub fn forward_trace_into(&self, x: &DenseMatrix<f32>, trace: &mut Vec<DenseMatrix<f32>>) {
+    pub fn forward_trace_into(&self, x: &impl AsDenseView<f32>, trace: &mut Vec<DenseMatrix<f32>>) {
+        let x = x.as_view();
         let n = self.layers.len();
         trace.resize_with(n, || DenseMatrix::zeros(0, 0));
         for (i, layer) in self.layers.iter().enumerate() {
             let (head, tail) = trace.split_at_mut(i);
-            let src: &DenseMatrix<f32> = if i == 0 { x } else { &head[i - 1] };
-            layer.forward_into(src, &mut tail[0]);
+            if i == 0 {
+                layer.forward_into(&x, &mut tail[0]);
+            } else {
+                layer.forward_into(&head[i - 1], &mut tail[0]);
+            }
         }
     }
 
@@ -223,7 +269,7 @@ impl Network {
     /// Panics on target/batch shape mismatches.
     pub fn grad_batch_with(
         &self,
-        x: &DenseMatrix<f32>,
+        x: &impl AsDenseView<f32>,
         targets: Targets<'_>,
         ws: &mut GradWorkspace,
     ) -> f32 {
@@ -233,19 +279,48 @@ impl Network {
             delta,
             grad_in,
             grads,
+            ..
         } = ws;
-        self.forward_trace_into(x, trace);
+        self.grad_batch_core(x.as_view(), targets, trace, delta, grad_in, grads)
+    }
+
+    /// One full forward + backward over `x` through caller-provided
+    /// buffers — the shared core of the serial ([`Network::grad_batch_with`])
+    /// and pool-native data-parallel ([`Network::par_grad_batch_with`])
+    /// paths. The data-parallel dispatch hands each worker its slot's
+    /// trace/delta scratch plus the **chunk's own** gradient buffers, so a
+    /// chunk's result survives until the fixed-order reduction.
+    fn grad_batch_core(
+        &self,
+        x: DenseView<'_, f32>,
+        targets: Targets<'_>,
+        trace: &mut Vec<DenseMatrix<f32>>,
+        delta: &mut DenseMatrix<f32>,
+        grad_in: &mut DenseMatrix<f32>,
+        grads: &mut [LayerGrads],
+    ) -> f32 {
+        assert_eq!(grads.len(), self.layers.len(), "gradient layer count");
+        self.forward_trace_into(&x, trace);
         let logits = trace.last().expect("at least one layer");
         // The loss gradient is written straight into the workspace delta
         // buffer — the last per-batch allocation the training loop used to
         // make.
         let loss = match targets {
             Targets::Labels(labels) => self.loss.eval_classification_into(logits, labels, delta),
-            Targets::Values(values) => self.loss.eval_regression_into(logits, values, delta),
+            Targets::Values(values) => self.loss.eval_regression_into(logits, &values, delta),
         };
         for i in (0..self.layers.len()).rev() {
-            let input = if i == 0 { x } else { &trace[i - 1] };
-            self.layers[i].backward_into(input, &trace[i], delta, &mut grads[i], grad_in);
+            if i == 0 {
+                self.layers[0].backward_into(&x, &trace[0], delta, &mut grads[0], grad_in);
+            } else {
+                self.layers[i].backward_into(
+                    &trace[i - 1],
+                    &trace[i],
+                    delta,
+                    &mut grads[i],
+                    grad_in,
+                );
+            }
             // The gradient w.r.t. this layer's input is the next (earlier)
             // layer's upstream gradient; delta's buffer becomes scratch.
             std::mem::swap(delta, grad_in);
@@ -254,74 +329,121 @@ impl Network {
     }
 
     /// Data-parallel gradient computation: splits the batch into
-    /// `num_chunks` row ranges, evaluates each on a Rayon worker, and
-    /// combines the per-chunk mean gradients weighted by chunk size.
-    /// Bitwise order of summation differs from [`Network::grad_batch`], so
-    /// results agree to floating-point tolerance, not exactly.
+    /// `num_chunks` row ranges, evaluates each on the persistent worker
+    /// pool, and combines the per-chunk mean gradients weighted by chunk
+    /// size (`rows / batch` — so when chunks divide the batch evenly the
+    /// weighting matches [`Network::grad_batch`]'s uniform mean exactly,
+    /// and ragged splits still weight every row equally).
+    ///
+    /// Allocates a transient workspace pool per call; the training loops
+    /// hold a [`GradWorkspacePool`] and call
+    /// [`Network::par_grad_batch_with`] so every buffer persists across
+    /// mini-batches.
     ///
     /// # Panics
     /// Panics on target/batch shape mismatches.
     #[must_use]
     pub fn par_grad_batch(
         &self,
-        x: &DenseMatrix<f32>,
+        x: &impl AsDenseView<f32>,
         targets: Targets<'_>,
         num_chunks: usize,
     ) -> (f32, Vec<LayerGrads>) {
+        let mut pool = GradWorkspacePool::for_network(self, x.as_view().nrows(), num_chunks);
+        let mut ws = GradWorkspace::new();
+        let loss = self.par_grad_batch_with(x, targets, num_chunks, &mut pool, &mut ws);
+        (loss, std::mem::take(&mut ws.grads))
+    }
+
+    /// Pool-native data-parallel gradient computation through persistent
+    /// per-worker workspaces — the allocation-free replacement for the old
+    /// copy-per-chunk `into_par_iter` path.
+    ///
+    /// The batch splits into `num_chunks` row ranges. Each chunk is a
+    /// **zero-copy view** of `x` ([`DenseMatrix::rows_view`]) and of the
+    /// targets ([`Targets::slice`]); chunks are claimed dynamically by the
+    /// persistent worker pool (`rayon::for_each_item_with`), each worker
+    /// evaluating into its own slot's scratch workspace and the chunk's
+    /// own gradient buffers. A **fixed-order weighted tree reduction**
+    /// over the chunk index then combines the per-chunk gradients into
+    /// `ws.grads` (readable via [`GradWorkspace::grads`]) — so for a given
+    /// chunk count the result is **bitwise identical regardless of thread
+    /// count or schedule**, and agrees with [`Network::grad_batch`] to
+    /// floating-point tolerance (summation order differs).
+    ///
+    /// With `pool` and `ws` pre-sized ([`GradWorkspacePool::for_network`],
+    /// [`GradWorkspace::for_network`]), a multi-chunk gradient batch
+    /// performs **zero** heap allocations — `crates/nn/tests/zero_alloc.rs`
+    /// proves it over a multi-epoch training run on a forced 4-thread
+    /// pool. With `num_chunks <= 1` (or a single-row batch) this is
+    /// exactly [`Network::grad_batch_with`].
+    ///
+    /// # Panics
+    /// Panics on target/batch shape mismatches.
+    pub fn par_grad_batch_with(
+        &self,
+        x: &impl AsDenseView<f32>,
+        targets: Targets<'_>,
+        num_chunks: usize,
+        pool: &mut GradWorkspacePool,
+        ws: &mut GradWorkspace,
+    ) -> f32 {
+        let x = x.as_view();
         let batch = x.nrows();
+        assert_eq!(targets.len(), batch, "target/batch row mismatch");
         let chunks = num_chunks.clamp(1, batch.max(1));
         if chunks <= 1 || batch <= 1 {
-            return self.grad_batch(x, targets);
+            return self.grad_batch_with(&x, targets, ws);
         }
         let chunk_size = batch.div_ceil(chunks);
-        let ranges: Vec<std::ops::Range<usize>> = (0..batch)
-            .step_by(chunk_size)
-            .map(|start| start..(start + chunk_size).min(batch))
-            .collect();
+        // Rounding can make the final range(s) empty; dispatch only real
+        // ones so every chunk weight is positive.
+        let n_chunks = batch.div_ceil(chunk_size);
 
-        let partials: Vec<(usize, f32, Vec<LayerGrads>)> = ranges
-            .into_par_iter()
-            .map(|range| {
-                let rows = range.len();
-                let mut xs = DenseMatrix::zeros(rows, x.ncols());
-                for (local, global) in range.clone().enumerate() {
-                    let dst: &mut [f32] = xs.row_mut(local);
-                    dst.copy_from_slice(x.row(global));
-                }
-                let (loss, grads) = match targets {
-                    Targets::Labels(labels) => {
-                        self.grad_batch(&xs, Targets::Labels(&labels[range]))
-                    }
-                    Targets::Values(values) => {
-                        let mut vs = DenseMatrix::zeros(rows, values.ncols());
-                        for (local, global) in range.enumerate() {
-                            let dst: &mut [f32] = vs.row_mut(local);
-                            dst.copy_from_slice(values.row(global));
-                        }
-                        self.grad_batch(&xs, Targets::Values(&vs))
-                    }
-                };
-                (rows, loss, grads)
-            })
-            .collect();
-
-        let mut total_loss = 0.0f32;
-        let mut combined: Vec<LayerGrads> = self
-            .layers
-            .iter()
-            .map(|l| {
-                let (w, b) = l.param_lens();
-                LayerGrads::zeros(w, b)
-            })
-            .collect();
-        for (rows, loss, grads) in partials {
-            let weight = rows as f32 / batch as f32;
-            total_loss += loss * weight;
-            for (acc, g) in combined.iter_mut().zip(&grads) {
-                acc.add_scaled(g, weight);
-            }
+        pool.ensure_chunks(self, n_chunks);
+        if pool.scratch.is_empty() {
+            pool.scratch
+                .resize_with(rayon::current_num_threads().max(1), GradWorkspace::new);
         }
-        (total_loss, combined)
+        let GradWorkspacePool { scratch, chunks } = pool;
+        rayon::for_each_item_with(&mut chunks[..n_chunks], scratch, |cws, k, slot| {
+            let range = k * chunk_size..(k * chunk_size + chunk_size).min(batch);
+            slot.rows = range.len();
+            cws.ensure(self);
+            let GradWorkspace {
+                trace,
+                delta,
+                grad_in,
+                ..
+            } = cws;
+            // Zero-copy chunk inputs: row-range views of the shared batch.
+            slot.loss = self.grad_batch_core(
+                x.rows_view(range.clone()),
+                targets.slice(range),
+                trace,
+                delta,
+                grad_in,
+                &mut slot.grads,
+            );
+        });
+
+        // Combine in fixed chunk order: a pairwise tree per output element,
+        // parallel over parameter ranges (element trees are independent, so
+        // the parameter chunking cannot change any element's sum order).
+        ws.ensure(self);
+        let done = &pool.chunks[..n_chunks];
+        let inv_batch = 1.0 / batch as f32;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (w_len, b_len) = layer.param_lens();
+            // Every element is assigned by the reduction's tree leaves, so
+            // skip the zero-fill sweep.
+            ws.grads[l].resize_for_overwrite(w_len, b_len);
+            reduce_weighted_into(&mut ws.grads[l].w, done, inv_batch, |c| &c.grads[l].w);
+            reduce_weighted_into(&mut ws.grads[l].b, done, inv_batch, |c| &c.grads[l].b);
+        }
+        tree_sum(0, n_chunks, &|k| {
+            done[k].rows as f32 * inv_batch * done[k].loss
+        })
     }
 
     /// Adds L2 weight-decay terms `wd·w` to the weight gradients (biases
@@ -349,12 +471,39 @@ impl Network {
     }
 
     /// Applies one optimizer step given computed gradients.
+    ///
+    /// Allocates transient update vectors; the training loops call
+    /// [`Network::apply_gradients_with`], which routes the updates through
+    /// the workspace's reused scratch buffers instead.
     pub fn apply_gradients(&mut self, grads: &[LayerGrads], opt: &mut crate::Optimizer) {
         opt.begin_step();
         for (i, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
             let w_delta = opt.compute_update(2 * i, &g.w);
             let b_delta = opt.compute_update(2 * i + 1, &g.b);
             layer.apply_update(&w_delta, &b_delta);
+        }
+    }
+
+    /// Applies one optimizer step to the gradients held in `ws`
+    /// (`ws.grads()`), computing each layer's update into the workspace's
+    /// reused scratch buffers — so a steady-state optimizer step performs
+    /// no heap allocation (first-touch optimizer state is a warm-up cost).
+    ///
+    /// # Panics
+    /// Panics if `ws` does not hold gradients matching the layer structure.
+    pub fn apply_gradients_with(&mut self, ws: &mut GradWorkspace, opt: &mut crate::Optimizer) {
+        let GradWorkspace {
+            grads,
+            w_update,
+            b_update,
+            ..
+        } = ws;
+        assert_eq!(grads.len(), self.layers.len(), "gradient layer count");
+        opt.begin_step();
+        for (i, (layer, g)) in self.layers.iter_mut().zip(grads.iter()).enumerate() {
+            opt.compute_update_into(2 * i, &g.w, w_update);
+            opt.compute_update_into(2 * i + 1, &g.b, b_update);
+            layer.apply_update(w_update, b_update);
         }
     }
 
@@ -373,6 +522,92 @@ impl Network {
         }
         nnz as f64 / full as f64
     }
+}
+
+/// Fixed-shape pairwise tree sum over leaves `[lo, hi)`: split at the
+/// midpoint, add left and right. The shape depends only on the leaf count,
+/// never on thread count or schedule — this is what makes the
+/// data-parallel gradient reduction bitwise-reproducible for a given chunk
+/// count.
+fn tree_sum<F: Fn(usize) -> f32>(lo: usize, hi: usize, leaf: &F) -> f32 {
+    debug_assert!(lo < hi, "tree_sum needs at least one leaf");
+    if hi - lo == 1 {
+        leaf(lo)
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        tree_sum(lo, mid, leaf) + tree_sum(mid, hi, leaf)
+    }
+}
+
+/// Parameters per reduction dispatch task (and per stack scratch buffer):
+/// coarse enough to amortize the chunk claim and keep the inner loops
+/// vectorizable, fine enough to load-balance wide layers across the pool
+/// and keep the recursion's stack scratch small (2 KiB per tree level).
+const REDUCE_PARAM_CHUNK: usize = 512;
+
+/// One parameter segment of the fixed-shape tree: evaluates
+/// `seg[j] = Σ_{k ∈ [lo, hi)} (rows_k / batch) · get(chunk_k)[base + j]`
+/// with the sum associated exactly like [`tree_sum`] — leaves scale into
+/// `seg`, internal nodes evaluate their right subtree into a stack scratch
+/// and add it element-wise, so every pass is a straight-line vectorizable
+/// loop and no heap is touched.
+fn tree_reduce_seg<'a>(
+    chunks: &'a [crate::workspace::ChunkGrads],
+    lo: usize,
+    hi: usize,
+    base: usize,
+    seg: &mut [f32],
+    inv_batch: f32,
+    get: &(impl Fn(&'a crate::workspace::ChunkGrads) -> &'a [f32] + Sync),
+) {
+    if hi - lo == 1 {
+        let c = &chunks[lo];
+        let weight = c.rows as f32 * inv_batch;
+        let src = &get(c)[base..base + seg.len()];
+        for (o, &s) in seg.iter_mut().zip(src) {
+            *o = weight * s;
+        }
+    } else if hi - lo == 2 {
+        // A two-leaf node in one fused pass (same association:
+        // `w·gₗ + w·gᵣ` per element), halving the sweep count for the
+        // common power-of-two chunk configurations.
+        let (cl, cr) = (&chunks[lo], &chunks[lo + 1]);
+        let (wl, wr) = (cl.rows as f32 * inv_batch, cr.rows as f32 * inv_batch);
+        let sl = &get(cl)[base..base + seg.len()];
+        let sr = &get(cr)[base..base + seg.len()];
+        for ((o, &l), &r) in seg.iter_mut().zip(sl).zip(sr) {
+            *o = wl * l + wr * r;
+        }
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        tree_reduce_seg(chunks, lo, mid, base, seg, inv_batch, get);
+        let mut right = [0.0f32; REDUCE_PARAM_CHUNK];
+        let right = &mut right[..seg.len()];
+        tree_reduce_seg(chunks, mid, hi, base, right, inv_batch, get);
+        for (o, &r) in seg.iter_mut().zip(right.iter()) {
+            *o += r;
+        }
+    }
+}
+
+/// Writes `out[p] = Σ_k (rows_k / batch) · get(chunk_k)[p]` with the sum
+/// evaluated as [`tree_sum`]'s fixed pairwise tree over the chunk index —
+/// parallel over parameter ranges on the worker pool (allocation-free:
+/// each element's tree is independent, so the range chunking cannot change
+/// any element's summation order, and no task list is materialized).
+fn reduce_weighted_into<'a>(
+    out: &mut [f32],
+    chunks: &'a [crate::workspace::ChunkGrads],
+    inv_batch: f32,
+    get: impl Fn(&'a crate::workspace::ChunkGrads) -> &'a [f32] + Sync,
+) {
+    if out.is_empty() {
+        return;
+    }
+    let n = chunks.len();
+    rayon::for_each_chunk_mut(out, REDUCE_PARAM_CHUNK, |ci, seg| {
+        tree_reduce_seg(chunks, 0, n, ci * REDUCE_PARAM_CHUNK, seg, inv_batch, &get);
+    });
 }
 
 /// Convenience: a sparse network and its dense twin with identical layer
@@ -489,14 +724,73 @@ mod tests {
         let net = Network::dense(&[4, 6, 2], Activation::Tanh, Init::Xavier, Loss::Mse, 2);
         let x = batch(10, 4, 2);
         let y = batch(10, 2, 3);
-        let (l1, g1) = net.grad_batch(&x, Targets::Values(&y));
-        let (l3, g3) = net.par_grad_batch(&x, Targets::Values(&y), 3);
+        let (l1, g1) = net.grad_batch(&x, Targets::values(&y));
+        let (l3, g3) = net.par_grad_batch(&x, Targets::values(&y), 3);
         assert!((l1 - l3).abs() < 1e-5);
         for (a, b) in g1.iter().zip(&g3) {
             for (x, y) in a.w.iter().zip(&b.w) {
                 assert!((x - y).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn chunk_weighting_matches_serial_for_even_and_ragged_splits() {
+        // Regression test for the documented combine semantics: chunk
+        // gradients and losses are weighted by `rows / batch`, so an even
+        // split (every chunk the same size) reproduces grad_batch's
+        // uniform mean up to float tolerance, and a ragged split (last
+        // chunk shorter) still weights every *row* equally — the clamp on
+        // num_chunks must never skew the weighting.
+        let net = Network::from_fnnt(
+            &radix_fnnt(),
+            Activation::Sigmoid,
+            Init::Xavier,
+            Loss::SoftmaxCrossEntropy,
+            9,
+        );
+        // batch 16: chunks ∈ {2, 4, 16} split evenly; chunks=3 is ragged
+        // (ceil(16/3)=6 → 6,6,4), as are 5 and 7; 64 clamps to one row per
+        // chunk. The weighting must hold across all of them.
+        let x = batch(16, 8, 6);
+        let labels: Vec<usize> = (0..16).map(|i| (i * 5) % 8).collect();
+        let (serial_loss, serial_grads) = net.grad_batch(&x, Targets::Labels(&labels));
+        for chunks in [2usize, 3, 4, 5, 7, 16, 64] {
+            let (loss, grads) = net.par_grad_batch(&x, Targets::Labels(&labels), chunks);
+            assert!(
+                (loss - serial_loss).abs() < 1e-5,
+                "chunks={chunks}: weighted loss {loss} vs serial {serial_loss}"
+            );
+            for (a, b) in serial_grads.iter().zip(&grads) {
+                for (p, q) in a.w.iter().zip(&b.w) {
+                    assert!((p - q).abs() < 1e-5, "chunks={chunks}");
+                }
+                for (p, q) in a.b.iter().zip(&b.b) {
+                    assert!((p - q).abs() < 1e-5, "chunks={chunks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn targets_slice_is_zero_copy_and_consistent() {
+        let y = batch(6, 3, 11);
+        let t = Targets::values(&y);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        let s = t.slice(2..5);
+        assert_eq!(s.len(), 3);
+        let Targets::Values(v) = s else {
+            unreachable!()
+        };
+        assert_eq!(v.row(0), y.row(2));
+        assert_eq!(v.as_slice().as_ptr(), y.row(2).as_ptr(), "must not copy");
+        let labels = [1usize, 2, 3, 4];
+        let ls = Targets::Labels(&labels).slice(1..3);
+        let Targets::Labels(l) = ls else {
+            unreachable!()
+        };
+        assert_eq!(l, &[2, 3]);
     }
 
     #[test]

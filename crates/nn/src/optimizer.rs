@@ -92,10 +92,27 @@ impl Optimizer {
 
     /// Computes the update `delta` such that the new parameters are
     /// `w − delta`, updating internal state for `param_id`.
+    ///
+    /// Allocates a fresh vector; the training loops use
+    /// [`Optimizer::compute_update_into`] with a reused scratch buffer
+    /// instead, which is what keeps a steady-state optimizer step
+    /// allocation-free.
     #[must_use]
     pub fn compute_update(&mut self, param_id: usize, grads: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.compute_update_into(param_id, grads, &mut out);
+        out
+    }
+
+    /// Like [`Optimizer::compute_update`], but writes the update into a
+    /// caller-provided buffer (cleared and refilled, reusing its
+    /// allocation once it has reached the largest parameter length).
+    /// First-moment/velocity state still allocates once per `param_id` on
+    /// first touch — a warm-up cost, not a steady-state one.
+    pub fn compute_update_into(&mut self, param_id: usize, grads: &[f32], out: &mut Vec<f32>) {
+        out.clear();
         match self {
-            Optimizer::Sgd { lr } => grads.iter().map(|g| *lr * g).collect(),
+            Optimizer::Sgd { lr } => out.extend(grads.iter().map(|g| *lr * g)),
             Optimizer::Momentum { lr, mu, velocity } => {
                 let v = velocity
                     .entry(param_id)
@@ -104,7 +121,7 @@ impl Optimizer {
                 for (vi, &g) in v.iter_mut().zip(grads) {
                     *vi = *mu * *vi + g;
                 }
-                v.iter().map(|vi| *lr * vi).collect()
+                out.extend(v.iter().map(|vi| *lr * vi));
             }
             Optimizer::Adam {
                 lr,
@@ -121,7 +138,6 @@ impl Optimizer {
                 assert_eq!(m.len(), grads.len(), "gradient length changed");
                 let bc1 = 1.0 - beta1.powi(*t as i32);
                 let bc2 = 1.0 - beta2.powi(*t as i32);
-                let mut out = Vec::with_capacity(grads.len());
                 for ((mi, vi), &g) in m.iter_mut().zip(v.iter_mut()).zip(grads) {
                     *mi = *beta1 * *mi + (1.0 - *beta1) * g;
                     *vi = *beta2 * *vi + (1.0 - *beta2) * g * g;
@@ -129,7 +145,6 @@ impl Optimizer {
                     let vhat = *vi / bc2;
                     out.push(*lr * mhat / (vhat.sqrt() + *eps));
                 }
-                out
             }
         }
     }

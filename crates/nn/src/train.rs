@@ -9,7 +9,7 @@ use radix_sparse::DenseMatrix;
 use crate::loss::accuracy;
 use crate::network::{Network, Targets};
 use crate::optimizer::Optimizer;
-use crate::workspace::{ForwardWorkspace, GradWorkspace};
+use crate::workspace::{ForwardWorkspace, GradWorkspace, GradWorkspacePool};
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -104,8 +104,11 @@ fn gather_rows_into(x: &DenseMatrix<f32>, idx: &[usize], out: &mut DenseMatrix<f
 }
 
 /// One optimizer step on a gathered mini-batch: gradients via the
-/// persistent workspace (serial) or the Rayon data-parallel path, then
-/// weight decay, clipping, and the update — shared by both training loops.
+/// persistent workspace (serial) or the pool-native data-parallel path,
+/// then weight decay, clipping, and the update through the workspace's
+/// reused optimizer scratch — shared by both training loops. Every buffer
+/// involved persists across batches, so steady-state steps perform no
+/// heap allocation on either path.
 fn train_step(
     net: &mut Network,
     xb: &DenseMatrix<f32>,
@@ -113,13 +116,11 @@ fn train_step(
     opt: &mut Optimizer,
     config: &TrainConfig,
     ws: &mut GradWorkspace,
+    pool: Option<&mut GradWorkspacePool>,
 ) -> f32 {
-    let loss = if config.parallel_chunks > 1 {
-        let (loss, grads) = net.par_grad_batch(xb, targets, config.parallel_chunks);
-        ws.set_grads(grads);
-        loss
-    } else {
-        net.grad_batch_with(xb, targets, ws)
+    let loss = match pool {
+        Some(pool) => net.par_grad_batch_with(xb, targets, config.parallel_chunks, pool, ws),
+        None => net.grad_batch_with(xb, targets, ws),
     };
     if config.weight_decay > 0.0 {
         net.add_weight_decay(ws.grads_mut(), config.weight_decay);
@@ -127,7 +128,7 @@ fn train_step(
     if let Some(max_norm) = config.grad_clip {
         clip_gradients(ws.grads_mut(), max_norm);
     }
-    net.apply_gradients(ws.grads(), opt);
+    net.apply_gradients_with(ws, opt);
     loss
 }
 
@@ -147,6 +148,8 @@ pub fn train_classifier(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..x.nrows()).collect();
     let mut history = History::default();
+    history.losses.reserve_exact(config.epochs);
+    history.accuracies.reserve_exact(config.epochs);
     // Persistent buffers: mini-batch gather, forward/backward workspace,
     // and the full-set evaluation workspace are pre-sized to their
     // high-water mark and reused across every batch and epoch — including
@@ -155,7 +158,12 @@ pub fn train_classifier(
     // (pinned down by `tests/zero_alloc.rs`).
     let mut xb = DenseMatrix::zeros(0, 0);
     let mut yb: Vec<usize> = Vec::new();
-    let mut ws = GradWorkspace::for_network(net, config.batch_size.min(x.nrows().max(1)));
+    let batch_rows = config.batch_size.min(x.nrows().max(1));
+    let mut ws = GradWorkspace::for_network(net, batch_rows);
+    // Data-parallel runs additionally hold per-worker chunk workspaces,
+    // reused across every batch and epoch (the pool-native path).
+    let mut pool = (config.parallel_chunks > 1)
+        .then(|| GradWorkspacePool::for_network(net, batch_rows, config.parallel_chunks));
     let mut eval_ws = ForwardWorkspace::for_network(net, x.nrows());
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
@@ -165,7 +173,15 @@ pub fn train_classifier(
             gather_rows_into(x, chunk, &mut xb);
             yb.clear();
             yb.extend(chunk.iter().map(|&i| labels[i]));
-            epoch_loss += train_step(net, &xb, Targets::Labels(&yb), opt, config, &mut ws);
+            epoch_loss += train_step(
+                net,
+                &xb,
+                Targets::Labels(&yb),
+                opt,
+                config,
+                &mut ws,
+                pool.as_mut(),
+            );
             batches += 1;
         }
         history.losses.push(epoch_loss / batches.max(1) as f32);
@@ -194,9 +210,14 @@ pub fn train_regressor(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..x.nrows()).collect();
     let mut history = History::default();
+    history.losses.reserve_exact(config.epochs);
+    history.accuracies.reserve_exact(config.epochs);
     let mut xb = DenseMatrix::zeros(0, 0);
     let mut yb = DenseMatrix::zeros(0, 0);
-    let mut ws = GradWorkspace::for_network(net, config.batch_size.min(x.nrows().max(1)));
+    let batch_rows = config.batch_size.min(x.nrows().max(1));
+    let mut ws = GradWorkspace::for_network(net, batch_rows);
+    let mut pool = (config.parallel_chunks > 1)
+        .then(|| GradWorkspacePool::for_network(net, batch_rows, config.parallel_chunks));
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
@@ -204,7 +225,15 @@ pub fn train_regressor(
         for chunk in order.chunks(config.batch_size) {
             gather_rows_into(x, chunk, &mut xb);
             gather_rows_into(y, chunk, &mut yb);
-            epoch_loss += train_step(net, &xb, Targets::Values(&yb), opt, config, &mut ws);
+            epoch_loss += train_step(
+                net,
+                &xb,
+                Targets::values(&yb),
+                opt,
+                config,
+                &mut ws,
+                pool.as_mut(),
+            );
             batches += 1;
         }
         history.losses.push(epoch_loss / batches.max(1) as f32);

@@ -109,6 +109,11 @@ pub struct GradWorkspace {
     pub(crate) grad_in: DenseMatrix<f32>,
     /// Per-layer parameter gradients, laid out like the layers' parameters.
     pub(crate) grads: Vec<LayerGrads>,
+    /// Optimizer update scratch (weights), reused across
+    /// `Network::apply_gradients_with` steps.
+    pub(crate) w_update: Vec<f32>,
+    /// Optimizer update scratch (biases).
+    pub(crate) b_update: Vec<f32>,
 }
 
 impl GradWorkspace {
@@ -139,12 +144,18 @@ impl GradWorkspace {
         for (t, layer) in ws.trace.iter_mut().zip(net.layers()) {
             t.resize_zeroed(batch, layer.n_out());
         }
+        let mut w_max = 0usize;
+        let mut b_max = 0usize;
         for (g, layer) in ws.grads.iter_mut().zip(net.layers()) {
             let (w_len, b_len) = layer.param_lens();
             g.resize_zeroed(w_len, b_len);
+            w_max = w_max.max(w_len);
+            b_max = b_max.max(b_len);
         }
         ws.delta.resize_zeroed(batch, widest);
         ws.grad_in.resize_zeroed(batch, widest);
+        ws.w_update.reserve_exact(w_max);
+        ws.b_update.reserve_exact(b_max);
         ws
     }
 
@@ -171,5 +182,111 @@ impl GradWorkspace {
     /// computed them out-of-workspace).
     pub fn set_grads(&mut self, grads: Vec<LayerGrads>) {
         self.grads = grads;
+    }
+}
+
+/// One data-parallel chunk's results: the per-layer gradients of that row
+/// range, the chunk's mean loss, and its row count (the combine weight's
+/// numerator). Stored **per chunk** — not per worker — so the reduction
+/// can run in fixed chunk order no matter which worker computed what.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChunkGrads {
+    /// Per-layer parameter gradients of this chunk.
+    pub(crate) grads: Vec<LayerGrads>,
+    /// Mean loss over the chunk's rows.
+    pub(crate) loss: f32,
+    /// Rows in the chunk (`weight = rows / batch`).
+    pub(crate) rows: usize,
+}
+
+/// Per-worker workspaces for pool-native data-parallel training
+/// ([`Network::par_grad_batch_with`]), reused across batches and epochs.
+///
+/// Two kinds of state live here, sized once and reused forever:
+///
+/// * **per pool slot** — one [`GradWorkspace`] per participating thread
+///   (`rayon::current_num_threads()` of them), holding the activation
+///   trace and delta ping-pong buffers a worker needs while it evaluates
+///   whichever chunks it claims;
+/// * **per chunk** — one gradient buffer set per data-parallel chunk, so
+///   each chunk's result survives until the fixed-order weighted tree
+///   reduction combines them (per-*worker* accumulators would make the
+///   sum order depend on the dynamic schedule and thread count; per-chunk
+///   storage is what makes the path bitwise-reproducible for a given
+///   chunk count, regardless of threads).
+///
+/// With both pools at their high-water mark, a multi-chunk gradient batch
+/// performs **zero** heap allocations (`crates/nn/tests/zero_alloc.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct GradWorkspacePool {
+    /// One scratch workspace per pool slot (their `grads` fields stay
+    /// empty — chunk gradients go to `chunks` instead).
+    pub(crate) scratch: Vec<GradWorkspace>,
+    /// One gradient slot per data-parallel chunk.
+    pub(crate) chunks: Vec<ChunkGrads>,
+}
+
+impl GradWorkspacePool {
+    /// An empty pool; buffers grow to their high-water mark on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        GradWorkspacePool::default()
+    }
+
+    /// A pool pre-sized for `net` so even the **first** multi-chunk
+    /// gradient batch allocates nothing: one scratch workspace per pool
+    /// slot (each sized for the largest chunk a `batch`-row mini-batch
+    /// splits into) and one gradient buffer set per chunk.
+    #[must_use]
+    pub fn for_network(net: &Network, batch: usize, num_chunks: usize) -> Self {
+        Self::with_slots(net, batch, num_chunks, rayon::current_num_threads())
+    }
+
+    /// [`GradWorkspacePool::for_network`] with an explicit worker-slot
+    /// count. At most `slots` threads participate in the chunk dispatch
+    /// (one forces serial execution) — results are **bitwise identical**
+    /// for any slot count, which the determinism property suite pins by
+    /// comparing slot counts 1, 2, and 4.
+    #[must_use]
+    pub fn with_slots(net: &Network, batch: usize, num_chunks: usize, slots: usize) -> Self {
+        let chunks = num_chunks.clamp(1, batch.max(1));
+        let chunk_rows = batch.div_ceil(chunks).max(1);
+        let mut pool = GradWorkspacePool::default();
+        pool.scratch
+            .resize_with(slots.max(1), || GradWorkspace::for_network(net, chunk_rows));
+        pool.ensure_chunks(net, chunks);
+        pool
+    }
+
+    /// Ensures at least `n` chunk gradient slots exist, each laid out for
+    /// `net`'s parameters (reusing allocations; only a first call at a
+    /// larger chunk count allocates). The pool never shrinks: a ragged
+    /// final mini-batch can momentarily need fewer chunks, and freeing
+    /// the spares would make the next full batch reallocate them — heap
+    /// churn every epoch instead of the documented zero-alloc steady
+    /// state. Already-sized gradient buffers are left untouched (the
+    /// backward pass zeroes them itself before accumulating).
+    pub(crate) fn ensure_chunks(&mut self, net: &Network, n: usize) {
+        if self.chunks.len() < n {
+            self.chunks.resize_with(n, ChunkGrads::default);
+        }
+        let layers = net.layers();
+        for chunk in &mut self.chunks[..n] {
+            chunk
+                .grads
+                .resize_with(layers.len(), || LayerGrads::zeros(0, 0));
+            for (g, layer) in chunk.grads.iter_mut().zip(layers) {
+                let (w_len, b_len) = layer.param_lens();
+                if g.w.len() != w_len || g.b.len() != b_len {
+                    g.resize_zeroed(w_len, b_len);
+                }
+            }
+        }
+    }
+
+    /// Number of worker slots (the dispatch's maximum parallelism).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.scratch.len()
     }
 }

@@ -7,7 +7,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use radix_net::{MixedRadixSystem, MixedRadixTopology};
-use radix_nn::{Activation, Init, Layer, Loss, Network, SparseLinear, Targets};
+use radix_nn::{
+    Activation, GradWorkspace, GradWorkspacePool, Init, Layer, Loss, Network, SparseLinear, Targets,
+};
 use radix_sparse::{CsrMatrix, DenseMatrix};
 
 fn random_batch(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f32> {
@@ -71,7 +73,7 @@ proptest! {
         let net = random_sparse_net(&radices, Activation::Sigmoid, seed);
         let x = random_batch(2, net.n_in(), seed ^ 2);
         let y = random_batch(2, net.n_out(), seed ^ 3);
-        let (_, grads) = net.grad_batch(&x, Targets::Values(&y));
+        let (_, grads) = net.grad_batch(&x, Targets::values(&y));
 
         // Check a few weight coordinates of the first layer by nudging.
         let h = 2e-2f32;
@@ -95,7 +97,7 @@ proptest! {
                     })
                     .collect();
                 n2 = Network::new(layers, Loss::Mse);
-                let (loss, _) = n2.grad_batch(&x, Targets::Values(&y));
+                let (loss, _) = n2.grad_batch(&x, Targets::values(&y));
                 loss
             };
             let numeric = (loss_at(h) - loss_at(-h)) / (2.0 * h);
@@ -117,10 +119,57 @@ proptest! {
         let net = random_sparse_net(&radices, Activation::Relu, seed);
         let x = random_batch(12, net.n_in(), seed ^ 4);
         let y = random_batch(12, net.n_out(), seed ^ 5);
-        let (l1, g1) = net.grad_batch(&x, Targets::Values(&y));
-        let (l2, g2) = net.par_grad_batch(&x, Targets::Values(&y), chunks);
+        let (l1, g1) = net.grad_batch(&x, Targets::values(&y));
+        let (l2, g2) = net.par_grad_batch(&x, Targets::values(&y), chunks);
         prop_assert!((l1 - l2).abs() < 1e-4 * (1.0 + l1.abs()));
         for (a, b) in g1.iter().zip(&g2) {
+            for (p, q) in a.w.iter().zip(&b.w) {
+                prop_assert!((p - q).abs() < 1e-4 * (1.0 + p.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_native_grad_is_bitwise_stable_across_slot_counts(
+        radices in proptest::collection::vec(2usize..4, 2..4),
+        chunks in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        // The tentpole determinism guarantee: for a fixed chunk count, the
+        // pool-native data-parallel gradient path is **bitwise identical**
+        // no matter how many worker slots participate (1 = forced serial
+        // chunk evaluation, 2/4 = dynamic claiming across the pool) —
+        // per-chunk gradient storage plus the fixed-order tree reduction
+        // make the result schedule-independent. Against the serial
+        // single-sum path it agrees to float tolerance only.
+        prop_assume!(radices.iter().product::<usize>() <= 32);
+        let net = random_sparse_net(&radices, Activation::Tanh, seed);
+        let batch = 13; // ragged split for most chunk counts
+        let x = random_batch(batch, net.n_in(), seed ^ 8);
+        let y = random_batch(batch, net.n_out(), seed ^ 9);
+
+        let mut reference: Option<(f32, Vec<radix_nn::LayerGrads>)> = None;
+        for slots in [1usize, 2, 4] {
+            let mut pool = GradWorkspacePool::with_slots(&net, batch, chunks, slots);
+            let mut ws = GradWorkspace::for_network(&net, batch);
+            let loss =
+                net.par_grad_batch_with(&x, Targets::values(&y), chunks, &mut pool, &mut ws);
+            match &reference {
+                None => reference = Some((loss, ws.grads().to_vec())),
+                Some((ref_loss, ref_grads)) => {
+                    prop_assert_eq!(loss.to_bits(), ref_loss.to_bits(), "slots {}", slots);
+                    for (a, b) in ref_grads.iter().zip(ws.grads()) {
+                        prop_assert_eq!(&a.w, &b.w, "slots {}", slots);
+                        prop_assert_eq!(&a.b, &b.b, "slots {}", slots);
+                    }
+                }
+            }
+        }
+
+        let (ref_loss, ref_grads) = reference.unwrap();
+        let (serial_loss, serial_grads) = net.grad_batch(&x, Targets::values(&y));
+        prop_assert!((serial_loss - ref_loss).abs() < 1e-4 * (1.0 + serial_loss.abs()));
+        for (a, b) in serial_grads.iter().zip(&ref_grads) {
             for (p, q) in a.w.iter().zip(&b.w) {
                 prop_assert!((p - q).abs() < 1e-4 * (1.0 + p.abs()));
             }
@@ -146,7 +195,7 @@ proptest! {
         let y = random_batch(8, net.n_out(), seed ^ 7);
         let mut opt = radix_nn::Optimizer::adam(0.05);
         for _ in 0..3 {
-            let (_, grads) = net.grad_batch(&x, Targets::Values(&y));
+            let (_, grads) = net.grad_batch(&x, Targets::values(&y));
             net.apply_gradients(&grads, &mut opt);
         }
         for (layer, before) in net.layers().iter().zip(&patterns) {

@@ -78,6 +78,10 @@ fn train_step_timed_region_is_allocation_free() {
     // pool path, and a tile width small enough that the 16-wide hidden
     // layers run the tiled transposed schedule. Must happen before the
     // first pool / tunable use; all are cached process-wide after that.
+    // RADIX_POOL_THREADS has highest precedence, so set it too — the CI
+    // multi-thread matrix exports it process-wide and must not override
+    // this test's forced width.
+    std::env::set_var("RADIX_POOL_THREADS", "4");
     std::env::set_var("RAYON_NUM_THREADS", "4");
     std::env::set_var("RADIX_TILE_COLS", "8");
     std::env::set_var("RADIX_PAR_THRESHOLD", "1");
@@ -156,10 +160,10 @@ fn train_step_timed_region_is_allocation_free() {
     );
     let targets = batch(batch_rows, reg_net.n_out());
     let mut reg_ws = GradWorkspace::for_network(&reg_net, batch_rows);
-    let warm = reg_net.grad_batch_with(&x, Targets::Values(&targets), &mut reg_ws);
+    let warm = reg_net.grad_batch_with(&x, Targets::values(&targets), &mut reg_ws);
     std::thread::sleep(std::time::Duration::from_millis(50));
     let before = allocations();
-    let again = reg_net.grad_batch_with(&x, Targets::Values(&targets), &mut reg_ws);
+    let again = reg_net.grad_batch_with(&x, Targets::values(&targets), &mut reg_ws);
     let after = allocations();
     assert_eq!(warm, again);
     assert_eq!(
@@ -175,5 +179,79 @@ fn train_step_timed_region_is_allocation_free() {
     assert!(
         descended < first_loss,
         "one SGD step must descend: {first_loss} → {descended}"
+    );
+
+    // Part 4: the pool-native data-parallel training path. A full
+    // multi-chunk (4 chunks), multi-epoch training run — zero-copy chunk
+    // views, per-worker workspaces, the fixed-order gradient reduction,
+    // weight decay, gradient clipping, and Adam steps through the reused
+    // optimizer scratch — allocates nothing after one warm-up step, on
+    // the forced 4-thread pool.
+    let mut par_net = Network::from_fnnt(
+        &spec.build().into_fnnt(),
+        Activation::Tanh,
+        Init::Xavier,
+        Loss::SoftmaxCrossEntropy,
+        13,
+    );
+    let num_chunks = 4usize;
+    let mut pool = radix_nn::GradWorkspacePool::for_network(&par_net, batch_rows, num_chunks);
+    let mut par_ws = GradWorkspace::for_network(&par_net, batch_rows);
+    let mut adam = radix_nn::Optimizer::adam(0.01);
+    // Warm-up: first-touch Adam state per parameter id, scratch
+    // high-water marks. One full step covers every code path.
+    let warm_loss = par_net.par_grad_batch_with(
+        &x,
+        Targets::Labels(&labels),
+        num_chunks,
+        &mut pool,
+        &mut par_ws,
+    );
+    assert!(warm_loss.is_finite());
+    par_net.add_weight_decay(par_ws.grads_mut(), 1e-4);
+    radix_nn::clip_gradients(par_ws.grads_mut(), 5.0);
+    par_net.apply_gradients_with(&mut par_ws, &mut adam);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let before = allocations();
+    let mut last_loss = f32::INFINITY;
+    for _epoch in 0..3 {
+        for _batch in 0..2 {
+            let loss = par_net.par_grad_batch_with(
+                &x,
+                Targets::Labels(&labels),
+                num_chunks,
+                &mut pool,
+                &mut par_ws,
+            );
+            assert!(loss.is_finite());
+            last_loss = loss;
+            par_net.add_weight_decay(par_ws.grads_mut(), 1e-4);
+            radix_nn::clip_gradients(par_ws.grads_mut(), 5.0);
+            par_net.apply_gradients_with(&mut par_ws, &mut adam);
+        }
+        // An epoch's ragged final mini-batch: 9 rows across 4 requested
+        // chunks dispatches only 3 (ceil(9/3) after rounding). The chunk
+        // pool must not shrink-and-regrow across this — that churn was a
+        // real bug — and the step stays allocation-free on batch views.
+        let tail = par_net.par_grad_batch_with(
+            &x.rows_view(0..9),
+            Targets::Labels(&labels[..9]),
+            num_chunks,
+            &mut pool,
+            &mut par_ws,
+        );
+        assert!(tail.is_finite());
+        par_net.apply_gradients_with(&mut par_ws, &mut adam);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "multi-chunk multi-epoch pool-native training must be allocation-free"
+    );
+    assert!(
+        last_loss < warm_loss,
+        "training must descend: {warm_loss} → {last_loss}"
     );
 }

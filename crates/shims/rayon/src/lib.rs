@@ -48,25 +48,24 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
 }
 
-/// Number of worker threads to fan out over (the `RAYON_NUM_THREADS`
-/// environment variable overrides the hardware default, as in real rayon).
-/// Read once, when the pool is built.
+/// Number of worker threads to fan out over. `RADIX_POOL_THREADS` (the
+/// project-native knob, used by the CI multi-thread matrix) takes
+/// precedence, then `RAYON_NUM_THREADS` (the name real rayon honours), then
+/// the hardware default. Read once, when the pool is built.
 fn num_threads() -> usize {
     let hardware = || {
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
     };
-    match std::env::var("RAYON_NUM_THREADS") {
-        // As in real rayon, 0 (and anything unparseable) means "choose
-        // automatically", not "run serially".
-        Ok(v) => v
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .unwrap_or_else(hardware),
-        Err(_) => hardware(),
-    }
+    // As in real rayon, 0 (and anything unparseable) means "choose
+    // automatically", not "run serially".
+    let parse = |v: String| v.parse::<usize>().ok().filter(|&n| n > 0);
+    std::env::var("RADIX_POOL_THREADS")
+        .ok()
+        .and_then(parse)
+        .or_else(|| std::env::var("RAYON_NUM_THREADS").ok().and_then(parse))
+        .unwrap_or_else(hardware)
 }
 
 /// Total number of threads that participate in a parallel job: the
@@ -407,6 +406,36 @@ where
     });
 }
 
+/// Pool-parallel loop over the **elements** of a slice with one
+/// caller-provided scratch state per participating thread:
+/// `f(state, index, &mut items[index])` is called exactly once per element,
+/// elements claimed dynamically from an atomic cursor. At most
+/// `states.len()` threads participate — size the slice with
+/// [`current_num_threads`] for full parallelism (a single state forces
+/// serial execution, in ascending index order).
+///
+/// This is [`for_each_chunk_mut_with`] for work items that are **not**
+/// contiguous `&mut [T]` chunks of one buffer: each element can describe an
+/// arbitrary unit of work (a row *range* of a shared batch plus its own
+/// result buffers, say — the shape the pool-native data-parallel gradient
+/// path dispatches on). Like the chunk primitives it performs **no heap
+/// allocation**: no task list is materialized and the pool threads are
+/// persistent.
+///
+/// # Panics
+/// Panics if `items` is non-empty and `states` is empty, or if `f` panics
+/// on any thread.
+pub fn for_each_item_with<T, S, F>(items: &mut [T], states: &mut [S], f: F)
+where
+    T: Send,
+    S: Send,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    for_each_chunk_mut_with(items, 1, states, |state, k, chunk| {
+        f(state, k, &mut chunk[0]);
+    });
+}
+
 /// An eager "parallel iterator": the items are already materialized, and
 /// every consuming adaptor fans them out over the persistent worker pool.
 pub struct ParIter<I> {
@@ -691,6 +720,38 @@ mod tests {
         });
         assert!(data.iter().all(|&v| v == 1));
         assert_eq!(states.iter().sum::<usize>(), 64usize.div_ceil(3));
+    }
+
+    #[test]
+    fn item_primitive_visits_every_item_once() {
+        // Items carry their own payloads (not chunks of one buffer); each
+        // must be visited exactly once, states must count their items.
+        let mut items: Vec<(usize, u32)> = (0..37).map(|i| (i, 0u32)).collect();
+        let mut states = vec![0usize; crate::current_num_threads()];
+        crate::for_each_item_with(&mut items, &mut states, |st, k, item| {
+            assert_eq!(item.0, k, "index must match the item's position");
+            *st += 1;
+            item.1 += 1;
+        });
+        assert!(items.iter().all(|&(_, v)| v == 1));
+        assert_eq!(states.iter().sum::<usize>(), 37);
+        // Empty input needs no state at all.
+        let mut none: Vec<(usize, u32)> = Vec::new();
+        crate::for_each_item_with(&mut none, &mut states, |_, _, _| unreachable!());
+    }
+
+    #[test]
+    fn item_primitive_single_state_runs_in_order() {
+        // One state forces the serial fallback, which must claim items in
+        // ascending index order (the property the deterministic gradient
+        // reduction's tests lean on when they force serial execution).
+        let mut items = vec![0usize; 16];
+        let order = std::sync::Mutex::new(Vec::new());
+        let mut states = [()];
+        crate::for_each_item_with(&mut items, &mut states, |(), k, _| {
+            order.lock().unwrap().push(k);
+        });
+        assert_eq!(order.into_inner().unwrap(), (0..16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -11,17 +11,42 @@ use rayon::prelude::*;
 /// Forces a 4-thread pool (even on single-core CI) before any test body
 /// touches it. `#[ctor]`-style tricks are unavailable offline, so every
 /// test calls this first; `Once` semantics come from `OnceLock`.
+///
+/// `RADIX_POOL_THREADS` is the project knob with highest precedence (the
+/// CI multi-thread matrix sets it process-wide), so it must be set here
+/// too — otherwise an ambient matrix value would override the forced
+/// width. Setting `RAYON_NUM_THREADS` to a *different* value doubles as
+/// the precedence check in `pool_reports_forced_thread_count`.
 fn force_threads() {
     static INIT: std::sync::OnceLock<()> = std::sync::OnceLock::new();
     INIT.get_or_init(|| {
-        std::env::set_var("RAYON_NUM_THREADS", "4");
+        std::env::set_var("RADIX_POOL_THREADS", "4");
+        std::env::set_var("RAYON_NUM_THREADS", "2");
     });
 }
 
 #[test]
 fn pool_reports_forced_thread_count() {
     force_threads();
+    // RADIX_POOL_THREADS=4 must win over RAYON_NUM_THREADS=2.
     assert_eq!(rayon::current_num_threads(), 4);
+}
+
+#[test]
+fn item_dispatch_is_complete_under_forced_pool() {
+    force_threads();
+    // The range-based work-item primitive: every item visited exactly
+    // once, per-slot states never aliased, across many rounds.
+    let mut items: Vec<u32> = vec![0; 257];
+    for _ in 0..25 {
+        let mut states: Vec<usize> = vec![0; rayon::current_num_threads()];
+        rayon::for_each_item_with(&mut items, &mut states, |st, _, item| {
+            *st += 1;
+            *item += 1;
+        });
+        assert_eq!(states.iter().sum::<usize>(), 257);
+    }
+    assert!(items.iter().all(|&v| v == 25));
 }
 
 #[test]

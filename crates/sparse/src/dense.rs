@@ -16,6 +16,164 @@ pub struct DenseMatrix<T> {
     data: Vec<T>,
 }
 
+/// A borrowed, zero-copy view of a row range of a row-major dense matrix.
+///
+/// Because [`DenseMatrix`] is row-major, any contiguous row range is a
+/// contiguous slice of the backing storage — so a view is two `usize`s and
+/// a borrow, cheap enough to pass by value. Views are how the data-parallel
+/// training path hands each worker its chunk of the batch **without
+/// copying** ([`DenseMatrix::rows_view`]): every kernel entry point accepts
+/// either an owned matrix or a view through [`AsDenseView`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenseView<'a, T> {
+    nrows: usize,
+    ncols: usize,
+    data: &'a [T],
+}
+
+impl<'a, T: Scalar> DenseView<'a, T> {
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j]
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows`.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &'a [T] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// The viewed row-major slice.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// A sub-view of rows `range` of this view (zero-copy, same lifetime).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `nrows` or is decreasing.
+    #[must_use]
+    pub fn rows_view(self, range: std::ops::Range<usize>) -> DenseView<'a, T> {
+        assert!(
+            range.start <= range.end && range.end <= self.nrows,
+            "row range out of bounds"
+        );
+        DenseView {
+            nrows: range.len(),
+            ncols: self.ncols,
+            data: &self.data[range.start * self.ncols..range.end * self.ncols],
+        }
+    }
+
+    /// Copies the viewed rows into an owned matrix.
+    #[must_use]
+    pub fn to_owned(self) -> DenseMatrix<T> {
+        DenseMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.to_vec(),
+        }
+    }
+
+    /// Dense matrix product `self · rhs` written into a caller-provided
+    /// buffer, which is resized (reusing its allocation) as needed.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul_into(
+        self,
+        rhs: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+    ) -> Result<(), SparseError> {
+        if self.ncols != rhs.nrows {
+            return Err(SparseError::ShapeMismatch {
+                op: "dense matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize_zeroed(self.nrows, rhs.ncols);
+        for i in 0..self.nrows {
+            let xrow = self.row(i);
+            for (k, &a) in xrow.iter().enumerate() {
+                if a.is_zero() {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow: &mut [T] = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o = o.add(a.mul(r));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Anything a kernel can read as a row-major dense block: owned
+/// [`DenseMatrix`] values and borrowed [`DenseView`] row ranges. Every
+/// `radix_sparse::kernel` entry point is generic over this trait, so hot
+/// paths (data-parallel training chunks, in particular) can run on
+/// zero-copy views while ordinary callers keep passing `&DenseMatrix`.
+pub trait AsDenseView<T> {
+    /// A borrowed view of the full block.
+    fn as_view(&self) -> DenseView<'_, T>;
+}
+
+impl<T: Scalar> AsDenseView<T> for DenseMatrix<T> {
+    #[inline]
+    fn as_view(&self) -> DenseView<'_, T> {
+        self.view()
+    }
+}
+
+impl<T: Scalar> AsDenseView<T> for DenseView<'_, T> {
+    #[inline]
+    fn as_view(&self) -> DenseView<'_, T> {
+        *self
+    }
+}
+
+impl<'a, T: Scalar> From<&'a DenseMatrix<T>> for DenseView<'a, T> {
+    fn from(m: &'a DenseMatrix<T>) -> Self {
+        m.view()
+    }
+}
+
 impl<T: Scalar> Default for DenseMatrix<T> {
     /// The empty `0 × 0` matrix (no allocation) — the natural seed for
     /// buffers grown with [`DenseMatrix::resize_zeroed`].
@@ -154,6 +312,29 @@ impl<T: Scalar> DenseMatrix<T> {
         &self.data
     }
 
+    /// A borrowed, zero-copy view of the whole matrix.
+    #[inline]
+    #[must_use]
+    pub fn view(&self) -> DenseView<'_, T> {
+        DenseView {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: &self.data,
+        }
+    }
+
+    /// A borrowed, zero-copy view of rows `range` — contiguous storage, so
+    /// no copy is made. This is how data-parallel training hands each
+    /// worker its chunk of the batch.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `nrows` or is decreasing.
+    #[inline]
+    #[must_use]
+    pub fn rows_view(&self, range: std::ops::Range<usize>) -> DenseView<'_, T> {
+        self.view().rows_view(range)
+    }
+
     /// The backing row-major slice, mutably.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
@@ -215,28 +396,7 @@ impl<T: Scalar> DenseMatrix<T> {
         rhs: &DenseMatrix<T>,
         out: &mut DenseMatrix<T>,
     ) -> Result<(), SparseError> {
-        if self.ncols != rhs.nrows {
-            return Err(SparseError::ShapeMismatch {
-                op: "dense matmul",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        out.resize_zeroed(self.nrows, rhs.ncols);
-        for i in 0..self.nrows {
-            for k in 0..self.ncols {
-                let a = self.get(i, k);
-                if a.is_zero() {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow: &mut [T] = out.row_mut(i);
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o = o.add(a.mul(r));
-                }
-            }
-        }
-        Ok(())
+        self.view().matmul_into(rhs, out)
     }
 
     /// Dense product with the transpose of `rhs` **without materializing
@@ -414,6 +574,43 @@ mod tests {
         a.row_mut(1)[0] = 7.0;
         assert_eq!(a.get(1, 0), 7.0);
         assert_eq!(a.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_view_is_zero_copy_and_consistent() {
+        let a = DenseMatrix::from_rows(&[&[1.0f64, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let v = a.rows_view(1..3);
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.row(0), &[3.0, 4.0]);
+        assert_eq!(v.get(1, 1), 6.0);
+        // Zero-copy: the view's slice aliases the matrix storage.
+        assert_eq!(v.as_slice().as_ptr(), a.row(1).as_ptr());
+        // Sub-views compose.
+        let sub = v.rows_view(1..2);
+        assert_eq!(sub.row(0), &[5.0, 6.0]);
+        assert_eq!(sub.to_owned(), DenseMatrix::from_rows(&[&[5.0, 6.0]]));
+        // Full view equals the matrix.
+        assert_eq!(a.view().to_owned(), a);
+        // Empty range is fine.
+        assert_eq!(a.rows_view(2..2).nrows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range out of bounds")]
+    fn rows_view_rejects_out_of_range() {
+        let a = DenseMatrix::<f32>::zeros(2, 2);
+        let _ = a.rows_view(1..3);
+    }
+
+    #[test]
+    fn view_matmul_matches_owned() {
+        let a = DenseMatrix::from_rows(&[&[1.0f64, 2.0], &[3.0, 4.0], &[0.5, -1.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0f64, 6.0], &[7.0, 8.0]]);
+        let full = a.matmul(&b).unwrap();
+        let mut out = DenseMatrix::default();
+        a.rows_view(1..3).matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.row(0), full.row(1));
+        assert_eq!(out.row(1), full.row(2));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! pins that down.
 
 use crate::csr::CsrMatrix;
-use crate::dense::DenseMatrix;
+use crate::dense::{AsDenseView, DenseMatrix, DenseView};
 use crate::error::SparseError;
 use crate::kernel::epilogue::Epilogue;
 use crate::kernel::heuristic::{act_sparse_percent, use_parallel};
@@ -226,7 +226,7 @@ impl<T: Scalar> PreparedWeights<T> {
         batch_rows.saturating_mul(self.nnz())
     }
 
-    fn check_spmm(&self, x: &DenseMatrix<T>, op: &'static str) -> Result<(), SparseError> {
+    fn check_spmm(&self, x: DenseView<'_, T>, op: &'static str) -> Result<(), SparseError> {
         if x.ncols() != self.nrows() {
             return Err(SparseError::ShapeMismatch {
                 op,
@@ -237,7 +237,7 @@ impl<T: Scalar> PreparedWeights<T> {
         Ok(())
     }
 
-    fn check_spmm_t(&self, x: &DenseMatrix<T>, op: &'static str) -> Result<(), SparseError> {
+    fn check_spmm_t(&self, x: DenseView<'_, T>, op: &'static str) -> Result<(), SparseError> {
         if x.ncols() != self.ncols() {
             return Err(SparseError::ShapeMismatch {
                 op,
@@ -254,14 +254,18 @@ impl<T: Scalar> PreparedWeights<T> {
     /// `out` is resized in place (its allocation is reused when large
     /// enough), so steady-state calls perform no heap allocation.
     ///
+    /// `x` may be an owned [`DenseMatrix`] or a zero-copy
+    /// [`DenseView`] row range (as for every kernel entry point here).
+    ///
     /// # Errors
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn spmm_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
+        let x = x.as_view();
         self.check_spmm(x, "prepared spmm_into")?;
         out.resize_zeroed(x.nrows(), self.ncols());
         match self.degree {
@@ -293,10 +297,11 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn par_spmm_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
+        let x = x.as_view();
         self.check_spmm(x, "prepared par_spmm_into")?;
         let ncols_out = self.ncols();
         out.resize_zeroed(x.nrows(), ncols_out);
@@ -326,11 +331,11 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn spmm_auto_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
-        if use_parallel(self.work(x.nrows())) {
+        if use_parallel(self.work(x.as_view().nrows())) {
             self.par_spmm_into(x, out, epi)
         } else {
             self.spmm_into(x, out, epi)
@@ -346,10 +351,11 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
     pub fn spmm_transposed_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
+        let x = x.as_view();
         self.check_spmm_t(x, "prepared spmm_transposed_into")?;
         // The gather loops assign every output element, so skip zeroing.
         out.resize_for_overwrite(x.nrows(), self.nrows());
@@ -382,10 +388,11 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
     pub fn par_spmm_transposed_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
+        let x = x.as_view();
         self.check_spmm_t(x, "prepared par_spmm_transposed_into")?;
         let ncols_out = self.nrows();
         // The gather loops assign every output element, so skip zeroing.
@@ -415,11 +422,11 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
     pub fn spmm_transposed_auto_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
-        if use_parallel(self.work(x.nrows())) {
+        if use_parallel(self.work(x.as_view().nrows())) {
             self.par_spmm_transposed_into(x, out, epi)
         } else {
             self.spmm_transposed_into(x, out, epi)
@@ -453,12 +460,13 @@ impl<T: Scalar> PreparedWeights<T> {
     /// self.ncols()`.
     pub fn spmm_rows_to<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         x_start: usize,
         rows: usize,
         out: &mut [T],
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
+        let x = x.as_view();
         self.check_spmm(x, "prepared spmm_rows_to")?;
         assert!(x_start + rows <= x.nrows(), "row block out of range");
         assert_eq!(out.len(), rows * self.ncols(), "output block size");
@@ -477,7 +485,7 @@ impl<T: Scalar> PreparedWeights<T> {
     /// the [`ActivationSchedule`] dispatch.
     fn scatter_rows<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: DenseView<'_, T>,
         x_start: usize,
         rows: usize,
         out: &mut [T],
@@ -508,7 +516,7 @@ impl<T: Scalar> PreparedWeights<T> {
     fn tiled_block<F: Fn(T) -> T + Sync>(
         &self,
         tiles: &ColumnTiles<T>,
-        x: &DenseMatrix<T>,
+        x: DenseView<'_, T>,
         x_start: usize,
         rows: usize,
         out: &mut [T],
@@ -549,7 +557,7 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn spmm_tiled_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
@@ -565,13 +573,14 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn spmm_tiled_scheduled_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
         sched: ActivationSchedule,
     ) -> Result<(), SparseError> {
+        let x = x.as_view();
         if self.tiles.is_none() {
-            return self.spmm_into(x, out, epi);
+            return self.spmm_into(&x, out, epi);
         }
         self.check_spmm(x, "prepared spmm_tiled_into")?;
         let ncols = self.ncols();
@@ -605,7 +614,7 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn par_spmm_tiled_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
@@ -619,13 +628,14 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn par_spmm_tiled_scheduled_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
         sched: ActivationSchedule,
     ) -> Result<(), SparseError> {
+        let x = x.as_view();
         if self.tiles.is_none() {
-            return self.par_spmm_into(x, out, epi);
+            return self.par_spmm_into(&x, out, epi);
         }
         self.check_spmm(x, "prepared par_spmm_tiled_into")?;
         let ncols = self.ncols();
@@ -651,11 +661,11 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.nrows()`.
     pub fn spmm_tiled_auto_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
-        if use_parallel(self.work(x.nrows())) {
+        if use_parallel(self.work(x.as_view().nrows())) {
             self.par_spmm_tiled_into(x, out, epi)
         } else {
             self.spmm_tiled_into(x, out, epi)
@@ -679,7 +689,7 @@ impl<T: Scalar> PreparedWeights<T> {
     /// CSR layout.
     fn gather_t_block<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: DenseView<'_, T>,
         x_start: usize,
         rows: usize,
         out: &mut [T],
@@ -727,7 +737,7 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
     pub fn spmm_transposed_tiled_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
@@ -744,15 +754,16 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Panics if `width == 0`.
     pub fn spmm_transposed_tiled_with<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
         width: usize,
     ) -> Result<(), SparseError> {
         assert!(width > 0, "tile width must be positive");
+        let x = x.as_view();
         let nout = self.nrows();
         if nout <= width {
-            return self.spmm_transposed_into(x, out, epi);
+            return self.spmm_transposed_into(&x, out, epi);
         }
         self.check_spmm_t(x, "prepared spmm_transposed_tiled_with")?;
         // The gather assigns every output element, so skip zeroing.
@@ -783,7 +794,7 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
     pub fn par_spmm_transposed_tiled_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
@@ -800,15 +811,16 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Panics if `width == 0`.
     pub fn par_spmm_transposed_tiled_with<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
         width: usize,
     ) -> Result<(), SparseError> {
         assert!(width > 0, "tile width must be positive");
+        let x = x.as_view();
         let nout = self.nrows();
         if nout <= width {
-            return self.par_spmm_transposed_into(x, out, epi);
+            return self.par_spmm_transposed_into(&x, out, epi);
         }
         self.check_spmm_t(x, "prepared par_spmm_transposed_tiled_with")?;
         out.resize_for_overwrite(x.nrows(), nout);
@@ -834,11 +846,11 @@ impl<T: Scalar> PreparedWeights<T> {
     /// Returns [`SparseError::ShapeMismatch`] if `x.ncols() != self.ncols()`.
     pub fn spmm_transposed_tiled_auto_into<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: &impl AsDenseView<T>,
         out: &mut DenseMatrix<T>,
         epi: &Epilogue<'_, T, F>,
     ) -> Result<(), SparseError> {
-        if use_parallel(self.work(x.nrows())) {
+        if use_parallel(self.work(x.as_view().nrows())) {
             self.par_spmm_transposed_tiled_into(x, out, epi)
         } else {
             self.spmm_transposed_tiled_into(x, out, epi)
@@ -854,7 +866,12 @@ impl<T: Scalar> PreparedWeights<T> {
 /// elements — about `pct`% of the block, ~1% of the product's
 /// multiply-adds — while a genuinely sparse block pays one full pass
 /// (`1/degree` of the product work), which the scatter's savings dwarf.
-fn block_is_sparse<T: Scalar>(x: &DenseMatrix<T>, start: usize, rows: usize, limit: usize) -> bool {
+fn block_is_sparse<T: Scalar>(
+    x: DenseView<'_, T>,
+    start: usize,
+    rows: usize,
+    limit: usize,
+) -> bool {
     let mut nnz = 0usize;
     for b in start..start + rows {
         for v in x.row(b) {
@@ -1306,10 +1323,10 @@ mod tests {
         }
         assert!(nnz > 1, "test batch must have several nonzeros");
         // Exactly at the count: sparse. One below: dense (early exit).
-        assert!(block_is_sparse(&x, 2, 3, nnz));
-        assert!(!block_is_sparse(&x, 2, 3, nnz - 1));
+        assert!(block_is_sparse(x.view(), 2, 3, nnz));
+        assert!(!block_is_sparse(x.view(), 2, 3, nnz - 1));
         // Empty block is trivially sparse.
-        assert!(block_is_sparse(&x, 0, 0, 0));
+        assert!(block_is_sparse(x.view(), 0, 0, 0));
     }
 
     #[test]

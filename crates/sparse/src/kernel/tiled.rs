@@ -50,7 +50,9 @@
 use std::sync::OnceLock;
 
 use crate::csr::CsrMatrix;
+#[cfg(test)]
 use crate::dense::DenseMatrix;
+use crate::dense::DenseView;
 use crate::kernel::epilogue::Epilogue;
 use crate::scalar::Scalar;
 
@@ -197,7 +199,7 @@ impl<T: Scalar> ColumnTiles<T> {
     /// weights).
     pub(crate) fn gather_block<F: Fn(T) -> T + Sync>(
         &self,
-        x: &DenseMatrix<T>,
+        x: DenseView<'_, T>,
         x_start: usize,
         rows: usize,
         out: &mut [T],
@@ -269,7 +271,7 @@ pub(crate) fn gather_t_block_ell<T: Scalar, F: Fn(T) -> T + Sync>(
     d: usize,
     nout: usize,
     tile_width: usize,
-    x: &DenseMatrix<T>,
+    x: DenseView<'_, T>,
     x_start: usize,
     rows: usize,
     out: &mut [T],
@@ -321,7 +323,7 @@ fn gather_t_tile_row_ell<T: Scalar>(
 pub(crate) fn gather_t_block_csr<T: Scalar, F: Fn(T) -> T + Sync>(
     csr: &CsrMatrix<T>,
     tile_width: usize,
-    x: &DenseMatrix<T>,
+    x: DenseView<'_, T>,
     x_start: usize,
     rows: usize,
     out: &mut [T],
@@ -407,7 +409,7 @@ mod tests {
         for tile_cols in [1, 3, 8, 24, 100] {
             let tiles = ColumnTiles::build(&w, tile_cols);
             let mut out = vec![9.0f64; 5 * 24]; // stale contents must not matter
-            tiles.gather_block(&x, 0, 5, &mut out, &Epilogue::identity());
+            tiles.gather_block(x.view(), 0, 5, &mut out, &Epilogue::identity());
             assert_eq!(out, expect.as_slice(), "tile_cols = {tile_cols}");
         }
     }
@@ -429,7 +431,7 @@ mod tests {
         // Tiled, rows [2, 5) only.
         let tiles = ColumnTiles::build(&w, 5);
         let mut out = vec![7.0f64; 3 * 12];
-        tiles.gather_block(&x, 2, 3, &mut out, &epi);
+        tiles.gather_block(x.view(), 2, 3, &mut out, &epi);
         for (b, row) in out.chunks(12).enumerate() {
             assert_eq!(row, expect.row(b + 2), "block row {b}");
         }
@@ -468,7 +470,7 @@ mod tests {
                 3,
                 24,
                 width,
-                &x,
+                x.view(),
                 0,
                 5,
                 &mut out,
@@ -477,7 +479,7 @@ mod tests {
             assert_eq!(out, expect_ell.as_slice(), "ell width {width}");
             // CSR: fused epilogue, partial row block [2, 5).
             let mut out = vec![7.0f64; 3 * 24];
-            gather_t_block_csr(&csr, width, &x, 2, 3, &mut out, &epi);
+            gather_t_block_csr(&csr, width, x.view(), 2, 3, &mut out, &epi);
             for (b, row) in out.chunks(24).enumerate() {
                 assert_eq!(row, expect_csr.row(b + 2), "csr width {width} row {b}");
             }

@@ -70,7 +70,7 @@ pub mod scalar;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
-pub use dense::DenseMatrix;
+pub use dense::{AsDenseView, DenseMatrix, DenseView};
 pub use error::SparseError;
 pub use kernel::{ActivationSchedule, Bias, Epilogue, PreparedWeights};
 pub use kron::{kron, kron_ones_left};

@@ -149,7 +149,7 @@ fn mismatched_training_inputs_panic_with_clear_messages() {
     let x = DenseMatrix::zeros(3, 4);
     let bad_y = DenseMatrix::zeros(2, 2); // wrong batch
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = net.grad_batch(&x, Targets::Values(&bad_y));
+        let _ = net.grad_batch(&x, Targets::values(&bad_y));
     }));
     assert!(result.is_err(), "batch mismatch must be caught");
 }
