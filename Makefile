@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-mt build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-gate bench-baseline calibrate clean
+.PHONY: verify verify-mt verify-serve serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -17,6 +17,24 @@ verify-mt:
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p rayon
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test zero_alloc
+
+## The serving-engine suites under a forced multi-thread worker pool —
+## what CI's `serve` job runs (POOL_THREADS=2 there): the crossbeam shim's
+## channel/disconnect semantics, the serve unit + integration/property
+## suites, and the serving zero-alloc proof (which forces its own 4-thread
+## pool internally; it is its own process, so the override is safe).
+verify-serve:
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p crossbeam
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --lib serve
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test serve
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test zero_alloc_serve
+
+## Serving smoke: start the engine, drive concurrent clients against it,
+## assert every response is correct and demuxed to its requester in order,
+## and shut down cleanly — the release-mode soak CI's `serve` job runs on
+## a forced multi-thread pool.
+serve-smoke:
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q --release -p radix-challenge --test serve -- concurrent_clients oversubscribed shutdown
 
 build:
 	$(CARGO) build --release
@@ -57,26 +75,46 @@ bench-json-smoke:
 	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels_smoke.json \
 		$(CARGO) run --release -p radix-bench --bin bench_kernels
 
-## Perf regression gate: a fresh quick-mode run compared against the
-## committed BENCH_kernels.json with a generous tolerance (2x by default;
-## override with RADIX_BENCH_TOLERANCE). Fails on gross regressions and
-## prints a per-kernel delta table of every offender. CI uploads the
-## scratch JSON as a workflow artifact.
+## Serving-latency benchmark: closed-loop capacity plus p50/p99 at three
+## relative offered loads, written to target/BENCH_serve_fresh.json. Also
+## enforces the serving acceptance bound (low-load p99 <= the configured
+## RADIX_SERVE_DEADLINE_US budget) — nonzero exit on violation.
+bench-serve:
+	$(CARGO) run --release -p radix-bench --bin bench_serve
+
+## Perf regression gate: fresh quick-mode kernel AND serving-latency runs
+## compared against the committed BENCH_kernels.json with generous
+## tolerances (2x kernels / 3x serve by default; override with
+## RADIX_BENCH_TOLERANCE / RADIX_BENCH_SERVE_TOLERANCE). Fails on gross
+## regressions and prints a per-kernel delta table of every offender. CI
+## uploads both scratch JSONs as workflow artifacts.
 bench-gate:
 	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels.scratch.json \
 		$(CARGO) run --release -p radix-bench --bin bench_kernels
-	RADIX_BENCH_CANDIDATE=target/BENCH_kernels.scratch.json \
+	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_serve.scratch.json \
+		$(CARGO) run --release -p radix-bench --bin bench_serve
+	RADIX_BENCH_CANDIDATE=target/BENCH_kernels.scratch.json:target/BENCH_serve.scratch.json \
 		$(CARGO) run --release -p radix-bench --bin bench_gate
 
 ## Rewrite the committed baseline for THIS machine's thread count: a
-## full-budget emitter run merged into BENCH_kernels.json keyed by the
-## worker-pool width (runs at other widths are preserved). Run once per
-## machine shape — e.g. `RADIX_POOL_THREADS=2 make bench-baseline` to
+## full-budget emitter run merged point-wise into BENCH_kernels.json keyed
+## by the worker-pool width (runs at other widths, and points the emitter
+## didn't measure — e.g. serve_* latency points — are preserved). Run once
+## per machine shape — e.g. `RADIX_POOL_THREADS=2 make bench-baseline` to
 ## commit the multi-core rows the pool kernels gate against on 2-core CI.
 bench-baseline:
 	RADIX_BENCH_OUT=target/BENCH_kernels_fresh.json \
 		$(CARGO) run --release -p radix-bench --bin bench_kernels
 	RADIX_BENCH_FRESH=target/BENCH_kernels_fresh.json \
+		$(CARGO) run --release -p radix-bench --bin bench_baseline
+
+## Same, for the serving-latency points: a full-budget bench_serve run
+## merged point-wise into BENCH_kernels.json at this machine's width,
+## leaving the kernel points there intact.
+bench-serve-baseline:
+	RADIX_BENCH_OUT=target/BENCH_serve_fresh.json \
+		$(CARGO) run --release -p radix-bench --bin bench_serve
+	RADIX_BENCH_FRESH=target/BENCH_serve_fresh.json \
 		$(CARGO) run --release -p radix-bench --bin bench_baseline
 
 ## Measure the serial-vs-parallel crossover and the best RADIX_TILE_COLS

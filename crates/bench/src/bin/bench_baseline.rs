@@ -1,10 +1,16 @@
-//! Baseline merger: folds a fresh `bench_kernels` run into the committed
-//! `BENCH_kernels.json`, **keyed by thread count** — the run measured at
-//! the same worker-pool width is replaced, runs at other widths are kept.
-//! This is how the baseline accumulates one entry per machine shape
-//! (1-core container, 2-core CI runner, …) so the perf gate can compare
-//! pool (`*rayon*`) kernels like-for-like instead of skipping them
-//! whenever the widths differ.
+//! Baseline merger: folds a fresh `bench_kernels` or `bench_serve` run
+//! into the committed `BENCH_kernels.json`, **keyed by thread count** and
+//! merged **point-wise** — within the run at the fresh run's worker-pool
+//! width, points re-measured by the fresh run are replaced, points it
+//! didn't measure are kept, and new points are appended; runs at other
+//! widths are untouched. Point-wise merging is what lets the kernel
+//! emitter and the serving-latency emitter re-baseline independently: a
+//! `bench_serve` merge updates the `serve_*` points at its width without
+//! wiping the kernel points measured there, and vice versa. The baseline
+//! accumulates one run per machine shape (1-core container, 2-core CI
+//! runner, …) so the perf gate can compare pool (`*rayon*`) kernels and
+//! serving latencies like-for-like instead of skipping them whenever the
+//! widths differ.
 //!
 //! Invocation (see `make bench-baseline`):
 //!
@@ -19,7 +25,7 @@
 //! * `RADIX_BENCH_BASELINE` — the baseline to rewrite (default
 //!   `BENCH_kernels.json`; created if absent).
 //!
-//! The rewritten baseline uses the `radix-bench-kernels/v3` schema: a
+//! The rewritten baseline uses the `radix-bench-kernels/v4` schema: a
 //! `runs` array with one `{threads, configs}` entry per measured width,
 //! sorted by thread count for stable diffs.
 
@@ -53,15 +59,35 @@ fn main() {
             Vec::new()
         }
     };
-    let replaced = runs.iter().any(|r| r.threads == width);
-    runs.retain(|r| r.threads != width);
-    runs.push(fresh);
+    let (mut updated, mut added, mut kept) = (0usize, 0usize, 0usize);
+    if let Some(run) = runs.iter_mut().find(|r| r.threads == width) {
+        // Point-wise merge into the existing run at this width: replace
+        // re-measured points in place (stable diffs), append new ones.
+        kept = run.points.len();
+        for p in fresh.points {
+            if let Some(old) = run
+                .points
+                .iter_mut()
+                .find(|o| o.config == p.config && o.kernel == p.kernel)
+            {
+                *old = p;
+                updated += 1;
+                kept -= 1;
+            } else {
+                run.points.push(p);
+                added += 1;
+            }
+        }
+    } else {
+        added = fresh.points.len();
+        runs.push(fresh);
+    }
     runs.sort_by_key(|r| r.threads.unwrap_or(0));
 
     std::fs::write(&baseline_path, emit_bench_runs(&runs)).expect("write merged baseline");
     println!(
-        "bench_baseline: {} run at threads={} into {baseline_path} ({} run(s) total: {})",
-        if replaced { "replaced" } else { "added" },
+        "bench_baseline: merged into run at threads={} of {baseline_path} \
+         ({updated} point(s) updated, {added} added, {kept} kept; {} run(s) total: {})",
         width.map_or_else(|| "unknown".to_string(), |t| t.to_string()),
         runs.len(),
         runs.iter()

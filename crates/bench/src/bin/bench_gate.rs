@@ -10,20 +10,32 @@
 //!
 //! Environment:
 //! * `RADIX_BENCH_BASELINE` — baseline path (default `BENCH_kernels.json`),
-//! * `RADIX_BENCH_CANDIDATE` — fresh run to check (default
-//!   `target/BENCH_kernels.scratch.json`; CI uploads this file as a
-//!   workflow artifact so failures are diagnosable offline),
+//! * `RADIX_BENCH_CANDIDATE` — fresh run(s) to check, as a colon-separated
+//!   path list (default `target/BENCH_kernels.scratch.json`; CI uploads
+//!   these files as workflow artifacts so failures are diagnosable
+//!   offline). Each file must hold exactly one run, all at the same
+//!   thread count; their points gate as one union — this is how the
+//!   kernel scratch run and the `bench_serve` latency scratch run share
+//!   one gate invocation,
 //! * `RADIX_BENCH_TOLERANCE` — allowed slowdown factor per kernel
 //!   (default `2.0`; generous on purpose — CI runners differ from the
 //!   machine that produced the baseline, so only gross regressions should
-//!   trip the gate).
+//!   trip the gate),
+//! * `RADIX_BENCH_SERVE_TOLERANCE` — allowed slowdown factor for `serve_*`
+//!   latency points (default `3.0`, wider still: end-to-end latency
+//!   through threads, timers, and channels is noisier than a pinned
+//!   kernel min).
 //!
 //! Kernels present in the baseline but missing from the candidate fail the
 //! gate (a silently dropped kernel is a regression of coverage); kernels
 //! only in the candidate are reported but don't fail (new kernels land
-//! before their baseline does). On failure, a per-kernel delta table of
-//! every failing point is printed at the end so the regression is
-//! diagnosable from the CI log alone. Exit code 1 on any failure.
+//! before their baseline does). Serving points gate by the latency-gate
+//! policy: `serve_p99_*` tail points fail on regression (they are the
+//! serving SLO), while `serve_p50_*` and the closed-loop throughput point
+//! are report-only — their deltas always print, and going missing still
+//! fails coverage. On failure, a per-kernel delta table of every failing
+//! point is printed at the end so the regression is diagnosable from the
+//! CI log alone. Exit code 1 on any failure.
 //!
 //! **Thread keying:** pool-dispatch (`*rayon*`) kernel timings depend on
 //! the machine's core count, so a baseline measured on a 1-core container
@@ -35,7 +47,10 @@
 //! still enforced: a parallel kernel missing from the candidate fails
 //! regardless.
 
-use radix_bench::{is_parallel_kernel, parse_bench_runs, parse_bench_threads};
+use radix_bench::{
+    is_parallel_kernel, is_serve_point, parse_bench_runs, parse_bench_threads, serve_point_gates,
+    BenchRun,
+};
 
 struct Failure {
     config: String,
@@ -56,32 +71,52 @@ fn main() {
         .and_then(|v| v.parse::<f64>().ok())
         .filter(|t| t.is_finite() && *t >= 1.0)
         .unwrap_or(2.0);
+    let serve_tolerance = std::env::var("RADIX_BENCH_SERVE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 1.0)
+        .unwrap_or(3.0);
 
     let baseline_text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("bench_gate: cannot read baseline {baseline_path}: {e}"));
-    let candidate_text = std::fs::read_to_string(&candidate_path)
-        .unwrap_or_else(|e| panic!("bench_gate: cannot read candidate {candidate_path}: {e}"));
     let baseline_runs = parse_bench_runs(&baseline_text);
     assert!(
         baseline_runs.iter().any(|r| !r.points.is_empty()),
         "bench_gate: baseline {baseline_path} contains no kernel points"
     );
-    let candidate = {
-        let runs = parse_bench_runs(&candidate_text);
+    // The candidate may span several scratch files (kernels + serve
+    // latency), colon-separated; they union into one run and must agree
+    // on the thread count they were measured at.
+    let mut candidate = BenchRun {
+        threads: None,
+        points: Vec::new(),
+    };
+    for path in candidate_path.split(':').filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench_gate: cannot read candidate {path}: {e}"));
+        let runs = parse_bench_runs(&text);
         assert_eq!(
             runs.len(),
             1,
-            "bench_gate: candidate {candidate_path} must hold exactly one run"
+            "bench_gate: candidate {path} must hold exactly one run"
         );
-        runs.into_iter().next().expect("checked above")
-    };
+        let run = runs.into_iter().next().expect("checked above");
+        let threads = run.threads.or_else(|| parse_bench_threads(&text));
+        match (candidate.threads, threads) {
+            (Some(a), Some(b)) => assert_eq!(
+                a, b,
+                "bench_gate: candidate files measured at different thread counts"
+            ),
+            (None, t) => candidate.threads = t,
+            _ => {}
+        }
+        candidate.points.extend(run.points);
+    }
     assert!(
         !candidate.points.is_empty(),
         "bench_gate: candidate {candidate_path} contains no kernel points"
     );
-    let cand_threads = candidate
-        .threads
-        .or_else(|| parse_bench_threads(&candidate_text));
+    let cand_threads = candidate.threads;
 
     // Pool kernels only gate like-for-like: pick the baseline run measured
     // at the candidate's thread count; fall back to the first run (serial
@@ -96,7 +131,8 @@ fn main() {
 
     let mut failures: Vec<Failure> = Vec::new();
     println!(
-        "bench_gate: candidate {candidate_path} vs baseline {baseline_path} (tolerance {tolerance:.2}x)"
+        "bench_gate: candidate {candidate_path} vs baseline {baseline_path} \
+         (tolerance {tolerance:.2}x, serve {serve_tolerance:.2}x)"
     );
     println!(
         "bench_gate: baseline runs at threads [{}], candidate threads {} -> pool kernels {}",
@@ -120,8 +156,20 @@ fn main() {
         match found {
             Some(cand) => {
                 let ratio = cand.seconds_per_iter / base.seconds_per_iter.max(1e-12);
-                let gated = threads_match || !is_parallel_kernel(&base.kernel);
-                let verdict = if ratio <= tolerance {
+                // Serve points: wider tolerance, and only the p99 tail
+                // points gate (p50/closed-loop are report-only). Pool
+                // timings of either kind gate only at a matched width.
+                let tol = if is_serve_point(&base.kernel) {
+                    serve_tolerance
+                } else {
+                    tolerance
+                };
+                let gated = if is_serve_point(&base.kernel) {
+                    threads_match && serve_point_gates(&base.kernel)
+                } else {
+                    threads_match || !is_parallel_kernel(&base.kernel)
+                };
+                let verdict = if ratio <= tol {
                     "ok"
                 } else if gated {
                     failures.push(Failure {
@@ -181,7 +229,8 @@ fn main() {
         // just the first kernel that happened to trip.
         eprintln!();
         eprintln!(
-            "bench_gate: {} kernel(s) regressed beyond {tolerance:.2}x (or went missing):",
+            "bench_gate: {} kernel(s) regressed beyond tolerance \
+             ({tolerance:.2}x kernels, {serve_tolerance:.2}x serve) or went missing:",
             failures.len()
         );
         eprintln!(
@@ -203,5 +252,8 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("bench_gate: all kernels within {tolerance:.2}x of baseline");
+    println!(
+        "bench_gate: all kernels within tolerance \
+         ({tolerance:.2}x kernels, {serve_tolerance:.2}x serve) of baseline"
+    );
 }

@@ -1,0 +1,305 @@
+//! Serving-latency benchmark → `serve_*` points for `BENCH_kernels.json`.
+//!
+//! Measures the async serving engine (`radix_challenge::serve`) as a live
+//! system, not a kernel: a closed-loop throughput point (as many
+//! concurrent clients as the micro-batch holds rows, submitting
+//! back-to-back), then p50/p99 response latency at three offered loads —
+//! 10%, 30%, and 60% of the measured closed-loop capacity. Relative loads
+//! keep the points meaningful across machines: 150 rows/s is "low load"
+//! on the 1-core container and on a fast runner alike.
+//!
+//! The emitted JSON is the same line-oriented single-run shape as
+//! `bench_kernels` (a `"threads"` key, one config, a `kernels` array), so
+//! `bench_baseline` merges it point-wise into the committed baseline and
+//! `bench_gate` diffs it — `seconds_per_iter` carries the latency
+//! percentile (or seconds-per-row for the closed-loop point), and
+//! `edges_per_sec` the corresponding edge throughput of the offered load.
+//! Latency points are thread-keyed like the pool kernels (blocks execute
+//! on the worker pool) and gate under the wider
+//! `RADIX_BENCH_SERVE_TOLERANCE`; only the `serve_p99_*` tail points gate.
+//!
+//! The run also **enforces the serving acceptance criterion**: at the low
+//! (10%) load, p99 must come in at or under the configured end-to-end
+//! deadline budget — exit code 1 otherwise.
+//!
+//! Invocation (see `make bench-serve`):
+//!
+//! ```text
+//! cargo run --release -p radix-bench --bin bench_serve
+//! ```
+//!
+//! Environment:
+//! * `RADIX_BENCH_QUICK=1` — fewer samples per point (CI smoke/gate),
+//! * `RADIX_BENCH_OUT` — output path (default
+//!   `target/BENCH_serve_fresh.json`),
+//! * `RADIX_SERVE_DEADLINE_US` — end-to-end latency budget the engine is
+//!   configured with; also the p99 acceptance bound. The bench defaults
+//!   it to 20000 (2× the engine default): on shared CI runners and 1-core
+//!   containers, absolute scheduler jitter of several milliseconds is
+//!   routine, and the budget must absorb it on top of the batcher wait.
+
+use std::fmt::Write as _;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use radix_bench::{format_json_f64, percentile};
+use radix_challenge::{ChallengeNetwork, ServeConfig, ServeEngine, ServeHandle};
+use radix_sparse::{CsrMatrix, CyclicShift, DenseMatrix};
+
+/// The pinned serving config: `n=4096, deg=16` × 2 layers (one of the two
+/// kernel acceptance configs), 8-row micro-batches.
+const N: usize = 4096;
+const DEGREE: usize = 16;
+const MAX_BATCH: usize = 8;
+
+/// Offered loads as percent of measured closed-loop capacity.
+const REL_LOADS: [usize; 3] = [10, 30, 60];
+
+fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
+    CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| 1.0 / degree as f32)
+}
+
+/// Deterministic dense request rows (same generator as `bench_kernels`).
+fn request_rows(rows: usize, cols: usize) -> DenseMatrix<f32> {
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        let r: &mut [f32] = m.row_mut(i);
+        for (j, v) in r.iter_mut().enumerate() {
+            *v = ((i * 31 + j * 17) % 13) as f32 * 0.07;
+        }
+    }
+    m
+}
+
+/// Closed-loop throughput: `clients` threads submit `per_client` rows
+/// back-to-back; returns rows/second.
+fn closed_loop(
+    handle: &ServeHandle,
+    x: &DenseMatrix<f32>,
+    clients: usize,
+    per_client: usize,
+) -> f64 {
+    let start_line = Barrier::new(clients + 1);
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = handle.client();
+                let start_line = &start_line;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    // Per-thread warm-up: lazy parking state, output capacity.
+                    for i in 0..4 {
+                        client
+                            .infer_into(x.row((c + i) % x.nrows()), &mut out)
+                            .unwrap();
+                    }
+                    start_line.wait();
+                    for i in 0..per_client {
+                        client
+                            .infer_into(x.row((c + i) % x.nrows()), &mut out)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        start_line.wait();
+        let t = Instant::now();
+        for h in handles {
+            h.join().expect("closed-loop client panicked");
+        }
+        elapsed = t.elapsed();
+    });
+    (clients * per_client) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// Paced open-ish loop at `offered` rows/second across `threads`
+/// submitters (each pacing at `offered / threads`); returns every
+/// response latency in seconds.
+fn latency_at(
+    handle: &ServeHandle,
+    x: &DenseMatrix<f32>,
+    threads: usize,
+    per_thread: usize,
+    offered: f64,
+) -> Vec<f64> {
+    let interval = Duration::from_secs_f64(threads as f64 / offered.max(1e-9));
+    let start_line = Barrier::new(threads);
+    let mut all = Vec::with_capacity(threads * per_thread);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|c| {
+                let client = handle.client();
+                let start_line = &start_line;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut latencies = Vec::with_capacity(per_thread);
+                    for i in 0..2 {
+                        client
+                            .infer_into(x.row((c + i) % x.nrows()), &mut out)
+                            .unwrap();
+                    }
+                    start_line.wait();
+                    // Pace against an absolute schedule so one slow
+                    // response does not shift every later arrival.
+                    let t0 = Instant::now();
+                    for i in 0..per_thread {
+                        let due = interval * i as u32;
+                        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let t = Instant::now();
+                        client
+                            .infer_into(x.row((c + i) % x.nrows()), &mut out)
+                            .unwrap();
+                        latencies.push(t.elapsed().as_secs_f64());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("latency client panicked"));
+        }
+    });
+    all
+}
+
+fn main() {
+    let quick = std::env::var("RADIX_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let out_path = std::env::var("RADIX_BENCH_OUT")
+        .unwrap_or_else(|_| "target/BENCH_serve_fresh.json".to_string());
+
+    let w = layer(N, DEGREE);
+    let net = ChallengeNetwork::from_layers(vec![w.clone(), w], -0.3, 32.0);
+    let edges_per_row = net.total_nnz() as f64;
+    let x = request_rows(MAX_BATCH * 2, net.n_in());
+
+    let config = ServeConfig {
+        max_batch: MAX_BATCH,
+        deadline_us: radix_sparse::kernel::env_usize("RADIX_SERVE_DEADLINE_US", 20_000) as u64,
+        slots: 4 * MAX_BATCH,
+        queue: 4 * MAX_BATCH,
+        parallel: true,
+    };
+    let handle = ServeEngine::start(net, &config);
+    eprintln!(
+        "bench_serve: n={N} deg={DEGREE} max_batch={MAX_BATCH} deadline={}us \
+         (batcher wait {}us) threads={} quick={quick}",
+        config.deadline_us,
+        handle.batch_wait_us(),
+        rayon::current_num_threads(),
+    );
+
+    // Closed-loop capacity first: the relative load points hang off it.
+    let (clients, per_client) = if quick {
+        (MAX_BATCH, 40)
+    } else {
+        (MAX_BATCH, 200)
+    };
+    let capacity = closed_loop(&handle, &x, clients, per_client);
+    println!(
+        "{:>22}  {:>10.1} rows/s  {:>12.3e} edges/s  ({clients} clients closed loop)",
+        "serve_row_closed_loop",
+        capacity,
+        capacity * edges_per_row
+    );
+
+    struct ServePoint {
+        name: String,
+        seconds: f64,
+        edges_per_sec: f64,
+    }
+    let mut points = vec![ServePoint {
+        name: "serve_row_closed_loop".to_string(),
+        seconds: 1.0 / capacity.max(1e-9),
+        edges_per_sec: capacity * edges_per_row,
+    }];
+
+    // Latency vs offered load, low to high.
+    let (lat_threads, per_thread) = if quick { (4, 30) } else { (4, 100) };
+    let mut low_load_p99 = f64::INFINITY;
+    for rel in REL_LOADS {
+        let offered = capacity * rel as f64 / 100.0;
+        let samples = latency_at(&handle, &x, lat_threads, per_thread, offered);
+        let p50 = percentile(&samples, 0.50);
+        let p99 = percentile(&samples, 0.99);
+        if rel == REL_LOADS[0] {
+            low_load_p99 = p99;
+        }
+        println!(
+            "{:>22}  p50 {:>9.3} ms  p99 {:>9.3} ms  ({:>8.1} rows/s offered, {} samples)",
+            format!("serve_rel{rel}"),
+            p50 * 1e3,
+            p99 * 1e3,
+            offered,
+            samples.len()
+        );
+        points.push(ServePoint {
+            name: format!("serve_p50_rel{rel}"),
+            seconds: p50,
+            edges_per_sec: offered * edges_per_row,
+        });
+        points.push(ServePoint {
+            name: format!("serve_p99_rel{rel}"),
+            seconds: p99,
+            edges_per_sec: offered * edges_per_row,
+        });
+    }
+
+    let stats = handle.shutdown();
+    println!(
+        "serve stats: {} rows in {} batches (max {} rows; {} full / {} deadline flushes)",
+        stats.rows, stats.batches, stats.max_rows, stats.full_flushes, stats.deadline_flushes
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"radix-bench-serve/v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
+    let _ = writeln!(json, "  \"deadline_us\": {},", config.deadline_us);
+    json.push_str(
+        "  \"note\": \"serving-engine latency points: seconds_per_iter is a response-latency \
+         percentile (or seconds/row for the closed-loop point) and edges_per_sec the offered \
+         edge throughput; merged into BENCH_kernels.json by `make bench-baseline`\",\n",
+    );
+    json.push_str("  \"configs\": [\n    {\n");
+    let _ = writeln!(
+        json,
+        "      \"name\": \"serve_n{N}_deg{DEGREE}_b{MAX_BATCH}\","
+    );
+    let _ = writeln!(json, "      \"kernels\": [");
+    for (ki, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "        {{\"name\": \"{}\", \"seconds_per_iter\": {}, \"edges_per_sec\": {}}}{}",
+            p.name,
+            format_json_f64(p.seconds),
+            format_json_f64(p.edges_per_sec),
+            if ki + 1 == points.len() { "" } else { "," }
+        );
+    }
+    json.push_str("      ]\n    }\n  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write serve benchmark JSON");
+    println!("wrote {out_path}");
+
+    // Acceptance criterion: at low load the tail must fit the budget.
+    let budget = config.deadline_us as f64 * 1e-6;
+    if low_load_p99 > budget {
+        eprintln!(
+            "bench_serve: FAIL low-load p99 {:.3} ms exceeds deadline budget {:.3} ms",
+            low_load_p99 * 1e3,
+            budget * 1e3
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_serve: low-load p99 {:.3} ms within deadline budget {:.3} ms",
+        low_load_p99 * 1e3,
+        budget * 1e3
+    );
+}

@@ -122,14 +122,49 @@ pub fn parse_bench_threads(text: &str) -> Option<usize> {
 
 /// Whether a kernel point runs on the worker pool (its timing depends on
 /// the machine's core count): the pinned subset names every pool-dispatch
-/// variant with `rayon`. The perf gate compares these points only between
-/// runs measured at the same thread count.
+/// variant with `rayon`, and every serving-latency point (`serve_*` from
+/// `bench_serve`) runs blocks on the pool too. The perf gate compares
+/// these points only between runs measured at the same thread count.
 #[must_use]
 pub fn is_parallel_kernel(name: &str) -> bool {
-    name.contains("rayon")
+    name.contains("rayon") || is_serve_point(name)
 }
 
-/// Parses a `radix-bench-kernels/v1..v3` JSON file (as written by
+/// Whether a point is a serving-engine measurement from `bench_serve`
+/// (latency percentiles and the closed-loop throughput point). These gate
+/// under their own, wider tolerance (`RADIX_BENCH_SERVE_TOLERANCE`):
+/// end-to-end latency through threads, channels, and timers is far
+/// noisier on shared CI runners than a pinned single-kernel min.
+#[must_use]
+pub fn is_serve_point(name: &str) -> bool {
+    name.starts_with("serve_")
+}
+
+/// Whether a serving point is *gated* (fails the gate on regression)
+/// rather than report-only. Per the latency-gate policy, the p99 points
+/// gate — tail latency is the serving SLO — while p50 and the closed-loop
+/// throughput point ride along informationally (their regressions always
+/// show in the gate log, and coverage is still enforced for all of them).
+#[must_use]
+pub fn serve_point_gates(name: &str) -> bool {
+    name.starts_with("serve_p99")
+}
+
+/// The `q`-th percentile (0.0–1.0) of a sample set by nearest-rank on a
+/// sorted copy — the estimator `bench_serve` reports p50/p99 latency
+/// with. Returns 0.0 for an empty sample set.
+#[must_use]
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Parses a `radix-bench-kernels/v1..v4` JSON file (as written by
 /// `bench_kernels` or merged by `bench_baseline`) into its kernel timing
 /// points, flattened across runs. The format is line-oriented by
 /// construction: every kernel object sits on one line carrying both `name`
@@ -144,7 +179,7 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchPoint> {
 }
 
 /// Parses a baseline file into its per-thread-count runs. Every `"threads"`
-/// line starts a new run (v3 merged baselines carry several); a v1 file with
+/// line starts a new run (merged baselines carry several); a v1 file with
 /// no `threads` key yields one run with `threads: None`. Kernel points
 /// encountered before any `threads` line also land in a `None` run (no
 /// emitter writes that shape, but truncated files stay parseable).
@@ -185,18 +220,23 @@ pub fn parse_bench_runs(text: &str) -> Vec<BenchRun> {
     runs
 }
 
-/// Serializes runs as a `radix-bench-kernels/v3` baseline: one entry per
+/// Serializes runs as a `radix-bench-kernels/v4` baseline: one entry per
 /// thread count, each holding its configs and kernel points — the format
 /// `make bench-baseline` writes and [`parse_bench_runs`] reads back.
-/// Config metadata beyond the name (n/degree/batch) is not carried; the
-/// config name (`n16384_deg8_b32`) encodes it.
+/// v4 adds serving-latency points (`serve_*` from `bench_serve`, where
+/// `seconds_per_iter` is a latency percentile rather than a kernel time)
+/// merged point-wise into the same per-width runs; the line format is
+/// unchanged, so v3 readers still parse v4 files. Config metadata beyond
+/// the name (n/degree/batch) is not carried; the config name
+/// (`n16384_deg8_b32`) encodes it.
 #[must_use]
 pub fn emit_bench_runs(runs: &[BenchRun]) -> String {
     use std::fmt::Write as _;
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"radix-bench-kernels/v3\",\n");
+    json.push_str("{\n  \"schema\": \"radix-bench-kernels/v4\",\n");
     json.push_str(
-        "  \"note\": \"edges/sec per kernel on the pinned layer configs, one run per \
+        "  \"note\": \"edges/sec per kernel on the pinned layer configs plus serve_* \
+         latency points (seconds_per_iter = latency percentile), one run per \
          worker-pool width; written by `make bench-baseline` (full-budget min-statistic \
          numbers); the perf gate compares a candidate against the run measured at the \
          candidate's own width\",\n",
@@ -402,6 +442,8 @@ mod tests {
             "prepared_tiled_rayon_fused",
             "transposed_tiled_rayon",
             "spgemm_rayon",
+            "serve_p99_rel10",
+            "serve_row_closed_loop",
         ] {
             assert!(is_parallel_kernel(name), "{name}");
         }
@@ -417,5 +459,48 @@ mod tests {
         ] {
             assert!(!is_parallel_kernel(name), "{name}");
         }
+    }
+
+    #[test]
+    fn classifies_serve_points_and_gating() {
+        assert!(is_serve_point("serve_p50_rel10"));
+        assert!(is_serve_point("serve_row_closed_loop"));
+        assert!(!is_serve_point("prepared_tiled_fused"));
+        // Only tail-latency points gate; p50 and throughput ride along.
+        assert!(serve_point_gates("serve_p99_rel10"));
+        assert!(serve_point_gates("serve_p99_rel60"));
+        assert!(!serve_point_gates("serve_p50_rel10"));
+        assert!(!serve_point_gates("serve_row_closed_loop"));
+        assert!(!serve_point_gates("prepared_rayon_fused"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&samples, 0.5), 3.0);
+        assert_eq!(percentile(&samples, 0.99), 5.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 5.0);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // q past 1.0 clamps instead of indexing out of range.
+        assert_eq!(percentile(&samples, 2.0), 5.0);
+    }
+
+    #[test]
+    fn v4_header_roundtrips() {
+        let runs = vec![BenchRun {
+            threads: Some(2),
+            points: vec![BenchPoint {
+                config: "serve_n4096_deg16_b8".into(),
+                kernel: "serve_p99_rel10".into(),
+                seconds_per_iter: 2.0e-3,
+                edges_per_sec: 0.0,
+            }],
+        }];
+        let text = emit_bench_runs(&runs);
+        assert!(text.contains("radix-bench-kernels/v4"));
+        let back = parse_bench_runs(&text);
+        assert_eq!(back, runs);
     }
 }

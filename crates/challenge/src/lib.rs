@@ -18,7 +18,11 @@
 //!   [`InferWorkspace`] so the timed region performs zero heap allocation
 //!   after warm-up (serial and pool-parallel),
 //! * [`forward_pipelined`] — a crossbeam-channel depth-pipelined schedule,
-//!   bit-identical results, different parallel structure (ablation bench).
+//!   bit-identical results, different parallel structure (ablation bench),
+//! * [`ServeEngine`] — an async serving front-end: concurrent clients
+//!   submit single rows, a deadline-aware [`MicroBatcher`] coalesces them
+//!   into tile blocks under a latency budget, and a demux stage routes
+//!   results back — zero-alloc in steady state (`serve`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@ pub mod catalog;
 pub mod config;
 pub mod infer;
 pub mod pipeline;
+pub mod serve;
 pub mod stream;
 
 pub use catalog::{challenge_ladder, CatalogEntry};
@@ -35,4 +40,7 @@ pub use infer::{
     fuse_layers, ChallengeNetwork, InferWorkspace, InferenceStats, DEFAULT_FUSE_LAYERS,
 };
 pub use pipeline::forward_pipelined;
+pub use serve::{
+    MicroBatcher, ServeClient, ServeConfig, ServeEngine, ServeError, ServeHandle, ServeStats,
+};
 pub use stream::{run_stream, LayerActivationStats, StreamResult};

@@ -1,0 +1,846 @@
+//! Asynchronous inference serving: many concurrent clients, one engine,
+//! deadline-aware micro-batching onto the fused tiled kernels.
+//!
+//! This turns the batch pipeline into a *service*. Clients submit
+//! single-row inference requests from any number of threads through a
+//! clonable [`ServeClient`]; a dedicated engine thread coalesces them into
+//! row blocks of at most [`ServeConfig::max_batch`] rows (the fused
+//! schedule's tile height) under a configurable latency budget, runs each
+//! block through [`ChallengeNetwork::forward_with`] on the persistent
+//! worker pool, and demuxes every row's result back to its requester in
+//! submission order. "Async" here is channel-and-thread asynchrony — the
+//! offline build image has no async runtime, and none is needed: the
+//! request path is two bounded hand-offs and a condvar.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! client                       engine thread                    pool
+//!   │ check out slot             │                                │
+//!   │ write row into slot        │                                │
+//!   │ send slot id ──bounded──▶  │ MicroBatcher: coalesce ids     │
+//!   │ wait on slot condvar       │   flush on full block OR       │
+//!   │                            │   deadline, whichever first    │
+//!   │                            │ gather rows → batch matrix     │
+//!   │                            │ forward_with ───────────────▶  │ fused
+//!   │                            │                 ◀───────────── │ tiled
+//!   │ ◀─ result + notify ─────── │ demux rows → slots, in order   │
+//!   │ return slot to free list   │                                │
+//! ```
+//!
+//! # Allocation discipline
+//!
+//! Every buffer a request touches is pre-allocated at engine start: the
+//! slot pool (one input row + one output row per in-flight request), the
+//! batch gather matrix, the [`InferWorkspace`], and the micro-batcher's id
+//! buffer. The bounded channel carries bare slot indices (`usize`). After
+//! warm-up traffic has driven the channel/condvar parking structures to
+//! their high-water marks, the steady-state serving loop — submit, batch,
+//! execute, demux, respond — performs **zero heap allocation** on either
+//! side (`tests/zero_alloc_serve.rs` pins this down with a counting
+//! allocator on a forced 4-thread pool).
+//!
+//! # Backpressure and shutdown
+//!
+//! Two bounded stages push back on producers: clients block checking out a
+//! slot when all [`ServeConfig::slots`] are in flight, and block again on
+//! the bounded request channel when the engine is behind. Graceful
+//! shutdown ([`ServeHandle::shutdown`]) stops admission first (new
+//! requests fail fast with [`ServeError::Shutdown`]), then drains: the
+//! engine keeps flushing until every queued request has been answered and
+//! every slot returned, and only then exits. If the engine thread dies,
+//! waiting clients are woken and receive [`ServeError::Shutdown`] instead
+//! of hanging.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use radix_sparse::DenseMatrix;
+
+use crate::infer::{ChallengeNetwork, InferWorkspace};
+
+/// Default micro-batch latency budget in microseconds
+/// (`RADIX_SERVE_DEADLINE_US`): the end-to-end time a request may spend
+/// waiting for its block to fill *plus* being computed.
+pub const DEFAULT_DEADLINE_US: usize = 10_000;
+
+/// Default number of pre-allocated in-flight request slots
+/// (`RADIX_SERVE_SLOTS`), as a multiple of [`ServeConfig::max_batch`].
+const DEFAULT_SLOT_BLOCKS: usize = 4;
+
+/// Serving engine configuration. [`ServeConfig::default`] reads the
+/// `RADIX_SERVE_*` environment knobs (each field documents its variable),
+/// so a deployment can be tuned without code changes; explicit fields win
+/// over the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Rows per coalesced block — flush threshold of the micro-batcher.
+    /// Defaults to `RADIX_SERVE_BATCH` or 32, the fused schedule's row
+    /// block, so a full micro-batch is exactly one tile block.
+    pub max_batch: usize,
+    /// End-to-end latency budget per request, in microseconds
+    /// (`RADIX_SERVE_DEADLINE_US`, default [`DEFAULT_DEADLINE_US`]). The
+    /// engine measures the cost of a full block at start-up and budgets
+    /// the batcher's *wait* deadline as half of
+    /// `deadline_us - measured_compute` — the other half stays as slack
+    /// for queueing and scheduler jitter — so at low load a lone
+    /// request's tail latency still fits the budget instead of idling the
+    /// full window before compute even starts.
+    pub deadline_us: u64,
+    /// Pre-allocated in-flight request slots (`RADIX_SERVE_SLOTS`, default
+    /// `4 * max_batch`). This bounds memory *and* is the first
+    /// backpressure stage: clients block when all slots are checked out.
+    pub slots: usize,
+    /// Bound of the request channel (`RADIX_SERVE_QUEUE`, default
+    /// `slots`) — the second backpressure stage.
+    pub queue: usize,
+    /// Whether block execution uses the pool-parallel fused kernels
+    /// (default) or the serial schedule. Results are bitwise identical
+    /// either way; serial avoids pool contention when the caller runs
+    /// several engines.
+    pub parallel: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let max_batch = radix_sparse::kernel::env_usize("RADIX_SERVE_BATCH", 32).max(1);
+        let slots = radix_sparse::kernel::env_usize("RADIX_SERVE_SLOTS", 0);
+        let slots = if slots == 0 {
+            DEFAULT_SLOT_BLOCKS * max_batch
+        } else {
+            slots
+        };
+        ServeConfig {
+            max_batch,
+            deadline_us: radix_sparse::kernel::env_usize(
+                "RADIX_SERVE_DEADLINE_US",
+                DEFAULT_DEADLINE_US,
+            ) as u64,
+            slots,
+            queue: radix_sparse::kernel::env_usize("RADIX_SERVE_QUEUE", slots).max(1),
+            parallel: true,
+        }
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine is shutting down (or its thread has exited); the request
+    /// was not executed.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shutdown => write!(f, "serving engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Counters the engine accumulates over its lifetime, returned by
+/// [`ServeHandle::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Total rows (requests) served.
+    pub rows: u64,
+    /// Total coalesced blocks executed.
+    pub batches: u64,
+    /// Blocks flushed because they reached [`ServeConfig::max_batch`] rows.
+    pub full_flushes: u64,
+    /// Blocks flushed because the oldest pending request hit its wait
+    /// deadline (or the channel disconnected with rows pending).
+    pub deadline_flushes: u64,
+    /// Largest block executed — never exceeds [`ServeConfig::max_batch`].
+    pub max_rows: u64,
+}
+
+/// Deadline-aware micro-batching policy: a pure, tick-based accumulator
+/// the engine loop drives (and property tests exercise without threads or
+/// clocks). Requests are pushed with their arrival tick; the batch must be
+/// flushed when it is full **or** when the *oldest* pending request has
+/// waited `budget` ticks — whichever comes first. Because the deadline is
+/// keyed to the oldest request, no request ever waits more than `budget`
+/// ticks in the batcher (every later arrival's wait is strictly shorter).
+#[derive(Debug, Clone)]
+pub struct MicroBatcher {
+    max_rows: usize,
+    budget: u64,
+    ids: Vec<usize>,
+    first_tick: u64,
+}
+
+impl MicroBatcher {
+    /// A batcher coalescing up to `max_rows` requests, holding the oldest
+    /// at most `budget` ticks. Pre-allocates its id buffer — pushes never
+    /// allocate.
+    ///
+    /// # Panics
+    /// Panics if `max_rows == 0`.
+    #[must_use]
+    pub fn new(max_rows: usize, budget: u64) -> Self {
+        assert!(max_rows > 0, "micro-batch size must be positive");
+        MicroBatcher {
+            max_rows,
+            budget,
+            ids: Vec::with_capacity(max_rows),
+            first_tick: 0,
+        }
+    }
+
+    /// Pending request count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no requests are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether the block has reached its row limit and must be flushed
+    /// before the next push.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.ids.len() == self.max_rows
+    }
+
+    /// Adds a request (by id) arriving at tick `now`; returns whether the
+    /// block is now full.
+    ///
+    /// # Panics
+    /// Panics if the block is already full — the caller must flush first.
+    pub fn push(&mut self, id: usize, now: u64) -> bool {
+        assert!(!self.is_full(), "push into a full micro-batch");
+        if self.ids.is_empty() {
+            self.first_tick = now;
+        }
+        self.ids.push(id);
+        self.is_full()
+    }
+
+    /// The tick by which the pending block must flush (`None` when empty):
+    /// the oldest request's arrival plus the wait budget.
+    #[must_use]
+    pub fn deadline(&self) -> Option<u64> {
+        if self.ids.is_empty() {
+            None
+        } else {
+            Some(self.first_tick.saturating_add(self.budget))
+        }
+    }
+
+    /// Whether the block must flush at tick `now`: it is full, or the
+    /// oldest pending request has exhausted its wait budget.
+    #[must_use]
+    pub fn should_flush(&self, now: u64) -> bool {
+        self.is_full() || self.deadline().is_some_and(|d| now >= d)
+    }
+
+    /// The pending request ids, oldest first (submission order).
+    #[must_use]
+    pub fn pending(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// Empties the block (after the caller has taken [`Self::pending`]).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+}
+
+/// One in-flight request's pre-allocated state.
+struct SlotData {
+    /// The request row, written by the client before submission.
+    input: Vec<f32>,
+    /// The result row, written by the engine's demux stage.
+    output: Vec<f32>,
+    /// Set by the demux stage; the client's condvar predicate.
+    done: bool,
+}
+
+struct Slot {
+    data: Mutex<SlotData>,
+    ready: Condvar,
+}
+
+/// State shared between clients, the engine thread, and the handle.
+struct Shared {
+    slots: Vec<Slot>,
+    /// Indices of currently free slots; capacity `slots.len()`, so pushes
+    /// never allocate.
+    free: Mutex<Vec<usize>>,
+    /// Signals a slot returning to the free list (and shutdown).
+    free_ready: Condvar,
+    /// Cleared by [`ServeHandle::shutdown`]; new requests fail fast.
+    accepting: AtomicBool,
+    /// Cleared when the engine thread exits (normally or by panic) so
+    /// waiting clients never hang on a dead engine.
+    engine_live: AtomicBool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Engine/client panics must not wedge the other side; the protocol
+    // only ever publishes fully-written rows, so continuing past a poison
+    // is sound.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A clonable handle for submitting inference requests to a running
+/// engine. Cheap to clone (an `Arc` and a channel sender); every thread
+/// that issues requests should own a clone.
+pub struct ServeClient {
+    shared: Arc<Shared>,
+    tx: crossbeam::channel::Sender<usize>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Clone for ServeClient {
+    fn clone(&self) -> Self {
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+            tx: self.tx.clone(),
+            n_in: self.n_in,
+            n_out: self.n_out,
+        }
+    }
+}
+
+impl ServeClient {
+    /// Input width the engine's network expects.
+    #[must_use]
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output width of a served result row.
+    #[must_use]
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Submits one row and blocks until its result is written into `out`
+    /// (resized to [`Self::n_out`]). With `out`'s capacity warmed, the
+    /// whole round trip performs no heap allocation on the client thread.
+    ///
+    /// # Errors
+    /// [`ServeError::Shutdown`] if the engine is no longer accepting
+    /// requests or its thread has exited.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.n_in()`.
+    pub fn infer_into(&self, row: &[f32], out: &mut Vec<f32>) -> Result<(), ServeError> {
+        assert_eq!(row.len(), self.n_in, "request row width mismatch");
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        // Stage 1 (backpressure): check out a free slot.
+        let k = {
+            let mut free = lock(&self.shared.free);
+            loop {
+                if let Some(k) = free.pop() {
+                    break k;
+                }
+                if !self.shared.accepting.load(Ordering::Acquire) {
+                    return Err(ServeError::Shutdown);
+                }
+                free = self
+                    .shared
+                    .free_ready
+                    .wait(free)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Write the request row into the slot, then publish its id.
+        {
+            let mut d = lock(&self.shared.slots[k].data);
+            d.input.copy_from_slice(row);
+            d.done = false;
+        }
+        // Stage 2 (backpressure): the bounded request channel.
+        if self.tx.send(k).is_err() {
+            self.release(k);
+            return Err(ServeError::Shutdown);
+        }
+        // Wait for the demux stage to hand the result back. The timeout is
+        // purely defensive: a live engine always answers (it cannot exit
+        // with our slot outstanding), so the predicate loop only breaks
+        // out early if the engine thread died.
+        {
+            let slot = &self.shared.slots[k];
+            let mut d = lock(&slot.data);
+            while !d.done {
+                if !self.shared.engine_live.load(Ordering::Acquire) {
+                    drop(d);
+                    self.release(k);
+                    return Err(ServeError::Shutdown);
+                }
+                let (guard, _timeout) = slot
+                    .ready
+                    .wait_timeout(d, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                d = guard;
+            }
+            out.resize(self.n_out, 0.0);
+            out.copy_from_slice(&d.output);
+            d.done = false;
+        }
+        self.release(k);
+        Ok(())
+    }
+
+    /// Convenience wrapper around [`Self::infer_into`] that allocates the
+    /// result row. Hot clients should hold a reusable buffer and call
+    /// `infer_into` instead.
+    ///
+    /// # Errors
+    /// [`ServeError::Shutdown`] if the engine is no longer accepting
+    /// requests or its thread has exited.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.n_in()`.
+    pub fn infer(&self, row: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let mut out = Vec::new();
+        self.infer_into(row, &mut out)?;
+        Ok(out)
+    }
+
+    /// Returns slot `k` to the free list and wakes one waiting client.
+    fn release(&self, k: usize) {
+        let mut free = lock(&self.shared.free);
+        free.push(k);
+        self.shared.free_ready.notify_one();
+    }
+}
+
+/// The running engine's control handle: hands out clients, shuts the
+/// engine down, and reports its stats.
+pub struct ServeHandle {
+    client: ServeClient,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<ServeStats>,
+    batch_wait_us: u64,
+}
+
+impl ServeHandle {
+    /// A new request handle onto this engine.
+    #[must_use]
+    pub fn client(&self) -> ServeClient {
+        self.client.clone()
+    }
+
+    /// The batcher's effective wait deadline in microseconds: half of the
+    /// configured end-to-end budget net of the block compute cost
+    /// measured at start-up (zero when compute alone exceeds the budget,
+    /// making every flush immediate); the withheld half is slack for
+    /// queueing and scheduler jitter.
+    #[must_use]
+    pub fn batch_wait_us(&self) -> u64 {
+        self.batch_wait_us
+    }
+
+    /// Graceful shutdown: stops admitting new requests (they fail fast
+    /// with [`ServeError::Shutdown`]), lets every in-flight request finish
+    /// and demux, then joins the engine thread and returns its counters.
+    /// Outstanding [`ServeClient`] clones stay valid as error-returning
+    /// stubs.
+    ///
+    /// # Panics
+    /// Panics if the engine thread itself panicked.
+    #[must_use]
+    pub fn shutdown(self) -> ServeStats {
+        self.shared.accepting.store(false, Ordering::Release);
+        // Wake clients parked on the free list so they observe shutdown.
+        self.shared.free_ready.notify_all();
+        drop(self.client);
+        self.thread.join().expect("serve engine thread panicked")
+    }
+}
+
+/// Clears liveness flags and wakes every waiter when the engine thread
+/// exits — including by panic — so no client blocks on a dead engine.
+struct EngineExitGuard(Arc<Shared>);
+
+impl Drop for EngineExitGuard {
+    fn drop(&mut self) {
+        self.0.accepting.store(false, Ordering::Release);
+        self.0.engine_live.store(false, Ordering::Release);
+        self.0.free_ready.notify_all();
+        for slot in &self.0.slots {
+            // Touch the mutex so a client between its predicate check and
+            // its wait cannot miss the wake-up.
+            drop(lock(&slot.data));
+            slot.ready.notify_all();
+        }
+    }
+}
+
+/// The serving engine: constructor only — all further interaction goes
+/// through the [`ServeHandle`] that [`ServeEngine::start`] returns.
+pub struct ServeEngine;
+
+impl ServeEngine {
+    /// Starts an engine serving `net` with `config`, returning its control
+    /// handle. Pre-allocates every steady-state buffer (slots, batch
+    /// matrix, workspace), warms the fused kernels with one full block to
+    /// both reach the workspace high-water mark and *measure* block
+    /// compute cost — the micro-batcher's wait deadline is the configured
+    /// latency budget minus that measurement.
+    ///
+    /// # Panics
+    /// Panics if `config.max_batch`, `config.slots`, or `config.queue` is
+    /// zero, or if the engine thread cannot be spawned.
+    #[must_use]
+    pub fn start(net: ChallengeNetwork, config: &ServeConfig) -> ServeHandle {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.slots > 0, "need at least one request slot");
+        assert!(config.queue > 0, "request queue bound must be positive");
+        let n_in = net.n_in();
+        let n_out = net.layers().last().expect("non-empty network").ncols();
+
+        // Warm-up block: drives the workspace to its high-water mark and
+        // measures what a full block costs, so the wait budget can leave
+        // room for compute inside the end-to-end deadline.
+        let mut ws = InferWorkspace::for_network(&net, config.max_batch);
+        let warm = DenseMatrix::zeros(config.max_batch, n_in);
+        let t = Instant::now();
+        let _ = net.forward_with(&warm, config.parallel, &mut ws);
+        let compute_us = t.elapsed().as_micros() as u64;
+        // Half the post-compute remainder goes to waiting; the other half
+        // stays as slack for queueing, wake-up latency, and scheduler
+        // jitter, so a lone request's p99 — wait + compute + slack-eaters
+        // — still fits the configured end-to-end budget.
+        let batch_wait_us = config.deadline_us.saturating_sub(compute_us) / 2;
+
+        let shared = Arc::new(Shared {
+            slots: (0..config.slots)
+                .map(|_| Slot {
+                    data: Mutex::new(SlotData {
+                        input: vec![0.0; n_in],
+                        output: vec![0.0; n_out],
+                        done: false,
+                    }),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            free: Mutex::new((0..config.slots).rev().collect()),
+            free_ready: Condvar::new(),
+            accepting: AtomicBool::new(true),
+            engine_live: AtomicBool::new(true),
+        });
+        let (tx, rx) = crossbeam::channel::bounded::<usize>(config.queue);
+
+        let engine = EngineLoop {
+            net,
+            ws,
+            x: DenseMatrix::zeros(config.max_batch, n_in),
+            batch: Vec::with_capacity(config.max_batch),
+            mb: MicroBatcher::new(config.max_batch, batch_wait_us),
+            rx,
+            shared: Arc::clone(&shared),
+            parallel: config.parallel,
+            t0: Instant::now(),
+            stats: ServeStats::default(),
+        };
+        let thread = std::thread::Builder::new()
+            .name("radix-serve".to_string())
+            .spawn(move || {
+                let guard = EngineExitGuard(Arc::clone(&engine.shared));
+                let stats = engine.run();
+                drop(guard);
+                stats
+            })
+            .expect("spawn serve engine thread");
+
+        ServeHandle {
+            client: ServeClient {
+                shared: Arc::clone(&shared),
+                tx,
+                n_in,
+                n_out,
+            },
+            shared,
+            thread,
+            batch_wait_us,
+        }
+    }
+}
+
+/// Everything the engine thread owns.
+struct EngineLoop {
+    net: ChallengeNetwork,
+    ws: InferWorkspace,
+    /// Gather target: the coalesced block's rows, contiguous.
+    x: DenseMatrix<f32>,
+    /// Slot ids of the block being executed (copied out of the batcher).
+    batch: Vec<usize>,
+    mb: MicroBatcher,
+    rx: crossbeam::channel::Receiver<usize>,
+    shared: Arc<Shared>,
+    parallel: bool,
+    t0: Instant,
+    stats: ServeStats,
+}
+
+impl EngineLoop {
+    /// Monotonic microsecond tick for the batcher.
+    fn tick(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    /// The batching loop. Exits when the channel disconnects (every
+    /// sender, handle included, dropped) or when shutdown has been
+    /// requested and every request is drained and answered.
+    fn run(mut self) -> ServeStats {
+        use crossbeam::channel::{RecvTimeoutError, TryRecvError};
+        // Re-check cadence while idle or awaiting shutdown; also bounds
+        // how stale a deadline check can get under a zero wait budget.
+        let idle = Duration::from_micros(self.mb.budget().clamp(200, 50_000));
+        loop {
+            // Greedy drain: coalesce everything already queued, up to one
+            // full block, without blocking.
+            let mut disconnected = false;
+            while !self.mb.is_full() {
+                match self.rx.try_recv() {
+                    Ok(k) => {
+                        let now = self.tick();
+                        self.mb.push(k, now);
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            if self.mb.should_flush(self.tick()) {
+                self.execute();
+                continue;
+            }
+            if disconnected {
+                if !self.mb.is_empty() {
+                    self.execute();
+                }
+                break;
+            }
+            // Nothing to flush: wait for the next arrival, but never past
+            // the pending block's deadline.
+            let timeout = match self.mb.deadline() {
+                Some(d) => Duration::from_micros(d.saturating_sub(self.tick())),
+                None => {
+                    if self.drained_for_shutdown() {
+                        break;
+                    }
+                    idle
+                }
+            };
+            match self.rx.recv_timeout(timeout) {
+                Ok(k) => {
+                    let now = self.tick();
+                    self.mb.push(k, now);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.mb.should_flush(self.tick()) {
+                        self.execute();
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    if !self.mb.is_empty() {
+                        self.execute();
+                    }
+                    break;
+                }
+            }
+        }
+        self.stats
+    }
+
+    /// Graceful-shutdown exit test, only meaningful with no rows pending:
+    /// admission stopped and every slot back on the free list (so no
+    /// client is mid-request — anything submitted later fails fast).
+    fn drained_for_shutdown(&self) -> bool {
+        !self.shared.accepting.load(Ordering::Acquire)
+            && lock(&self.shared.free).len() == self.shared.slots.len()
+    }
+
+    /// Flush: gather the block's rows, run the fused forward pass, demux
+    /// results back to their slots in submission order.
+    fn execute(&mut self) {
+        if self.mb.is_full() {
+            self.stats.full_flushes += 1;
+        } else {
+            self.stats.deadline_flushes += 1;
+        }
+        self.batch.clear();
+        self.batch.extend_from_slice(self.mb.pending());
+        self.mb.clear();
+        let n = self.batch.len();
+        self.x.resize_for_overwrite(n, self.net.n_in());
+        for (i, &k) in self.batch.iter().enumerate() {
+            let d = lock(&self.shared.slots[k].data);
+            self.x.row_mut(i).copy_from_slice(&d.input);
+        }
+        let y = self.net.forward_with(&self.x, self.parallel, &mut self.ws);
+        for (i, &k) in self.batch.iter().enumerate() {
+            let slot = &self.shared.slots[k];
+            let mut d = lock(&slot.data);
+            d.output.copy_from_slice(y.row(i));
+            d.done = true;
+            slot.ready.notify_one();
+        }
+        self.stats.rows += n as u64;
+        self.stats.batches += 1;
+        self.stats.max_rows = self.stats.max_rows.max(n as u64);
+    }
+}
+
+impl MicroBatcher {
+    /// The configured wait budget in ticks.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChallengeConfig;
+    use radix_data::sparse_binary_batch;
+
+    fn small_net() -> ChallengeNetwork {
+        ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 4, 2)).unwrap()
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            max_batch: 4,
+            deadline_us: 2_000,
+            slots: 8,
+            queue: 8,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn batcher_flushes_on_full() {
+        let mut mb = MicroBatcher::new(3, 100);
+        assert!(mb.is_empty());
+        assert!(!mb.push(0, 0));
+        assert!(!mb.push(1, 0));
+        assert!(!mb.should_flush(50));
+        assert!(mb.push(2, 0));
+        assert!(mb.is_full());
+        assert!(mb.should_flush(0), "full block flushes regardless of time");
+        assert_eq!(mb.pending(), &[0, 1, 2]);
+        mb.clear();
+        assert!(mb.is_empty());
+        assert_eq!(mb.deadline(), None);
+    }
+
+    #[test]
+    fn batcher_flushes_on_deadline_of_oldest() {
+        let mut mb = MicroBatcher::new(10, 100);
+        mb.push(7, 40);
+        mb.push(8, 99);
+        assert_eq!(mb.deadline(), Some(140), "keyed to the oldest request");
+        assert!(!mb.should_flush(139));
+        assert!(mb.should_flush(140));
+        mb.clear();
+        // The next block's deadline restarts from its own first arrival.
+        mb.push(9, 200);
+        assert_eq!(mb.deadline(), Some(300));
+    }
+
+    #[test]
+    fn batcher_zero_budget_flushes_immediately() {
+        let mut mb = MicroBatcher::new(8, 0);
+        mb.push(1, 17);
+        assert!(mb.should_flush(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "push into a full micro-batch")]
+    fn batcher_rejects_push_past_capacity() {
+        let mut mb = MicroBatcher::new(1, 10);
+        mb.push(0, 0);
+        mb.push(1, 0);
+    }
+
+    #[test]
+    fn serve_roundtrip_matches_forward() {
+        let net = small_net();
+        let x = sparse_binary_batch(6, net.n_in(), 0.5, 3);
+        let reference = net.forward(&x, false);
+        let handle = ServeEngine::start(net, &quick_config());
+        let client = handle.client();
+        assert_eq!(client.n_in(), x.ncols());
+        for i in 0..x.nrows() {
+            let y = client.infer(x.row(i)).unwrap();
+            assert_eq!(y.as_slice(), reference.row(i), "row {i}");
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.rows, 6);
+        assert!(stats.max_rows <= 4);
+        assert!(stats.batches >= 2, "6 rows cannot fit one 4-row block");
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests_and_reports_stats() {
+        let net = small_net();
+        let n_in = net.n_in();
+        let handle = ServeEngine::start(net, &quick_config());
+        let client = handle.client();
+        let row = vec![1.0f32; n_in];
+        client.infer(&row).unwrap();
+        let stats = handle.shutdown();
+        assert_eq!(stats.rows, 1);
+        assert_eq!(
+            stats.deadline_flushes, 1,
+            "lone request flushes on deadline"
+        );
+        assert_eq!(client.infer(&row), Err(ServeError::Shutdown));
+        let mut out = Vec::new();
+        assert_eq!(client.infer_into(&row, &mut out), Err(ServeError::Shutdown));
+    }
+
+    #[test]
+    fn immediate_shutdown_of_idle_engine() {
+        let stats = ServeEngine::start(small_net(), &quick_config()).shutdown();
+        assert_eq!(stats.rows, 0);
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "request row width mismatch")]
+    fn wrong_width_panics() {
+        let net = small_net();
+        let handle = ServeEngine::start(net, &quick_config());
+        let client = handle.client();
+        let _ = client.infer(&[1.0]);
+    }
+
+    #[test]
+    fn wait_budget_subtracts_measured_compute() {
+        let net = small_net();
+        let cfg = quick_config();
+        let handle = ServeEngine::start(net, &cfg);
+        assert!(handle.batch_wait_us() <= cfg.deadline_us);
+        let _ = handle.shutdown();
+    }
+
+    #[test]
+    fn default_config_reads_env_shape() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.max_batch >= 1);
+        assert!(cfg.slots >= cfg.max_batch);
+        assert!(cfg.queue >= 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Integration and property tests for the async serving engine: many
+//! concurrent clients against one engine, bitwise identity with the
+//! serial schedule, micro-batcher policy invariants, and shutdown
+//! semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use radix_challenge::{
+    ChallengeConfig, ChallengeNetwork, InferWorkspace, MicroBatcher, ServeConfig, ServeEngine,
+    ServeError,
+};
+use radix_data::sparse_binary_batch;
+use radix_sparse::DenseMatrix;
+
+fn small_net() -> ChallengeNetwork {
+    ChallengeNetwork::from_config(&ChallengeConfig::preset(3, 3, 2)).unwrap()
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        deadline_us: 5_000,
+        slots: 16,
+        queue: 16,
+        parallel: true,
+    }
+}
+
+/// N concurrent client threads, each issuing a stream of requests; every
+/// response must be bitwise-identical to the serial reference for *that*
+/// request's row — results must never be cross-wired between clients, no
+/// matter how the engine interleaves them into blocks.
+#[test]
+fn concurrent_clients_get_their_own_answers() {
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 20;
+    let net = small_net();
+    let x = sparse_binary_batch(CLIENTS * PER_CLIENT, net.n_in(), 0.4, 42);
+    let reference = net.forward(&x, false);
+
+    let handle = ServeEngine::start(net, &serve_config());
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let client = handle.client();
+            let x = &x;
+            let reference = &reference;
+            s.spawn(move || {
+                let mut out = Vec::new();
+                for j in 0..PER_CLIENT {
+                    let i = c * PER_CLIENT + j;
+                    client.infer_into(x.row(i), &mut out).unwrap();
+                    assert_eq!(out.as_slice(), reference.row(i), "client {c} request {j}");
+                }
+            });
+        }
+    });
+    let stats = handle.shutdown();
+    assert_eq!(stats.rows, (CLIENTS * PER_CLIENT) as u64);
+    assert!(stats.max_rows <= 8, "block exceeded max_batch");
+    assert_eq!(stats.batches, stats.full_flushes + stats.deadline_flushes);
+}
+
+/// In-order demux within one client: a single submitter's responses come
+/// back in submission order by construction (infer is synchronous), and
+/// each equals the serial run of the same rows in the same order.
+#[test]
+fn single_client_in_order_bitwise_vs_serial() {
+    let net = small_net();
+    let x = sparse_binary_batch(24, net.n_in(), 0.6, 7);
+    let mut ws = InferWorkspace::for_network(&net, x.nrows());
+    let serial = net.forward_with(&x, false, &mut ws).clone();
+
+    let handle = ServeEngine::start(net, &serve_config());
+    let client = handle.client();
+    let mut out = Vec::new();
+    for i in 0..x.nrows() {
+        client.infer_into(x.row(i), &mut out).unwrap();
+        assert_eq!(out.as_slice(), serial.row(i), "row {i}");
+    }
+    let _ = handle.shutdown();
+}
+
+/// Backpressure soak: more concurrent clients than slots, tiny queue. No
+/// deadlock, no lost or cross-wired responses.
+#[test]
+fn oversubscribed_clients_block_and_complete() {
+    const CLIENTS: usize = 12;
+    let net = small_net();
+    let x = sparse_binary_batch(CLIENTS, net.n_in(), 0.5, 99);
+    let reference = net.forward(&x, false);
+    let config = ServeConfig {
+        max_batch: 4,
+        deadline_us: 2_000,
+        slots: 3, // fewer slots than clients: some must park on the free list
+        queue: 2,
+        parallel: false,
+    };
+    let handle = ServeEngine::start(net, &config);
+    let served = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let client = handle.client();
+            let x = &x;
+            let reference = &reference;
+            let served = Arc::clone(&served);
+            s.spawn(move || {
+                let y = client.infer(x.row(c)).unwrap();
+                assert_eq!(y.as_slice(), reference.row(c), "client {c}");
+                served.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(served.load(Ordering::Relaxed), CLIENTS);
+    let stats = handle.shutdown();
+    assert_eq!(stats.rows, CLIENTS as u64);
+    assert!(stats.max_rows <= 4);
+}
+
+/// Shutdown drains in-flight work, then rejects; clients racing shutdown
+/// either complete correctly or get a clean `Shutdown` error — never a
+/// hang, never a wrong answer.
+#[test]
+fn shutdown_during_traffic_is_clean() {
+    let net = small_net();
+    let x = sparse_binary_batch(8, net.n_in(), 0.5, 5);
+    let reference = net.forward(&x, false);
+    let handle = ServeEngine::start(net, &serve_config());
+    let racing = handle.client();
+    let x2 = x.clone();
+    let reference2 = reference.clone();
+    let racer = std::thread::spawn(move || {
+        let mut ok = 0usize;
+        let mut out = Vec::new();
+        for i in 0..x2.nrows() {
+            match racing.infer_into(x2.row(i), &mut out) {
+                Ok(()) => {
+                    assert_eq!(out.as_slice(), reference2.row(i), "racing row {i}");
+                    ok += 1;
+                }
+                Err(ServeError::Shutdown) => break,
+            }
+        }
+        ok
+    });
+    // Let the racer get some work through, then pull the plug.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let stats = handle.shutdown();
+    let ok = racer.join().unwrap();
+    assert_eq!(stats.rows as usize, ok, "every Ok response was counted");
+}
+
+/// The engine survives being restarted many times in one process (pool
+/// and workspace reuse must not leak state across engines).
+#[test]
+fn repeated_start_shutdown_cycles() {
+    let net = small_net();
+    let row = vec![1.0f32; net.n_in()];
+    let reference = {
+        let mut x = DenseMatrix::zeros(1, net.n_in());
+        x.row_mut(0).copy_from_slice(&row);
+        net.forward(&x, false)
+    };
+    for cycle in 0..5 {
+        let handle = ServeEngine::start(net.clone(), &serve_config());
+        let y = handle.client().infer(&row).unwrap();
+        assert_eq!(y.as_slice(), reference.row(0), "cycle {cycle}");
+        let stats = handle.shutdown();
+        assert_eq!(stats.rows, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Policy invariant: blocks never exceed the row limit, and no request
+    /// waits past the deadline budget (in batcher ticks). Drives the pure
+    /// batcher through a random arrival schedule the way the engine loop
+    /// does: push arrivals in tick order, flush exactly when the policy
+    /// says so.
+    #[test]
+    fn batcher_never_overfills_and_never_overwaits(
+        max_rows in 1usize..40,
+        budget in 0u64..500,
+        gaps in proptest::collection::vec(0u64..80, 1..120),
+    ) {
+        let mut mb = MicroBatcher::new(max_rows, budget);
+        let mut now = 0u64;
+        let mut flushed: Vec<(Vec<usize>, u64)> = Vec::new(); // (ids, flush tick)
+        let mut arrival = std::collections::HashMap::new();
+        for (id, gap) in gaps.iter().enumerate() {
+            now += gap;
+            // The engine flushes before pushing into a full block, and
+            // also whenever a deadline has expired by the time it looks.
+            while mb.should_flush(now) {
+                flushed.push((mb.pending().to_vec(), now.min(mb.deadline().unwrap_or(now))));
+                mb.clear();
+            }
+            arrival.insert(id, now);
+            mb.push(id, now);
+        }
+        // Drain: whatever remains flushes at its deadline.
+        if !mb.is_empty() {
+            let d = mb.deadline().unwrap();
+            flushed.push((mb.pending().to_vec(), d));
+            mb.clear();
+        }
+        let mut seen = 0usize;
+        for (ids, at) in &flushed {
+            prop_assert!(ids.len() <= max_rows, "block of {} exceeds {}", ids.len(), max_rows);
+            prop_assert!(!ids.is_empty());
+            for id in ids {
+                // Submission order is preserved across flushes.
+                prop_assert_eq!(*id, seen);
+                seen += 1;
+                let waited = at.saturating_sub(arrival[id]);
+                prop_assert!(
+                    waited <= budget,
+                    "request {} waited {} ticks > budget {}", id, waited, budget
+                );
+            }
+        }
+        prop_assert_eq!(seen, gaps.len(), "every request flushed exactly once");
+    }
+
+    /// Full-block flushes happen eagerly: a batcher that reports full must
+    /// flush regardless of the clock, so bursts coalesce into max-size
+    /// blocks instead of fragmenting on deadlines.
+    #[test]
+    fn batcher_full_beats_deadline(max_rows in 1usize..32, budget in 1u64..1000) {
+        let mut mb = MicroBatcher::new(max_rows, budget);
+        for id in 0..max_rows {
+            mb.push(id, 0);
+        }
+        prop_assert!(mb.is_full());
+        prop_assert!(mb.should_flush(0), "full block must flush immediately");
+    }
+
+    /// End-to-end demux identity: random rows served through the engine
+    /// (random batch/deadline geometry) are bitwise-identical to a serial
+    /// `forward_with` over the same rows in the same order.
+    #[test]
+    fn served_outputs_bitwise_match_serial(
+        rows in 1usize..14,
+        max_batch in 1usize..6,
+        deadline_us in 1u64..2000,
+        seed in any::<u64>(),
+    ) {
+        let net = small_net();
+        let x = sparse_binary_batch(rows, net.n_in(), 0.5, seed);
+        let mut ws = InferWorkspace::for_network(&net, rows);
+        let serial = net.forward_with(&x, false, &mut ws).clone();
+        let config = ServeConfig {
+            max_batch,
+            deadline_us,
+            slots: 2 * max_batch,
+            queue: 2 * max_batch,
+            parallel: false,
+        };
+        let handle = ServeEngine::start(net, &config);
+        let client = handle.client();
+        let mut out = Vec::new();
+        for i in 0..rows {
+            client.infer_into(x.row(i), &mut out).unwrap();
+            prop_assert_eq!(out.as_slice(), serial.row(i), "row {}", i);
+        }
+        let stats = handle.shutdown();
+        prop_assert_eq!(stats.rows, rows as u64);
+        prop_assert!(stats.max_rows <= max_batch as u64);
+    }
+}
