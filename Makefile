@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-mt verify-serve serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
+.PHONY: verify verify-mt verify-serve verify-chaos serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -28,6 +28,18 @@ verify-serve:
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --lib serve
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test serve
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test zero_alloc_serve
+
+## The fault-injection suites under a forced multi-thread worker pool —
+## what CI's `chaos` job runs (POOL_THREADS=2 and 4 there): the fault
+## module's unit tests, the rayon shim's panic-payload propagation, and
+## the chaos integration suite (injected engine panics mid-traffic,
+## supervised restart, deadline shedding under compute delays, the
+## shutdown-under-chaos accounting stress, and the random-fault-schedule
+## proptest; the supervisor's coverage lives there too).
+verify-chaos:
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p rayon panic
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --lib fault
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test chaos
 
 ## Serving smoke: start the engine, drive concurrent clients against it,
 ## assert every response is correct and demuxed to its requester in order,

@@ -18,9 +18,20 @@
 //! on the worker pool) and gate under the wider
 //! `RADIX_BENCH_SERVE_TOLERANCE`; only the `serve_p99_*` tail points gate.
 //!
-//! The run also **enforces the serving acceptance criterion**: at the low
+//! After the latency loads, an **overload phase** measures graceful
+//! degradation: a deliberately slowed engine (injected compute delay of a
+//! quarter of the budget, so block cost is commensurate with the
+//! deadline) takes 150% of its own closed-loop capacity through
+//! `infer_within`. The accepted-request p99 gates as
+//! `serve_shed_p99_rel150`; the shed fraction rides along report-only as
+//! `serve_shed_rate_rel150` (its `seconds_per_iter` carries the
+//! dimensionless shed rate).
+//!
+//! The run also **enforces the serving acceptance criteria**: at the low
 //! (10%) load, p99 must come in at or under the configured end-to-end
-//! deadline budget — exit code 1 otherwise.
+//! deadline budget, and in the overload phase the accepted p99 must stay
+//! inside the budget while a non-zero share of the excess is shed typed
+//! (`Overloaded` / `DeadlineExceeded`) — exit code 1 otherwise.
 //!
 //! Invocation (see `make bench-serve`):
 //!
@@ -43,7 +54,9 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use radix_bench::{format_json_f64, percentile};
-use radix_challenge::{ChallengeNetwork, ServeConfig, ServeEngine, ServeHandle};
+use radix_challenge::{
+    ChallengeNetwork, FaultInjector, FaultPlan, ServeConfig, ServeEngine, ServeError, ServeHandle,
+};
 use radix_sparse::{CsrMatrix, CyclicShift, DenseMatrix};
 
 /// The pinned serving config: `n=4096, deg=16` × 2 layers (one of the two
@@ -54,6 +67,10 @@ const MAX_BATCH: usize = 8;
 
 /// Offered loads as percent of measured closed-loop capacity.
 const REL_LOADS: [usize; 3] = [10, 30, 60];
+
+/// Offered load of the overload phase, percent of the *slowed* engine's
+/// measured closed-loop capacity.
+const SHED_REL: usize = 150;
 
 fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
     CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| 1.0 / degree as f32)
@@ -165,6 +182,82 @@ fn latency_at(
     all
 }
 
+/// Outcome tally of the overload phase: latencies of the requests the
+/// engine accepted and served, and the count it shed (typed
+/// `Overloaded` / `DeadlineExceeded`).
+struct ShedRun {
+    accepted: Vec<f64>,
+    shed: usize,
+    elapsed: Duration,
+}
+
+/// Paced overload loop: `threads` submitters offer `offered` rows/second
+/// in aggregate through `infer_within(timeout)`. Excess load must come
+/// back as a typed shed, never as a late response and never as a hang —
+/// any other error fails the bench.
+fn shed_at(
+    handle: &ServeHandle,
+    x: &DenseMatrix<f32>,
+    threads: usize,
+    per_thread: usize,
+    offered: f64,
+    timeout: Duration,
+) -> ShedRun {
+    let interval = Duration::from_secs_f64(threads as f64 / offered.max(1e-9));
+    let start_line = Barrier::new(threads + 1);
+    let mut accepted = Vec::with_capacity(threads * per_thread);
+    let mut shed = 0usize;
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|c| {
+                let client = handle.client();
+                let start_line = &start_line;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut latencies = Vec::with_capacity(per_thread);
+                    let mut shed = 0usize;
+                    // Per-thread warm-up (blocking, unbounded): lazy
+                    // parking state and output capacity, off the clock.
+                    client.infer_into(x.row(c % x.nrows()), &mut out).unwrap();
+                    start_line.wait();
+                    let t0 = Instant::now();
+                    for i in 0..per_thread {
+                        let due = interval * i as u32;
+                        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let t = Instant::now();
+                        match client.infer_within_into(
+                            x.row((c + i) % x.nrows()),
+                            &mut out,
+                            timeout,
+                        ) {
+                            Ok(()) => latencies.push(t.elapsed().as_secs_f64()),
+                            Err(ServeError::Overloaded | ServeError::DeadlineExceeded) => shed += 1,
+                            Err(e) => panic!("overload phase hit a non-shed error: {e}"),
+                        }
+                    }
+                    (latencies, shed)
+                })
+            })
+            .collect();
+        start_line.wait();
+        let t = Instant::now();
+        for h in handles {
+            let (lat, sh) = h.join().expect("shed client panicked");
+            accepted.extend(lat);
+            shed += sh;
+        }
+        elapsed = t.elapsed();
+    });
+    ShedRun {
+        accepted,
+        shed,
+        elapsed,
+    }
+}
+
 fn main() {
     let quick = std::env::var("RADIX_BENCH_QUICK").is_ok_and(|v| v == "1");
     let out_path = std::env::var("RADIX_BENCH_OUT")
@@ -182,7 +275,7 @@ fn main() {
         queue: 4 * MAX_BATCH,
         parallel: true,
     };
-    let handle = ServeEngine::start(net, &config);
+    let handle = ServeEngine::start(net.clone(), &config);
     eprintln!(
         "bench_serve: n={N} deg={DEGREE} max_batch={MAX_BATCH} deadline={}us \
          (batcher wait {}us) threads={} quick={quick}",
@@ -247,11 +340,92 @@ fn main() {
         });
     }
 
-    let stats = handle.shutdown();
+    let stats = handle
+        .shutdown()
+        .expect("serve engine panicked during bench");
     println!(
         "serve stats: {} rows in {} batches (max {} rows; {} full / {} deadline flushes)",
         stats.rows, stats.batches, stats.max_rows, stats.full_flushes, stats.deadline_flushes
     );
+
+    // Overload phase: a deliberately slowed engine (injected compute
+    // delay of a quarter of the budget) makes 150% of closed-loop
+    // capacity a *real* overload at laptop scale — block cost is
+    // commensurate with the deadline, so excess demand has to be shed.
+    // The fast engine above never gets there: its blocks cost far less
+    // than the budget, and bounded client concurrency can't queue enough
+    // work to threaten any deadline.
+    let shed_delay_us = config.deadline_us / 4;
+    let shed_config = ServeConfig {
+        max_batch: MAX_BATCH,
+        deadline_us: config.deadline_us,
+        // Deep slot pool: admission must be decided by the deadline
+        // predictor, not by running out of slots.
+        slots: 8 * MAX_BATCH,
+        queue: 8 * MAX_BATCH,
+        parallel: true,
+    };
+    let shed_handle = ServeEngine::start_with_faults(
+        net,
+        &shed_config,
+        FaultInjector::new(FaultPlan {
+            compute_delay_us: shed_delay_us,
+            ..FaultPlan::default()
+        }),
+    );
+    let (shed_clients, shed_per_client) = if quick {
+        (MAX_BATCH, 10)
+    } else {
+        (MAX_BATCH, 25)
+    };
+    let shed_capacity = closed_loop(&shed_handle, &x, shed_clients, shed_per_client);
+    let shed_offered = shed_capacity * SHED_REL as f64 / 100.0;
+    // Per-request deadline at 80% of the budget: the engine guarantees
+    // accepted work completes by *its* deadline, and the remaining 20%
+    // absorbs wake-up and scheduler jitter before the p99-vs-budget gate.
+    let shed_timeout = Duration::from_micros(config.deadline_us * 4 / 5);
+    let (shed_threads, shed_per_thread) = if quick { (32, 20) } else { (32, 40) };
+    let run = shed_at(
+        &shed_handle,
+        &x,
+        shed_threads,
+        shed_per_thread,
+        shed_offered,
+        shed_timeout,
+    );
+    let shed_stats = shed_handle
+        .shutdown()
+        .expect("slowed serve engine panicked during bench");
+    let submitted = shed_threads * shed_per_thread;
+    let shed_rate = run.shed as f64 / submitted as f64;
+    let shed_p99 = percentile(&run.accepted, 0.99);
+    let accepted_per_sec = run.accepted.len() as f64 / run.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "{:>22}  p99 {:>9.3} ms  shed {:>5.1}%  ({:>8.1} rows/s offered, {} accepted / {} shed)",
+        format!("serve_shed_rel{SHED_REL}"),
+        shed_p99 * 1e3,
+        shed_rate * 100.0,
+        shed_offered,
+        run.accepted.len(),
+        run.shed,
+    );
+    println!(
+        "shed engine stats: {} rows served, {} shed at deadline, {} shed at admission",
+        shed_stats.rows, shed_stats.shed_deadline, shed_stats.shed_overload
+    );
+    points.push(ServePoint {
+        name: format!("serve_shed_p99_rel{SHED_REL}"),
+        seconds: shed_p99,
+        edges_per_sec: accepted_per_sec * edges_per_row,
+    });
+    // Report-only companion point: seconds_per_iter carries the shed
+    // *fraction* (dimensionless) so overload behavior shows up in the
+    // gate log next to the tail it protects.
+    points.push(ServePoint {
+        name: format!("serve_shed_rate_rel{SHED_REL}"),
+        seconds: shed_rate,
+        edges_per_sec: shed_offered * edges_per_row,
+    });
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -301,5 +475,33 @@ fn main() {
         "bench_serve: low-load p99 {:.3} ms within deadline budget {:.3} ms",
         low_load_p99 * 1e3,
         budget * 1e3
+    );
+
+    // Overload acceptance: at 150% offered load the engine must degrade
+    // gracefully — excess demand shed typed (never silently absorbed,
+    // never served late), accepted tail still inside the budget.
+    if run.accepted.is_empty() {
+        eprintln!("bench_serve: FAIL overload phase accepted nothing ({submitted} submitted)");
+        std::process::exit(1);
+    }
+    if run.shed == 0 {
+        eprintln!(
+            "bench_serve: FAIL {SHED_REL}% offered load shed nothing — overload never engaged"
+        );
+        std::process::exit(1);
+    }
+    if shed_p99 > budget {
+        eprintln!(
+            "bench_serve: FAIL overload accepted p99 {:.3} ms exceeds deadline budget {:.3} ms",
+            shed_p99 * 1e3,
+            budget * 1e3
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_serve: overload accepted p99 {:.3} ms within budget {:.3} ms, {:.1}% shed typed",
+        shed_p99 * 1e3,
+        budget * 1e3,
+        shed_rate * 100.0
     );
 }

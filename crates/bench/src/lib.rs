@@ -142,12 +142,14 @@ pub fn is_serve_point(name: &str) -> bool {
 
 /// Whether a serving point is *gated* (fails the gate on regression)
 /// rather than report-only. Per the latency-gate policy, the p99 points
-/// gate — tail latency is the serving SLO — while p50 and the closed-loop
-/// throughput point ride along informationally (their regressions always
-/// show in the gate log, and coverage is still enforced for all of them).
+/// gate — tail latency is the serving SLO, and the overload phase's
+/// accepted-tail point (`serve_shed_p99_*`) gates for the same reason —
+/// while p50, the closed-loop throughput point, and the shed-rate point
+/// ride along informationally (their regressions always show in the gate
+/// log, and coverage is still enforced for all of them).
 #[must_use]
 pub fn serve_point_gates(name: &str) -> bool {
-    name.starts_with("serve_p99")
+    name.starts_with("serve_p99") || name.starts_with("serve_shed_p99")
 }
 
 /// The `q`-th percentile (0.0–1.0) of a sample set by nearest-rank on a
@@ -466,9 +468,12 @@ mod tests {
         assert!(is_serve_point("serve_p50_rel10"));
         assert!(is_serve_point("serve_row_closed_loop"));
         assert!(!is_serve_point("prepared_tiled_fused"));
-        // Only tail-latency points gate; p50 and throughput ride along.
+        // Only tail-latency points gate; p50, throughput, and the shed
+        // rate ride along.
         assert!(serve_point_gates("serve_p99_rel10"));
         assert!(serve_point_gates("serve_p99_rel60"));
+        assert!(serve_point_gates("serve_shed_p99_rel150"));
+        assert!(!serve_point_gates("serve_shed_rate_rel150"));
         assert!(!serve_point_gates("serve_p50_rel10"));
         assert!(!serve_point_gates("serve_row_closed_loop"));
         assert!(!serve_point_gates("prepared_rayon_fused"));

@@ -22,20 +22,29 @@
 //! * [`ServeEngine`] — an async serving front-end: concurrent clients
 //!   submit single rows, a deadline-aware [`MicroBatcher`] coalesces them
 //!   into tile blocks under a latency budget, and a demux stage routes
-//!   results back — zero-alloc in steady state (`serve`).
+//!   results back — zero-alloc in steady state (`serve`). Failure is part
+//!   of the API: every request resolves to exactly one typed
+//!   [`ServeError`] outcome (width/finiteness validation, deadline sheds,
+//!   overload rejection, engine death), [`ServeSupervisor`] restarts a
+//!   crashed engine with bounded backoff, and the `fault` module injects
+//!   deterministic faults (engine panics, compute delays, release stalls)
+//!   for the chaos suites.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod config;
+pub mod fault;
 pub mod infer;
 pub mod pipeline;
 pub mod serve;
 pub mod stream;
+pub mod supervise;
 
 pub use catalog::{challenge_ladder, CatalogEntry};
 pub use config::ChallengeConfig;
+pub use fault::{FaultInjector, FaultPlan};
 pub use infer::{
     fuse_layers, ChallengeNetwork, InferWorkspace, InferenceStats, DEFAULT_FUSE_LAYERS,
 };
@@ -44,3 +53,4 @@ pub use serve::{
     MicroBatcher, ServeClient, ServeConfig, ServeEngine, ServeError, ServeHandle, ServeStats,
 };
 pub use stream::{run_stream, LayerActivationStats, StreamResult};
+pub use supervise::{RestartPolicy, ServeSupervisor, SupervisorClient, SupervisorHandle};

@@ -16,12 +16,14 @@
 //!
 //! ```text
 //! client                       engine thread                    pool
+//!   │ validate row               │                                │
 //!   │ check out slot             │                                │
 //!   │ write row into slot        │                                │
 //!   │ send slot id ──bounded──▶  │ MicroBatcher: coalesce ids     │
 //!   │ wait on slot condvar       │   flush on full block OR       │
 //!   │                            │   deadline, whichever first    │
-//!   │                            │ gather rows → batch matrix     │
+//!   │                            │ shed rows past their deadline  │
+//!   │                            │ gather live rows → batch       │
 //!   │                            │ forward_with ───────────────▶  │ fused
 //!   │                            │                 ◀───────────── │ tiled
 //!   │ ◀─ result + notify ─────── │ demux rows → slots, in order   │
@@ -35,10 +37,38 @@
 //! batch gather matrix, the [`InferWorkspace`], and the micro-batcher's id
 //! buffer. The bounded channel carries bare slot indices (`usize`). After
 //! warm-up traffic has driven the channel/condvar parking structures to
-//! their high-water marks, the steady-state serving loop — submit, batch,
-//! execute, demux, respond — performs **zero heap allocation** on either
-//! side (`tests/zero_alloc_serve.rs` pins this down with a counting
-//! allocator on a forced 4-thread pool).
+//! their high-water marks, the steady-state serving loop — validate,
+//! submit, batch, execute, demux, respond — performs **zero heap
+//! allocation** on either side (`tests/zero_alloc_serve.rs` pins this down
+//! with a counting allocator on a forced 4-thread pool). Error paths may
+//! allocate (the [`ServeError::EngineFailed`] message), but the happy path
+//! never does.
+//!
+//! # Failure model
+//!
+//! Every fallible outcome on the request path is a typed [`ServeError`] —
+//! the library never panics across the API boundary for a malformed or
+//! unlucky request, and every submitted request resolves to exactly one
+//! outcome (a result or an error, never a hang):
+//!
+//! * malformed rows are rejected at admission ([`ServeError::WidthMismatch`],
+//!   [`ServeError::NonFiniteInput`] — the latter gated by
+//!   `RADIX_SERVE_VALIDATE`, default on),
+//! * overload is shed at admission ([`ServeClient::try_infer`] returns
+//!   [`ServeError::Overloaded`] instead of blocking;
+//!   [`ServeClient::infer_within`] predicts a deadline miss from queue
+//!   depth and sheds before queueing),
+//! * requests that expire while queued are completed with
+//!   [`ServeError::DeadlineExceeded`] at flush time *without* being
+//!   computed — shed work, don't burn pool time on answers nobody reads,
+//! * an engine-thread panic wakes every waiter with
+//!   [`ServeError::EngineFailed`] (and [`ServeHandle::shutdown`] returns
+//!   the panic message as an error instead of re-panicking); the
+//!   `supervise` module layers bounded-restart recovery on top.
+//!
+//! The `fault` module provides deterministic fault injection (engine
+//! panics, compute delays, slot-release stalls) driving the chaos suites
+//! that pin these guarantees down.
 //!
 //! # Backpressure and shutdown
 //!
@@ -48,16 +78,15 @@
 //! shutdown ([`ServeHandle::shutdown`]) stops admission first (new
 //! requests fail fast with [`ServeError::Shutdown`]), then drains: the
 //! engine keeps flushing until every queued request has been answered and
-//! every slot returned, and only then exits. If the engine thread dies,
-//! waiting clients are woken and receive [`ServeError::Shutdown`] instead
-//! of hanging.
+//! every slot returned, and only then exits.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use radix_sparse::DenseMatrix;
 
+use crate::fault::FaultInjector;
 use crate::infer::{ChallengeNetwork, InferWorkspace};
 
 /// Default micro-batch latency budget in microseconds
@@ -124,31 +153,91 @@ impl Default for ServeConfig {
     }
 }
 
-/// Why a request could not be served.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Whether admission-time row validation is enabled: `RADIX_SERVE_VALIDATE`
+/// unset or anything but `"0"` means on. Trusted callers that generate
+/// rows programmatically can set `RADIX_SERVE_VALIDATE=0` to skip the
+/// finiteness scan entirely (width is always checked — it is one integer
+/// compare and a wrong width would corrupt the shared batch layout).
+fn validate_enabled() -> bool {
+    std::env::var("RADIX_SERVE_VALIDATE").map_or(true, |v| v != "0")
+}
+
+/// Why a request could not be served. Every variant is a *typed* outcome:
+/// the serving stack never panics across the API boundary for a malformed
+/// or unlucky request.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The engine is shutting down (or its thread has exited); the request
-    /// was not executed.
+    /// The engine is shutting down gracefully (or has already drained and
+    /// exited); the request was not executed.
     Shutdown,
+    /// The request row's length does not match the network's input width.
+    /// Rejected at admission, before any shared state is touched.
+    WidthMismatch {
+        /// Length of the submitted row.
+        got: usize,
+        /// Input width the engine's network expects.
+        want: usize,
+    },
+    /// The request row contains a `NaN` or `±inf` at the given index.
+    /// Rejected at admission (gated by `RADIX_SERVE_VALIDATE`, default on)
+    /// so a corrupted row cannot silently poison a shared batch.
+    NonFiniteInput {
+        /// Index of the first non-finite element.
+        index: usize,
+    },
+    /// The request's deadline passed (or was predicted unreachable) before
+    /// its block was computed; the engine shed it without burning pool
+    /// time. Only [`ServeClient::infer_within`] requests carry deadlines.
+    DeadlineExceeded,
+    /// The engine's admission stages are saturated: no free slot / queue
+    /// space for a non-blocking submit, or the queue depth predicts a
+    /// deadline miss for a bounded-wait submit. The request was never
+    /// queued — retry later or shed upstream.
+    Overloaded,
+    /// The engine thread died abnormally (panicked); the payload's message
+    /// is carried verbatim. In-flight requests on the dead engine resolve
+    /// to this error rather than hanging.
+    EngineFailed(String),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Shutdown => write!(f, "serving engine is shut down"),
+            ServeError::WidthMismatch { got, want } => {
+                write!(f, "request row width mismatch: got {got}, want {want}")
+            }
+            ServeError::NonFiniteInput { index } => {
+                write!(f, "request row has a non-finite value at index {index}")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded; shed unserved"),
+            ServeError::Overloaded => write!(f, "serving engine overloaded; request rejected"),
+            ServeError::EngineFailed(msg) => write!(f, "serve engine thread failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
+/// Extracts a human-readable message from a panic payload (the
+/// `Box<dyn Any>` a `JoinHandle::join` error or `catch_unwind` hands back).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "engine panicked with a non-string payload".to_string())
+}
+
 /// Counters the engine accumulates over its lifetime, returned by
-/// [`ServeHandle::shutdown`].
+/// [`ServeHandle::shutdown`] (and snapshotted live by
+/// [`ServeHandle::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Total rows (requests) served.
+    /// Total rows (requests) actually computed and answered.
     pub rows: u64,
-    /// Total coalesced blocks executed.
+    /// Total coalesced blocks flushed (including blocks whose every row
+    /// was shed — `batches == full_flushes + deadline_flushes` always).
     pub batches: u64,
     /// Blocks flushed because they reached [`ServeConfig::max_batch`] rows.
     pub full_flushes: u64,
@@ -157,6 +246,61 @@ pub struct ServeStats {
     pub deadline_flushes: u64,
     /// Largest block executed — never exceeds [`ServeConfig::max_batch`].
     pub max_rows: u64,
+    /// Requests completed with [`ServeError::DeadlineExceeded`] at flush
+    /// time: queued, expired, shed without compute.
+    pub shed_deadline: u64,
+    /// Requests rejected with [`ServeError::Overloaded`] at admission:
+    /// never queued at all.
+    pub shed_overload: u64,
+    /// Engine restarts performed by a supervisor (always 0 for a bare
+    /// [`ServeEngine`]; populated by `ServeSupervisor`).
+    pub restarts: u64,
+}
+
+impl ServeStats {
+    /// Folds another stats snapshot into this one (summing counters,
+    /// taking the max of `max_rows`) — how a supervisor accumulates
+    /// per-generation engine stats into one lifetime view.
+    pub(crate) fn absorb(&mut self, other: &ServeStats) {
+        self.rows += other.rows;
+        self.batches += other.batches;
+        self.full_flushes += other.full_flushes;
+        self.deadline_flushes += other.deadline_flushes;
+        self.max_rows = self.max_rows.max(other.max_rows);
+        self.shed_deadline += other.shed_deadline;
+        self.shed_overload += other.shed_overload;
+        self.restarts += other.restarts;
+    }
+}
+
+/// The engine's live counters, shared so they survive an engine-thread
+/// panic (a dead engine's work is still accounted — the supervisor's
+/// books must balance). Relaxed ordering throughout: these are statistics,
+/// sequenced by the locks and joins around them, not synchronization.
+#[derive(Default)]
+pub(crate) struct SharedStats {
+    rows: AtomicU64,
+    batches: AtomicU64,
+    full_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    max_rows: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_overload: AtomicU64,
+}
+
+impl SharedStats {
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            rows: self.rows.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            full_flushes: self.full_flushes.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            max_rows: self.max_rows.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            restarts: 0,
+        }
+    }
 }
 
 /// Deadline-aware micro-batching policy: a pure, tick-based accumulator
@@ -253,6 +397,24 @@ impl MicroBatcher {
     pub fn clear(&mut self) {
         self.ids.clear();
     }
+
+    /// The configured wait budget in ticks.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+/// Terminal state of a slot's current request, written by the engine's
+/// flush stage; the client's condvar predicate is "no longer pending".
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotOutcome {
+    /// Submitted (or idle); no outcome yet.
+    Pending,
+    /// Result row written into `output`.
+    Ready,
+    /// Expired in the queue; shed without compute.
+    Shed,
 }
 
 /// One in-flight request's pre-allocated state.
@@ -261,8 +423,11 @@ struct SlotData {
     input: Vec<f32>,
     /// The result row, written by the engine's demux stage.
     output: Vec<f32>,
-    /// Set by the demux stage; the client's condvar predicate.
-    done: bool,
+    /// Written by the engine's flush stage; `Pending` while queued.
+    outcome: SlotOutcome,
+    /// Absolute completion deadline for [`ServeClient::infer_within`]
+    /// requests; `None` for plain submits (never shed once queued).
+    deadline: Option<Instant>,
 }
 
 struct Slot {
@@ -270,8 +435,9 @@ struct Slot {
     ready: Condvar,
 }
 
-/// State shared between clients, the engine thread, and the handle.
-struct Shared {
+/// State shared between clients, the engine thread, the handle, and (via
+/// `pub(crate)`) the supervisor.
+pub(crate) struct Shared {
     slots: Vec<Slot>,
     /// Indices of currently free slots; capacity `slots.len()`, so pushes
     /// never allocate.
@@ -283,6 +449,19 @@ struct Shared {
     /// Cleared when the engine thread exits (normally or by panic) so
     /// waiting clients never hang on a dead engine.
     engine_live: AtomicBool,
+    /// Set (before `engine_live` clears) when the engine thread exits *by
+    /// panic* — distinguishes [`ServeError::EngineFailed`] from a plain
+    /// [`ServeError::Shutdown`] for clients waking off a dead engine.
+    failed: AtomicBool,
+    /// Lifetime counters; shared so they survive an engine panic.
+    pub(crate) stats: SharedStats,
+    /// Full-block compute cost measured at start-up, in microseconds —
+    /// the queue-depth admission predictor's unit of work.
+    compute_us: u64,
+    /// Block size, for the admission predictor.
+    max_batch: usize,
+    /// Deterministic fault hooks (inactive by default; a single branch).
+    fault: FaultInjector,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -290,6 +469,18 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     // only ever publishes fully-written rows, so continuing past a poison
     // is sound.
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How a submit waits for admission (slot checkout + queue space).
+enum Admission {
+    /// Block indefinitely (plain [`ServeClient::infer_into`]).
+    Block,
+    /// Never block; saturated stages reject with
+    /// [`ServeError::Overloaded`].
+    NonBlock,
+    /// Block up to the absolute deadline; on admission, the engine owns
+    /// the deadline and sheds the request at flush time if it expires.
+    Within(Instant),
 }
 
 /// A clonable handle for submitting inference requests to a running
@@ -300,6 +491,9 @@ pub struct ServeClient {
     tx: crossbeam::channel::Sender<usize>,
     n_in: usize,
     n_out: usize,
+    /// Admission-time finiteness validation (`RADIX_SERVE_VALIDATE`),
+    /// resolved once at engine start.
+    validate: bool,
 }
 
 impl Clone for ServeClient {
@@ -309,6 +503,7 @@ impl Clone for ServeClient {
             tx: self.tx.clone(),
             n_in: self.n_in,
             n_out: self.n_out,
+            validate: self.validate,
         }
     }
 }
@@ -326,74 +521,52 @@ impl ServeClient {
         self.n_out
     }
 
+    /// Whether the engine thread is currently alive (false once it has
+    /// exited, gracefully or by panic). Advisory — it can change between
+    /// the check and a subsequent call — but a `false` is final.
+    #[must_use]
+    pub fn engine_live(&self) -> bool {
+        self.shared.engine_live.load(Ordering::Acquire)
+    }
+
+    /// The error a dead engine resolves to: [`ServeError::EngineFailed`]
+    /// if the engine thread panicked, [`ServeError::Shutdown`] if it
+    /// exited gracefully.
+    fn engine_error(&self) -> ServeError {
+        if self.shared.failed.load(Ordering::Acquire) {
+            ServeError::EngineFailed("serve engine thread panicked".to_string())
+        } else {
+            ServeError::Shutdown
+        }
+    }
+
+    /// Admission-time validation: width always, finiteness when enabled.
+    fn validate_row(&self, row: &[f32]) -> Result<(), ServeError> {
+        if row.len() != self.n_in {
+            return Err(ServeError::WidthMismatch {
+                got: row.len(),
+                want: self.n_in,
+            });
+        }
+        if self.validate {
+            if let Some(index) = row.iter().position(|v| !v.is_finite()) {
+                return Err(ServeError::NonFiniteInput { index });
+            }
+        }
+        Ok(())
+    }
+
     /// Submits one row and blocks until its result is written into `out`
     /// (resized to [`Self::n_out`]). With `out`'s capacity warmed, the
     /// whole round trip performs no heap allocation on the client thread.
     ///
     /// # Errors
-    /// [`ServeError::Shutdown`] if the engine is no longer accepting
-    /// requests or its thread has exited.
-    ///
-    /// # Panics
-    /// Panics if `row.len() != self.n_in()`.
+    /// [`ServeError::WidthMismatch`] / [`ServeError::NonFiniteInput`] for
+    /// a malformed row (validated at admission); [`ServeError::Shutdown`]
+    /// if the engine is no longer accepting requests;
+    /// [`ServeError::EngineFailed`] if the engine thread died abnormally.
     pub fn infer_into(&self, row: &[f32], out: &mut Vec<f32>) -> Result<(), ServeError> {
-        assert_eq!(row.len(), self.n_in, "request row width mismatch");
-        if !self.shared.accepting.load(Ordering::Acquire) {
-            return Err(ServeError::Shutdown);
-        }
-        // Stage 1 (backpressure): check out a free slot.
-        let k = {
-            let mut free = lock(&self.shared.free);
-            loop {
-                if let Some(k) = free.pop() {
-                    break k;
-                }
-                if !self.shared.accepting.load(Ordering::Acquire) {
-                    return Err(ServeError::Shutdown);
-                }
-                free = self
-                    .shared
-                    .free_ready
-                    .wait(free)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        // Write the request row into the slot, then publish its id.
-        {
-            let mut d = lock(&self.shared.slots[k].data);
-            d.input.copy_from_slice(row);
-            d.done = false;
-        }
-        // Stage 2 (backpressure): the bounded request channel.
-        if self.tx.send(k).is_err() {
-            self.release(k);
-            return Err(ServeError::Shutdown);
-        }
-        // Wait for the demux stage to hand the result back. The timeout is
-        // purely defensive: a live engine always answers (it cannot exit
-        // with our slot outstanding), so the predicate loop only breaks
-        // out early if the engine thread died.
-        {
-            let slot = &self.shared.slots[k];
-            let mut d = lock(&slot.data);
-            while !d.done {
-                if !self.shared.engine_live.load(Ordering::Acquire) {
-                    drop(d);
-                    self.release(k);
-                    return Err(ServeError::Shutdown);
-                }
-                let (guard, _timeout) = slot
-                    .ready
-                    .wait_timeout(d, Duration::from_millis(50))
-                    .unwrap_or_else(PoisonError::into_inner);
-                d = guard;
-            }
-            out.resize(self.n_out, 0.0);
-            out.copy_from_slice(&d.output);
-            d.done = false;
-        }
-        self.release(k);
-        Ok(())
+        self.submit(row, out, Admission::Block)
     }
 
     /// Convenience wrapper around [`Self::infer_into`] that allocates the
@@ -401,19 +574,236 @@ impl ServeClient {
     /// `infer_into` instead.
     ///
     /// # Errors
-    /// [`ServeError::Shutdown`] if the engine is no longer accepting
-    /// requests or its thread has exited.
-    ///
-    /// # Panics
-    /// Panics if `row.len() != self.n_in()`.
+    /// As [`Self::infer_into`].
     pub fn infer(&self, row: &[f32]) -> Result<Vec<f32>, ServeError> {
         let mut out = Vec::new();
         self.infer_into(row, &mut out)?;
         Ok(out)
     }
 
+    /// Non-blocking submit: if every slot is checked out or the request
+    /// queue is full *right now*, rejects with [`ServeError::Overloaded`]
+    /// instead of blocking (the request is never queued). Once admitted,
+    /// blocks for the result like [`Self::infer_into`].
+    ///
+    /// # Errors
+    /// As [`Self::infer_into`], plus [`ServeError::Overloaded`] when an
+    /// admission stage is saturated.
+    pub fn try_infer_into(&self, row: &[f32], out: &mut Vec<f32>) -> Result<(), ServeError> {
+        self.submit(row, out, Admission::NonBlock)
+    }
+
+    /// Allocating wrapper around [`Self::try_infer_into`].
+    ///
+    /// # Errors
+    /// As [`Self::try_infer_into`].
+    pub fn try_infer(&self, row: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let mut out = Vec::new();
+        self.try_infer_into(row, &mut out)?;
+        Ok(out)
+    }
+
+    /// Deadline-bounded submit: the request must complete within `timeout`
+    /// of this call. Admission first *predicts* whether the deadline is
+    /// reachable from the current queue depth (checked-out slots imply
+    /// `ceil(queued / max_batch)` blocks ahead, each costing the measured
+    /// block compute time) and sheds with [`ServeError::Overloaded`] when
+    /// it is not — without queueing. Once admitted, the engine owns the
+    /// deadline: a request still queued when it expires is completed with
+    /// [`ServeError::DeadlineExceeded`] at flush time instead of being
+    /// computed. The wait for a free slot is likewise bounded by the
+    /// deadline.
+    ///
+    /// The deadline governs *shedding*, not the client's wait: an admitted
+    /// request always resolves (the engine answers or sheds it; a dead
+    /// engine fails it), so in pathological cases the result may arrive
+    /// slightly after the deadline rather than being abandoned — a late
+    /// `Ok` is possible, a hang is not.
+    ///
+    /// # Errors
+    /// As [`Self::infer_into`], plus [`ServeError::Overloaded`] (predicted
+    /// miss or no slot within the deadline) and
+    /// [`ServeError::DeadlineExceeded`] (expired while queued).
+    pub fn infer_within_into(
+        &self,
+        row: &[f32],
+        out: &mut Vec<f32>,
+        timeout: Duration,
+    ) -> Result<(), ServeError> {
+        self.submit(row, out, Admission::Within(Instant::now() + timeout))
+    }
+
+    /// Allocating wrapper around [`Self::infer_within_into`].
+    ///
+    /// # Errors
+    /// As [`Self::infer_within_into`].
+    pub fn infer_within(&self, row: &[f32], timeout: Duration) -> Result<Vec<f32>, ServeError> {
+        let mut out = Vec::new();
+        self.infer_within_into(row, &mut out, timeout)?;
+        Ok(out)
+    }
+
+    /// The shared submit path: validate, check out a slot (per the
+    /// admission mode), publish the request, wait for its one typed
+    /// outcome.
+    fn submit(
+        &self,
+        row: &[f32],
+        out: &mut Vec<f32>,
+        admission: Admission,
+    ) -> Result<(), ServeError> {
+        self.validate_row(row)?;
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let deadline = match admission {
+            Admission::Within(d) => Some(d),
+            _ => None,
+        };
+        // Stage 1 (backpressure): check out a free slot.
+        let k = {
+            let mut free = lock(&self.shared.free);
+            if let Some(d) = deadline {
+                // Queue-depth admission predictor: every checked-out slot
+                // is a queued row; the engine clears them a block at a
+                // time, each block costing the measured compute time, and
+                // ours rides in the block after those. A predicted miss is
+                // shed here, before any shared state is consumed.
+                let queued = (self.shared.slots.len() - free.len()) as u64;
+                let blocks_ahead = queued.div_ceil(self.shared.max_batch.max(1) as u64) + 1;
+                let predicted =
+                    Duration::from_micros(self.shared.compute_us.saturating_mul(blocks_ahead));
+                if Instant::now() + predicted > d {
+                    drop(free);
+                    self.shared
+                        .stats
+                        .shed_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded);
+                }
+            }
+            loop {
+                if let Some(k) = free.pop() {
+                    break k;
+                }
+                if !self.shared.accepting.load(Ordering::Acquire) {
+                    return Err(ServeError::Shutdown);
+                }
+                match admission {
+                    Admission::Block => {
+                        free = self
+                            .shared
+                            .free_ready
+                            .wait(free)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Admission::NonBlock => {
+                        drop(free);
+                        self.shared
+                            .stats
+                            .shed_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Overloaded);
+                    }
+                    Admission::Within(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            drop(free);
+                            self.shared
+                                .stats
+                                .shed_overload
+                                .fetch_add(1, Ordering::Relaxed);
+                            return Err(ServeError::Overloaded);
+                        }
+                        let (guard, _timeout) = self
+                            .shared
+                            .free_ready
+                            .wait_timeout(free, d - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        free = guard;
+                    }
+                }
+            }
+        };
+        // Write the request row into the slot, then publish its id.
+        {
+            let mut d = lock(&self.shared.slots[k].data);
+            d.input.copy_from_slice(row);
+            d.outcome = SlotOutcome::Pending;
+            d.deadline = deadline;
+        }
+        // Stage 2 (backpressure): the bounded request channel.
+        match admission {
+            Admission::NonBlock => {
+                use crossbeam::channel::TrySendError;
+                match self.tx.try_send(k) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.release(k);
+                        self.shared
+                            .stats
+                            .shed_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Overloaded);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.release(k);
+                        return Err(self.engine_error());
+                    }
+                }
+            }
+            _ => {
+                // A live engine always drains the queue, so a blocking
+                // send is bounded by the engine's consumption rate; a
+                // send error means the engine thread is gone.
+                if self.tx.send(k).is_err() {
+                    self.release(k);
+                    return Err(self.engine_error());
+                }
+            }
+        }
+        // Wait for the flush stage to resolve the request. The timeout is
+        // purely defensive: a live engine always answers (it cannot exit
+        // with our slot outstanding), so the predicate loop only breaks
+        // out early if the engine thread died.
+        let result = {
+            let slot = &self.shared.slots[k];
+            let mut d = lock(&slot.data);
+            loop {
+                match d.outcome {
+                    SlotOutcome::Ready => {
+                        out.resize(self.n_out, 0.0);
+                        out.copy_from_slice(&d.output);
+                        d.outcome = SlotOutcome::Pending;
+                        d.deadline = None;
+                        break Ok(());
+                    }
+                    SlotOutcome::Shed => {
+                        d.outcome = SlotOutcome::Pending;
+                        d.deadline = None;
+                        break Err(ServeError::DeadlineExceeded);
+                    }
+                    SlotOutcome::Pending => {
+                        if !self.shared.engine_live.load(Ordering::Acquire) {
+                            d.deadline = None;
+                            break Err(self.engine_error());
+                        }
+                        let (guard, _timeout) = slot
+                            .ready
+                            .wait_timeout(d, Duration::from_millis(50))
+                            .unwrap_or_else(PoisonError::into_inner);
+                        d = guard;
+                    }
+                }
+            }
+        };
+        self.release(k);
+        result
+    }
+
     /// Returns slot `k` to the free list and wakes one waiting client.
     fn release(&self, k: usize) {
+        self.shared.fault.release_stall();
         let mut free = lock(&self.shared.free);
         free.push(k);
         self.shared.free_ready.notify_one();
@@ -425,7 +815,7 @@ impl ServeClient {
 pub struct ServeHandle {
     client: ServeClient,
     shared: Arc<Shared>,
-    thread: std::thread::JoinHandle<ServeStats>,
+    thread: std::thread::JoinHandle<()>,
     batch_wait_us: u64,
 }
 
@@ -446,30 +836,55 @@ impl ServeHandle {
         self.batch_wait_us
     }
 
+    /// A live snapshot of the engine's counters (restarts always 0 — a
+    /// bare engine never restarts itself).
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// The shared state, for the supervisor's cross-generation stats
+    /// accounting (a retired generation's counters can still be bumped by
+    /// a straggling client, so the supervisor keeps the live handle, not
+    /// a snapshot).
+    pub(crate) fn shared_arc(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
     /// Graceful shutdown: stops admitting new requests (they fail fast
     /// with [`ServeError::Shutdown`]), lets every in-flight request finish
     /// and demux, then joins the engine thread and returns its counters.
     /// Outstanding [`ServeClient`] clones stay valid as error-returning
     /// stubs.
     ///
-    /// # Panics
-    /// Panics if the engine thread itself panicked.
-    #[must_use]
-    pub fn shutdown(self) -> ServeStats {
+    /// # Errors
+    /// [`ServeError::EngineFailed`] carrying the panic message if the
+    /// engine thread panicked (its partial stats remain readable via a
+    /// supervisor; the error is the signal to restart or escalate).
+    pub fn shutdown(self) -> Result<ServeStats, ServeError> {
         self.shared.accepting.store(false, Ordering::Release);
         // Wake clients parked on the free list so they observe shutdown.
         self.shared.free_ready.notify_all();
         drop(self.client);
-        self.thread.join().expect("serve engine thread panicked")
+        match self.thread.join() {
+            Ok(()) => Ok(self.shared.stats.snapshot()),
+            Err(payload) => Err(ServeError::EngineFailed(panic_message(payload.as_ref()))),
+        }
     }
 }
 
 /// Clears liveness flags and wakes every waiter when the engine thread
 /// exits — including by panic — so no client blocks on a dead engine.
+/// A panicking exit sets `failed` *before* clearing `engine_live` (release
+/// ordering), so any client that observes the dead engine also observes
+/// how it died.
 struct EngineExitGuard(Arc<Shared>);
 
 impl Drop for EngineExitGuard {
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.failed.store(true, Ordering::Release);
+        }
         self.0.accepting.store(false, Ordering::Release);
         self.0.engine_live.store(false, Ordering::Release);
         self.0.free_ready.notify_all();
@@ -492,13 +907,33 @@ impl ServeEngine {
     /// matrix, workspace), warms the fused kernels with one full block to
     /// both reach the workspace high-water mark and *measure* block
     /// compute cost — the micro-batcher's wait deadline is the configured
-    /// latency budget minus that measurement.
+    /// latency budget minus that measurement, and the same measurement
+    /// feeds the deadline-admission predictor.
+    ///
+    /// Fault injection is read from the `RADIX_FAULT_*` environment (see
+    /// [`crate::fault`]); in the default (unset) environment the hooks
+    /// compile to a single branch.
     ///
     /// # Panics
     /// Panics if `config.max_batch`, `config.slots`, or `config.queue` is
     /// zero, or if the engine thread cannot be spawned.
     #[must_use]
     pub fn start(net: ChallengeNetwork, config: &ServeConfig) -> ServeHandle {
+        Self::start_with_faults(net, config, FaultInjector::from_env())
+    }
+
+    /// [`ServeEngine::start`] with an explicit fault injector — the
+    /// programmatic entry point the chaos suites use; production callers
+    /// pass [`FaultInjector::inactive`] (or just call `start`).
+    ///
+    /// # Panics
+    /// As [`ServeEngine::start`].
+    #[must_use]
+    pub fn start_with_faults(
+        net: ChallengeNetwork,
+        config: &ServeConfig,
+        fault: FaultInjector,
+    ) -> ServeHandle {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.slots > 0, "need at least one request slot");
         assert!(config.queue > 0, "request queue bound must be positive");
@@ -512,6 +947,11 @@ impl ServeEngine {
         let warm = DenseMatrix::zeros(config.max_batch, n_in);
         let t = Instant::now();
         let _ = net.forward_with(&warm, config.parallel, &mut ws);
+        // An injected compute delay slows every engine-loop block, so the
+        // measurement must pay it too — otherwise the batcher wait and the
+        // admission predictor would plan around a block cost the engine
+        // never achieves, and "admitted" requests would be served late.
+        fault.compute_delay();
         let compute_us = t.elapsed().as_micros() as u64;
         // Half the post-compute remainder goes to waiting; the other half
         // stays as slack for queueing, wake-up latency, and scheduler
@@ -525,7 +965,8 @@ impl ServeEngine {
                     data: Mutex::new(SlotData {
                         input: vec![0.0; n_in],
                         output: vec![0.0; n_out],
-                        done: false,
+                        outcome: SlotOutcome::Pending,
+                        deadline: None,
                     }),
                     ready: Condvar::new(),
                 })
@@ -534,6 +975,11 @@ impl ServeEngine {
             free_ready: Condvar::new(),
             accepting: AtomicBool::new(true),
             engine_live: AtomicBool::new(true),
+            failed: AtomicBool::new(false),
+            stats: SharedStats::default(),
+            compute_us,
+            max_batch: config.max_batch,
+            fault,
         });
         let (tx, rx) = crossbeam::channel::bounded::<usize>(config.queue);
 
@@ -542,29 +988,30 @@ impl ServeEngine {
             ws,
             x: DenseMatrix::zeros(config.max_batch, n_in),
             batch: Vec::with_capacity(config.max_batch),
+            live: Vec::with_capacity(config.max_batch),
             mb: MicroBatcher::new(config.max_batch, batch_wait_us),
             rx,
             shared: Arc::clone(&shared),
             parallel: config.parallel,
             t0: Instant::now(),
-            stats: ServeStats::default(),
         };
         let thread = std::thread::Builder::new()
             .name("radix-serve".to_string())
             .spawn(move || {
                 let guard = EngineExitGuard(Arc::clone(&engine.shared));
-                let stats = engine.run();
+                engine.run();
                 drop(guard);
-                stats
             })
             .expect("spawn serve engine thread");
 
+        let validate = validate_enabled();
         ServeHandle {
             client: ServeClient {
                 shared: Arc::clone(&shared),
                 tx,
                 n_in,
                 n_out,
+                validate,
             },
             shared,
             thread,
@@ -579,14 +1026,15 @@ struct EngineLoop {
     ws: InferWorkspace,
     /// Gather target: the coalesced block's rows, contiguous.
     x: DenseMatrix<f32>,
-    /// Slot ids of the block being executed (copied out of the batcher).
+    /// Slot ids of the block being flushed (copied out of the batcher).
     batch: Vec<usize>,
+    /// The flush's surviving (non-shed) slot ids, in submission order.
+    live: Vec<usize>,
     mb: MicroBatcher,
     rx: crossbeam::channel::Receiver<usize>,
     shared: Arc<Shared>,
     parallel: bool,
     t0: Instant,
-    stats: ServeStats,
 }
 
 impl EngineLoop {
@@ -598,7 +1046,7 @@ impl EngineLoop {
     /// The batching loop. Exits when the channel disconnects (every
     /// sender, handle included, dropped) or when shutdown has been
     /// requested and every request is drained and answered.
-    fn run(mut self) -> ServeStats {
+    fn run(mut self) {
         use crossbeam::channel::{RecvTimeoutError, TryRecvError};
         // Re-check cadence while idle or awaiting shutdown; also bounds
         // how stale a deadline check can get under a zero wait budget.
@@ -659,7 +1107,6 @@ impl EngineLoop {
                 }
             }
         }
-        self.stats
     }
 
     /// Graceful-shutdown exit test, only meaningful with no rows pending:
@@ -670,42 +1117,64 @@ impl EngineLoop {
             && lock(&self.shared.free).len() == self.shared.slots.len()
     }
 
-    /// Flush: gather the block's rows, run the fused forward pass, demux
-    /// results back to their slots in submission order.
+    /// Flush: shed expired requests, gather the survivors' rows, run the
+    /// fused forward pass, demux results back to their slots in
+    /// submission order.
     fn execute(&mut self) {
+        // Injected faults fire before any slot is touched, so a panic
+        // here leaves every gathered request Pending — resolved to
+        // `EngineFailed` by the exit guard, never half-answered.
+        self.shared.fault.before_execute();
+        let stats = &self.shared.stats;
         if self.mb.is_full() {
-            self.stats.full_flushes += 1;
+            stats.full_flushes.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.deadline_flushes += 1;
+            stats.deadline_flushes.fetch_add(1, Ordering::Relaxed);
         }
+        stats.batches.fetch_add(1, Ordering::Relaxed);
         self.batch.clear();
         self.batch.extend_from_slice(self.mb.pending());
         self.mb.clear();
-        let n = self.batch.len();
+        // Shed pass: a request that cannot finish by its deadline even if
+        // computed right now (compute cost is known) is completed with
+        // `Shed` instead of burning pool time on an answer nobody reads.
+        let now = Instant::now();
+        let compute = Duration::from_micros(self.shared.compute_us);
+        self.live.clear();
+        for &k in &self.batch {
+            let slot = &self.shared.slots[k];
+            let mut d = lock(&slot.data);
+            if d.deadline.is_some_and(|dl| now + compute >= dl) {
+                d.outcome = SlotOutcome::Shed;
+                drop(d);
+                slot.ready.notify_one();
+                stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            } else {
+                drop(d);
+                self.live.push(k);
+            }
+        }
+        let n = self.live.len();
+        if n == 0 {
+            return;
+        }
         self.x.resize_for_overwrite(n, self.net.n_in());
-        for (i, &k) in self.batch.iter().enumerate() {
+        for (i, &k) in self.live.iter().enumerate() {
             let d = lock(&self.shared.slots[k].data);
             self.x.row_mut(i).copy_from_slice(&d.input);
         }
+        self.shared.fault.compute_delay();
         let y = self.net.forward_with(&self.x, self.parallel, &mut self.ws);
-        for (i, &k) in self.batch.iter().enumerate() {
+        for (i, &k) in self.live.iter().enumerate() {
             let slot = &self.shared.slots[k];
             let mut d = lock(&slot.data);
             d.output.copy_from_slice(y.row(i));
-            d.done = true;
+            d.outcome = SlotOutcome::Ready;
+            drop(d);
             slot.ready.notify_one();
         }
-        self.stats.rows += n as u64;
-        self.stats.batches += 1;
-        self.stats.max_rows = self.stats.max_rows.max(n as u64);
-    }
-}
-
-impl MicroBatcher {
-    /// The configured wait budget in ticks.
-    #[must_use]
-    pub fn budget(&self) -> u64 {
-        self.budget
+        stats.rows.fetch_add(n as u64, Ordering::Relaxed);
+        stats.max_rows.fetch_max(n as u64, Ordering::Relaxed);
     }
 }
 
@@ -786,10 +1255,13 @@ mod tests {
             let y = client.infer(x.row(i)).unwrap();
             assert_eq!(y.as_slice(), reference.row(i), "row {i}");
         }
-        let stats = handle.shutdown();
+        let stats = handle.shutdown().unwrap();
         assert_eq!(stats.rows, 6);
         assert!(stats.max_rows <= 4);
         assert!(stats.batches >= 2, "6 rows cannot fit one 4-row block");
+        assert_eq!(stats.shed_deadline, 0);
+        assert_eq!(stats.shed_overload, 0);
+        assert_eq!(stats.restarts, 0);
     }
 
     #[test]
@@ -800,7 +1272,7 @@ mod tests {
         let client = handle.client();
         let row = vec![1.0f32; n_in];
         client.infer(&row).unwrap();
-        let stats = handle.shutdown();
+        let stats = handle.shutdown().unwrap();
         assert_eq!(stats.rows, 1);
         assert_eq!(
             stats.deadline_flushes, 1,
@@ -813,18 +1285,91 @@ mod tests {
 
     #[test]
     fn immediate_shutdown_of_idle_engine() {
-        let stats = ServeEngine::start(small_net(), &quick_config()).shutdown();
+        let stats = ServeEngine::start(small_net(), &quick_config())
+            .shutdown()
+            .unwrap();
         assert_eq!(stats.rows, 0);
         assert_eq!(stats.batches, 0);
     }
 
     #[test]
-    #[should_panic(expected = "request row width mismatch")]
-    fn wrong_width_panics() {
+    fn wrong_width_is_typed_error() {
         let net = small_net();
         let handle = ServeEngine::start(net, &quick_config());
         let client = handle.client();
-        let _ = client.infer(&[1.0]);
+        let want = client.n_in();
+        assert_eq!(
+            client.infer(&[1.0]),
+            Err(ServeError::WidthMismatch { got: 1, want })
+        );
+        // A typed rejection consumes nothing: the engine still serves.
+        let ok = client.infer(&vec![0.5; want]).unwrap();
+        assert_eq!(ok.len(), client.n_out());
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.rows, 1, "rejected request never reached the engine");
+    }
+
+    #[test]
+    fn non_finite_input_is_typed_error() {
+        let net = small_net();
+        let handle = ServeEngine::start(net, &quick_config());
+        let client = handle.client();
+        let mut row = vec![0.5f32; client.n_in()];
+        row[2] = f32::NAN;
+        assert_eq!(
+            client.infer(&row),
+            Err(ServeError::NonFiniteInput { index: 2 })
+        );
+        row[2] = f32::INFINITY;
+        assert_eq!(
+            client.infer(&row),
+            Err(ServeError::NonFiniteInput { index: 2 })
+        );
+        row[2] = 0.0;
+        client.infer(&row).unwrap();
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.rows, 1);
+    }
+
+    #[test]
+    fn try_infer_serves_when_unloaded() {
+        let net = small_net();
+        let handle = ServeEngine::start(net, &quick_config());
+        let client = handle.client();
+        let row = vec![0.25f32; client.n_in()];
+        let y = client.try_infer(&row).unwrap();
+        assert_eq!(y.len(), client.n_out());
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.shed_overload, 0);
+    }
+
+    #[test]
+    fn infer_within_generous_deadline_serves() {
+        let net = small_net();
+        let handle = ServeEngine::start(net, &quick_config());
+        let client = handle.client();
+        let row = vec![0.25f32; client.n_in()];
+        let y = client.infer_within(&row, Duration::from_secs(5)).unwrap();
+        assert_eq!(y.len(), client.n_out());
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.shed_deadline, 0);
+        assert_eq!(stats.shed_overload, 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ServeError::WidthMismatch { got: 3, want: 20 };
+        assert_eq!(e.to_string(), "request row width mismatch: got 3, want 20");
+        assert!(ServeError::NonFiniteInput { index: 7 }
+            .to_string()
+            .contains("index 7"));
+        assert!(ServeError::EngineFailed("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(!ServeError::Overloaded.to_string().is_empty());
+        assert!(!ServeError::DeadlineExceeded.to_string().is_empty());
     }
 
     #[test]
@@ -833,7 +1378,20 @@ mod tests {
         let cfg = quick_config();
         let handle = ServeEngine::start(net, &cfg);
         assert!(handle.batch_wait_us() <= cfg.deadline_us);
-        let _ = handle.shutdown();
+        let _ = handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn live_stats_snapshot_tracks_served_rows() {
+        let net = small_net();
+        let handle = ServeEngine::start(net, &quick_config());
+        let client = handle.client();
+        let row = vec![0.5f32; client.n_in()];
+        client.infer(&row).unwrap();
+        let live = handle.stats();
+        assert_eq!(live.rows, 1);
+        let final_stats = handle.shutdown().unwrap();
+        assert_eq!(final_stats.rows, 1);
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn concurrent_clients_get_their_own_answers() {
             });
         }
     });
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().unwrap();
     assert_eq!(stats.rows, (CLIENTS * PER_CLIENT) as u64);
     assert!(stats.max_rows <= 8, "block exceeded max_batch");
     assert_eq!(stats.batches, stats.full_flushes + stats.deadline_flushes);
@@ -80,7 +80,7 @@ fn single_client_in_order_bitwise_vs_serial() {
         client.infer_into(x.row(i), &mut out).unwrap();
         assert_eq!(out.as_slice(), serial.row(i), "row {i}");
     }
-    let _ = handle.shutdown();
+    let _ = handle.shutdown().unwrap();
 }
 
 /// Backpressure soak: more concurrent clients than slots, tiny queue. No
@@ -114,7 +114,7 @@ fn oversubscribed_clients_block_and_complete() {
         }
     });
     assert_eq!(served.load(Ordering::Relaxed), CLIENTS);
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().unwrap();
     assert_eq!(stats.rows, CLIENTS as u64);
     assert!(stats.max_rows <= 4);
 }
@@ -141,13 +141,14 @@ fn shutdown_during_traffic_is_clean() {
                     ok += 1;
                 }
                 Err(ServeError::Shutdown) => break,
+                Err(e) => panic!("unexpected error racing shutdown: {e}"),
             }
         }
         ok
     });
     // Let the racer get some work through, then pull the plug.
     std::thread::sleep(std::time::Duration::from_millis(5));
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().unwrap();
     let ok = racer.join().unwrap();
     assert_eq!(stats.rows as usize, ok, "every Ok response was counted");
 }
@@ -167,7 +168,7 @@ fn repeated_start_shutdown_cycles() {
         let handle = ServeEngine::start(net.clone(), &serve_config());
         let y = handle.client().infer(&row).unwrap();
         assert_eq!(y.as_slice(), reference.row(0), "cycle {cycle}");
-        let stats = handle.shutdown();
+        let stats = handle.shutdown().unwrap();
         assert_eq!(stats.rows, 1);
     }
 }
@@ -266,7 +267,7 @@ proptest! {
             client.infer_into(x.row(i), &mut out).unwrap();
             prop_assert_eq!(out.as_slice(), serial.row(i), "row {}", i);
         }
-        let stats = handle.shutdown();
+        let stats = handle.shutdown().unwrap();
         prop_assert_eq!(stats.rows, rows as u64);
         prop_assert!(stats.max_rows <= max_batch as u64);
     }

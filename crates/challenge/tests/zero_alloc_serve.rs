@@ -126,7 +126,7 @@ fn steady_state_serving_loop_is_allocation_free() {
         assert_eq!(out.as_slice(), reference.row(i), "post-measurement row {i}");
     }
     drop(client);
-    let stats = handle.shutdown();
+    let stats = handle.shutdown().unwrap();
     assert_eq!(stats.rows, 7 * rows.nrows() as u64);
     assert!(stats.max_rows <= 8);
 }

@@ -33,6 +33,20 @@ pub mod channel {
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`] (mirroring
+    /// `crossbeam::channel::TrySendError`). Either way the unsent message
+    /// is handed back, so a load-shedding caller can fail over (or reject
+    /// typed) without losing it.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is at capacity right now; receivers are
+        /// still alive. The admission-control signal: a non-blocking
+        /// submitter treats this as "overloaded", not as an error state.
+        Full(T),
+        /// Every receiver has been dropped; the message can never arrive.
+        Disconnected(T),
+    }
+
     impl<T> Sender<T> {
         /// Blocks until the message is enqueued, or returns `Err` if the
         /// receiving side has disconnected.
@@ -42,6 +56,23 @@ pub mod channel {
         /// been dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+
+        /// Enqueues the message only if the bounded buffer has room right
+        /// now — never blocks. This is the primitive admission-time load
+        /// shedding is built on: a full queue is a backpressure signal the
+        /// caller can convert into a typed "overloaded" rejection instead
+        /// of parking the submitting thread.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] when the buffer is at capacity (message
+        /// handed back, receivers alive); [`TrySendError::Disconnected`]
+        /// when every receiver has been dropped.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
         }
     }
 
@@ -231,6 +262,23 @@ mod tests {
         drop(tx);
         assert_eq!(rx.try_recv(), Ok(11));
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u8>(1);
+        // Room in the buffer: accepted without blocking.
+        assert_eq!(tx.try_send(1), Ok(()));
+        // Buffer at capacity, receiver alive: Full hands the message back.
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        // Draining frees the slot; the channel is usable again.
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.try_recv(), Ok(3));
+        // Receiver gone: Disconnected, regardless of buffer space.
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

@@ -88,7 +88,7 @@ mod pool {
     //! borrowed-closure hand-off sound.
 
     use std::cell::Cell;
-    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
     /// Type-erased pointer to the current broadcast's job closure.
@@ -109,8 +109,13 @@ mod pool {
         job: Option<Job>,
         /// Workers still running the current job.
         remaining: usize,
-        /// Whether any worker's job invocation panicked.
-        panicked: bool,
+        /// Panic payload from the first worker whose job invocation
+        /// panicked (later payloads are dropped). Taken — and re-raised on
+        /// the calling thread — by `broadcast` after the job retires, so a
+        /// worker panic poisons only the job that raised it: the worker
+        /// itself survives to park for the next broadcast, and the pool
+        /// stays fully usable.
+        panic: Option<Box<dyn std::any::Any + Send>>,
         /// Workers that have finished thread start-up and parked at the
         /// job-wait loop. Pool construction blocks on this so that no
         /// worker-thread bootstrap allocation can leak into a caller's
@@ -152,7 +157,7 @@ mod pool {
                     epoch: 0,
                     job: None,
                     remaining: 0,
-                    panicked: false,
+                    panic: None,
                     ready: 0,
                 }),
                 job_ready: Condvar::new(),
@@ -218,11 +223,12 @@ mod pool {
             #[allow(unsafe_code)]
             let f = unsafe { &*job.0 };
             IN_JOB.with(|c| c.set(true));
-            let ok = catch_unwind(AssertUnwindSafe(|| f(slot))).is_ok();
+            let result = catch_unwind(AssertUnwindSafe(|| f(slot)));
             IN_JOB.with(|c| c.set(false));
             let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
-            if !ok {
-                st.panicked = true;
+            if let Err(payload) = result {
+                // First payload wins; the job is already doomed either way.
+                st.panic.get_or_insert(payload);
             }
             st.remaining -= 1;
             if st.remaining == 0 {
@@ -256,8 +262,13 @@ mod pool {
     /// job runs inline on the caller only. Allocation-free in steady state.
     ///
     /// # Panics
-    /// Propagates (as a fresh panic) if any worker's invocation panicked;
-    /// the caller's own panic unwinds normally after all workers finish.
+    /// Re-raises the first panicking worker's original payload (via
+    /// [`resume_unwind`]) on the calling thread, so callers that
+    /// `catch_unwind` around a parallel region see the real message, not a
+    /// synthetic one. The caller's own panic unwinds normally after all
+    /// workers finish. Either way the panic poisons only this job: workers
+    /// catch their own unwinds and park again, leaving the pool fully
+    /// usable for the next broadcast.
     pub(crate) fn broadcast(job: &(dyn Fn(usize) + Sync)) {
         let p = get();
         if p.workers == 0 || in_job() {
@@ -281,20 +292,23 @@ mod pool {
             st.job = Some(Job(erased));
             st.epoch = st.epoch.wrapping_add(1);
             st.remaining = p.workers;
-            st.panicked = false;
+            st.panic = None;
         }
         p.shared.job_ready.notify_all();
         let guard = CallGuard(&p.shared);
         IN_JOB.with(|c| c.set(true));
         job(0);
         drop(guard);
-        let panicked = p
+        let payload = p
             .shared
             .state
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .panicked;
-        assert!(!panicked, "rayon-shim pool worker panicked");
+            .panic
+            .take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -772,5 +786,54 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn panic_in_job_carries_original_payload() {
+        // A panic inside a parallel region must surface on the calling
+        // thread with its *original* payload — downstream supervision code
+        // classifies failures by that message — whether it fired on a pool
+        // worker or on the caller's own slot (both paths are exercised
+        // here: with many items every participant claims some).
+        let caught = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 33 {
+                    panic!("injected kernel fault 33");
+                }
+            });
+        })
+        .expect_err("the injected panic must propagate to the caller");
+        let msg = caught
+            .downcast_ref::<&'static str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .expect("payload should be the original panic message");
+        assert!(
+            msg.contains("injected kernel fault 33"),
+            "got payload {msg:?}"
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        // A worker panic poisons only the job that raised it: the very
+        // next broadcast on the same pool must run to completion on every
+        // thread and produce correct results. This is the property the
+        // serving supervisor relies on — an engine restart reuses the
+        // process-wide pool that just absorbed the fault.
+        for round in 0..3 {
+            let caught = std::panic::catch_unwind(|| {
+                (0..32usize).into_par_iter().for_each(|i| {
+                    if i % 8 == round % 8 {
+                        panic!("round {round} fault");
+                    }
+                });
+            });
+            assert!(caught.is_err(), "round {round}: panic must propagate");
+            // Pool still healthy: a full map over the same range works.
+            let out: Vec<usize> = (0..32usize).into_par_iter().map(|i| i * 2).collect();
+            assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        }
     }
 }
