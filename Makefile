@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-mt verify-serve verify-chaos serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
+.PHONY: verify verify-mt verify-serve verify-chaos verify-recovery serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -40,6 +40,20 @@ verify-chaos:
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p rayon panic
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --lib fault
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test chaos
+
+## The crash-safe-training suites under a forced multi-thread worker pool
+## — what CI's `recovery` job runs (POOL_THREADS=2 there): the checkpoint
+## codec round-trip + corruption fuzz (truncations, byte flips, torn
+## writes, stale temp files), the kill-at-batch-N bitwise-identical
+## resume proptest, the train supervisor's unit coverage, and the
+## end-to-end train-crash / checkpoint-fallback / serve-hot-reload
+## integration suite.
+verify-recovery:
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn --lib checkpoint
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn --lib supervise
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn --lib train
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn --test checkpoint
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test recovery
 
 ## Serving smoke: start the engine, drive concurrent clients against it,
 ## assert every response is correct and demuxed to its requester in order,

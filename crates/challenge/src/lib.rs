@@ -50,7 +50,8 @@ pub use infer::{
 };
 pub use pipeline::forward_pipelined;
 pub use serve::{
-    MicroBatcher, ServeClient, ServeConfig, ServeEngine, ServeError, ServeHandle, ServeStats,
+    MicroBatcher, ReloadError, ServeClient, ServeConfig, ServeEngine, ServeError, ServeHandle,
+    ServeStats,
 };
 pub use stream::{run_stream, LayerActivationStats, StreamResult};
 pub use supervise::{RestartPolicy, ServeSupervisor, SupervisorClient, SupervisorHandle};

@@ -462,6 +462,21 @@ pub(crate) struct Shared {
     max_batch: usize,
     /// Deterministic fault hooks (inactive by default; a single branch).
     fault: FaultInjector,
+    /// Staged replacement network from [`ServeHandle::reload`], awaiting
+    /// pickup by the engine loop at its next batch boundary.
+    reload_slot: Mutex<Option<Box<ChallengeNetwork>>>,
+    /// Set after staging a reload — the engine's single steady-state
+    /// check (one atomic load per loop iteration keeps the hot path
+    /// allocation-free).
+    reload_pending: AtomicBool,
+    /// Per-layer `(nrows, ncols)` of the serving network, snapshotted at
+    /// start: a reload must match them exactly so the engine's
+    /// pre-allocated workspace stays valid.
+    layer_shapes: Vec<(usize, usize)>,
+    /// The serving network's output bias / cap — the Challenge recipe
+    /// fixes them, so a reload swaps weights only and keeps these.
+    net_bias: f32,
+    net_ymax: f32,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -810,6 +825,85 @@ impl ServeClient {
     }
 }
 
+/// Why a [`ServeHandle::reload`] was refused. Every variant leaves the
+/// engine serving its current weights — a failed reload is a no-op.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The checkpoint file failed to load or validate.
+    Checkpoint(radix_nn::CheckpointError),
+    /// The checkpoint's network has a dense layer; the serving engine
+    /// runs prepared sparse layers only.
+    NotSparse {
+        /// Zero-based index of the offending layer.
+        layer: usize,
+    },
+    /// The checkpoint's layer count differs from the serving network's.
+    LayerCountMismatch {
+        /// Layers the engine serves.
+        expected: usize,
+        /// Layers in the checkpoint.
+        got: usize,
+    },
+    /// A layer's shape differs from the serving network's — the engine's
+    /// pre-allocated workspace would no longer fit.
+    ShapeMismatch {
+        /// Zero-based layer index.
+        layer: usize,
+        /// `(nrows, ncols)` the engine serves.
+        expected: (usize, usize),
+        /// `(nrows, ncols)` in the checkpoint.
+        got: (usize, usize),
+    },
+    /// The engine thread has already exited; there is nothing to reload
+    /// into.
+    EngineDown,
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Checkpoint(e) => write!(f, "reload rejected: {e}"),
+            ReloadError::NotSparse { layer } => {
+                write!(
+                    f,
+                    "reload rejected: layer {layer} is dense, engine serves sparse layers"
+                )
+            }
+            ReloadError::LayerCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "reload rejected: {got} layers in checkpoint, engine serves {expected}"
+                )
+            }
+            ReloadError::ShapeMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "reload rejected: layer {layer} is {}×{}, engine serves {}×{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            ReloadError::EngineDown => write!(f, "reload rejected: engine is down"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<radix_nn::CheckpointError> for ReloadError {
+    fn from(e: radix_nn::CheckpointError) -> Self {
+        ReloadError::Checkpoint(e)
+    }
+}
+
 /// The running engine's control handle: hands out clients, shuts the
 /// engine down, and reports its stats.
 pub struct ServeHandle {
@@ -849,6 +943,67 @@ impl ServeHandle {
     /// a snapshot).
     pub(crate) fn shared_arc(&self) -> Arc<Shared> {
         Arc::clone(&self.shared)
+    }
+
+    /// Hot-reloads the engine's weights from a training checkpoint
+    /// written by `radix_nn::checkpoint` (e.g. by a supervised training
+    /// run), without stopping the engine or dropping requests.
+    ///
+    /// The checkpoint is loaded, validated (fully sparse, same layer
+    /// count, every shape identical to the serving network's — the
+    /// engine's pre-allocated workspace must stay valid), re-prepared
+    /// into tiled ELL form, and *staged*; the engine thread swaps it in
+    /// at its next batch boundary (bounded by its idle re-check cadence,
+    /// ≤ 50 ms). In-flight requests complete on the old weights;
+    /// subsequent flushes use the new ones. The engine keeps its
+    /// configured output bias/cap — the Challenge recipe fixes them, so
+    /// a reload swaps weights only. This call allocates (decode +
+    /// prepare); the engine's steady-state loop stays allocation-free —
+    /// its only new cost is one atomic load per iteration, and the swap
+    /// itself is a pointer-sized move (`tests/zero_alloc_serve.rs` pins
+    /// the post-reload steady state).
+    ///
+    /// Staging a second reload before the engine picks up the first
+    /// replaces the staged network — last writer wins.
+    ///
+    /// # Errors
+    /// [`ReloadError::Checkpoint`] when the file is missing, corrupt, or
+    /// malformed; the shape variants when the checkpoint disagrees with
+    /// the serving network; [`ReloadError::EngineDown`] when the engine
+    /// thread has exited. Every error leaves current weights serving.
+    pub fn reload(&self, path: &std::path::Path) -> Result<(), ReloadError> {
+        let ck = radix_nn::checkpoint::load(path)?;
+        let expected = &self.shared.layer_shapes;
+        let layers = ck.net.layers();
+        if layers.len() != expected.len() {
+            return Err(ReloadError::LayerCountMismatch {
+                expected: expected.len(),
+                got: layers.len(),
+            });
+        }
+        let mut csrs = Vec::with_capacity(layers.len());
+        for (i, l) in layers.iter().enumerate() {
+            let radix_nn::Layer::Sparse(sl) = l else {
+                return Err(ReloadError::NotSparse { layer: i });
+            };
+            let got = (sl.weights().nrows(), sl.weights().ncols());
+            if got != expected[i] {
+                return Err(ReloadError::ShapeMismatch {
+                    layer: i,
+                    expected: expected[i],
+                    got,
+                });
+            }
+            csrs.push(sl.weights().clone());
+        }
+        let new_net =
+            ChallengeNetwork::from_layers(csrs, self.shared.net_bias, self.shared.net_ymax);
+        if !self.shared.engine_live.load(Ordering::Acquire) {
+            return Err(ReloadError::EngineDown);
+        }
+        *lock(&self.shared.reload_slot) = Some(Box::new(new_net));
+        self.shared.reload_pending.store(true, Ordering::Release);
+        Ok(())
     }
 
     /// Graceful shutdown: stops admitting new requests (they fail fast
@@ -980,6 +1135,15 @@ impl ServeEngine {
             compute_us,
             max_batch: config.max_batch,
             fault,
+            reload_slot: Mutex::new(None),
+            reload_pending: AtomicBool::new(false),
+            layer_shapes: net
+                .layers()
+                .iter()
+                .map(|l| (l.nrows(), l.ncols()))
+                .collect(),
+            net_bias: net.bias(),
+            net_ymax: net.ymax(),
         });
         let (tx, rx) = crossbeam::channel::bounded::<usize>(config.queue);
 
@@ -1052,6 +1216,12 @@ impl EngineLoop {
         // how stale a deadline check can get under a zero wait budget.
         let idle = Duration::from_micros(self.mb.budget().clamp(200, 50_000));
         loop {
+            // Batch-boundary weight swap: one relaxed-path atomic load in
+            // steady state; requests gathered after this point run on the
+            // new weights, anything already flushed completed on the old.
+            if self.shared.reload_pending.load(Ordering::Acquire) {
+                self.apply_reload();
+            }
             // Greedy drain: coalesce everything already queued, up to one
             // full block, without blocking.
             let mut disconnected = false;
@@ -1107,6 +1277,17 @@ impl EngineLoop {
                 }
             }
         }
+    }
+
+    /// Swaps a staged replacement network in (reload path — allocation
+    /// and deallocation are fine here, this is not the steady state).
+    /// Shapes were validated at staging time, so the pre-sized workspace
+    /// and gather matrix remain valid.
+    fn apply_reload(&mut self) {
+        if let Some(new_net) = lock(&self.shared.reload_slot).take() {
+            self.net = *new_net;
+        }
+        self.shared.reload_pending.store(false, Ordering::Release);
     }
 
     /// Graceful-shutdown exit test, only meaningful with no rows pending:

@@ -23,6 +23,9 @@ use radix_challenge::{
     RestartPolicy, ServeConfig, ServeEngine, ServeError, ServeStats, ServeSupervisor,
 };
 
+mod support;
+use support::with_watchdog;
+
 fn small_net() -> ChallengeNetwork {
     ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 4, 2)).unwrap()
 }
@@ -34,40 +37,6 @@ fn chaos_config() -> ServeConfig {
         slots: 8,
         queue: 8,
         parallel: true,
-    }
-}
-
-/// Runs `scenario` on its own thread with a hard wall-clock bound. If the
-/// scenario hangs (the exact failure mode this suite exists to rule out),
-/// the watchdog panics the test instead of wedging the harness.
-fn with_watchdog<R: Send + 'static>(
-    label: &str,
-    limit: Duration,
-    scenario: impl FnOnce() -> R + Send + 'static,
-) -> R {
-    let (tx, rx) = mpsc::channel();
-    let runner = std::thread::Builder::new()
-        .name(format!("chaos-{label}"))
-        .spawn(move || {
-            let _ = tx.send(scenario());
-        })
-        .expect("spawn chaos scenario");
-    match rx.recv_timeout(limit) {
-        Ok(result) => {
-            runner.join().expect("chaos scenario panicked");
-            result
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            // The scenario panicked before sending: re-raise its panic so
-            // the test reports the real assertion failure.
-            match runner.join() {
-                Err(payload) => std::panic::resume_unwind(payload),
-                Ok(()) => unreachable!("sender dropped without panicking"),
-            }
-        }
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            panic!("chaos scenario {label:?} hung past {limit:?} — a request never resolved")
-        }
     }
 }
 

@@ -1,0 +1,40 @@
+//! Shared test-support helpers for the chaos and recovery suites.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Runs `scenario` on its own thread with a hard wall-clock bound. If the
+/// scenario hangs (the exact failure mode the chaos/recovery suites exist
+/// to rule out), the watchdog panics the test instead of wedging the
+/// harness; a scenario that panics on its own thread has its payload
+/// re-raised so the test reports the real assertion failure.
+pub fn with_watchdog<R: Send + 'static>(
+    label: &str,
+    limit: Duration,
+    scenario: impl FnOnce() -> R + Send + 'static,
+) -> R {
+    let (tx, rx) = mpsc::channel();
+    let runner = std::thread::Builder::new()
+        .name(format!("chaos-{label}"))
+        .spawn(move || {
+            let _ = tx.send(scenario());
+        })
+        .expect("spawn chaos scenario");
+    match rx.recv_timeout(limit) {
+        Ok(result) => {
+            runner.join().expect("chaos scenario panicked");
+            result
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The scenario panicked before sending: re-raise its panic so
+            // the test reports the real assertion failure.
+            match runner.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(()) => unreachable!("sender dropped without panicking"),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("chaos scenario {label:?} hung past {limit:?} — a request never resolved")
+        }
+    }
+}

@@ -130,10 +130,37 @@ impl SparseLinear {
         }
     }
 
+    /// Creates a sparse layer with an explicit bias vector (checkpoint
+    /// restore; [`SparseLinear::new`] zero-initializes instead).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != w.ncols()`.
+    #[must_use]
+    pub fn with_bias(w: CsrMatrix<f32>, b: Vec<f32>, act: Activation) -> Self {
+        assert_eq!(b.len(), w.ncols(), "bias length must match output width");
+        SparseLinear {
+            w: PreparedWeights::from_csr(w),
+            b,
+            act,
+        }
+    }
+
     /// The weight matrix in CSR form.
     #[must_use]
     pub fn weights(&self) -> &CsrMatrix<f32> {
         self.w.as_csr()
+    }
+
+    /// The per-output bias vector.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// The layer's activation function.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.act
     }
 
     /// The prepared weight matrix the kernels actually run on.
@@ -166,10 +193,33 @@ impl DenseLinear {
         DenseLinear { w, b, act }
     }
 
+    /// Creates a dense layer with an explicit bias vector (checkpoint
+    /// restore; [`DenseLinear::new`] zero-initializes instead).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != w.ncols()`.
+    #[must_use]
+    pub fn with_bias(w: DenseMatrix<f32>, b: Vec<f32>, act: Activation) -> Self {
+        assert_eq!(b.len(), w.ncols(), "bias length must match output width");
+        DenseLinear { w, b, act }
+    }
+
     /// The weight matrix.
     #[must_use]
     pub fn weights(&self) -> &DenseMatrix<f32> {
         &self.w
+    }
+
+    /// The per-output bias vector.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// The layer's activation function.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.act
     }
 
     /// Number of trainable parameters (weights + biases).

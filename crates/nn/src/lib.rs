@@ -43,21 +43,30 @@
 #![forbid(unsafe_code)]
 
 pub mod activation;
+pub mod checkpoint;
 pub mod eval;
+pub mod fault;
 pub mod init;
 pub mod layer;
 pub mod loss;
 pub mod network;
 pub mod optimizer;
+pub mod supervise;
 pub mod train;
 pub mod workspace;
 
 pub use activation::Activation;
+pub use checkpoint::{Checkpoint, CheckpointError, Checkpointer, TrainProgress};
 pub use eval::ConfusionMatrix;
+pub use fault::{TrainFaultInjector, TrainFaultPlan, WriteFault, INJECTED_TRAIN_PANIC_MSG};
 pub use init::{init_dense, init_sparse, Init};
 pub use layer::{DenseLinear, Layer, LayerGrads, SparseLinear};
 pub use loss::{accuracy, softmax_row, Loss};
 pub use network::{matched_dense_twin, Network, Targets};
 pub use optimizer::Optimizer;
-pub use train::{clip_gradients, train_classifier, train_regressor, History, TrainConfig};
+pub use supervise::{TrainReport, TrainRestartPolicy, TrainSuperviseError, TrainSupervisor};
+pub use train::{
+    clip_gradients, train_classifier, train_classifier_checkpointed, train_regressor,
+    train_regressor_checkpointed, History, TrainConfig,
+};
 pub use workspace::{ForwardWorkspace, GradWorkspace, GradWorkspacePool};

@@ -1,4 +1,22 @@
-//! Mini-batch training loop with shuffling and history recording.
+//! Mini-batch training loop with shuffling, history recording, and
+//! optional crash-safe checkpointing.
+//!
+//! ## Resume semantics (bitwise identity)
+//!
+//! Both loops consume randomness through exactly one in-place `shuffle`
+//! of the index permutation per epoch, and the PR 5 fixed-order tree
+//! reduction makes every gradient step reproducible for a given batch
+//! sequence. A checkpoint therefore needs no serialized RNG state: the
+//! resume path re-seeds from `TrainConfig::seed`, replays the shuffles
+//! the original run had already drawn (`epoch` of them, plus one more if
+//! the cursor is mid-epoch), skips the `batch` mini-batches already
+//! applied, and restores the partial epoch-loss accumulator at exact
+//! bits — from there every arithmetic operation happens in the same
+//! order on the same values as an uninterrupted run, so the final
+//! network, optimizer, and history are **bitwise identical**
+//! (`tests/checkpoint.rs` pins this with a kill-at-batch-N proptest).
+//! Checkpoint cadence never affects the numbers: saving only reads
+//! state.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -6,6 +24,7 @@ use rand::SeedableRng;
 
 use radix_sparse::DenseMatrix;
 
+use crate::checkpoint::{Checkpoint, CheckpointError, Checkpointer, TrainProgress};
 use crate::loss::accuracy;
 use crate::network::{Network, Targets};
 use crate::optimizer::Optimizer;
@@ -72,7 +91,7 @@ pub fn clip_gradients(grads: &mut [crate::layer::LayerGrads], max_norm: f32) -> 
 }
 
 /// Per-epoch training history.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     /// Mean training loss per epoch.
     pub losses: Vec<f32>,
@@ -132,6 +151,198 @@ fn train_step(
     loss
 }
 
+/// What a training run is fitting — the only place the two public loops
+/// differ (target gathering and the per-epoch accuracy eval).
+enum Problem<'a> {
+    Classify(&'a [usize]),
+    Regress(&'a DenseMatrix<f32>),
+}
+
+/// Refuses to resume from a checkpoint that belongs to a different run:
+/// mismatched architecture or loss, a different shuffle seed (the batch
+/// sequence would diverge), or a cursor outside this configuration.
+fn check_resume_compat(
+    net: &Network,
+    config: &TrainConfig,
+    c: &Checkpoint,
+    n_batches: usize,
+) -> Result<(), CheckpointError> {
+    let incompatible = |detail: String| Err(CheckpointError::Incompatible { detail });
+    if c.progress.seed != config.seed {
+        return incompatible(format!(
+            "checkpoint seed {} vs configured seed {}",
+            c.progress.seed, config.seed
+        ));
+    }
+    if c.net.loss() != net.loss() {
+        return incompatible("loss function differs".into());
+    }
+    if c.net.layers().len() != net.layers().len() {
+        return incompatible(format!(
+            "checkpoint has {} layers, network has {}",
+            c.net.layers().len(),
+            net.layers().len()
+        ));
+    }
+    for (i, (a, b)) in c.net.layers().iter().zip(net.layers()).enumerate() {
+        if a.n_in() != b.n_in() || a.n_out() != b.n_out() || a.param_lens() != b.param_lens() {
+            return incompatible(format!(
+                "layer {i}: checkpoint {}×{} ({:?} params) vs network {}×{} ({:?} params)",
+                a.n_in(),
+                a.n_out(),
+                a.param_lens(),
+                b.n_in(),
+                b.n_out(),
+                b.param_lens()
+            ));
+        }
+    }
+    let (epoch, batch) = (c.progress.epoch as usize, c.progress.batch as usize);
+    if epoch > config.epochs || (epoch == config.epochs && batch > 0) || batch > n_batches {
+        return incompatible(format!(
+            "cursor (epoch {epoch}, batch {batch}) outside {} epochs × {n_batches} batches",
+            config.epochs
+        ));
+    }
+    Ok(())
+}
+
+/// The shared training driver. With a [`Checkpointer`] it resumes from
+/// the newest valid generation (bitwise identically — see the module
+/// docs), runs the fault-injection hook before every batch, and saves
+/// periodically (`every` batches, counted globally) plus at every epoch
+/// boundary. Without one it is exactly the historical in-memory loop.
+fn run_train_loop(
+    net: &mut Network,
+    x: &DenseMatrix<f32>,
+    problem: &Problem<'_>,
+    opt: &mut Optimizer,
+    config: &TrainConfig,
+    mut ckpt: Option<&mut Checkpointer>,
+) -> Result<History, CheckpointError> {
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let n = x.nrows();
+    let n_batches = if n == 0 {
+        0
+    } else {
+        n.div_ceil(config.batch_size)
+    };
+
+    let mut history = History::default();
+    let mut start_epoch = 0usize;
+    let mut start_batch = 0usize;
+    let mut resumed_epoch_loss = 0.0f32;
+    if let Some(ck) = ckpt.as_mut() {
+        if let Some((_gen, c)) = ck.load_latest()? {
+            check_resume_compat(net, config, &c, n_batches)?;
+            start_epoch = c.progress.epoch as usize;
+            start_batch = c.progress.batch as usize;
+            resumed_epoch_loss = c.progress.epoch_loss;
+            history = c.progress.history.clone();
+            *net = c.net;
+            *opt = c.opt;
+        }
+    }
+
+    // Re-seed and replay: one shuffle per completed epoch, plus the
+    // resumed epoch's own shuffle if the cursor is mid-epoch. The
+    // permutation is mutated in place across epochs, so replaying from
+    // the identity reproduces both the RNG state and the ordering.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..start_epoch + usize::from(start_batch > 0) {
+        order.shuffle(&mut rng);
+    }
+
+    // Persistent buffers: mini-batch gather, forward/backward workspace,
+    // and the full-set evaluation workspace are pre-sized to their
+    // high-water mark and reused across every batch and epoch — including
+    // the loss gradient, which Loss::eval_*_into writes into the workspace
+    // delta buffer, so training batches perform no heap allocation at all
+    // (pinned down by `tests/zero_alloc.rs`). Checkpoint saves allocate,
+    // but only on the save path.
+    let mut xb = DenseMatrix::zeros(0, 0);
+    let mut yb_labels: Vec<usize> = Vec::new();
+    let mut yb_values = DenseMatrix::zeros(0, 0);
+    let batch_rows = config.batch_size.min(n.max(1));
+    let mut ws = GradWorkspace::for_network(net, batch_rows);
+    // Data-parallel runs additionally hold per-worker chunk workspaces,
+    // reused across every batch and epoch (the pool-native path).
+    let mut pool = (config.parallel_chunks > 1)
+        .then(|| GradWorkspacePool::for_network(net, batch_rows, config.parallel_chunks));
+    let mut eval_ws =
+        matches!(problem, Problem::Classify(_)).then(|| ForwardWorkspace::for_network(net, n));
+
+    let mut global_batch = (start_epoch * n_batches + start_batch) as u64;
+    for epoch in start_epoch..config.epochs {
+        let first = epoch == start_epoch;
+        if !(first && start_batch > 0) {
+            order.shuffle(&mut rng);
+        }
+        let mut epoch_loss = if first { resumed_epoch_loss } else { 0.0 };
+        let mut batches = if first { start_batch as u32 } else { 0 };
+        for (bi, chunk) in order.chunks(config.batch_size).enumerate() {
+            if first && bi < start_batch {
+                continue;
+            }
+            if let Some(ck) = ckpt.as_mut() {
+                ck.faults().before_batch();
+            }
+            gather_rows_into(x, chunk, &mut xb);
+            let targets = match problem {
+                Problem::Classify(labels) => {
+                    yb_labels.clear();
+                    yb_labels.extend(chunk.iter().map(|&i| labels[i]));
+                    Targets::Labels(&yb_labels)
+                }
+                Problem::Regress(y) => {
+                    gather_rows_into(y, chunk, &mut yb_values);
+                    Targets::values(&yb_values)
+                }
+            };
+            epoch_loss += train_step(net, &xb, targets, opt, config, &mut ws, pool.as_mut());
+            batches += 1;
+            global_batch += 1;
+            if let Some(ck) = ckpt.as_mut() {
+                // Mid-epoch snapshot; the last batch is covered by the
+                // epoch-boundary save just below.
+                if ck.every() > 0
+                    && global_batch.is_multiple_of(ck.every() as u64)
+                    && bi + 1 < n_batches
+                {
+                    let progress = TrainProgress {
+                        epoch: epoch as u64,
+                        batch: (bi + 1) as u64,
+                        seed: config.seed,
+                        epoch_loss,
+                        history: history.clone(),
+                    };
+                    ck.save(net, opt, &progress)?;
+                }
+            }
+        }
+        history.losses.push(epoch_loss / batches.max(1) as f32);
+        if let (Problem::Classify(labels), Some(eval_ws)) = (problem, eval_ws.as_mut()) {
+            let logits = net.forward_with(x, eval_ws);
+            history.accuracies.push(accuracy(logits, labels));
+        }
+        if config.lr_decay != 1.0 {
+            opt.scale_lr(config.lr_decay);
+        }
+        if let Some(ck) = ckpt.as_mut() {
+            let progress = TrainProgress {
+                epoch: (epoch + 1) as u64,
+                batch: 0,
+                seed: config.seed,
+                epoch_loss: 0.0,
+                history: history.clone(),
+            };
+            ck.save(net, opt, &progress)?;
+        }
+    }
+    Ok(history)
+}
+
 /// Trains a classifier with softmax cross-entropy.
 ///
 /// # Panics
@@ -144,54 +355,8 @@ pub fn train_classifier(
     config: &TrainConfig,
 ) -> History {
     assert_eq!(x.nrows(), labels.len(), "sample/label count mismatch");
-    assert!(config.batch_size > 0, "batch size must be positive");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut order: Vec<usize> = (0..x.nrows()).collect();
-    let mut history = History::default();
-    history.losses.reserve_exact(config.epochs);
-    history.accuracies.reserve_exact(config.epochs);
-    // Persistent buffers: mini-batch gather, forward/backward workspace,
-    // and the full-set evaluation workspace are pre-sized to their
-    // high-water mark and reused across every batch and epoch — including
-    // the loss gradient, which Loss::eval_*_into writes into the workspace
-    // delta buffer, so training batches perform no heap allocation at all
-    // (pinned down by `tests/zero_alloc.rs`).
-    let mut xb = DenseMatrix::zeros(0, 0);
-    let mut yb: Vec<usize> = Vec::new();
-    let batch_rows = config.batch_size.min(x.nrows().max(1));
-    let mut ws = GradWorkspace::for_network(net, batch_rows);
-    // Data-parallel runs additionally hold per-worker chunk workspaces,
-    // reused across every batch and epoch (the pool-native path).
-    let mut pool = (config.parallel_chunks > 1)
-        .then(|| GradWorkspacePool::for_network(net, batch_rows, config.parallel_chunks));
-    let mut eval_ws = ForwardWorkspace::for_network(net, x.nrows());
-    for _ in 0..config.epochs {
-        order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0f32;
-        let mut batches = 0u32;
-        for chunk in order.chunks(config.batch_size) {
-            gather_rows_into(x, chunk, &mut xb);
-            yb.clear();
-            yb.extend(chunk.iter().map(|&i| labels[i]));
-            epoch_loss += train_step(
-                net,
-                &xb,
-                Targets::Labels(&yb),
-                opt,
-                config,
-                &mut ws,
-                pool.as_mut(),
-            );
-            batches += 1;
-        }
-        history.losses.push(epoch_loss / batches.max(1) as f32);
-        let logits = net.forward_with(x, &mut eval_ws);
-        history.accuracies.push(accuracy(logits, labels));
-        if config.lr_decay != 1.0 {
-            opt.scale_lr(config.lr_decay);
-        }
-    }
-    history
+    run_train_loop(net, x, &Problem::Classify(labels), opt, config, None)
+        .expect("training without checkpointing performs no I/O")
 }
 
 /// Trains a regressor with MSE.
@@ -206,42 +371,55 @@ pub fn train_regressor(
     config: &TrainConfig,
 ) -> History {
     assert_eq!(x.nrows(), y.nrows(), "sample/target count mismatch");
-    assert!(config.batch_size > 0, "batch size must be positive");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut order: Vec<usize> = (0..x.nrows()).collect();
-    let mut history = History::default();
-    history.losses.reserve_exact(config.epochs);
-    history.accuracies.reserve_exact(config.epochs);
-    let mut xb = DenseMatrix::zeros(0, 0);
-    let mut yb = DenseMatrix::zeros(0, 0);
-    let batch_rows = config.batch_size.min(x.nrows().max(1));
-    let mut ws = GradWorkspace::for_network(net, batch_rows);
-    let mut pool = (config.parallel_chunks > 1)
-        .then(|| GradWorkspacePool::for_network(net, batch_rows, config.parallel_chunks));
-    for _ in 0..config.epochs {
-        order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0f32;
-        let mut batches = 0u32;
-        for chunk in order.chunks(config.batch_size) {
-            gather_rows_into(x, chunk, &mut xb);
-            gather_rows_into(y, chunk, &mut yb);
-            epoch_loss += train_step(
-                net,
-                &xb,
-                Targets::values(&yb),
-                opt,
-                config,
-                &mut ws,
-                pool.as_mut(),
-            );
-            batches += 1;
-        }
-        history.losses.push(epoch_loss / batches.max(1) as f32);
-        if config.lr_decay != 1.0 {
-            opt.scale_lr(config.lr_decay);
-        }
-    }
-    history
+    run_train_loop(net, x, &Problem::Regress(y), opt, config, None)
+        .expect("training without checkpointing performs no I/O")
+}
+
+/// [`train_classifier`] with crash-safe checkpointing: resumes from the
+/// newest valid generation in the checkpointer's directory (bitwise
+/// identically to an uninterrupted run — see the module docs), then
+/// saves every `every` batches and at each epoch boundary.
+///
+/// # Errors
+/// [`CheckpointError::Incompatible`] when the newest checkpoint belongs
+/// to a different run (architecture, loss, seed, or cursor mismatch);
+/// [`CheckpointError::Io`] when a save fails.
+///
+/// # Panics
+/// Panics if `x.nrows() != labels.len()`, if the batch size is zero, or
+/// when the fault injector fires (simulated crash — the supervisor's
+/// domain).
+pub fn train_classifier_checkpointed(
+    net: &mut Network,
+    x: &DenseMatrix<f32>,
+    labels: &[usize],
+    opt: &mut Optimizer,
+    config: &TrainConfig,
+    ckpt: &mut Checkpointer,
+) -> Result<History, CheckpointError> {
+    assert_eq!(x.nrows(), labels.len(), "sample/label count mismatch");
+    run_train_loop(net, x, &Problem::Classify(labels), opt, config, Some(ckpt))
+}
+
+/// [`train_regressor`] with crash-safe checkpointing; same resume and
+/// save contract as [`train_classifier_checkpointed`].
+///
+/// # Errors
+/// Same taxonomy as [`train_classifier_checkpointed`].
+///
+/// # Panics
+/// Panics if sample counts mismatch, if the batch size is zero, or when
+/// the fault injector fires.
+pub fn train_regressor_checkpointed(
+    net: &mut Network,
+    x: &DenseMatrix<f32>,
+    y: &DenseMatrix<f32>,
+    opt: &mut Optimizer,
+    config: &TrainConfig,
+    ckpt: &mut Checkpointer,
+) -> Result<History, CheckpointError> {
+    assert_eq!(x.nrows(), y.nrows(), "sample/target count mismatch");
+    run_train_loop(net, x, &Problem::Regress(y), opt, config, Some(ckpt))
 }
 
 #[cfg(test)]
@@ -287,6 +465,13 @@ mod tests {
             Loss::SoftmaxCrossEntropy,
             seed,
         )
+    }
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("radix-train-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -343,6 +528,91 @@ mod tests {
         let hb = train_classifier(&mut b, &x, &labels, &mut Optimizer::sgd(0.1), &config);
         assert_eq!(ha.losses, hb.losses);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpointed_training_matches_plain_and_resumes_as_complete() {
+        let (x, labels) = toy_problem(64);
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            seed: 11,
+            ..TrainConfig::default()
+        };
+
+        let mut plain = radix_classifier(6);
+        let h_plain =
+            train_classifier(&mut plain, &x, &labels, &mut Optimizer::adam(0.01), &config);
+
+        let dir = scratch_dir("matches-plain");
+        let mut ck = Checkpointer::new(&dir).unwrap().with_every(3).with_keep(2);
+        let mut ckpted = radix_classifier(6);
+        let h_ck = train_classifier_checkpointed(
+            &mut ckpted,
+            &x,
+            &labels,
+            &mut Optimizer::adam(0.01),
+            &config,
+            &mut ck,
+        )
+        .unwrap();
+        // Saving is a pure read of training state: the checkpointed run
+        // is bitwise identical to the plain one.
+        assert_eq!(h_plain, h_ck);
+        assert_eq!(plain, ckpted);
+
+        // A fresh loop over the finished directory resumes at the final
+        // cursor and returns immediately with the full history and model.
+        let mut ck2 = Checkpointer::new(&dir).unwrap().with_every(3);
+        let mut resumed = radix_classifier(6);
+        let mut opt = Optimizer::adam(0.01);
+        let h_res =
+            train_classifier_checkpointed(&mut resumed, &x, &labels, &mut opt, &config, &mut ck2)
+                .unwrap();
+        assert_eq!(h_res, h_plain);
+        assert_eq!(resumed, plain);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_seed() {
+        let (x, labels) = toy_problem(32);
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            seed: 21,
+            ..TrainConfig::default()
+        };
+        let dir = scratch_dir("seed-mismatch");
+        let mut ck = Checkpointer::new(&dir).unwrap();
+        let mut net = radix_classifier(6);
+        train_classifier_checkpointed(
+            &mut net,
+            &x,
+            &labels,
+            &mut Optimizer::sgd(0.1),
+            &config,
+            &mut ck,
+        )
+        .unwrap();
+
+        let other = TrainConfig {
+            seed: 22,
+            ..config.clone()
+        };
+        let mut ck2 = Checkpointer::new(&dir).unwrap();
+        let mut net2 = radix_classifier(6);
+        let err = train_classifier_checkpointed(
+            &mut net2,
+            &x,
+            &labels,
+            &mut Optimizer::sgd(0.1),
+            &other,
+            &mut ck2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Incompatible { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -51,8 +51,54 @@ pub enum RadixError {
     NoSystems,
     /// An FNNT structural invariant is violated.
     InvalidFnnt(String),
+    /// A spec string failed to parse (see [`SpecParseError`]).
+    SpecParse(SpecParseError),
     /// An underlying sparse-matrix operation failed.
     Sparse(radix_sparse::SparseError),
+}
+
+/// Syntax errors from [`crate::parse_spec`] — the structured taxonomy for
+/// the `D:… N:… N:…` line format (semantic constraint violations keep
+/// their dedicated [`RadixError`] variants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecParseError {
+    /// More than one `D:` field in one spec string.
+    DuplicateWidths,
+    /// No `D:` field at all.
+    MissingWidths,
+    /// A field with an unrecognized prefix.
+    UnknownField {
+        /// The offending field, verbatim.
+        field: String,
+    },
+    /// A comma-separated token that is not a `usize`.
+    BadInteger {
+        /// The offending token, verbatim.
+        token: String,
+    },
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecParseError::DuplicateWidths => write!(f, "duplicate D: field in spec string"),
+            SpecParseError::MissingWidths => write!(f, "spec string missing D: field"),
+            SpecParseError::UnknownField { field } => {
+                write!(f, "unrecognized field {field:?} (expected D:… or N:…)")
+            }
+            SpecParseError::BadInteger { token } => {
+                write!(f, "bad integer {token:?} (expected a usize)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+impl From<SpecParseError> for RadixError {
+    fn from(e: SpecParseError) -> Self {
+        RadixError::SpecParse(e)
+    }
 }
 
 impl fmt::Display for RadixError {
@@ -85,6 +131,7 @@ impl fmt::Display for RadixError {
             }
             RadixError::NoSystems => write!(f, "at least one mixed-radix system is required"),
             RadixError::InvalidFnnt(msg) => write!(f, "invalid FNNT: {msg}"),
+            RadixError::SpecParse(e) => write!(f, "spec parse error: {e}"),
             RadixError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
         }
     }
@@ -94,6 +141,7 @@ impl std::error::Error for RadixError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RadixError::Sparse(e) => Some(e),
+            RadixError::SpecParse(e) => Some(e),
             _ => None,
         }
     }

@@ -58,7 +58,7 @@ pub mod verify;
 
 pub use builder::{RadixNet, RadixNetSpec};
 pub use decision_tree::{overlay_topology, DecisionTree};
-pub use error::RadixError;
+pub use error::{RadixError, SpecParseError};
 pub use fnnt::{Fnnt, Symmetry};
 pub use numeral::MixedRadixSystem;
 pub use spec_io::{parse_spec, spec_to_string};

@@ -12,7 +12,7 @@
 //! [`spec_to_string`]/[`parse_spec`].
 
 use crate::builder::RadixNetSpec;
-use crate::error::RadixError;
+use crate::error::{RadixError, SpecParseError};
 use crate::numeral::MixedRadixSystem;
 
 /// Serializes a spec to the `D:… N:… N:…` line format.
@@ -39,39 +39,39 @@ fn push_csv(out: &mut String, values: &[usize]) {
 /// Parses the `D:… N:… N:…` line format back into a validated spec.
 ///
 /// # Errors
-/// Returns [`RadixError::InvalidFnnt`] for malformed syntax (reusing the
-/// generic structural-error variant) and the usual constraint errors for
-/// semantically invalid specs.
+/// Returns [`RadixError::SpecParse`] (carrying a [`SpecParseError`]
+/// describing exactly which field or token is malformed) for bad syntax,
+/// and the usual constraint errors for semantically invalid specs.
 pub fn parse_spec(s: &str) -> Result<RadixNetSpec, RadixError> {
     let mut widths: Option<Vec<usize>> = None;
     let mut systems: Vec<MixedRadixSystem> = Vec::new();
     for field in s.split_whitespace() {
         if let Some(rest) = field.strip_prefix("D:") {
             if widths.is_some() {
-                return Err(RadixError::InvalidFnnt(
-                    "duplicate D: field in spec string".into(),
-                ));
+                return Err(SpecParseError::DuplicateWidths.into());
             }
             widths = Some(parse_csv(rest)?);
         } else if let Some(rest) = field.strip_prefix("N:") {
             systems.push(MixedRadixSystem::new(parse_csv(rest)?)?);
         } else {
-            return Err(RadixError::InvalidFnnt(format!(
-                "unrecognized field {field:?} (expected D:… or N:…)"
-            )));
+            return Err(SpecParseError::UnknownField {
+                field: field.to_string(),
+            }
+            .into());
         }
     }
-    let widths =
-        widths.ok_or_else(|| RadixError::InvalidFnnt("spec string missing D: field".into()))?;
+    let widths = widths.ok_or(SpecParseError::MissingWidths)?;
     RadixNetSpec::new(systems, widths)
 }
 
-fn parse_csv(s: &str) -> Result<Vec<usize>, RadixError> {
+fn parse_csv(s: &str) -> Result<Vec<usize>, SpecParseError> {
     s.split(',')
         .map(|t| {
             t.trim()
                 .parse::<usize>()
-                .map_err(|e| RadixError::InvalidFnnt(format!("bad integer {t:?}: {e}")))
+                .map_err(|_| SpecParseError::BadInteger {
+                    token: t.to_string(),
+                })
         })
         .collect()
 }
@@ -107,25 +107,43 @@ mod tests {
 
     #[test]
     fn missing_widths_rejected() {
-        assert!(matches!(
-            parse_spec("N:2,2"),
-            Err(RadixError::InvalidFnnt(_))
-        ));
+        assert_eq!(
+            parse_spec("N:2,2").unwrap_err(),
+            RadixError::SpecParse(SpecParseError::MissingWidths)
+        );
     }
 
     #[test]
     fn duplicate_widths_rejected() {
-        assert!(parse_spec("D:1,1,1 D:1,1,1 N:2,2").is_err());
+        assert_eq!(
+            parse_spec("D:1,1,1 D:1,1,1 N:2,2").unwrap_err(),
+            RadixError::SpecParse(SpecParseError::DuplicateWidths)
+        );
     }
 
     #[test]
     fn unknown_field_rejected() {
-        assert!(parse_spec("D:1,1,1 X:2,2").is_err());
+        assert_eq!(
+            parse_spec("D:1,1,1 X:2,2").unwrap_err(),
+            RadixError::SpecParse(SpecParseError::UnknownField {
+                field: "X:2,2".into()
+            })
+        );
     }
 
     #[test]
     fn bad_integer_rejected() {
-        assert!(parse_spec("D:1,x,1 N:2,2").is_err());
+        assert_eq!(
+            parse_spec("D:1,x,1 N:2,2").unwrap_err(),
+            RadixError::SpecParse(SpecParseError::BadInteger { token: "x".into() })
+        );
+    }
+
+    #[test]
+    fn parse_errors_chain_to_the_spec_taxonomy() {
+        let e = parse_spec("D:1,?,1 N:2,2").unwrap_err();
+        let source = std::error::Error::source(&e).expect("SpecParse chains its source");
+        assert!(source.to_string().contains("bad integer"));
     }
 
     #[test]
