@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-mt verify-serve verify-chaos verify-recovery serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
+.PHONY: verify verify-mt verify-serve verify-chaos verify-recovery verify-steal serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -54,6 +54,22 @@ verify-recovery:
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn --lib train
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-nn --test checkpoint
 	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test recovery
+
+## The work-stealing scheduler torture suites — what CI's `verify-steal`
+## matrix job runs (POOL_THREADS=2 and 4 there). The steal suite sweeps
+## seeded steal orders (dispatch completeness, no double-claim, panic
+## propagation with the pool surviving, concurrent independent jobs, the
+## priority lane); the online suite runs checkpointed fine-tuning and
+## live serve traffic on one pool under train/serve fault injection
+## (typed outcomes + bitwise-identical crash resume). The steal suite
+## additionally runs at widths 1 (inline-serial fallback) and 8
+## (oversubscribed) in every invocation, so each CI matrix job covers
+## the full 1/2/4/8 ladder.
+verify-steal:
+	RADIX_POOL_THREADS=1 $(CARGO) test -q -p rayon --test steal
+	RADIX_POOL_THREADS=8 $(CARGO) test -q -p rayon --test steal
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p rayon --test steal
+	RADIX_POOL_THREADS=$(POOL_THREADS) $(CARGO) test -q -p radix-challenge --test online
 
 ## Serving smoke: start the engine, drive concurrent clients against it,
 ## assert every response is correct and demuxed to its requester in order,

@@ -27,6 +27,14 @@
 //! `serve_shed_rate_rel150` (its `seconds_per_iter` carries the
 //! dimensionless shed rate).
 //!
+//! A final **train-while-serve phase** measures the scheduler sharing
+//! story: an `OnlineSession` serves a trainable sparse net while
+//! checkpointed fine-tuning runs on the same worker pool, publishing
+//! committed checkpoints into the live engine. Accepted-request p99
+//! under live training gates as `serve_p99_train_rel30` (offered load =
+//! 30% of that engine's own closed-loop capacity); the during-training
+//! shed fraction rides along as `serve_train_shed_rate_rel30`.
+//!
 //! The run also **enforces the serving acceptance criteria**: at the low
 //! (10%) load, p99 must come in at or under the configured end-to-end
 //! deadline budget, and in the overload phase the accepted p99 must stay
@@ -50,12 +58,17 @@
 //!   routine, and the budget must absorb it on top of the batcher wait.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use radix_bench::{format_json_f64, percentile};
 use radix_challenge::{
-    ChallengeNetwork, FaultInjector, FaultPlan, ServeConfig, ServeEngine, ServeError, ServeHandle,
+    ChallengeNetwork, FaultInjector, FaultPlan, OnlineConfig, OnlineSession, ServeConfig,
+    ServeEngine, ServeError, ServeHandle,
+};
+use radix_nn::{
+    Activation, Layer, Loss, Network, Optimizer, SparseLinear, TrainConfig, TrainRestartPolicy,
 };
 use radix_sparse::{CsrMatrix, CyclicShift, DenseMatrix};
 
@@ -425,6 +438,164 @@ fn main() {
         name: format!("serve_shed_rate_rel{SHED_REL}"),
         seconds: shed_rate,
         edges_per_sec: shed_offered * edges_per_row,
+    });
+
+    // Train-while-serve phase: an OnlineSession serves a trainable
+    // sparse net while checkpointed fine-tuning runs on the submitter
+    // thread of the *same* worker pool (serve flushes ride the
+    // scheduler's high-priority lane) and publishes every committed
+    // checkpoint into the engine. The accepted-request p99 measured
+    // while training is live gates as `serve_p99_train_rel30`; the
+    // during-training shed fraction rides along report-only.
+    const TRAIN_N: usize = 256;
+    const TRAIN_DEG: usize = 8;
+    const TRAIN_LAYERS: usize = 3;
+    let train_net_layers = (0..TRAIN_LAYERS)
+        .map(|l| {
+            let w =
+                CyclicShift::radix_submatrix::<u64>(TRAIN_N, TRAIN_DEG, TRAIN_DEG.pow(l as u32))
+                    .map(|_| 1.0 / TRAIN_DEG as f32);
+            Layer::Sparse(SparseLinear::new(w, Activation::Relu))
+        })
+        .collect();
+    let mut train_net = Network::new(train_net_layers, Loss::Mse);
+    let train_edges_per_row = (TRAIN_N * TRAIN_DEG * TRAIN_LAYERS) as f64;
+    let tx = request_rows(2048, TRAIN_N);
+    let mut ty = DenseMatrix::zeros(tx.nrows(), TRAIN_N);
+    for i in 0..tx.nrows() {
+        for j in 0..TRAIN_N {
+            ty.set(i, j, 0.5 * tx.get(i, j));
+        }
+    }
+    let online_cfg = OnlineConfig {
+        serve: ServeConfig {
+            max_batch: MAX_BATCH,
+            deadline_us: config.deadline_us,
+            slots: 4 * MAX_BATCH,
+            queue: 4 * MAX_BATCH,
+            parallel: true,
+        },
+        bias: -0.3,
+        ymax: 32.0,
+        train: TrainConfig {
+            epochs: if quick { 4 } else { 16 },
+            batch_size: 128,
+            seed: 7,
+            parallel_chunks: 4,
+            weight_decay: 1e-3,
+            grad_clip: Some(1.0),
+            ..TrainConfig::default()
+        },
+        publish_every: 4,
+        keep: 2,
+        restarts: TrainRestartPolicy::default(),
+        publish_poll: Duration::from_millis(2),
+    };
+    let ckpt_dir = std::path::PathBuf::from("target/bench-online-ckpts");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut session = OnlineSession::start(&train_net, &online_cfg, &ckpt_dir)
+        .expect("sparse training net must start serving");
+    let ox = request_rows(MAX_BATCH * 2, TRAIN_N);
+    let online_capacity = closed_loop(
+        session.handle(),
+        &ox,
+        MAX_BATCH,
+        if quick { 40 } else { 120 },
+    );
+    let train_offered = online_capacity * 0.30;
+    let min_per_thread = if quick { 20 } else { 50 };
+    let mut opt = Optimizer::sgd(0.01);
+    let stop = AtomicBool::new(false);
+    let train_clients: Vec<_> = (0..lat_threads).map(|_| session.client()).collect();
+    let t_train = Instant::now();
+    let (train_report, train_samples, train_shed) = std::thread::scope(|s| {
+        let stop = &stop;
+        let ox = &ox;
+        let traffic: Vec<_> = train_clients
+            .into_iter()
+            .enumerate()
+            .map(|(c, client)| {
+                s.spawn(move || {
+                    let interval =
+                        Duration::from_secs_f64(lat_threads as f64 / train_offered.max(1e-9));
+                    let mut out = Vec::new();
+                    let mut lat = Vec::with_capacity(min_per_thread * 2);
+                    let mut shed = 0u64;
+                    for i in 0..2 {
+                        let _ = client.infer_into(ox.row((c + i) % ox.nrows()), &mut out);
+                    }
+                    let t0 = Instant::now() + interval.mul_f64(c as f64 / lat_threads as f64);
+                    let mut k = 0u32;
+                    // Paced open-ish loop until training finishes (with a
+                    // floor of samples so quick runs still gate on real
+                    // data — the floor's tail may land just after
+                    // training completes).
+                    while !stop.load(Ordering::Acquire) || lat.len() < min_per_thread {
+                        let target = t0 + interval.mul_f64(f64::from(k));
+                        let now = Instant::now();
+                        if now < target {
+                            std::thread::sleep(target - now);
+                        }
+                        let t = Instant::now();
+                        match client.infer_into(ox.row((k as usize + c) % ox.nrows()), &mut out) {
+                            Ok(()) => lat.push(t.elapsed().as_secs_f64()),
+                            Err(_) => shed += 1,
+                        }
+                        k += 1;
+                    }
+                    (lat, shed)
+                })
+            })
+            .collect();
+        let report = session
+            .fine_tune_regressor(&mut train_net, &tx, &ty, &mut opt, &online_cfg)
+            .expect("bench fine-tune must succeed");
+        stop.store(true, Ordering::Release);
+        let mut samples = Vec::new();
+        let mut shed = 0u64;
+        for h in traffic {
+            let (l, sh) = h.join().expect("train-traffic client panicked");
+            samples.extend(l);
+            shed += sh;
+        }
+        (report, samples, shed)
+    });
+    let train_elapsed = t_train.elapsed();
+    let train_p99 = percentile(&train_samples, 0.99);
+    let train_shed_rate = train_shed as f64 / (train_samples.len() as u64 + train_shed) as f64;
+    println!(
+        "{:>22}  p99 {:>9.3} ms  shed {:>5.1}%  ({:>8.1} rows/s offered, {} samples)",
+        "serve_train_rel30",
+        train_p99 * 1e3,
+        train_shed_rate * 100.0,
+        train_offered,
+        train_samples.len()
+    );
+    println!(
+        "train-while-serve: {} epochs in {:.2}s, {} generations published ({} reload errors), \
+         {} restarts",
+        online_cfg.train.epochs,
+        train_elapsed.as_secs_f64(),
+        train_report.publish.published,
+        train_report.publish.errors,
+        train_report.restarts,
+    );
+    let train_stats = session
+        .finish()
+        .expect("online serve engine panicked during bench");
+    println!(
+        "online engine stats: {} rows in {} batches ({} deadline sheds, {} overload sheds)",
+        train_stats.rows, train_stats.batches, train_stats.shed_deadline, train_stats.shed_overload
+    );
+    points.push(ServePoint {
+        name: "serve_p99_train_rel30".to_string(),
+        seconds: train_p99,
+        edges_per_sec: train_offered * train_edges_per_row,
+    });
+    points.push(ServePoint {
+        name: "serve_train_shed_rate_rel30".to_string(),
+        seconds: train_shed_rate,
+        edges_per_sec: train_offered * train_edges_per_row,
     });
 
     let mut json = String::new();

@@ -28,7 +28,12 @@
 //!   overload rejection, engine death), [`ServeSupervisor`] restarts a
 //!   crashed engine with bounded backoff, and the `fault` module injects
 //!   deterministic faults (engine panics, compute delays, release stalls)
-//!   for the chaos suites.
+//!   for the chaos suites,
+//! * [`OnlineSession`] — live train-while-serve on the one process-wide
+//!   pool: crash-supervised checkpointed fine-tuning on the submitter
+//!   thread, serve flushes on the scheduler's high-priority lane, and a
+//!   publisher that hot-reloads every committed checkpoint generation
+//!   into the engine at batch boundaries.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,6 +42,7 @@ pub mod catalog;
 pub mod config;
 pub mod fault;
 pub mod infer;
+pub mod online;
 pub mod pipeline;
 pub mod serve;
 pub mod stream;
@@ -48,6 +54,7 @@ pub use fault::{FaultInjector, FaultPlan};
 pub use infer::{
     fuse_layers, ChallengeNetwork, InferWorkspace, InferenceStats, DEFAULT_FUSE_LAYERS,
 };
+pub use online::{OnlineConfig, OnlineError, OnlineReport, OnlineSession, PublishStats};
 pub use pipeline::forward_pipelined;
 pub use serve::{
     MicroBatcher, ReloadError, ServeClient, ServeConfig, ServeEngine, ServeError, ServeHandle,

@@ -1163,7 +1163,12 @@ impl ServeEngine {
             .name("radix-serve".to_string())
             .spawn(move || {
                 let guard = EngineExitGuard(Arc::clone(&engine.shared));
-                engine.run();
+                // Serve flushes ride the scheduler's preferred lane: their
+                // inference tiles are claimed ahead of any Normal-priority
+                // work (a concurrent training job's gradient chunks) at
+                // every claim boundary, keeping flush latency flat while
+                // the pool is shared.
+                rayon::with_priority(rayon::Priority::High, || engine.run());
                 drop(guard);
             })
             .expect("spawn serve engine thread");

@@ -66,7 +66,7 @@ pub use network::{matched_dense_twin, Network, Targets};
 pub use optimizer::Optimizer;
 pub use supervise::{TrainReport, TrainRestartPolicy, TrainSuperviseError, TrainSupervisor};
 pub use train::{
-    clip_gradients, train_classifier, train_classifier_checkpointed, train_regressor,
-    train_regressor_checkpointed, History, TrainConfig,
+    clip_gradients, scale_to_max_norm, train_classifier, train_classifier_checkpointed,
+    train_regressor, train_regressor_checkpointed, History, TrainConfig,
 };
 pub use workspace::{ForwardWorkspace, GradWorkspace, GradWorkspacePool};

@@ -390,11 +390,28 @@ impl Network {
     ) -> f32 {
         let x = x.as_view();
         let batch = x.nrows();
-        assert_eq!(targets.len(), batch, "target/batch row mismatch");
         let chunks = num_chunks.clamp(1, batch.max(1));
         if chunks <= 1 || batch <= 1 {
             return self.grad_batch_with(&x, targets, ws);
         }
+        self.par_grad_batch_core(&x, targets, chunks, None, pool, ws)
+    }
+
+    /// Shared dispatch + reduction behind [`Network::par_grad_batch_with`]
+    /// (`fuse = None`) and [`Network::par_grad_batch_fused_with`]
+    /// (`fuse = Some(wd)`: folds `wd·w` into each weight segment after its
+    /// reduction tree and records per-segment Σv² into `ws.seg_sumsq`).
+    fn par_grad_batch_core(
+        &self,
+        x: &DenseView<'_, f32>,
+        targets: Targets<'_>,
+        chunks: usize,
+        fuse: Option<f32>,
+        pool: &mut GradWorkspacePool,
+        ws: &mut GradWorkspace,
+    ) -> f32 {
+        let batch = x.nrows();
+        assert_eq!(targets.len(), batch, "target/batch row mismatch");
         let chunk_size = batch.div_ceil(chunks);
         // Rounding can make the final range(s) empty; dispatch only real
         // ones so every chunk weight is positive.
@@ -433,17 +450,120 @@ impl Network {
         ws.ensure(self);
         let done = &pool.chunks[..n_chunks];
         let inv_batch = 1.0 / batch as f32;
-        for (l, layer) in self.layers.iter().enumerate() {
-            let (w_len, b_len) = layer.param_lens();
-            // Every element is assigned by the reduction's tree leaves, so
-            // skip the zero-fill sweep.
-            ws.grads[l].resize_for_overwrite(w_len, b_len);
-            reduce_weighted_into(&mut ws.grads[l].w, done, inv_batch, |c| &c.grads[l].w);
-            reduce_weighted_into(&mut ws.grads[l].b, done, inv_batch, |c| &c.grads[l].b);
+        match fuse {
+            None => {
+                for (l, layer) in self.layers.iter().enumerate() {
+                    let (w_len, b_len) = layer.param_lens();
+                    // Every element is assigned by the reduction's tree
+                    // leaves, so skip the zero-fill sweep.
+                    ws.grads[l].resize_for_overwrite(w_len, b_len);
+                    reduce_weighted_into(&mut ws.grads[l].w, done, inv_batch, |c| &c.grads[l].w);
+                    reduce_weighted_into(&mut ws.grads[l].b, done, inv_batch, |c| &c.grads[l].b);
+                }
+            }
+            Some(wd) => {
+                let total_segs: usize = self
+                    .layers
+                    .iter()
+                    .map(|l| {
+                        let (w_len, b_len) = l.param_lens();
+                        w_len.div_ceil(REDUCE_PARAM_CHUNK) + b_len.div_ceil(REDUCE_PARAM_CHUNK)
+                    })
+                    .sum();
+                let GradWorkspace {
+                    grads, seg_sumsq, ..
+                } = ws;
+                seg_sumsq.clear();
+                seg_sumsq.resize(total_segs, 0.0);
+                let mut off = 0usize;
+                for (l, layer) in self.layers.iter().enumerate() {
+                    let (w_len, b_len) = layer.param_lens();
+                    grads[l].resize_for_overwrite(w_len, b_len);
+                    let w_segs = w_len.div_ceil(REDUCE_PARAM_CHUNK);
+                    let b_segs = b_len.div_ceil(REDUCE_PARAM_CHUNK);
+                    let decay = (wd > 0.0).then(|| {
+                        let w: &[f32] = match layer {
+                            Layer::Sparse(s) => s.weights().data(),
+                            Layer::Dense(d) => d.weights().as_slice(),
+                        };
+                        (w, wd)
+                    });
+                    reduce_weighted_fused_into(
+                        &mut grads[l].w,
+                        done,
+                        inv_batch,
+                        |c| &c.grads[l].w,
+                        decay,
+                        &mut seg_sumsq[off..off + w_segs],
+                    );
+                    off += w_segs;
+                    reduce_weighted_fused_into(
+                        &mut grads[l].b,
+                        done,
+                        inv_batch,
+                        |c| &c.grads[l].b,
+                        None,
+                        &mut seg_sumsq[off..off + b_segs],
+                    );
+                    off += b_segs;
+                }
+            }
         }
         tree_sum(0, n_chunks, &|k| {
             done[k].rows as f32 * inv_batch * done[k].loss
         })
+    }
+
+    /// [`Network::par_grad_batch_with`] with L2 weight decay and the
+    /// global gradient norm **folded into the tree-reduction sweep**:
+    /// each parameter segment gets `wd·w` added and its Σv² recorded while
+    /// it is still hot in cache, eliminating the separate
+    /// [`Network::add_weight_decay`] pass and the norm pass of
+    /// [`crate::train::clip_gradients`] — two fewer full sweeps over the
+    /// parameters per step. Returns `(loss, grad_norm)` where `grad_norm`
+    /// is the global L2 norm of the decayed gradients (the pre-clip norm);
+    /// the caller decides whether to scale.
+    ///
+    /// The decayed gradients are **bitwise identical** to running
+    /// [`Network::par_grad_batch_with`] followed by
+    /// [`Network::add_weight_decay`]: the fold adds `wd·w` to each
+    /// element after its reduction tree completes, exactly where the
+    /// separate pass would. The norm is combined from fixed parameter
+    /// segments by a fixed-order pairwise tree, so it too is bitwise
+    /// reproducible across thread counts and steal schedules for a given
+    /// chunk count (its segment-wise association differs from the
+    /// separate-pass serial sum, so the two norms agree only to
+    /// floating-point tolerance).
+    ///
+    /// Steady-state zero-alloc like the unfused path: the per-segment
+    /// Σv² cells live in `ws` ([`GradWorkspace::for_network`] pre-sizes
+    /// them).
+    ///
+    /// # Panics
+    /// Panics on target/batch shape mismatches.
+    pub fn par_grad_batch_fused_with(
+        &self,
+        x: &impl AsDenseView<f32>,
+        targets: Targets<'_>,
+        num_chunks: usize,
+        wd: f32,
+        pool: &mut GradWorkspacePool,
+        ws: &mut GradWorkspace,
+    ) -> (f32, f32) {
+        let x = x.as_view();
+        let batch = x.nrows();
+        let chunks = num_chunks.clamp(1, batch.max(1));
+        if chunks <= 1 || batch <= 1 {
+            let loss = self.grad_batch_with(&x, targets, ws);
+            if wd > 0.0 {
+                self.add_weight_decay(&mut ws.grads, wd);
+            }
+            let norm = fixed_order_grad_norm(ws);
+            return (loss, norm);
+        }
+        let loss = self.par_grad_batch_core(&x, targets, chunks, Some(wd), pool, ws);
+        let norm = norm_from_segs(&ws.seg_sumsq);
+        (loss, norm)
     }
 
     /// Adds L2 weight-decay terms `wd·w` to the weight gradients (biases
@@ -543,7 +663,7 @@ fn tree_sum<F: Fn(usize) -> f32>(lo: usize, hi: usize, leaf: &F) -> f32 {
 /// coarse enough to amortize the chunk claim and keep the inner loops
 /// vectorizable, fine enough to load-balance wide layers across the pool
 /// and keep the recursion's stack scratch small (2 KiB per tree level).
-const REDUCE_PARAM_CHUNK: usize = 512;
+pub(crate) const REDUCE_PARAM_CHUNK: usize = 512;
 
 /// One parameter segment of the fixed-shape tree: evaluates
 /// `seg[j] = Σ_{k ∈ [lo, hi)} (rows_k / batch) · get(chunk_k)[base + j]`
@@ -608,6 +728,68 @@ fn reduce_weighted_into<'a>(
     rayon::for_each_chunk_mut(out, REDUCE_PARAM_CHUNK, |ci, seg| {
         tree_reduce_seg(chunks, 0, n, ci * REDUCE_PARAM_CHUNK, seg, inv_batch, &get);
     });
+}
+
+/// [`reduce_weighted_into`] with the fused epilogue of
+/// [`Network::par_grad_batch_fused_with`]: after a segment's reduction
+/// tree completes (while it is hot in cache), optionally adds `wd·w` from
+/// the matching weight segment, then records the segment's Σv² into its
+/// own cell of `sumsq` — one cell per segment, so no accumulator is
+/// shared across threads and the caller's fixed-order combine over the
+/// cells is schedule-independent.
+fn reduce_weighted_fused_into<'a>(
+    out: &mut [f32],
+    chunks: &'a [crate::workspace::ChunkGrads],
+    inv_batch: f32,
+    get: impl Fn(&'a crate::workspace::ChunkGrads) -> &'a [f32] + Sync,
+    decay: Option<(&[f32], f32)>,
+    sumsq: &mut [f32],
+) {
+    if out.is_empty() {
+        return;
+    }
+    let n = chunks.len();
+    rayon::for_each_chunk_mut_paired(out, REDUCE_PARAM_CHUNK, sumsq, |ci, seg, ss| {
+        let base = ci * REDUCE_PARAM_CHUNK;
+        tree_reduce_seg(chunks, 0, n, base, seg, inv_batch, &get);
+        if let Some((w, wd)) = decay {
+            let slen = seg.len();
+            for (o, &wv) in seg.iter_mut().zip(&w[base..base + slen]) {
+                *o += wd * wv;
+            }
+        }
+        *ss = seg.iter().fold(0.0f32, |acc, &v| acc + v * v);
+    });
+}
+
+/// Global L2 norm from per-segment Σv² cells, combined by the fixed
+/// pairwise tree over the segment index — bitwise-reproducible across
+/// thread counts and steal schedules for a given segment layout.
+fn norm_from_segs(segs: &[f32]) -> f32 {
+    if segs.is_empty() {
+        return 0.0;
+    }
+    tree_sum(0, segs.len(), &|s| segs[s]).max(0.0).sqrt()
+}
+
+/// Serial-fallback norm with the **same segment layout and combine order**
+/// as the fused parallel path: per-layer weight segments then bias
+/// segments, each summed left-to-right, combined by the fixed tree. Keeps
+/// `par_grad_batch_fused_with` deterministic regardless of which path ran.
+fn fixed_order_grad_norm(ws: &mut GradWorkspace) -> f32 {
+    let GradWorkspace {
+        grads, seg_sumsq, ..
+    } = ws;
+    seg_sumsq.clear();
+    for g in grads.iter() {
+        for seg in g.w.chunks(REDUCE_PARAM_CHUNK) {
+            seg_sumsq.push(seg.iter().fold(0.0f32, |acc, &v| acc + v * v));
+        }
+        for seg in g.b.chunks(REDUCE_PARAM_CHUNK) {
+            seg_sumsq.push(seg.iter().fold(0.0f32, |acc, &v| acc + v * v));
+        }
+    }
+    norm_from_segs(seg_sumsq)
 }
 
 /// Convenience: a sparse network and its dense twin with identical layer

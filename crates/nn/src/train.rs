@@ -76,6 +76,16 @@ pub fn clip_gradients(grads: &mut [crate::layer::LayerGrads], max_norm: f32) -> 
         sq += g.b.iter().map(|v| v * v).sum::<f32>();
     }
     let norm = sq.sqrt();
+    scale_to_max_norm(grads, norm, max_norm);
+    norm
+}
+
+/// The scaling half of [`clip_gradients`]: scales every gradient by
+/// `max_norm / norm` when `norm` exceeds `max_norm`. Callers that already
+/// know the norm (the fused decay-and-norm reduction,
+/// [`crate::Network::par_grad_batch_fused_with`]) apply the clip without
+/// re-walking the parameters to measure it.
+pub fn scale_to_max_norm(grads: &mut [crate::layer::LayerGrads], norm: f32, max_norm: f32) {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads.iter_mut() {
@@ -87,7 +97,6 @@ pub fn clip_gradients(grads: &mut [crate::layer::LayerGrads], max_norm: f32) -> 
             }
         }
     }
-    norm
 }
 
 /// Per-epoch training history.
@@ -137,16 +146,37 @@ fn train_step(
     ws: &mut GradWorkspace,
     pool: Option<&mut GradWorkspacePool>,
 ) -> f32 {
+    let fused = config.weight_decay > 0.0 || config.grad_clip.is_some();
     let loss = match pool {
+        // Decay and the clip norm fold into the gradient reduction sweep
+        // (two fewer passes over the parameters); only the conditional
+        // scale pass remains when clipping actually triggers.
+        Some(pool) if fused => {
+            let (loss, norm) = net.par_grad_batch_fused_with(
+                xb,
+                targets,
+                config.parallel_chunks,
+                config.weight_decay,
+                pool,
+                ws,
+            );
+            if let Some(max_norm) = config.grad_clip {
+                scale_to_max_norm(ws.grads_mut(), norm, max_norm);
+            }
+            loss
+        }
         Some(pool) => net.par_grad_batch_with(xb, targets, config.parallel_chunks, pool, ws),
-        None => net.grad_batch_with(xb, targets, ws),
+        None => {
+            let loss = net.grad_batch_with(xb, targets, ws);
+            if config.weight_decay > 0.0 {
+                net.add_weight_decay(ws.grads_mut(), config.weight_decay);
+            }
+            if let Some(max_norm) = config.grad_clip {
+                clip_gradients(ws.grads_mut(), max_norm);
+            }
+            loss
+        }
     };
-    if config.weight_decay > 0.0 {
-        net.add_weight_decay(ws.grads_mut(), config.weight_decay);
-    }
-    if let Some(max_norm) = config.grad_clip {
-        clip_gradients(ws.grads_mut(), max_norm);
-    }
     net.apply_gradients_with(ws, opt);
     loss
 }

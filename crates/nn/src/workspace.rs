@@ -114,6 +114,11 @@ pub struct GradWorkspace {
     pub(crate) w_update: Vec<f32>,
     /// Optimizer update scratch (biases).
     pub(crate) b_update: Vec<f32>,
+    /// Per-parameter-segment squared-norm cells for the fused
+    /// decay-and-norm reduction (`Network::par_grad_batch_fused_with`):
+    /// each reduction task writes its segment's Σv² here, and a fixed-order
+    /// tree over the cells yields a schedule-independent global norm.
+    pub(crate) seg_sumsq: Vec<f32>,
 }
 
 impl GradWorkspace {
@@ -156,6 +161,16 @@ impl GradWorkspace {
         ws.grad_in.resize_zeroed(batch, widest);
         ws.w_update.reserve_exact(w_max);
         ws.b_update.reserve_exact(b_max);
+        let segs: usize = net
+            .layers()
+            .iter()
+            .map(|l| {
+                let (w_len, b_len) = l.param_lens();
+                w_len.div_ceil(crate::network::REDUCE_PARAM_CHUNK)
+                    + b_len.div_ceil(crate::network::REDUCE_PARAM_CHUNK)
+            })
+            .sum();
+        ws.seg_sumsq.reserve_exact(segs);
         ws
     }
 

@@ -134,14 +134,17 @@ proptest! {
         radices in proptest::collection::vec(2usize..4, 2..4),
         chunks in 2usize..6,
         seed in any::<u64>(),
+        steal in any::<u64>(),
     ) {
         // The tentpole determinism guarantee: for a fixed chunk count, the
         // pool-native data-parallel gradient path is **bitwise identical**
         // no matter how many worker slots participate (1 = forced serial
-        // chunk evaluation, 2/4 = dynamic claiming across the pool) —
-        // per-chunk gradient storage plus the fixed-order tree reduction
-        // make the result schedule-independent. Against the serial
-        // single-sum path it agrees to float tolerance only.
+        // chunk evaluation, 2/4 = dynamic claiming across the pool) and no
+        // matter which steal schedule the scheduler picks (the steal seed
+        // reshapes every victim rotation) — per-chunk gradient storage plus
+        // the fixed-order tree reduction make the result
+        // schedule-independent. Against the serial single-sum path it
+        // agrees to float tolerance only.
         prop_assume!(radices.iter().product::<usize>() <= 32);
         let net = random_sparse_net(&radices, Activation::Tanh, seed);
         let batch = 13; // ragged split for most chunk counts
@@ -150,21 +153,28 @@ proptest! {
 
         let mut reference: Option<(f32, Vec<radix_nn::LayerGrads>)> = None;
         for slots in [1usize, 2, 4] {
-            let mut pool = GradWorkspacePool::with_slots(&net, batch, chunks, slots);
-            let mut ws = GradWorkspace::for_network(&net, batch);
-            let loss =
-                net.par_grad_batch_with(&x, Targets::values(&y), chunks, &mut pool, &mut ws);
-            match &reference {
-                None => reference = Some((loss, ws.grads().to_vec())),
-                Some((ref_loss, ref_grads)) => {
-                    prop_assert_eq!(loss.to_bits(), ref_loss.to_bits(), "slots {}", slots);
-                    for (a, b) in ref_grads.iter().zip(ws.grads()) {
-                        prop_assert_eq!(&a.w, &b.w, "slots {}", slots);
-                        prop_assert_eq!(&a.b, &b.b, "slots {}", slots);
+            for steal_seed in [0, steal, steal.wrapping_mul(0x9E37_79B9_7F4A_7C15)] {
+                rayon::set_steal_seed(steal_seed);
+                let mut pool = GradWorkspacePool::with_slots(&net, batch, chunks, slots);
+                let mut ws = GradWorkspace::for_network(&net, batch);
+                let loss =
+                    net.par_grad_batch_with(&x, Targets::values(&y), chunks, &mut pool, &mut ws);
+                match &reference {
+                    None => reference = Some((loss, ws.grads().to_vec())),
+                    Some((ref_loss, ref_grads)) => {
+                        prop_assert_eq!(
+                            loss.to_bits(), ref_loss.to_bits(),
+                            "slots {} steal {}", slots, steal_seed
+                        );
+                        for (a, b) in ref_grads.iter().zip(ws.grads()) {
+                            prop_assert_eq!(&a.w, &b.w, "slots {} steal {}", slots, steal_seed);
+                            prop_assert_eq!(&a.b, &b.b, "slots {} steal {}", slots, steal_seed);
+                        }
                     }
                 }
             }
         }
+        rayon::set_steal_seed(0);
 
         let (ref_loss, ref_grads) = reference.unwrap();
         let (serial_loss, serial_grads) = net.grad_batch(&x, Targets::values(&y));
@@ -174,6 +184,99 @@ proptest! {
                 prop_assert!((p - q).abs() < 1e-4 * (1.0 + p.abs()));
             }
         }
+    }
+
+    #[test]
+    fn fused_decay_norm_matches_separate_passes(
+        radices in proptest::collection::vec(2usize..4, 2..4),
+        chunks in 2usize..6,
+        seed in any::<u64>(),
+        wd_on in any::<bool>(),
+        wd_raw in 1e-4f32..0.1,
+    ) {
+        let wd = if wd_on { wd_raw } else { 0.0 };
+        // The fused reduction (decay + clip norm folded into the sweep)
+        // must be a pure optimization: decayed gradients and loss bitwise
+        // equal to the separate-pass path, the norm equal to float
+        // tolerance (its fixed segment-tree association differs from the
+        // serial running sum of `clip_gradients`).
+        prop_assume!(radices.iter().product::<usize>() <= 32);
+        let net = random_sparse_net(&radices, Activation::Tanh, seed);
+        let batch = 13;
+        let x = random_batch(batch, net.n_in(), seed ^ 8);
+        let y = random_batch(batch, net.n_out(), seed ^ 9);
+
+        let mut pool = GradWorkspacePool::with_slots(&net, batch, chunks, 4);
+        let mut ws = GradWorkspace::for_network(&net, batch);
+        let sep_loss =
+            net.par_grad_batch_with(&x, Targets::values(&y), chunks, &mut pool, &mut ws);
+        if wd > 0.0 {
+            net.add_weight_decay(ws.grads_mut(), wd);
+        }
+        let sep_grads = ws.grads().to_vec();
+        // An infinite max norm measures without scaling.
+        let sep_norm = radix_nn::clip_gradients(ws.grads_mut(), f32::INFINITY);
+
+        let mut pool = GradWorkspacePool::with_slots(&net, batch, chunks, 4);
+        let mut ws = GradWorkspace::for_network(&net, batch);
+        let (fused_loss, fused_norm) =
+            net.par_grad_batch_fused_with(&x, Targets::values(&y), chunks, wd, &mut pool, &mut ws);
+
+        prop_assert_eq!(fused_loss.to_bits(), sep_loss.to_bits());
+        for (a, b) in sep_grads.iter().zip(ws.grads()) {
+            prop_assert_eq!(&a.w, &b.w);
+            prop_assert_eq!(&a.b, &b.b);
+        }
+        prop_assert!(
+            (fused_norm - sep_norm).abs() <= 1e-5 * (1.0 + sep_norm.abs()),
+            "fused norm {} vs separate-pass norm {}", fused_norm, sep_norm
+        );
+    }
+
+    #[test]
+    fn training_history_is_bitwise_stable_across_steal_seeds(
+        radices in proptest::collection::vec(2usize..4, 2..4),
+        seed in any::<u64>(),
+        steal in any::<u64>(),
+    ) {
+        // End-to-end: a pool-native training run (decay + clipping, so the
+        // fused reduction path is exercised) produces a bitwise-identical
+        // `History` and final weights under every steal schedule.
+        prop_assume!(radices.iter().product::<usize>() <= 32);
+        let x = random_batch(24, radices.iter().product(), seed ^ 3);
+        let y = random_batch(24, radices.iter().product(), seed ^ 4);
+        let config = radix_nn::TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            seed,
+            parallel_chunks: 4,
+            weight_decay: 1e-3,
+            grad_clip: Some(0.5),
+            lr_decay: 1.0,
+        };
+        let mut reference: Option<(radix_nn::History, Vec<Layer>)> = None;
+        for steal_seed in [0, steal, !steal] {
+            rayon::set_steal_seed(steal_seed);
+            let mut net = random_sparse_net(&radices, Activation::Tanh, seed);
+            let mut opt = radix_nn::Optimizer::sgd(0.05);
+            let history = radix_nn::train_regressor(&mut net, &x, &y, &mut opt, &config);
+            match &reference {
+                None => reference = Some((history, net.layers().to_vec())),
+                Some((ref_hist, ref_layers)) => {
+                    prop_assert_eq!(ref_hist, &history, "steal {}", steal_seed);
+                    for (a, b) in ref_layers.iter().zip(net.layers()) {
+                        match (a, b) {
+                            (Layer::Sparse(p), Layer::Sparse(q)) => {
+                                prop_assert_eq!(p.weights().data(), q.weights().data());
+                                prop_assert_eq!(p.bias(), q.bias());
+                            }
+                            _ => prop_assert!(false, "layer kind changed"),
+                        }
+                    }
+                }
+            }
+        }
+        rayon::set_steal_seed(0);
     }
 
     #[test]

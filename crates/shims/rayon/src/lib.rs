@@ -4,44 +4,58 @@
 //! The build environment has no network access, so the real `rayon` cannot
 //! be fetched. Unlike most shims this one is **not** a sequential fake: work
 //! is fanned out over a **persistent worker pool** — `num_threads() - 1`
-//! detached threads spawned once per process, parked on a condvar between
-//! jobs — so a steady-state parallel call costs two condvar round trips and
-//! a handful of atomic operations, with **zero heap allocation** on the
-//! dispatch path. (The previous implementation spawned fresh
-//! [`std::thread::scope`] threads per call, whose stacks and join handles
-//! allocated every time — that made the parallel kernels impossible to run
-//! inside an allocation-free timed region.)
+//! detached threads spawned once per process — through a **deque-based
+//! work-stealing scheduler**. Each worker owns a fixed-capacity chunk deque
+//! (LIFO local pop, FIFO steal); a parallel call claims one of a fixed set
+//! of job slots, pushes a root index range onto the submitter's deque, and
+//! participates until every leaf index has executed exactly once. Ranges
+//! split binarily as they are claimed, so thieves always steal the largest
+//! outstanding half. A steady-state parallel call performs **zero heap
+//! allocation** on the dispatch path: the deques, job slots, and condvars
+//! are all built once, at pool construction.
+//!
+//! Unlike the previous one-job-at-a-time broadcast protocol, **independent
+//! jobs interleave on the same workers**: a serving flush and a training
+//! gradient batch submitted from different threads share the pool
+//! concurrently, and a two-level [`Priority`] lane lets latency-sensitive
+//! work (inference tiles) preempt throughput work (training chunks) at
+//! every claim boundary — see [`with_priority`]. Nested `par_*` calls
+//! **enqueue** onto the nesting worker's own deque instead of inlining, so
+//! idle peers can steal the inner work; the nesting thread helps only with
+//! the job it is waiting on, which is what makes per-slot scratch states
+//! safe from re-entrant aliasing.
+//!
+//! The steal order is deterministic given the **steal seed**
+//! ([`set_steal_seed`], or `RADIX_STEAL_SEED` at pool build): victims are
+//! visited in a seed-derived rotation, which is the injectable hook the
+//! scheduler-torture suite uses to force different interleavings.
+//! Schedules never affect results: the primitives guarantee exactly-once
+//! execution per index, and the deterministic kernels built on them
+//! (fixed-order tree reductions) are schedule-independent by construction.
 //!
 //! Supported surface: `into_par_iter()` on ranges and vectors,
 //! `par_chunks_mut` on slices, the adaptors `enumerate`, `map`, `map_init`,
-//! `for_each`, and `collect`, plus two shim-specific zero-allocation
-//! primitives the prepared kernels build on:
-//!
-//! * [`for_each_chunk_mut`] — pool-parallel loop over `chunk`-sized mutable
-//!   chunks of a slice, chunks claimed dynamically via an atomic cursor,
-//! * [`for_each_chunk_mut_with`] — the same, plus one caller-provided
-//!   scratch state per worker slot (rayon's `map_init` shape, but with the
-//!   states owned by the caller so they persist — and stay warm — across
-//!   calls).
-//!
-//! Nested parallel calls (a job that itself calls a `par_*` entry point)
-//! degrade to inline execution on the current thread instead of
-//! deadlocking, mirroring how real rayon absorbs nested scopes into the
-//! running worker.
+//! `for_each`, and `collect`, plus the shim-specific zero-allocation
+//! primitives the prepared kernels build on: [`for_each_chunk_mut`],
+//! [`for_each_chunk_mut_with`], [`for_each_chunk_mut_paired`], and
+//! [`for_each_item_with`].
 //!
 //! This crate contains `unsafe` in two tightly-scoped places: handing the
-//! borrowed job closure to the persistent workers (the broadcast protocol
-//! guarantees the closure outlives every dereference) and splitting
-//! slices/vectors into disjoint per-task pieces across threads (task
-//! indices are claimed exactly once from an atomic cursor). Each unsafe
-//! block carries its own safety argument; everything outside this crate
-//! remains `#![forbid(unsafe_code)]`.
+//! borrowed job closure to the persistent workers (a job slot's closure
+//! pointer is dereferenced only between claiming one of its tasks and
+//! retiring it, and the submitter does not return until every task has
+//! retired) and splitting slices/vectors into disjoint per-task pieces
+//! across threads (leaf indices are executed exactly once; scratch state
+//! slots are never held by two threads at once, and a thread never
+//! re-enters a job it is already executing). Each unsafe block carries its
+//! own safety argument; everything outside this crate remains
+//! `#![forbid(unsafe_code)]`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Everything call sites need: `use rayon::prelude::*;`.
 pub mod prelude {
@@ -77,237 +91,668 @@ pub fn current_num_threads() -> usize {
     pool::get().workers + 1
 }
 
-mod pool {
-    //! The persistent worker pool and its broadcast protocol.
-    //!
-    //! One job at a time: a caller publishes a type-erased `&dyn Fn(usize)`
-    //! under the state mutex, bumps the epoch, and wakes every worker. Each
-    //! participant (workers get slots `1..=N`, the caller runs slot `0`)
-    //! invokes the job once; the caller blocks until all workers have
-    //! decremented `remaining` before returning, which is what makes the
-    //! borrowed-closure hand-off sound.
+/// Scheduling lane for a parallel job. Workers look for [`Priority::High`]
+/// tasks (across every deque) before considering [`Priority::Normal`] ones,
+/// so latency-sensitive work — a serving flush's inference tiles — runs
+/// ahead of throughput work — training gradient chunks — at every claim
+/// boundary. Tasks already executing are never interrupted; preemption
+/// happens between chunks, which is why latency-sensitive callers keep
+/// their chunk sizes small.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Priority {
+    /// Default lane: throughput work (training, batch analytics).
+    Normal,
+    /// Preferred lane: claimed before any `Normal` task, across all deques.
+    High,
+}
 
+/// Runs `f` with this thread's ambient scheduling priority set to `p`;
+/// every parallel job submitted inside `f` — including jobs nested inside
+/// those jobs, on whichever worker executes them — is tagged with that
+/// lane. The previous ambient priority is restored on exit (also on
+/// unwind).
+pub fn with_priority<R>(p: Priority, f: impl FnOnce() -> R) -> R {
+    struct Restore(Priority);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            pool::set_ambient_priority(self.0);
+        }
+    }
+    let _restore = Restore(pool::ambient_priority());
+    pool::set_ambient_priority(p);
+    f()
+}
+
+/// This thread's current ambient scheduling priority (the lane new jobs
+/// submitted from this thread will be tagged with).
+#[must_use]
+pub fn thread_priority() -> Priority {
+    pool::ambient_priority()
+}
+
+/// The process-wide steal seed: mixes into every worker's victim-visit
+/// rotation. Defaults to `RADIX_STEAL_SEED` (if set when the pool is
+/// built), else 0.
+static STEAL_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the steal seed, the injectable steal-order hook: workers derive
+/// their victim-visit rotation from `(seed, thread, attempt)`, so different
+/// seeds force different steal interleavings — the property the
+/// scheduler-torture suite sweeps. Takes effect on the next claim; results
+/// of the shim's primitives are schedule-independent, so this can never
+/// change what a parallel call computes, only the interleaving.
+pub fn set_steal_seed(seed: u64) {
+    STEAL_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current process-wide steal seed (see [`set_steal_seed`]).
+#[must_use]
+pub fn steal_seed() -> u64 {
+    STEAL_SEED.load(Ordering::Relaxed)
+}
+
+mod pool {
+    //! The persistent worker pool and its work-stealing scheduler.
+    //!
+    //! One mutex guards the whole scheduler state — every deque and job
+    //! slot. Tasks are coarse by construction (a task is a kernel *chunk*:
+    //! rows of a batch, a parameter range), so claims are rare relative to
+    //! the work they hand out and the lock stays cold; in exchange, steals
+    //! can inspect every queued task (not just deque ends), which is what
+    //! makes the priority lane and the submitter's filtered helping exact,
+    //! and the seeded victim rotation fully deterministic under the lock.
+    //!
+    //! Invariants the safety arguments lean on:
+    //!
+    //! * **Exactly-once**: a task (an index range) is removed from a deque
+    //!   by exactly one thread; splitting pushes disjoint halves. A job's
+    //!   `remaining` counts unretired leaves; it reaches zero exactly when
+    //!   every leaf has executed (or been drained by a poisoned job).
+    //! * **Closure lifetime**: a submitter returns only after `remaining`
+    //!   hits zero, and every dereference of the job's closure pointer
+    //!   happens between claiming one of its tasks and retiring it.
+    //! * **State-slot uniqueness**: for one job, the submitting thread uses
+    //!   state slot 0 and pool worker `w` uses slot `w` (eligible only when
+    //!   `w < n_states`) — distinct threads, distinct slots. A thread
+    //!   waiting on a nested job helps **only** with that job's tasks, so
+    //!   it can never re-enter an outer job and alias its own slot.
+
+    use std::any::Any;
     use std::cell::Cell;
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-    use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
-    /// Type-erased pointer to the current broadcast's job closure.
+    use crate::Priority;
+
+    /// Maximum concurrently active jobs; submissions past this run inline.
+    const MAX_JOBS: usize = 16;
+    /// Per-deque task capacity. Binary splitting keeps a deque's occupancy
+    /// at O(log n_tasks) per job, so 64 never fills in practice; if it
+    /// does, the claimer just keeps the unsplit remainder as one task.
+    const DEQUE_CAP: usize = 64;
+    /// Thread tokens: workers use `1..=workers`; external (non-pool)
+    /// threads draw unique tokens starting here.
+    const EXTERNAL_TOKEN_BASE: u64 = 1 << 32;
+
+    /// A unit of queued work: leaf indices `lo..hi` of job slot `job`.
+    #[derive(Clone, Copy, Default)]
+    struct Task {
+        job: usize,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Fixed-capacity task queue. Newest entries sit at `len - 1` (the
+    /// "bottom", popped LIFO by the owner); oldest at 0 (the "top", stolen
+    /// FIFO by thieves). Middle removal is allowed — the scheduler lock
+    /// makes it trivially safe, and priority steals use it.
+    struct Deque {
+        buf: [Task; DEQUE_CAP],
+        len: usize,
+    }
+
+    impl Deque {
+        const fn new() -> Self {
+            Deque {
+                buf: [Task {
+                    job: 0,
+                    lo: 0,
+                    hi: 0,
+                }; DEQUE_CAP],
+                len: 0,
+            }
+        }
+
+        fn push(&mut self, t: Task) -> bool {
+            if self.len == DEQUE_CAP {
+                return false;
+            }
+            self.buf[self.len] = t;
+            self.len += 1;
+            true
+        }
+
+        fn remove(&mut self, i: usize) -> Task {
+            debug_assert!(i < self.len);
+            let t = self.buf[i];
+            self.buf.copy_within(i + 1..self.len, i);
+            self.len -= 1;
+            t
+        }
+    }
+
+    /// Type-erased pointer to a job's closure: `f(leaf_index, state_slot)`.
     #[derive(Clone, Copy)]
-    struct Job(*const (dyn Fn(usize) + Sync));
+    struct JobFn(*const (dyn Fn(usize, usize) + Sync));
 
     // SAFETY: the pointee is `Sync` (callable from any thread through a
-    // shared reference), and `broadcast` does not return — even on panic —
-    // until every worker has finished its call, so the pointer never
-    // outlives the closure it was created from.
+    // shared reference), and the scheduler guarantees the pointer is only
+    // dereferenced while the job it belongs to has unretired tasks — the
+    // submitter, who owns the closure, does not return before then.
     #[allow(unsafe_code)]
-    unsafe impl Send for Job {}
+    unsafe impl Send for JobFn {}
 
-    struct State {
-        /// Bumped once per broadcast; workers use it to detect new jobs.
-        epoch: u64,
-        /// The in-flight job, `None` between broadcasts.
-        job: Option<Job>,
-        /// Workers still running the current job.
+    /// One of the fixed job slots.
+    struct JobSlot {
+        active: bool,
+        f: Option<JobFn>,
+        /// Scratch-state count: worker `w` participates iff `w < n_states`.
+        n_states: usize,
+        priority: Priority,
+        /// Thread token of the submitter (state slot 0 for this job).
+        submitter: u64,
+        /// Unretired leaf count; 0 ⇒ job finished, submitter may return.
         remaining: usize,
-        /// Panic payload from the first worker whose job invocation
-        /// panicked (later payloads are dropped). Taken — and re-raised on
-        /// the calling thread — by `broadcast` after the job retires, so a
-        /// worker panic poisons only the job that raised it: the worker
-        /// itself survives to park for the next broadcast, and the pool
-        /// stays fully usable.
-        panic: Option<Box<dyn std::any::Any + Send>>,
-        /// Workers that have finished thread start-up and parked at the
-        /// job-wait loop. Pool construction blocks on this so that no
-        /// worker-thread bootstrap allocation can leak into a caller's
-        /// post-construction (possibly allocation-measured) code.
-        ready: usize,
+        /// Set on the first panic: remaining tasks are drained, not run.
+        poisoned: bool,
+        /// First panic payload, re-raised on the submitting thread.
+        panic: Option<Box<dyn Any + Send>>,
     }
 
-    struct Shared {
-        state: Mutex<State>,
-        job_ready: Condvar,
-        job_done: Condvar,
+    impl JobSlot {
+        const fn idle() -> Self {
+            JobSlot {
+                active: false,
+                f: None,
+                n_states: 0,
+                priority: Priority::Normal,
+                submitter: 0,
+                remaining: 0,
+                poisoned: false,
+                panic: None,
+            }
+        }
     }
 
-    /// The process-wide pool: workers parked on `job_ready`, plus a gate
-    /// mutex serializing concurrent top-level broadcasts.
+    /// Everything the scheduler mutex guards.
+    struct Sched {
+        /// `workers` worker deques (index `w - 1` for worker `w`) followed
+        /// by `MAX_JOBS` job-slot deques for external submitters.
+        deques: Box<[Deque]>,
+        jobs: [JobSlot; MAX_JOBS],
+        /// Workers parked on `work_cv`; pushes notify only when > 0.
+        sleepers: usize,
+    }
+
+    /// A claimed task plus everything needed to execute it lock-free.
+    struct Claim {
+        task: Task,
+        f: JobFn,
+        state_idx: usize,
+        priority: Priority,
+    }
+
     pub(crate) struct Pool {
-        shared: Arc<Shared>,
+        sched: Mutex<Sched>,
+        /// Wakes parked workers when stealable work appears.
+        work_cv: Condvar,
+        /// Per-job-slot completion condvars (submitters park here).
+        done_cv: Box<[Condvar]>,
         pub(crate) workers: usize,
-        gate: Mutex<()>,
     }
 
     thread_local! {
-        /// Set while this thread is executing a broadcast job; nested
-        /// parallel calls check it and run inline instead of deadlocking.
-        static IN_JOB: Cell<bool> = const { Cell::new(false) };
+        /// This thread's scheduler identity: workers get `1..=workers` at
+        /// spawn, other threads draw a unique token lazily on first submit.
+        static THREAD_TOKEN: Cell<u64> = const { Cell::new(0) };
+        /// Ambient lane for jobs submitted from this thread.
+        static AMBIENT_PRIORITY: Cell<Priority> = const { Cell::new(Priority::Normal) };
+        /// Per-thread claim counter; mixes into the steal rotation.
+        static STEAL_ATTEMPT: Cell<u64> = const { Cell::new(0) };
     }
 
-    pub(crate) fn in_job() -> bool {
-        IN_JOB.with(Cell::get)
+    static NEXT_EXTERNAL_TOKEN: AtomicU64 = AtomicU64::new(EXTERNAL_TOKEN_BASE);
+
+    fn thread_token() -> u64 {
+        let t = THREAD_TOKEN.with(Cell::get);
+        if t != 0 {
+            return t;
+        }
+        let t = NEXT_EXTERNAL_TOKEN.fetch_add(1, Ordering::Relaxed);
+        THREAD_TOKEN.with(|c| c.set(t));
+        t
+    }
+
+    pub(crate) fn ambient_priority() -> Priority {
+        AMBIENT_PRIORITY.with(Cell::get)
+    }
+
+    pub(crate) fn set_ambient_priority(p: Priority) {
+        AMBIENT_PRIORITY.with(|c| c.set(p));
+    }
+
+    /// SplitMix64: full-avalanche mixer for the steal rotation.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn lock_sched(p: &Pool) -> MutexGuard<'_, Sched> {
+        p.sched.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The pool, built (and its workers spawned) on first use.
     pub(crate) fn get() -> &'static Pool {
         static POOL: OnceLock<Pool> = OnceLock::new();
         POOL.get_or_init(|| {
+            if let Some(seed) = std::env::var("RADIX_STEAL_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                crate::STEAL_SEED.store(seed, Ordering::Relaxed);
+            }
             let workers = super::num_threads().saturating_sub(1);
-            let shared = Arc::new(Shared {
-                state: Mutex::new(State {
-                    epoch: 0,
-                    job: None,
-                    remaining: 0,
-                    panic: None,
-                    ready: 0,
+            let pool = Pool {
+                sched: Mutex::new(Sched {
+                    deques: (0..workers + MAX_JOBS).map(|_| Deque::new()).collect(),
+                    jobs: [const { JobSlot::idle() }; MAX_JOBS],
+                    sleepers: 0,
                 }),
-                job_ready: Condvar::new(),
-                job_done: Condvar::new(),
-            });
-            for slot in 1..=workers {
-                let sh = Arc::clone(&shared);
+                work_cv: Condvar::new(),
+                done_cv: (0..MAX_JOBS).map(|_| Condvar::new()).collect(),
+                workers,
+            };
+            // Worker start-up (TLS setup, runtime bookkeeping) may
+            // allocate on the worker threads; block until every worker has
+            // parked so that cost is charged to pool construction, not to
+            // whatever the caller measures afterwards.
+            static READY: Mutex<usize> = Mutex::new(0);
+            static READY_CV: Condvar = Condvar::new();
+            for w in 1..=workers {
                 std::thread::Builder::new()
-                    .name(format!("radix-rayon-{slot}"))
-                    .spawn(move || worker_loop(&sh, slot))
+                    .name(format!("radix-steal-{w}"))
+                    .spawn(move || {
+                        THREAD_TOKEN.with(|c| c.set(w as u64));
+                        {
+                            let mut r = READY.lock().unwrap_or_else(PoisonError::into_inner);
+                            *r += 1;
+                            READY_CV.notify_all();
+                        }
+                        // Blocks until the OnceLock is initialized.
+                        worker_loop(get(), w);
+                    })
                     .expect("spawn rayon-shim pool worker");
             }
-            // Wait for every worker to park: thread start-up (TLS setup,
-            // runtime bookkeeping) may allocate on the worker threads, and
-            // it must all be charged to pool construction, not to whatever
-            // the caller measures afterwards.
             {
-                let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
-                while st.ready < workers {
-                    st = shared
-                        .job_done
-                        .wait(st)
-                        .unwrap_or_else(PoisonError::into_inner);
+                let mut r = READY.lock().unwrap_or_else(PoisonError::into_inner);
+                while *r < workers {
+                    r = READY_CV.wait(r).unwrap_or_else(PoisonError::into_inner);
                 }
             }
-            Pool {
-                shared,
-                workers,
-                gate: Mutex::new(()),
-            }
+            pool
         })
     }
 
-    fn worker_loop(shared: &Shared, slot: usize) {
-        let mut seen = 0u64;
-        // Touch the thread-local once so its (allocation-free, but still
-        // lazy) registration happens here, then report ready.
-        IN_JOB.with(|c| c.set(false));
-        {
-            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
-            st.ready += 1;
-            shared.job_done.notify_all();
+    /// The deque a thread pushes to and pops from: workers own
+    /// `deques[w - 1]`; an external submitter uses its job's slot deque.
+    fn own_deque_idx(token: u64, job: usize, workers: usize) -> usize {
+        if token >= 1 && token <= workers as u64 {
+            (token - 1) as usize
+        } else {
+            workers + job
         }
-        loop {
-            let job = {
-                let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
-                loop {
-                    if st.epoch != seen {
-                        seen = st.epoch;
-                        if let Some(job) = st.job {
-                            break job;
-                        }
+    }
+
+    /// The scratch-state slot `token` uses for `job`, or `None` if this
+    /// thread does not participate in it. Submitter ⇒ slot 0; worker `w` ⇒
+    /// slot `w` when `w < n_states` (mirroring the old broadcast protocol,
+    /// where the caller ran slot 0 and workers ran `1..=W`).
+    fn state_index(job: &JobSlot, token: u64, workers: usize) -> Option<usize> {
+        if token == job.submitter {
+            Some(0)
+        } else if token >= 1 && token <= workers as u64 && (token as usize) < job.n_states {
+            Some(token as usize)
+        } else {
+            None
+        }
+    }
+
+    impl Sched {
+        /// Retires `count` leaves of `job`; notifies the submitter on
+        /// completion. Call with the scheduler lock held.
+        fn retire(&mut self, p: &Pool, job: usize, count: usize) {
+            let j = &mut self.jobs[job];
+            debug_assert!(j.remaining >= count);
+            j.remaining -= count;
+            if j.remaining == 0 {
+                p.done_cv[job].notify_all();
+            }
+        }
+
+        /// Removes task `i` from deque `dq` and prepares it for execution:
+        /// drains it instead if its job is poisoned (returning `None`),
+        /// otherwise splits it down to one leaf — pushing the upper halves
+        /// onto `own_dq` for peers to steal — and returns the claim.
+        fn claim_at(
+            &mut self,
+            p: &Pool,
+            dq: usize,
+            i: usize,
+            own_dq: usize,
+            state_idx: usize,
+        ) -> Option<Claim> {
+            let mut t = self.deques[dq].remove(i);
+            if self.jobs[t.job].poisoned {
+                self.retire(p, t.job, t.hi - t.lo);
+                return None;
+            }
+            let mut pushed = false;
+            while t.hi - t.lo > 1 {
+                let mid = t.lo + (t.hi - t.lo) / 2;
+                if !self.deques[own_dq].push(Task {
+                    job: t.job,
+                    lo: mid,
+                    hi: t.hi,
+                }) {
+                    break; // Deque full: keep the remainder as one task.
+                }
+                t.hi = mid;
+                pushed = true;
+            }
+            if pushed && self.sleepers > 0 {
+                p.work_cv.notify_all();
+            }
+            let j = &self.jobs[t.job];
+            Some(Claim {
+                task: t,
+                f: j.f.expect("active job has a closure"),
+                state_idx,
+                priority: j.priority,
+            })
+        }
+
+        /// A worker's general claim: for each lane (High first), LIFO from
+        /// its own deque, then FIFO steals across every other deque in the
+        /// seed-derived victim rotation. Poisoned tasks encountered along
+        /// the way are drained in place.
+        fn find_general(&mut self, p: &Pool, token: u64) -> Option<Claim> {
+            let own = own_deque_idx(token, 0, p.workers);
+            debug_assert!(own < p.workers, "only workers run the general scan");
+            let n_deques = self.deques.len();
+            let h = mix(crate::STEAL_SEED.load(Ordering::Relaxed) ^ token.rotate_left(17))
+                ^ mix(STEAL_ATTEMPT.with(|c| {
+                    let a = c.get();
+                    c.set(a.wrapping_add(1));
+                    a
+                }));
+            let start = (h % n_deques as u64) as usize;
+            let backwards = (h >> 32) & 1 == 1;
+            for lane in [Priority::High, Priority::Normal] {
+                // Own deque, newest-first (LIFO): cache-warm continuation
+                // of whatever this worker just split.
+                let mut i = self.deques[own].len;
+                while i > 0 {
+                    i -= 1;
+                    let t = self.deques[own].buf[i];
+                    if self.jobs[t.job].poisoned {
+                        self.deques[own].remove(i);
+                        self.retire(p, t.job, t.hi - t.lo);
+                        continue;
                     }
-                    st = shared
-                        .job_ready
-                        .wait(st)
-                        .unwrap_or_else(PoisonError::into_inner);
+                    if self.jobs[t.job].priority != lane {
+                        continue;
+                    }
+                    // Own-deque tasks are always jobs this worker may run:
+                    // it only ever claims eligible tasks, and splits stay
+                    // within the same job.
+                    let state_idx = state_index(&self.jobs[t.job], token, p.workers)
+                        .expect("own-deque task must be eligible");
+                    if let Some(c) = self.claim_at(p, own, i, own, state_idx) {
+                        return Some(c);
+                    }
+                    i = i.min(self.deques[own].len); // Restart after drain.
+                }
+                // Steals, oldest-first (FIFO) per victim, victims in the
+                // seeded rotation — the injectable steal-order hook.
+                for step in 0..n_deques {
+                    let dq = if backwards {
+                        (start + n_deques - step % n_deques) % n_deques
+                    } else {
+                        (start + step) % n_deques
+                    };
+                    if dq == own {
+                        continue;
+                    }
+                    let mut i = 0;
+                    while i < self.deques[dq].len {
+                        let t = self.deques[dq].buf[i];
+                        if self.jobs[t.job].poisoned {
+                            self.deques[dq].remove(i);
+                            self.retire(p, t.job, t.hi - t.lo);
+                            continue;
+                        }
+                        if self.jobs[t.job].priority == lane {
+                            if let Some(state_idx) =
+                                state_index(&self.jobs[t.job], token, p.workers)
+                            {
+                                if let Some(c) = self.claim_at(p, dq, i, own, state_idx) {
+                                    return Some(c);
+                                }
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            None
+        }
+
+        /// A submitter's claim while waiting on `job`: **only** that job's
+        /// tasks — own deque newest-first, then any other deque
+        /// oldest-first. The filter is what prevents a nested submitter
+        /// from re-entering the outer job it is already inside (which
+        /// would alias its scratch-state slot).
+        fn find_for_job(&mut self, p: &Pool, token: u64, job: usize) -> Option<Claim> {
+            let own = own_deque_idx(token, job, p.workers);
+            let state_idx =
+                state_index(&self.jobs[job], token, p.workers).expect("submitter has slot 0");
+            let mut i = self.deques[own].len;
+            while i > 0 {
+                i -= 1;
+                let t = self.deques[own].buf[i];
+                if self.jobs[t.job].poisoned {
+                    self.deques[own].remove(i);
+                    self.retire(p, t.job, t.hi - t.lo);
+                    i = i.min(self.deques[own].len);
+                    continue;
+                }
+                if t.job == job {
+                    if let Some(c) = self.claim_at(p, own, i, own, state_idx) {
+                        return Some(c);
+                    }
+                    i = i.min(self.deques[own].len);
+                }
+            }
+            for dq in 0..self.deques.len() {
+                if dq == own {
+                    continue;
+                }
+                let mut i = 0;
+                while i < self.deques[dq].len {
+                    let t = self.deques[dq].buf[i];
+                    if t.job == job {
+                        if let Some(c) = self.claim_at(p, dq, i, own, state_idx) {
+                            return Some(c);
+                        }
+                        continue; // Drained in place; index unchanged.
+                    }
+                    i += 1;
+                }
+            }
+            None
+        }
+    }
+
+    /// Executes a claim outside the lock, then retires it. Panics are
+    /// caught here: the first payload is stored on the job (re-raised by
+    /// the submitter), the job is poisoned so its queued tasks drain, and
+    /// the executing thread — worker or submitter — survives.
+    fn execute(p: &Pool, claim: Claim) {
+        let prev = ambient_priority();
+        set_ambient_priority(claim.priority);
+        // SAFETY: the claim was taken while its job had `remaining > 0`,
+        // and this task is not retired until after the call returns — the
+        // submitter (who owns the closure) blocks until `remaining == 0`,
+        // so the pointer is live for the whole call.
+        #[allow(unsafe_code)]
+        let f = unsafe { &*claim.f.0 };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for k in claim.task.lo..claim.task.hi {
+                f(k, claim.state_idx);
+            }
+        }));
+        set_ambient_priority(prev);
+        let mut s = lock_sched(p);
+        if let Err(payload) = result {
+            let j = &mut s.jobs[claim.task.job];
+            j.poisoned = true;
+            j.panic.get_or_insert(payload);
+        }
+        s.retire(p, claim.task.job, claim.task.hi - claim.task.lo);
+    }
+
+    fn worker_loop(p: &'static Pool, w: usize) {
+        let token = w as u64;
+        loop {
+            let claim = {
+                let mut s = lock_sched(p);
+                loop {
+                    if let Some(c) = s.find_general(p, token) {
+                        break c;
+                    }
+                    s.sleepers += 1;
+                    s = p.work_cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+                    s.sleepers -= 1;
                 }
             };
-            // SAFETY: `broadcast` keeps the closure alive until `remaining`
-            // reaches zero, and this worker decrements `remaining` only
-            // after the call below returns.
-            #[allow(unsafe_code)]
-            let f = unsafe { &*job.0 };
-            IN_JOB.with(|c| c.set(true));
-            let result = catch_unwind(AssertUnwindSafe(|| f(slot)));
-            IN_JOB.with(|c| c.set(false));
-            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Err(payload) = result {
-                // First payload wins; the job is already doomed either way.
-                st.panic.get_or_insert(payload);
-            }
-            st.remaining -= 1;
-            if st.remaining == 0 {
-                shared.job_done.notify_all();
-            }
+            execute(p, claim);
         }
     }
 
-    /// Clean-up that must run even if the caller's own `job(0)` panics:
-    /// clear the in-job flag, wait for every worker, retire the job.
-    struct CallGuard<'a>(&'a Shared);
-
-    impl Drop for CallGuard<'_> {
-        fn drop(&mut self) {
-            IN_JOB.with(|c| c.set(false));
-            let mut st = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
-            while st.remaining > 0 {
-                st = self
-                    .0
-                    .job_done
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-            st.job = None;
-        }
-    }
-
-    /// Runs `job(slot)` once per participant — the caller as slot `0`, each
-    /// pool worker as slots `1..=workers` — returning once every call has
-    /// finished. With no workers (single-thread machines, nested calls) the
-    /// job runs inline on the caller only. Allocation-free in steady state.
+    /// Runs `f(k, state_slot)` exactly once for every `k in 0..n_tasks`
+    /// across the pool, returning once all have finished. `state_slot` is
+    /// 0 on the submitting thread and `w` on pool worker `w`; a slot is
+    /// never held by two threads at once, and only workers with
+    /// `w < n_states` participate. Falls back to an inline ascending loop
+    /// (slot 0) when the pool has no workers, all job slots are busy, or
+    /// the root push overflows.
     ///
     /// # Panics
-    /// Re-raises the first panicking worker's original payload (via
-    /// [`resume_unwind`]) on the calling thread, so callers that
-    /// `catch_unwind` around a parallel region see the real message, not a
-    /// synthetic one. The caller's own panic unwinds normally after all
-    /// workers finish. Either way the panic poisons only this job: workers
-    /// catch their own unwinds and park again, leaving the pool fully
-    /// usable for the next broadcast.
-    pub(crate) fn broadcast(job: &(dyn Fn(usize) + Sync)) {
+    /// Re-raises the first panicking task's original payload on the
+    /// calling thread after every task has retired; queued tasks of the
+    /// poisoned job are drained, and the pool survives.
+    pub(crate) fn run_job(n_tasks: usize, n_states: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        debug_assert!(n_tasks > 0);
         let p = get();
-        if p.workers == 0 || in_job() {
-            job(0);
+        if p.workers == 0 || n_states <= 1 {
+            for k in 0..n_tasks {
+                f(k, 0);
+            }
             return;
         }
-        let _gate = p.gate.lock().unwrap_or_else(PoisonError::into_inner);
-        // SAFETY: lifetime erasure only — the fat pointer layout is
-        // unchanged, and the protocol below guarantees the closure outlives
-        // every dereference (the caller blocks until all workers finish).
+        let token = thread_token();
+        // SAFETY: lifetime erasure only — the fat-pointer layout is
+        // unchanged, and this function does not return until `remaining`
+        // reaches zero, after which no thread dereferences the pointer.
         #[allow(unsafe_code)]
-        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        let erased: *const (dyn Fn(usize, usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, usize) + Sync),
+                &'static (dyn Fn(usize, usize) + Sync),
+            >(f)
         };
-        {
-            let mut st = p
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            st.job = Some(Job(erased));
-            st.epoch = st.epoch.wrapping_add(1);
-            st.remaining = p.workers;
-            st.panic = None;
-        }
-        p.shared.job_ready.notify_all();
-        let guard = CallGuard(&p.shared);
-        IN_JOB.with(|c| c.set(true));
-        job(0);
-        drop(guard);
-        let payload = p
-            .shared
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .panic
-            .take();
-        if let Some(payload) = payload {
-            resume_unwind(payload);
+        let job = {
+            let mut s = lock_sched(p);
+            let Some(job) = s.jobs.iter().position(|j| !j.active) else {
+                drop(s);
+                for k in 0..n_tasks {
+                    f(k, 0);
+                }
+                return;
+            };
+            s.jobs[job] = JobSlot {
+                active: true,
+                f: Some(JobFn(erased)),
+                n_states,
+                priority: ambient_priority(),
+                submitter: token,
+                remaining: n_tasks,
+                poisoned: false,
+                panic: None,
+            };
+            let own = own_deque_idx(token, job, p.workers);
+            if !s.deques[own].push(Task {
+                job,
+                lo: 0,
+                hi: n_tasks,
+            }) {
+                s.jobs[job].active = false;
+                drop(s);
+                for k in 0..n_tasks {
+                    f(k, 0);
+                }
+                return;
+            }
+            if s.sleepers > 0 {
+                p.work_cv.notify_all();
+            }
+            job
+        };
+        // Participate until done: claim own-job tasks (helping is
+        // restricted to this job — see `find_for_job`), park on the job's
+        // condvar when none are claimable (they are executing elsewhere).
+        let mut s = lock_sched(p);
+        loop {
+            if s.jobs[job].remaining == 0 {
+                let payload = s.jobs[job].panic.take();
+                s.jobs[job].f = None;
+                s.jobs[job].active = false;
+                drop(s);
+                if let Some(payload) = payload {
+                    resume_unwind(payload);
+                }
+                return;
+            }
+            if let Some(claim) = s.find_for_job(p, token, job) {
+                drop(s);
+                execute(p, claim);
+                s = lock_sched(p);
+                continue;
+            }
+            // Re-check before parking, in the same lock hold: `find_for_job`
+            // can itself retire the job's last leaves (draining a poisoned
+            // job), and that zero-transition notify fired while *this*
+            // thread was the one scanning — waiting on it now would sleep
+            // forever. The loop re-runs the completion check instead.
+            if s.jobs[job].remaining > 0 {
+                s = p.done_cv[job]
+                    .wait(s)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
     }
 }
@@ -318,8 +763,9 @@ mod pool {
 struct SharedMutPtr<T>(*mut T);
 
 // SAFETY: the pointer is only used to derive references to *disjoint*
-// regions (distinct chunk indices, distinct worker slots), each claimed
-// exactly once; the data it points into outlives the broadcast.
+// regions (distinct chunk indices, distinct state slots), each claimed
+// exactly once / held by one thread at a time; the data it points into
+// outlives the job.
 #[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
 
@@ -334,10 +780,11 @@ impl<T> SharedMutPtr<T> {
 /// Pool-parallel loop over `chunk_size`-sized mutable chunks of `data`
 /// (the last chunk may be shorter), with one caller-provided scratch state
 /// per participating thread. `f(state, chunk_index, chunk)` is called once
-/// per chunk; chunks are claimed dynamically from an atomic cursor, so the
-/// schedule load-balances. At most `states.len()` threads participate —
-/// size the slice with [`current_num_threads`] for full parallelism (a
-/// single state forces serial execution).
+/// per chunk; chunks are claimed through the work-stealing scheduler, so
+/// the schedule load-balances (and interleaves with other jobs on the
+/// pool). At most `states.len()` threads participate — size the slice with
+/// [`current_num_threads`] for full parallelism (a single state forces
+/// serial execution).
 ///
 /// Unlike [`ParallelSliceMut::par_chunks_mut`], this performs **no heap
 /// allocation**: no chunk list is materialized and the pool threads are
@@ -360,7 +807,7 @@ where
         return;
     }
     assert!(!states.is_empty(), "need at least one scratch state");
-    if n_tasks == 1 || states.len() == 1 || pool::get().workers == 0 || pool::in_job() {
+    if n_tasks == 1 || states.len() == 1 || pool::get().workers == 0 {
         let state = &mut states[0];
         for k in 0..n_tasks {
             let start = k * chunk_size;
@@ -369,33 +816,26 @@ where
         }
         return;
     }
-    let cursor = AtomicUsize::new(0);
     let data_ptr = SharedMutPtr(data.as_mut_ptr());
     let states_ptr = SharedMutPtr(states.as_mut_ptr());
     let n_states = states.len();
-    pool::broadcast(&|slot| {
-        if slot >= n_states {
-            return;
-        }
-        // SAFETY: `slot` is unique per participating thread, so this is the
-        // only live reference to `states[slot]`; the slice outlives the
-        // broadcast.
+    pool::run_job(n_tasks, n_states, &|k, slot| {
+        debug_assert!(slot < n_states);
+        // SAFETY: the scheduler guarantees `slot` is held by at most one
+        // thread at a time for this job, and a thread never re-enters this
+        // job while inside `f` (helping is restricted to the job being
+        // waited on), so this is the only live reference to
+        // `states[slot]`; the slice outlives the job.
         #[allow(unsafe_code)]
         let state = unsafe { &mut *states_ptr.ptr().add(slot) };
-        loop {
-            let k = cursor.fetch_add(1, Ordering::Relaxed);
-            if k >= n_tasks {
-                break;
-            }
-            let start = k * chunk_size;
-            let clen = chunk_size.min(len - start);
-            // SAFETY: `k` is claimed exactly once, chunks `[start,
-            // start+clen)` are pairwise disjoint across `k`, and `data`
-            // outlives the broadcast.
-            #[allow(unsafe_code)]
-            let chunk = unsafe { std::slice::from_raw_parts_mut(data_ptr.ptr().add(start), clen) };
-            f(state, k, chunk);
-        }
+        let start = k * chunk_size;
+        let clen = chunk_size.min(len - start);
+        // SAFETY: `k` is executed exactly once, chunks `[start,
+        // start+clen)` are pairwise disjoint across `k`, and `data`
+        // outlives the job.
+        #[allow(unsafe_code)]
+        let chunk = unsafe { std::slice::from_raw_parts_mut(data_ptr.ptr().add(start), clen) };
+        f(state, k, chunk);
     });
 }
 
@@ -420,10 +860,59 @@ where
     });
 }
 
+/// Like [`for_each_chunk_mut`], but every chunk additionally gets exclusive
+/// access to its own cell of `per_chunk`: `f(chunk_index, chunk, &mut
+/// per_chunk[chunk_index])` once per chunk. This is the shape of a fused
+/// sweep that computes a per-chunk summary (a partial norm, say) while the
+/// chunk is hot in cache, without sharing an accumulator across threads —
+/// the caller combines the cells afterwards in a fixed order, keeping the
+/// result schedule-independent. Allocation-free, like the other primitives.
+///
+/// # Panics
+/// Panics if `chunk_size == 0`, if `per_chunk` is shorter than the number
+/// of chunks, or if `f` panics on any thread.
+pub fn for_each_chunk_mut_paired<T, U, F>(
+    data: &mut [T],
+    chunk_size: usize,
+    per_chunk: &mut [U],
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut U) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let n_tasks = len.div_ceil(chunk_size);
+    assert!(
+        per_chunk.len() >= n_tasks,
+        "per_chunk holds {} cells for {} chunks",
+        per_chunk.len(),
+        n_tasks
+    );
+    let data_ptr = SharedMutPtr(data.as_mut_ptr());
+    let cell_ptr = SharedMutPtr(per_chunk.as_mut_ptr());
+    pool::run_job(n_tasks, current_num_threads(), &|k, _slot| {
+        let start = k * chunk_size;
+        let clen = chunk_size.min(len - start);
+        // SAFETY: `k` is executed exactly once; chunks `[start,
+        // start+clen)` and cells `per_chunk[k]` are pairwise disjoint
+        // across `k`, and both buffers outlive the job.
+        #[allow(unsafe_code)]
+        let chunk = unsafe { std::slice::from_raw_parts_mut(data_ptr.ptr().add(start), clen) };
+        #[allow(unsafe_code)]
+        let cell = unsafe { &mut *cell_ptr.ptr().add(k) };
+        f(k, chunk, cell);
+    });
+}
+
 /// Pool-parallel loop over the **elements** of a slice with one
 /// caller-provided scratch state per participating thread:
 /// `f(state, index, &mut items[index])` is called exactly once per element,
-/// elements claimed dynamically from an atomic cursor. At most
+/// elements claimed through the work-stealing scheduler. At most
 /// `states.len()` threads participate — size the slice with
 /// [`current_num_threads`] for full parallelism (a single state forces
 /// serial execution, in ascending index order).
@@ -450,6 +939,15 @@ where
     });
 }
 
+/// A lazily-initialized per-state-slot scratch cell for [`ParIter::map_init`].
+struct StateCell<S>(std::cell::UnsafeCell<Option<S>>);
+
+// SAFETY: the scheduler guarantees a state slot index is held by at most
+// one thread at a time for a given job, and a thread never re-enters the
+// job while inside its closure, so the cell is never accessed concurrently.
+#[allow(unsafe_code)]
+unsafe impl<S: Send> Sync for StateCell<S> {}
+
 /// An eager "parallel iterator": the items are already materialized, and
 /// every consuming adaptor fans them out over the persistent worker pool.
 pub struct ParIter<I> {
@@ -471,32 +969,27 @@ impl<I: Send> ParIter<I> {
         F: Fn(I) + Sync,
     {
         let n = self.items.len();
-        if n <= 1 || pool::get().workers == 0 || pool::in_job() {
+        if n <= 1 || pool::get().workers == 0 {
             self.items.into_iter().for_each(f);
             return;
         }
-        // Hand ownership of the buffer to the broadcast: items are moved
-        // out one by one via `ptr::read`, claimed exactly once each from
-        // the cursor, then the (now logically empty) buffer is freed.
+        // Hand ownership of the buffer to the scheduler: items are moved
+        // out one by one via `ptr::read`, each index executed exactly
+        // once, then the (now logically empty) buffer is freed.
         let mut items = std::mem::ManuallyDrop::new(self.items);
         let base = SharedMutPtr(items.as_mut_ptr());
-        let cursor = AtomicUsize::new(0);
-        pool::broadcast(&|_slot| loop {
-            let k = cursor.fetch_add(1, Ordering::Relaxed);
-            if k >= n {
-                break;
-            }
-            // SAFETY: each index is claimed exactly once, so every item is
-            // read (moved out) exactly once; the buffer outlives the
-            // broadcast and its elements are never touched again below.
+        pool::run_job(n, current_num_threads(), &|k, _slot| {
+            // SAFETY: each index is executed exactly once, so every item
+            // is read (moved out) exactly once; the buffer outlives the
+            // job and its elements are never touched again below.
             #[allow(unsafe_code)]
             let item = unsafe { std::ptr::read(base.ptr().add(k)) };
             f(item);
         });
-        // SAFETY: all `n` items were moved out above (the broadcast only
-        // returns after every claimed index has been processed), so the
-        // buffer must be freed without dropping any element. On panic the
-        // `ManuallyDrop` leaks instead — safe, never a double drop.
+        // SAFETY: all `n` items were moved out above (the job only
+        // finishes after every index has executed), so the buffer must be
+        // freed without dropping any element. On panic the `ManuallyDrop`
+        // leaks instead — safe, never a double drop.
         #[allow(unsafe_code)]
         unsafe {
             items.set_len(0);
@@ -522,42 +1015,45 @@ impl<I: Send> ParIter<I> {
         INIT: Fn() -> S + Sync,
         F: Fn(&mut S, I) -> R + Sync,
         R: Send,
+        S: Send,
     {
         let n = self.items.len();
-        if n <= 1 || pool::get().workers == 0 || pool::in_job() {
+        if n <= 1 || pool::get().workers == 0 {
             let mut state = init();
             return ParIter {
                 items: self.items.into_iter().map(|i| f(&mut state, i)).collect(),
             };
         }
+        let slots = current_num_threads();
+        // States are built lazily so idle slots never pay for `init`.
+        let states: Vec<StateCell<S>> = (0..slots)
+            .map(|_| StateCell(std::cell::UnsafeCell::new(None)))
+            .collect();
         let mut items = std::mem::ManuallyDrop::new(self.items);
         let in_ptr = SharedMutPtr(items.as_mut_ptr());
         let mut out: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(n);
         let out_ptr = SharedMutPtr(out.as_mut_ptr());
-        let cursor = AtomicUsize::new(0);
         let init = &init;
-        pool::broadcast(&|_slot| {
-            // State is built lazily so idle threads (more threads than
-            // items) never pay for `init`.
-            let mut state: Option<S> = None;
-            loop {
-                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                if k >= n {
-                    break;
-                }
-                let st = state.get_or_insert_with(init);
-                // SAFETY: index `k` is claimed exactly once: the input item
-                // is moved out once, and the output slot is written once;
-                // both buffers outlive the broadcast.
-                #[allow(unsafe_code)]
-                let item = unsafe { std::ptr::read(in_ptr.ptr().add(k)) };
-                let r = f(st, item);
-                #[allow(unsafe_code)]
-                unsafe {
-                    out_ptr.ptr().add(k).write(std::mem::MaybeUninit::new(r));
-                }
+        pool::run_job(n, slots, &|k, slot| {
+            // SAFETY: the scheduler guarantees `slot` is held by one
+            // thread at a time and never re-entered on the same thread
+            // (helping is restricted to the awaited nested job), so this
+            // is the only live reference into the cell.
+            #[allow(unsafe_code)]
+            let state = unsafe { &mut *states[slot].0.get() };
+            let st = state.get_or_insert_with(init);
+            // SAFETY: index `k` is executed exactly once: the input item
+            // is moved out once, and the output slot is written once; both
+            // buffers outlive the job.
+            #[allow(unsafe_code)]
+            let item = unsafe { std::ptr::read(in_ptr.ptr().add(k)) };
+            let r = f(st, item);
+            #[allow(unsafe_code)]
+            unsafe {
+                out_ptr.ptr().add(k).write(std::mem::MaybeUninit::new(r));
             }
         });
+        drop(states);
         // SAFETY: as in `for_each`, every input item was moved out, so the
         // buffer is freed empty (leaked on panic, never double-dropped).
         #[allow(unsafe_code)]
@@ -641,8 +1137,8 @@ mod tests {
 
     #[test]
     fn map_init_reuses_state_per_worker() {
-        // Each worker's scratch buffer grows once per item it handles; the
-        // output stays order-preserved and independent of the partitioning.
+        // Each slot's scratch buffer grows once per item it handles; the
+        // output stays order-preserved and independent of the schedule.
         let out: Vec<u64> = (0..64usize)
             .into_par_iter()
             .map_init(Vec::<usize>::new, |scratch, i| {
@@ -769,9 +1265,11 @@ mod tests {
     }
 
     #[test]
-    fn nested_parallel_calls_run_inline() {
+    fn nested_parallel_calls_complete() {
         // A parallel job that itself issues parallel calls must complete
-        // (inner calls degrade to inline execution on the worker).
+        // with correct, ordered results (inner calls enqueue onto the
+        // scheduler as child jobs instead of inlining; the nesting thread
+        // helps only with the inner job while it waits).
         let out: Vec<usize> = (0..8usize)
             .into_par_iter()
             .map(|i| {
@@ -789,12 +1287,37 @@ mod tests {
     }
 
     #[test]
+    fn priority_is_scoped_and_restored() {
+        assert_eq!(crate::thread_priority(), crate::Priority::Normal);
+        let out = crate::with_priority(crate::Priority::High, || {
+            assert_eq!(crate::thread_priority(), crate::Priority::High);
+            // Jobs submitted here are tagged High; results are unchanged.
+            let v: Vec<usize> = (0..32usize).into_par_iter().map(|i| i + 1).collect();
+            v.iter().sum::<usize>()
+        });
+        assert_eq!(out, (1..=32).sum::<usize>());
+        assert_eq!(crate::thread_priority(), crate::Priority::Normal);
+    }
+
+    #[test]
+    fn steal_seed_roundtrips_and_never_changes_results() {
+        let before = crate::steal_seed();
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            crate::set_steal_seed(seed);
+            assert_eq!(crate::steal_seed(), seed);
+            let out: Vec<usize> = (0..64usize).into_par_iter().map(|i| i * 7).collect();
+            assert_eq!(out, (0..64).map(|i| i * 7).collect::<Vec<_>>());
+        }
+        crate::set_steal_seed(before);
+    }
+
+    #[test]
     fn panic_in_job_carries_original_payload() {
         // A panic inside a parallel region must surface on the calling
         // thread with its *original* payload — downstream supervision code
         // classifies failures by that message — whether it fired on a pool
-        // worker or on the caller's own slot (both paths are exercised
-        // here: with many items every participant claims some).
+        // worker or on the caller's own claims (with many items every
+        // participant claims some).
         let caught = std::panic::catch_unwind(|| {
             (0..64usize).into_par_iter().for_each(|i| {
                 if i == 33 {
@@ -817,10 +1340,10 @@ mod tests {
 
     #[test]
     fn pool_survives_a_panicked_job() {
-        // A worker panic poisons only the job that raised it: the very
-        // next broadcast on the same pool must run to completion on every
-        // thread and produce correct results. This is the property the
-        // serving supervisor relies on — an engine restart reuses the
+        // A task panic poisons only the job that raised it: the very next
+        // job on the same pool must run to completion on every thread and
+        // produce correct results. This is the property the serving
+        // supervisor relies on — an engine restart reuses the
         // process-wide pool that just absorbed the fault.
         for round in 0..3 {
             let caught = std::panic::catch_unwind(|| {

@@ -1,0 +1,325 @@
+//! Scheduler-torture suite for the work-stealing pool.
+//!
+//! The deque scheduler's victim rotation is seeded
+//! ([`rayon::set_steal_seed`]), which turns "steal order" from an
+//! uncontrollable accident of timing into an injectable test axis: each
+//! seed forces a different interleaving of local pops and steals. These
+//! tests sweep seeds (and mutate the seed *mid-run* from other tests
+//! running concurrently — the claims below must hold under every
+//! schedule, so cross-test interference is load, not noise) and pin the
+//! invariants the rest of the workspace leans on:
+//!
+//! * **completeness / no double-claim** — every index visited exactly
+//!   once, counted per index, under every seed,
+//! * **panic propagation** — a panicking task's payload reaches the
+//!   submitter, sibling tasks are drained, and the pool keeps working,
+//! * **independent jobs** — concurrent submitters each get exactly their
+//!   own job's work done,
+//! * **priority lane** — a short high-priority job submitted while a
+//!   long normal-lane job saturates the workers finishes first.
+//!
+//! Thread-count coverage comes from the process environment: the
+//! `verify-steal` matrix runs this binary at `RADIX_POOL_THREADS`
+//! 1/2/4/8 (1 exercises the inline-serial fallback, 2 the
+//! single-worker + submitter protocol, 4/8 real stealing). When the
+//! variable is absent (plain `cargo test`), a 4-thread pool is forced.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+/// Honors an ambient `RADIX_POOL_THREADS` (the CI matrix) and forces 4
+/// threads when unset, before any test body touches the pool — the pool
+/// reads the variable exactly once, at construction, so every test calls
+/// this first.
+fn ambient_pool() {
+    static INIT: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    INIT.get_or_init(|| {
+        if std::env::var("RADIX_POOL_THREADS").is_err() {
+            std::env::set_var("RADIX_POOL_THREADS", "4");
+        }
+    });
+}
+
+/// A spread of steal seeds: the fixed default, small counters, and
+/// bit-dense SplitMix64-style constants that make the victim rotation
+/// start from different workers on every attempt.
+const SEEDS: [u64; 8] = [
+    0,
+    1,
+    2,
+    0x9E37_79B9_7F4A_7C15,
+    0xBF58_476D_1CE4_E5B9,
+    0x94D0_49BB_1331_11EB,
+    u64::MAX,
+    0xDEAD_BEEF_CAFE_F00D,
+];
+
+#[test]
+fn steal_seed_roundtrips() {
+    ambient_pool();
+    let before = rayon::steal_seed();
+    rayon::set_steal_seed(0x1234_5678_9ABC_DEF0);
+    assert_eq!(rayon::steal_seed(), 0x1234_5678_9ABC_DEF0);
+    rayon::set_steal_seed(before);
+}
+
+#[test]
+fn dispatch_is_complete_under_every_seed() {
+    ambient_pool();
+    // 257 items (prime, never divides evenly into chunks) visited exactly
+    // once per round: a double-claim shows as a count of 2, a lost task
+    // as 0. The atomic counters are the ground truth, independent of any
+    // scheduler bookkeeping.
+    let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+    for (round, &seed) in SEEDS.iter().enumerate() {
+        rayon::set_steal_seed(seed);
+        (0..counts.len()).into_par_iter().for_each(|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                round + 1,
+                "index {i} not claimed exactly once under seed {seed:#x}"
+            );
+        }
+    }
+    rayon::set_steal_seed(0);
+}
+
+#[test]
+fn chunk_dispatch_writes_every_element_once_under_every_seed() {
+    ambient_pool();
+    // The chunked mutable-slice primitive (the kernels' dispatch path):
+    // disjoint chunks, every element written its own value, no element
+    // written twice (the += would show as 2·expected).
+    let mut data = vec![0u64; 1031];
+    for &seed in &SEEDS {
+        rayon::set_steal_seed(seed);
+        data.iter_mut().for_each(|v| *v = 0);
+        rayon::for_each_chunk_mut(&mut data, 7, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v += (ci * 7 + j) as u64 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64 + 1, "element {i} torn under seed {seed:#x}");
+        }
+    }
+    rayon::set_steal_seed(0);
+}
+
+#[test]
+fn paired_chunk_dispatch_pairs_cells_correctly_under_every_seed() {
+    ambient_pool();
+    // The paired primitive used by the fused gradient reduction: chunk k
+    // must arrive with exclusive cell k — a mispairing would write a
+    // checksum into the wrong slot.
+    let mut data = vec![1.0f32; 600];
+    let n_chunks = 600usize.div_ceil(64);
+    let mut cells = vec![(0usize, 0.0f32); n_chunks];
+    for &seed in &SEEDS {
+        rayon::set_steal_seed(seed);
+        cells.iter_mut().for_each(|c| *c = (usize::MAX, 0.0));
+        rayon::for_each_chunk_mut_paired(&mut data, 64, &mut cells, |k, chunk, cell| {
+            *cell = (k, chunk.iter().sum());
+        });
+        for (k, &(tag, sum)) in cells.iter().enumerate() {
+            assert_eq!(
+                tag, k,
+                "cell {k} paired with wrong chunk under seed {seed:#x}"
+            );
+            let expect = 64usize.min(600 - k * 64) as f32;
+            assert_eq!(sum, expect, "cell {k} saw wrong chunk length");
+        }
+    }
+    rayon::set_steal_seed(0);
+}
+
+#[test]
+fn collected_order_is_schedule_independent() {
+    ambient_pool();
+    // map/collect must return results in item order no matter which
+    // worker computed which index.
+    for &seed in &SEEDS {
+        rayon::set_steal_seed(seed);
+        let out: Vec<u64> = (0..500usize)
+            .into_par_iter()
+            .map(|i| (i * i) as u64)
+            .collect();
+        assert_eq!(out.len(), 500);
+        assert!(
+            out.iter().enumerate().all(|(i, &v)| v == (i * i) as u64),
+            "collect out of order under seed {seed:#x}"
+        );
+    }
+    rayon::set_steal_seed(0);
+}
+
+#[test]
+fn panic_propagates_and_pool_survives_under_every_seed() {
+    ambient_pool();
+    // One poisoned index per round, moved across the range so the panic
+    // lands in different deques (submitter-local, worker-stolen, split
+    // leftovers). The submitter must observe the payload, and the very
+    // next job must run to completion — a scheduler that leaks poisoned
+    // tasks or loses a wakeup hangs or panics here.
+    for (round, &seed) in SEEDS.iter().enumerate() {
+        rayon::set_steal_seed(seed);
+        let bad = (round * 37) % 96;
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            (0..96usize).into_par_iter().for_each(|i| {
+                assert!(i != bad, "torture panic at {i}");
+            });
+        }))
+        .expect_err("the poisoned job must propagate its panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string payload>".into());
+        assert!(
+            msg.contains("torture panic"),
+            "unexpected payload under seed {seed:#x}: {msg}"
+        );
+
+        // The pool must be fully operational immediately afterwards.
+        let sum: u64 = (0..96usize)
+            .into_par_iter()
+            .map(|i| i as u64 + 1)
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        assert_eq!(
+            sum,
+            96 * 97 / 2,
+            "pool degraded after panic under seed {seed:#x}"
+        );
+    }
+    rayon::set_steal_seed(0);
+}
+
+#[test]
+fn concurrent_independent_jobs_each_complete_exactly_once() {
+    ambient_pool();
+    // Four submitters × eight rounds, all sharing the pool: each job's
+    // per-index counters must come back exactly-once — a task claimed
+    // into the wrong job, double-claimed across interleaved jobs, or
+    // dropped when another job's completion notify fires would break the
+    // counts (or hang a submitter).
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for round in 0..8 {
+                    rayon::set_steal_seed(SEEDS[((t as usize) + round) % SEEDS.len()]);
+                    let n = 64 + 13 * t as usize;
+                    let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                    (0..n).into_par_iter().for_each(|i| {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert!(
+                        counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                        "submitter {t} round {round}: job not exactly-once"
+                    );
+                }
+            });
+        }
+    });
+    rayon::set_steal_seed(0);
+}
+
+#[test]
+fn concurrent_jobs_with_panics_leave_other_jobs_intact() {
+    ambient_pool();
+    // Two healthy submitters keep running exactly-once jobs while a third
+    // submits panicking jobs: poison must stay confined to its own job.
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            s.spawn(move || {
+                for _ in 0..12 {
+                    let n = 80 + t;
+                    let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                    (0..n).into_par_iter().for_each(|i| {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+                }
+            });
+        }
+        s.spawn(|| {
+            for round in 0..12 {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    (0..64usize).into_par_iter().for_each(|i| {
+                        assert!(i != (round * 11) % 64, "confined panic");
+                    });
+                }));
+                assert!(r.is_err(), "panicking job must report its panic");
+            }
+        });
+    });
+}
+
+#[test]
+fn nested_parallelism_completes_under_every_seed() {
+    ambient_pool();
+    // A par job that itself submits par work from inside its tasks: the
+    // scheduler enqueues the nested job rather than recursing inline, so
+    // a claim/retire accounting bug across job slots shows up as a hang
+    // or a wrong total.
+    let total = AtomicUsize::new(0);
+    for &seed in &SEEDS {
+        rayon::set_steal_seed(seed);
+        total.store(0, Ordering::Relaxed);
+        (0..8usize).into_par_iter().for_each(|_| {
+            (0..16usize).into_par_iter().for_each(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            8 * 16,
+            "nested dispatch incomplete under seed {seed:#x}"
+        );
+    }
+    rayon::set_steal_seed(0);
+}
+
+#[test]
+fn high_priority_job_overtakes_saturating_normal_job() {
+    ambient_pool();
+    // A long normal-lane job (96 × 2 ms chunks) saturates the workers;
+    // 20 ms in, a short high-priority job (8 × 1 ms) arrives. Idle
+    // workers must prefer the high lane between chunks, so the short job
+    // finishes while the long one is still grinding. The margin is
+    // coarse (the short job is ~10× shorter than the long job's
+    // remainder) to keep the assertion robust on slow CI.
+    let t0 = Instant::now();
+    let normal_done = std::sync::Mutex::new(None::<Duration>);
+    let high_done = std::sync::Mutex::new(None::<Duration>);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            (0..96usize).into_par_iter().for_each(|_| {
+                std::thread::sleep(Duration::from_millis(2));
+            });
+            *normal_done.lock().unwrap() = Some(t0.elapsed());
+        });
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(20));
+            rayon::with_priority(rayon::Priority::High, || {
+                assert_eq!(rayon::thread_priority(), rayon::Priority::High);
+                (0..8usize).into_par_iter().for_each(|_| {
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+            });
+            *high_done.lock().unwrap() = Some(t0.elapsed());
+        });
+    });
+    let normal = normal_done.lock().unwrap().expect("normal job finished");
+    let high = high_done.lock().unwrap().expect("high job finished");
+    assert!(
+        high < normal,
+        "high-priority job ({high:?}) must finish before the saturating normal job ({normal:?})"
+    );
+}
