@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-mt verify-serve verify-chaos verify-recovery verify-steal serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate clean
+.PHONY: verify verify-mt verify-serve verify-chaos verify-recovery verify-steal serve-smoke build test fmt fmt-check clippy doc bench-check bench bench-json bench-json-default bench-json-smoke bench-serve bench-gate bench-baseline bench-serve-baseline calibrate calibrate-smoke profile-check tune-report clean
 
 ## Tier-1 verify: exactly what CI's main job runs.
 verify:
@@ -159,10 +159,42 @@ bench-serve-baseline:
 	RADIX_BENCH_FRESH=target/BENCH_serve_fresh.json \
 		$(CARGO) run --release -p radix-bench --bin bench_baseline
 
-## Measure the serial-vs-parallel crossover and the best RADIX_TILE_COLS
-## on this machine; prints suggested `export` lines.
+## Autotune this machine: sweep tile width x block rows x fuse depth x
+## activation-sparsity threshold together on the committed bench shapes
+## and write the winner to ./RADIX_PROFILE.json (merged at this pool
+## width; override the path with RADIX_PROFILE). The kernels load the
+## profile at startup; RADIX_* env vars still outrank it.
 calibrate:
 	$(CARGO) run --release -p radix-bench --bin calibrate
+
+## Budgeted CI smoke of the autotuner: quick candidate grid, tiny shapes,
+## 3-iteration timings, profile written to a scratch path so a checkout
+## never gains an untracked root file. Proves the sweep -> persist ->
+## reload plumbing end to end; the numbers are noise.
+calibrate-smoke:
+	RADIX_CALIBRATE_QUICK=1 RADIX_PROFILE=target/RADIX_PROFILE.json \
+		$(CARGO) run --release -p radix-bench --bin calibrate
+
+## Round-trip the tuning profile at RADIX_PROFILE (default
+## ./RADIX_PROFILE.json) through the kernels' own loader: typed error +
+## nonzero exit when missing/truncated/corrupt.
+profile-check:
+	$(CARGO) run --release -p radix-bench --bin profile_check
+
+## Quick kernel run with the baked-in default tunables, written to the
+## path tune-report reads as its "default" side. Explicitly clears
+## RADIX_PROFILE so a profile in the working tree can't leak in.
+bench-json-default:
+	RADIX_BENCH_QUICK=1 RADIX_BENCH_OUT=target/BENCH_kernels.default.json \
+		RADIX_PROFILE=target/nonexistent-profile.json \
+		$(CARGO) run --release -p radix-bench --bin bench_kernels
+
+## Markdown delta table: tuned (target/BENCH_kernels.scratch.json, i.e.
+## the gate's candidate measured under the calibrated profile) vs default
+## (target/BENCH_kernels.default.json). Report-only; CI appends it to the
+## job summary.
+tune-report:
+	$(CARGO) run --release -p radix-bench --bin tune_report
 
 clean:
 	$(CARGO) clean

@@ -48,8 +48,8 @@
 //! regardless.
 
 use radix_bench::{
-    is_parallel_kernel, is_serve_point, parse_bench_runs, parse_bench_threads, serve_point_gates,
-    BenchRun,
+    is_parallel_kernel, is_serve_point, merge_candidate_runs, parse_bench_runs,
+    select_baseline_run, serve_point_gates,
 };
 
 struct Failure {
@@ -80,54 +80,35 @@ fn main() {
     let baseline_text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("bench_gate: cannot read baseline {baseline_path}: {e}"));
     let baseline_runs = parse_bench_runs(&baseline_text);
-    assert!(
-        baseline_runs.iter().any(|r| !r.points.is_empty()),
-        "bench_gate: baseline {baseline_path} contains no kernel points"
-    );
     // The candidate may span several scratch files (kernels + serve
     // latency), colon-separated; they union into one run and must agree
-    // on the thread count they were measured at.
-    let mut candidate = BenchRun {
-        threads: None,
-        points: Vec::new(),
-    };
-    for path in candidate_path.split(':').filter(|p| !p.is_empty()) {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("bench_gate: cannot read candidate {path}: {e}"));
-        let runs = parse_bench_runs(&text);
-        assert_eq!(
-            runs.len(),
-            1,
-            "bench_gate: candidate {path} must hold exactly one run"
-        );
-        let run = runs.into_iter().next().expect("checked above");
-        let threads = run.threads.or_else(|| parse_bench_threads(&text));
-        match (candidate.threads, threads) {
-            (Some(a), Some(b)) => assert_eq!(
-                a, b,
-                "bench_gate: candidate files measured at different thread counts"
-            ),
-            (None, t) => candidate.threads = t,
-            _ => {}
-        }
-        candidate.points.extend(run.points);
-    }
-    assert!(
-        !candidate.points.is_empty(),
-        "bench_gate: candidate {candidate_path} contains no kernel points"
-    );
+    // on the thread count they were measured at. A file with zero points
+    // is a hard failure — see `merge_candidate_runs`.
+    let files: Vec<(String, String)> = candidate_path
+        .split(':')
+        .filter(|p| !p.is_empty())
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("bench_gate: cannot read candidate {path}: {e}"));
+            (path.to_string(), text)
+        })
+        .collect();
+    let candidate = merge_candidate_runs(&files).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {e}");
+        std::process::exit(1);
+    });
     let cand_threads = candidate.threads;
 
     // Pool kernels only gate like-for-like: pick the baseline run measured
     // at the candidate's thread count; fall back to the first run (serial
-    // kernels only) when no width matches.
-    let matched = baseline_runs
-        .iter()
-        .find(|r| r.threads.is_some() && r.threads == cand_threads);
-    let threads_match = matched.is_some();
-    let baseline = matched
-        .or_else(|| baseline_runs.first())
-        .expect("non-empty checked above");
+    // kernels only) when no width matches. An empty selected run (the old
+    // silent-pass hole: the gate loop would check zero kernels and report
+    // success) is a hard failure.
+    let (baseline, threads_match) = select_baseline_run(&baseline_runs, cand_threads)
+        .unwrap_or_else(|e| {
+            eprintln!("bench_gate: baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
 
     let mut failures: Vec<Failure> = Vec::new();
     println!(

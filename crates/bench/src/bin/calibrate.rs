@@ -1,209 +1,144 @@
-//! Machine calibration: measures the serial-vs-parallel crossover, the
-//! best column-tile width, and the activation-sparsity crossover **on the
-//! current machine** and prints suggested environment values (see
-//! `make calibrate`).
+//! Machine autotuning: sweeps the kernel tunables **together** on the
+//! committed bench shapes and persists the winner as a per-machine
+//! tuning profile (`RADIX_PROFILE.json`) that `radix-sparse` and
+//! `radix-challenge` load at startup (see `make calibrate`).
 //!
-//! The defaults baked into the kernels (`DEFAULT_PAR_THRESHOLD`,
-//! `DEFAULT_TILE_COLS`, `DEFAULT_ACT_SPARSE_PERCENT`) were measured on
-//! one machine; cache sizes and thread-spawn costs vary, so deployments
-//! should run this once and export what it prints:
+//! The defaults baked into the kernels (`DEFAULT_TILE_COLS`,
+//! `DEFAULT_BLOCK_ROWS`, `DEFAULT_FUSE_LAYERS`,
+//! `DEFAULT_ACT_SPARSE_PERCENT`) were measured on one machine; cache
+//! sizes and core counts vary, so deployments run this once per machine:
 //!
 //! ```text
-//! make calibrate
-//! export RADIX_PAR_THRESHOLD=<crossover work>
-//! export RADIX_TILE_COLS=<best tile width>
-//! export RADIX_ACT_SPARSE_THRESHOLD=<percent nonzero below which to scatter>
+//! make calibrate          # full sweep, writes ./RADIX_PROFILE.json
+//! make calibrate-smoke    # budgeted CI smoke (quick grid, tiny shapes)
 //! ```
 //!
-//! Environment: `RADIX_CALIBRATE_QUICK=1` shrinks the problem sizes and
-//! iteration counts (smoke mode: proves the binary runs; numbers are not
-//! meaningful).
+//! Every knob resolves with precedence **env > profile > default**, so
+//! exported `RADIX_*` variables still outrank the written profile, and a
+//! machine without a profile behaves exactly as before.
+//!
+//! **Process model**: tunables are `OnceLock`-cached per process, so the
+//! sweep cannot apply a candidate to itself. The binary re-executes
+//! itself once per candidate with the candidate exported as environment
+//! (see [`radix_bench::autotune`]); children print a score line this
+//! parent parses. The profile is keyed by worker-pool width
+//! (`rayon::current_num_threads()`): run under `RADIX_POOL_THREADS=N` to
+//! calibrate width `N`; runs at other widths in an existing profile are
+//! preserved.
+//!
+//! Environment:
+//! * `RADIX_CALIBRATE_QUICK=1` — quick grid and 3-iteration timings
+//!   (smoke mode: proves the plumbing end to end; numbers are noise),
+//! * `RADIX_PROFILE` — where to write/merge the profile (default
+//!   `./RADIX_PROFILE.json`).
 
-use std::hint::black_box;
-
-use radix_sparse::{
-    ActivationSchedule, Bias, CsrMatrix, CyclicShift, DenseMatrix, Epilogue, PreparedWeights,
-};
-
-fn layer(n: usize, degree: usize) -> CsrMatrix<f32> {
-    CyclicShift::radix_submatrix::<u64>(n, degree, 1).map(|_| 1.0 / degree as f32)
-}
-
-fn activations(rows: usize, cols: usize) -> DenseMatrix<f32> {
-    let mut m = DenseMatrix::zeros(rows, cols);
-    for i in 0..rows {
-        let r: &mut [f32] = m.row_mut(i);
-        for (j, v) in r.iter_mut().enumerate() {
-            *v = ((i * 31 + j * 17) % 13) as f32 * 0.07;
-        }
-    }
-    m
-}
-
-/// [`radix_bench::time_kernel`] at this binary's budget — the same
-/// methodology as the baseline emitter, so calibrate's suggestions are
-/// measured the way the gate measures.
-fn time_kernel<F: FnMut()>(quick: bool, f: F) -> f64 {
-    radix_bench::time_kernel(quick, 0.25, 400, f)
-}
+use radix_bench::autotune::{self, Candidate, CHILD_ENV, SCORE_TAG};
+use radix_sparse::kernel::{emit_profile, load_profile, profile_path, ProfileError};
 
 fn main() {
     let quick = std::env::var("RADIX_CALIBRATE_QUICK").is_ok_and(|v| v == "1");
+    if std::env::var(CHILD_ENV).is_ok() {
+        // Measurement child: the candidate's knobs arrived as RADIX_*
+        // environment variables; score the workload under them and report.
+        let secs = autotune::measure_workload(quick);
+        println!("{SCORE_TAG} {:.3}", secs * 1e6);
+        return;
+    }
+
     let threads = rayon::current_num_threads();
-    println!("calibrate: {threads} pool thread(s), quick={quick}");
-
-    // ── Part 1: serial vs parallel crossover ────────────────────────────
-    // Fixed layer, growing batch: work = batch × nnz is the quantity
-    // kernel::use_parallel thresholds on.
-    let n = if quick { 256 } else { 4096 };
-    let degree = 8.min(n);
-    let w = layer(n, degree);
-    let mut prepared = PreparedWeights::from_csr(w);
-    prepared.tile();
-    let epi = Epilogue::new(Bias::Uniform(-0.3f32), |v: f32| v.clamp(0.0, 32.0));
-    let mut out = DenseMatrix::<f32>::default();
-
-    println!("\nserial vs parallel (n={n}, degree={degree}):");
+    let exe = std::env::current_exe().expect("calibrate: cannot locate own binary");
+    let grid = autotune::candidate_grid(quick);
     println!(
-        "{:>8} {:>12} {:>12} {:>12}",
-        "batch", "work", "serial_us", "parallel_us"
+        "calibrate: autotuning {} candidates at {threads} pool thread(s), quick={quick}",
+        grid.len()
     );
-    let mut crossover: Option<usize> = None;
-    if threads <= 1 {
-        println!("  (single-thread pool: parallel degrades to inline, no crossover to measure)");
-    } else {
-        for batch in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-            let x = activations(batch, n);
-            let serial = time_kernel(quick, || {
-                prepared.spmm_tiled_into(&x, &mut out, &epi).unwrap();
-                black_box(out.as_slice().len());
-            });
-            let parallel = time_kernel(quick, || {
-                prepared.par_spmm_tiled_into(&x, &mut out, &epi).unwrap();
-                black_box(out.as_slice().len());
-            });
-            let work = prepared.work(batch);
-            // Demand a real margin (5%), not scheduler noise, before
-            // declaring the crossover.
-            let wins = parallel < serial * 0.95;
-            println!(
-                "{batch:>8} {work:>12} {:>12.2} {:>12.2}{}",
-                serial * 1e6,
-                parallel * 1e6,
-                if wins { "  <- parallel wins" } else { "" }
-            );
-            if wins && crossover.is_none() {
-                crossover = Some(work);
-            }
-        }
-    }
-
-    // ── Part 2: best column-tile width ──────────────────────────────────
-    // The wide acceptance config; "0" rows are the untiled reference.
-    let (wn, wdeg, wbatch) = if quick { (512, 4, 4) } else { (16384, 8, 32) };
-    let wide = layer(wn, wdeg);
-    let x = activations(wbatch, wn);
-    println!("\ncolumn-tile width (n={wn}, degree={wdeg}, batch={wbatch}):");
-    println!("{:>10} {:>12}", "tile_cols", "fused_us");
-    let mut best: Option<(usize, f64)> = None;
-    let untiled = {
-        let p = PreparedWeights::from_csr(wide.clone());
-        time_kernel(quick, || {
-            p.spmm_into(&x, &mut out, &epi).unwrap();
-            black_box(out.as_slice().len());
-        })
-    };
-    println!("{:>10} {:>12.2}  (untiled reference)", "-", untiled * 1e6);
-    for width in [256usize, 512, 1024, 2048, 4096, 8192] {
-        if width >= wn {
-            break;
-        }
-        let mut p = PreparedWeights::from_csr(wide.clone());
-        p.tile_with(width);
-        let secs = time_kernel(quick, || {
-            p.spmm_tiled_into(&x, &mut out, &epi).unwrap();
-            black_box(out.as_slice().len());
-        });
-        println!("{width:>10} {:>12.2}", secs * 1e6);
-        if best.is_none_or(|(_, b)| secs < b) {
-            best = Some((width, secs));
-        }
-    }
-
-    // ── Part 3: activation-sparsity crossover ───────────────────────────
-    // Same wide config; sweep the nonzero fraction of the input batch and
-    // time the forced gather vs the forced scatter schedule. The largest
-    // nonzero percent where the scatter wins (with a real 5% margin) is
-    // the suggested RADIX_ACT_SPARSE_THRESHOLD.
-    let mut tiled_wide = PreparedWeights::from_csr(wide.clone());
-    tiled_wide.tile();
-    println!("\nactivation-sparsity crossover (n={wn}, degree={wdeg}, batch={wbatch}):");
     println!(
-        "{:>12} {:>12} {:>12}",
-        "nonzero_pct", "gather_us", "scatter_us"
+        "{:>10} {:>10} {:>10} {:>8} {:>12}",
+        "tile_cols", "block_rows", "fuse", "act_pct", "score_us"
     );
-    let mut act_crossover: Option<usize> = None;
-    for pct in [50usize, 25, 12, 10, 6, 3, 1] {
-        let mut xs = DenseMatrix::<f32>::zeros(wbatch, wn);
-        for i in 0..wbatch {
-            let row: &mut [f32] = xs.row_mut(i);
-            for (j, v) in row.iter_mut().enumerate() {
-                if (i * 31 + j * 17) % 100 < pct {
-                    *v = ((i + j) % 13) as f32 * 0.07 + 0.05;
-                }
+
+    let mut best: Option<(Candidate, f64)> = None;
+    let mut default_score: Option<f64> = None;
+    for (i, c) in grid.iter().enumerate() {
+        let secs = match autotune::run_candidate(&exe, c, quick) {
+            Ok(secs) => secs,
+            Err(e) => {
+                eprintln!("calibrate: candidate {c:?} failed: {e}");
+                continue;
             }
+        };
+        // Entry 0 is the baked-in defaults; strict `<` means the tuned
+        // pick is never worse than the defaults by construction.
+        if i == 0 {
+            default_score = Some(secs);
         }
-        let gather = time_kernel(quick, || {
-            tiled_wide
-                .spmm_tiled_scheduled_into(&xs, &mut out, &epi, ActivationSchedule::Gather)
-                .unwrap();
-            black_box(out.as_slice().len());
-        });
-        let scatter = time_kernel(quick, || {
-            tiled_wide
-                .spmm_tiled_scheduled_into(&xs, &mut out, &epi, ActivationSchedule::Scatter)
-                .unwrap();
-            black_box(out.as_slice().len());
-        });
-        let wins = scatter < gather * 0.95;
+        let is_best = best.is_none_or(|(_, b)| secs < b);
         println!(
-            "{pct:>12} {:>12.2} {:>12.2}{}",
-            gather * 1e6,
-            scatter * 1e6,
-            if wins { "  <- scatter wins" } else { "" }
+            "{:>10} {:>10} {:>10} {:>8} {:>12.2}{}{}",
+            c.tile_cols,
+            c.block_rows,
+            c.fuse_layers,
+            c.act_sparse_percent,
+            secs * 1e6,
+            if i == 0 { "  (defaults)" } else { "" },
+            if is_best && i > 0 {
+                "  <- best so far"
+            } else {
+                ""
+            },
         );
-        if wins && act_crossover.is_none() {
-            act_crossover = Some(pct);
+        if is_best {
+            best = Some((*c, secs));
         }
     }
 
-    // ── Suggestions ─────────────────────────────────────────────────────
-    println!("\nsuggested environment for this machine:");
-    match crossover {
-        Some(work) => println!("  export RADIX_PAR_THRESHOLD={work}"),
-        None if threads <= 1 => {
-            println!("  # single-thread machine: RADIX_PAR_THRESHOLD is irrelevant, keep default");
+    let (winner, score) = best.expect("calibrate: every candidate failed to measure");
+    let default_score = default_score.expect("calibrate: the default candidate failed to measure");
+    println!(
+        "\ncalibrate: best tile_cols={} block_rows={} fuse_layers={} act_pct={} \
+         at {:.2} us (defaults {:.2} us, {:+.1}%)",
+        winner.tile_cols,
+        winner.block_rows,
+        winner.fuse_layers,
+        winner.act_sparse_percent,
+        score * 1e6,
+        default_score * 1e6,
+        (score / default_score - 1.0) * 100.0,
+    );
+
+    // Merge the winner into the profile at this thread count, preserving
+    // runs calibrated at other widths.
+    let path_str = profile_path();
+    let path = std::path::Path::new(&path_str);
+    let existing = match load_profile(path) {
+        Ok(runs) => runs,
+        Err(ProfileError::Io {
+            kind: std::io::ErrorKind::NotFound,
+            ..
+        }) => Vec::new(),
+        Err(e) => {
+            eprintln!("calibrate: existing profile {path_str} unusable ({e}); rewriting");
+            Vec::new()
         }
-        None => println!(
-            "  export RADIX_PAR_THRESHOLD={}  # parallel never won at tested sizes",
-            usize::MAX
-        ),
-    }
-    if let Some((width, secs)) = best {
-        if secs < untiled {
-            println!("  export RADIX_TILE_COLS={width}");
-        } else {
-            println!(
-                "  export RADIX_TILE_COLS={wn}  # tiling never beat untiled here (best {width} at {:.2} us vs {:.2} us)",
-                secs * 1e6,
-                untiled * 1e6
-            );
-        }
-    }
-    match act_crossover {
-        Some(pct) => println!("  export RADIX_ACT_SPARSE_THRESHOLD={pct}"),
-        None => println!(
-            "  export RADIX_ACT_SPARSE_THRESHOLD=0  # scatter never won at tested sparsities"
-        ),
-    }
+    };
+    let merged = autotune::merge_profile_runs(existing, winner.to_profile(threads));
+    std::fs::write(path, emit_profile(&merged))
+        .unwrap_or_else(|e| panic!("calibrate: cannot write {path_str}: {e}"));
+
+    // Round-trip: what we wrote must load back through the same loader
+    // the kernels use, and must contain this width's run.
+    let back = load_profile(path)
+        .unwrap_or_else(|e| panic!("calibrate: written profile {path_str} fails to load: {e}"));
+    assert!(
+        back.iter().any(|r| r.threads == threads),
+        "calibrate: written profile {path_str} lost the run at threads={threads}"
+    );
+    println!(
+        "calibrate: wrote {path_str} ({} run(s): threads {})",
+        back.len(),
+        back.iter()
+            .map(|r| r.threads.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }

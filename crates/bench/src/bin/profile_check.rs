@@ -1,0 +1,49 @@
+//! Profile round-trip check (`make profile-check`, wired into the CI
+//! autotune job): loads the tuning profile at `RADIX_PROFILE` (default
+//! `./RADIX_PROFILE.json`) through the same loader the kernels use at
+//! startup, re-emits it, and asserts the re-parse is identical — proving
+//! the file a fresh `make calibrate` just wrote is one every later
+//! process will actually honour. Exit code 1 with the loader's typed
+//! error when the file is missing, truncated, or corrupt.
+
+use radix_sparse::kernel::{emit_profile, load_profile, parse_profile, profile_path};
+
+fn main() {
+    let path_str = profile_path();
+    let path = std::path::Path::new(&path_str);
+    let runs = match load_profile(path) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("profile_check: {path_str}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let back = match parse_profile(&emit_profile(&runs)) {
+        Ok(back) => back,
+        Err(e) => {
+            eprintln!("profile_check: {path_str}: re-emitted profile fails to parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    if back != runs {
+        eprintln!("profile_check: {path_str}: emit/parse round-trip changed the runs");
+        eprintln!("  loaded:     {runs:?}");
+        eprintln!("  round-trip: {back:?}");
+        std::process::exit(1);
+    }
+    println!("profile_check: {path_str} OK ({} run(s))", runs.len());
+    for r in &runs {
+        println!(
+            "  threads {}: tile_cols {} block_rows {} fuse_layers {} act_sparse_percent {}",
+            r.threads,
+            fmt_knob(r.tile_cols),
+            fmt_knob(r.block_rows),
+            fmt_knob(r.fuse_layers),
+            fmt_knob(r.act_sparse_percent),
+        );
+    }
+}
+
+fn fmt_knob(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
+}

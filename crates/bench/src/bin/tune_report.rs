@@ -1,0 +1,94 @@
+//! Tuned-vs-default delta table (`make tune-report`, wired into the CI
+//! perf-gate job's `$GITHUB_STEP_SUMMARY`): compares two `bench_kernels`
+//! runs — one measured with the baked-in defaults, one under a freshly
+//! calibrated `RADIX_PROFILE.json` — and prints a GitHub-flavoured
+//! markdown table of the per-kernel deltas. **Report-only**: regressions
+//! here don't fail anything (the perf gate proper runs `bench_gate`
+//! against the committed baseline, tolerance unchanged); this table
+//! exists so every CI run shows what the autotuner is buying (or
+//! costing) on the committed shapes.
+//!
+//! Environment:
+//! * `RADIX_TUNE_DEFAULT` — the defaults run (default
+//!   `target/BENCH_kernels.default.json`),
+//! * `RADIX_TUNE_TUNED` — the profile-tuned run (default
+//!   `target/BENCH_kernels.scratch.json`).
+
+use radix_bench::parse_bench_runs;
+
+fn main() {
+    let default_path = std::env::var("RADIX_TUNE_DEFAULT")
+        .unwrap_or_else(|_| "target/BENCH_kernels.default.json".to_string());
+    let tuned_path = std::env::var("RADIX_TUNE_TUNED")
+        .unwrap_or_else(|_| "target/BENCH_kernels.scratch.json".to_string());
+    let read = |path: &str| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("tune_report: cannot read {path}: {e}"));
+        let runs = parse_bench_runs(&text);
+        assert_eq!(
+            runs.len(),
+            1,
+            "tune_report: {path} must hold exactly one run"
+        );
+        runs.into_iter().next().expect("checked above")
+    };
+    let default_run = read(&default_path);
+    let tuned_run = read(&tuned_path);
+    assert!(
+        !default_run.points.is_empty() && !tuned_run.points.is_empty(),
+        "tune_report: empty run (default {default_path}, tuned {tuned_path})"
+    );
+
+    let threads = tuned_run
+        .threads
+        .or(default_run.threads)
+        .map_or_else(|| "unknown".to_string(), |t| t.to_string());
+    println!("## Autotuned vs default kernel timings (threads {threads})");
+    println!();
+    println!("| config | kernel | default (µs) | tuned (µs) | delta |");
+    println!("|---|---|---:|---:|---:|");
+    let (mut faster, mut slower, mut flat) = (0usize, 0usize, 0usize);
+    let mut best_improvement: Option<(f64, String)> = None;
+    for d in &default_run.points {
+        let Some(t) = tuned_run
+            .points
+            .iter()
+            .find(|t| t.config == d.config && t.kernel == d.kernel)
+        else {
+            println!(
+                "| {} | {} | {:.3} | — | missing |",
+                d.config,
+                d.kernel,
+                d.seconds_per_iter * 1e6
+            );
+            continue;
+        };
+        let delta = t.seconds_per_iter / d.seconds_per_iter.max(1e-12) - 1.0;
+        // 2% either way is measurement noise at the quick budget.
+        match delta {
+            d if d < -0.02 => faster += 1,
+            d if d > 0.02 => slower += 1,
+            _ => flat += 1,
+        }
+        if delta < best_improvement.as_ref().map_or(0.0, |(b, _)| *b) {
+            best_improvement = Some((delta, format!("{} / {}", d.config, d.kernel)));
+        }
+        println!(
+            "| {} | {} | {:.3} | {:.3} | {:+.1}% |",
+            d.config,
+            d.kernel,
+            d.seconds_per_iter * 1e6,
+            t.seconds_per_iter * 1e6,
+            delta * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "{faster} kernel(s) faster under the tuned profile, {slower} slower, \
+         {flat} within noise (±2%)."
+    );
+    if let Some((delta, point)) = best_improvement {
+        println!();
+        println!("Best improvement: {point} at {:+.1}%.", delta * 100.0);
+    }
+}

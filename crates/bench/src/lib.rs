@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod autotune;
+
 /// Formats an `f64` for embedding in JSON: finite values print with enough
 /// precision to round-trip usefully; non-finite values (which raw JSON
 /// cannot represent) degrade to `0`.
@@ -288,6 +290,92 @@ pub fn emit_bench_runs(runs: &[BenchRun]) -> String {
     json
 }
 
+/// Unions the perf gate's candidate scratch files (each given as
+/// `(path, contents)`) into one run. Every file must hold **exactly one
+/// run with at least one kernel point** — a scratch file that parses to
+/// zero points means the bench emitter crashed mid-write or emitted an
+/// incompatible shape, and gating against it would silently pass with no
+/// coverage — and all files must agree on the thread count they were
+/// measured at.
+///
+/// # Errors
+/// A gate-fatal message naming the offending file: zero or multiple runs,
+/// zero points, or a thread-count mismatch across files.
+pub fn merge_candidate_runs(files: &[(String, String)]) -> Result<BenchRun, String> {
+    let mut candidate = BenchRun {
+        threads: None,
+        points: Vec::new(),
+    };
+    if files.is_empty() {
+        return Err("candidate list is empty (no scratch files to gate)".to_string());
+    }
+    for (path, text) in files {
+        let runs = parse_bench_runs(text);
+        if runs.len() != 1 {
+            return Err(format!(
+                "candidate {path} must hold exactly one run, found {}",
+                runs.len()
+            ));
+        }
+        let run = runs.into_iter().next().expect("checked above");
+        if run.points.is_empty() {
+            return Err(format!(
+                "candidate {path} lists zero kernel points for its run \
+                 (threads {}) — refusing to gate with no coverage; was the \
+                 bench emitter interrupted?",
+                run.threads
+                    .map_or_else(|| "unknown".to_string(), |t| t.to_string())
+            ));
+        }
+        let threads = run.threads.or_else(|| parse_bench_threads(text));
+        match (candidate.threads, threads) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(format!(
+                    "candidate files measured at different thread counts \
+                     ({a} vs {b} in {path})"
+                ));
+            }
+            (None, t) => candidate.threads = t,
+            _ => {}
+        }
+        candidate.points.extend(run.points);
+    }
+    Ok(candidate)
+}
+
+/// Picks the baseline run the perf gate compares against: the run
+/// measured at the candidate's thread count when one exists (pool
+/// kernels gate like-for-like), else the first run (serial kernels only
+/// — the returned flag is `false`). The selected run must have at least
+/// one point: a merged baseline can legitimately carry runs at widths
+/// the current machine doesn't have, but an **empty selected run** would
+/// make the gate loop vacuous and pass with zero kernels checked.
+///
+/// # Errors
+/// A gate-fatal message when the baseline has no runs at all, or when
+/// the selected run lists zero kernel points for this thread count.
+pub fn select_baseline_run(
+    runs: &[BenchRun],
+    cand_threads: Option<usize>,
+) -> Result<(&BenchRun, bool), String> {
+    let matched = runs
+        .iter()
+        .find(|r| r.threads.is_some() && r.threads == cand_threads);
+    let threads_match = matched.is_some();
+    let Some(baseline) = matched.or_else(|| runs.first()) else {
+        return Err("baseline contains no runs".to_string());
+    };
+    if baseline.points.is_empty() {
+        return Err(format!(
+            "baseline run selected for candidate threads {} lists zero \
+             kernel points — the gate would pass vacuously; re-run \
+             `make bench-baseline` at this width or fix the baseline file",
+            cand_threads.map_or_else(|| "unknown".to_string(), |t| t.to_string())
+        ));
+    }
+    Ok((baseline, threads_match))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +565,91 @@ mod tests {
         assert!(!serve_point_gates("serve_p50_rel10"));
         assert!(!serve_point_gates("serve_row_closed_loop"));
         assert!(!serve_point_gates("prepared_rayon_fused"));
+    }
+
+    fn run_text(threads: usize, kernels: &[&str]) -> String {
+        let runs = vec![BenchRun {
+            threads: Some(threads),
+            points: kernels
+                .iter()
+                .map(|k| BenchPoint {
+                    config: "n16_deg2_b4".into(),
+                    kernel: (*k).to_string(),
+                    seconds_per_iter: 1.0e-3,
+                    edges_per_sec: 1.0e9,
+                })
+                .collect(),
+        }];
+        emit_bench_runs(&runs)
+    }
+
+    #[test]
+    fn candidate_merge_unions_points_and_threads() {
+        let files = vec![
+            ("a.json".to_string(), run_text(2, &["serial", "rayon"])),
+            ("b.json".to_string(), run_text(2, &["serve_p99_rel10"])),
+        ];
+        let run = merge_candidate_runs(&files).unwrap();
+        assert_eq!(run.threads, Some(2));
+        assert_eq!(run.points.len(), 3);
+    }
+
+    #[test]
+    fn candidate_with_zero_points_is_a_hard_failure() {
+        // A headers-only scratch file (threads key, no kernel lines): the
+        // shape an interrupted emitter leaves behind. It must fail loudly,
+        // even alongside a healthy file.
+        let empty = "{\n  \"schema\": \"radix-bench-kernels/v4\",\n  \"threads\": 2,\n}\n";
+        let files = vec![
+            ("good.json".to_string(), run_text(2, &["serial"])),
+            ("empty.json".to_string(), empty.to_string()),
+        ];
+        let err = merge_candidate_runs(&files).unwrap_err();
+        assert!(err.contains("empty.json"), "{err}");
+        assert!(err.contains("zero kernel points"), "{err}");
+        // Same for a candidate list that is empty or holds several runs.
+        assert!(merge_candidate_runs(&[]).is_err());
+        let two_runs = emit_bench_runs(&[
+            parse_bench_runs(&run_text(1, &["a"])).remove(0),
+            parse_bench_runs(&run_text(2, &["b"])).remove(0),
+        ]);
+        let err = merge_candidate_runs(&[("multi.json".to_string(), two_runs)]).unwrap_err();
+        assert!(err.contains("exactly one run"), "{err}");
+    }
+
+    #[test]
+    fn candidate_thread_mismatch_is_a_hard_failure() {
+        let files = vec![
+            ("a.json".to_string(), run_text(1, &["serial"])),
+            ("b.json".to_string(), run_text(4, &["rayon"])),
+        ];
+        let err = merge_candidate_runs(&files).unwrap_err();
+        assert!(err.contains("different thread counts"), "{err}");
+    }
+
+    #[test]
+    fn baseline_selection_matches_width_and_rejects_empty_runs() {
+        let full = parse_bench_runs(&run_text(2, &["serial"])).remove(0);
+        let empty = BenchRun {
+            threads: Some(4),
+            points: Vec::new(),
+        };
+        let runs = vec![full.clone(), empty];
+        // Matched width with points: gates.
+        let (run, matched) = select_baseline_run(&runs, Some(2)).unwrap();
+        assert!(matched);
+        assert_eq!(run.threads, Some(2));
+        // Unmatched width: falls back to the first run, report-only pools.
+        let (run, matched) = select_baseline_run(&runs, Some(8)).unwrap();
+        assert!(!matched);
+        assert_eq!(run.threads, Some(2));
+        // Matched width whose run has zero points: the silent-pass bug —
+        // must now be a hard failure, not a vacuous success.
+        let err = select_baseline_run(&runs, Some(4)).unwrap_err();
+        assert!(err.contains("zero"), "{err}");
+        assert!(err.contains('4'), "{err}");
+        // No runs at all.
+        assert!(select_baseline_run(&[], Some(1)).is_err());
     }
 
     #[test]

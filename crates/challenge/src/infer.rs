@@ -20,7 +20,7 @@
 //! finishing each layer on the whole batch before starting the next (a
 //! full-batch barrier whose intermediate activations round-trip through
 //! memory), consecutive layers are grouped ([`fuse_layers`], env
-//! `RADIX_FUSE_LAYERS`, default 2) and each `FUSE_BLOCK_ROWS`-row block of
+//! `RADIX_FUSE_LAYERS`, default 2) and each `fuse_block_rows()`-row block of
 //! the batch is pushed through the whole group while its activations are
 //! still cache-hot. Group outputs ping-pong between the two main
 //! [`InferWorkspace`] buffers exactly as before; the within-group
@@ -43,19 +43,33 @@ use crate::config::ChallengeConfig;
 /// Default number of consecutive layers fused per row block.
 pub const DEFAULT_FUSE_LAYERS: usize = 2;
 
-/// Batch rows per fused block: the block's intermediate activations
-/// (`FUSE_BLOCK_ROWS × layer width` values, twice) must stay
-/// cache-resident across the group's layers.
-const FUSE_BLOCK_ROWS: usize = 32;
+/// Batch rows per fused block — the block's intermediate activations
+/// (`fuse_block_rows() × layer width` values, twice) must stay
+/// cache-resident across the group's layers. Shares the kernel engine's
+/// [`radix_sparse::kernel::block_rows`] tunable (`RADIX_BLOCK_ROWS` /
+/// profile / default 32) so one knob shapes every row-blocked schedule.
+#[inline]
+fn fuse_block_rows() -> usize {
+    radix_sparse::kernel::block_rows()
+}
 
-/// How many consecutive layers the forward pass fuses per row block:
+/// How many consecutive layers the forward pass fuses per row block,
+/// resolved with the tunable precedence (env > profile > default):
 /// `RADIX_FUSE_LAYERS` from the environment if set to a positive parseable
-/// `usize` (1 disables fusion), otherwise [`DEFAULT_FUSE_LAYERS`]. Read
-/// once and cached for the process lifetime.
+/// `usize` (1 disables fusion), else the persisted tuning profile's
+/// opinion at this thread count (see
+/// [`radix_sparse::kernel::profile`]), otherwise [`DEFAULT_FUSE_LAYERS`].
+/// Read once and cached for the process lifetime.
 #[must_use]
 pub fn fuse_layers() -> usize {
     static FUSE: OnceLock<usize> = OnceLock::new();
-    *FUSE.get_or_init(|| radix_sparse::kernel::env_usize("RADIX_FUSE_LAYERS", DEFAULT_FUSE_LAYERS))
+    *FUSE.get_or_init(|| {
+        radix_sparse::kernel::resolve_knob(
+            radix_sparse::kernel::env_usize_opt("RADIX_FUSE_LAYERS"),
+            radix_sparse::kernel::active_profile().and_then(|p| p.fuse_layers),
+            DEFAULT_FUSE_LAYERS,
+        )
+    })
 }
 
 /// A Challenge network instance: prepared sparse weight layers plus the
@@ -99,7 +113,7 @@ impl InferWorkspace {
             .map(PreparedWeights::ncols)
             .max()
             .unwrap_or(0);
-        let block = FUSE_BLOCK_ROWS.min(batch.max(1));
+        let block = fuse_block_rows().min(batch.max(1));
         let scratch = (0..rayon::current_num_threads())
             .map(|_| PingPong::with_capacity(block, widest))
             .collect();
@@ -347,7 +361,7 @@ impl ChallengeNetwork {
 /// Applies one fused layer group to the whole batch, `src → dst`.
 ///
 /// A single-layer group is one tiled product straight into `dst`. A deeper
-/// group cuts the batch into [`FUSE_BLOCK_ROWS`]-row blocks and chains each
+/// group cuts the batch into `fuse_block_rows()`-row blocks and chains each
 /// block through every layer of the group (intermediates in the worker's
 /// scratch ping-pong, final layer writing its slice of `dst` directly), so
 /// a block's activations never leave cache between layers. Parallel
@@ -379,14 +393,15 @@ fn forward_group<F: Fn(f32) -> f32 + Sync>(
         dst.as_mut_slice().fill(0.0);
         return;
     }
+    let brows = fuse_block_rows();
     if parallel {
         rayon::for_each_chunk_mut_with(
             dst.as_mut_slice(),
-            FUSE_BLOCK_ROWS * out_cols,
+            brows * out_cols,
             scratch,
             |pp, blk, chunk| {
                 let rows = chunk.len() / out_cols;
-                fused_block(group, src, blk * FUSE_BLOCK_ROWS, rows, chunk, pp, epi);
+                fused_block(group, src, blk * brows, rows, chunk, pp, epi);
             },
         );
     } else {
@@ -394,7 +409,7 @@ fn forward_group<F: Fn(f32) -> f32 + Sync>(
         let pp = &mut scratch[0];
         let mut start = 0usize;
         while start < batch {
-            let rows = FUSE_BLOCK_ROWS.min(batch - start);
+            let rows = brows.min(batch - start);
             let chunk = &mut slice[start * out_cols..(start + rows) * out_cols];
             fused_block(group, src, start, rows, chunk, pp, epi);
             start += rows;
@@ -483,7 +498,7 @@ mod tests {
         // The fused group schedule must be bitwise identical to the plain
         // one-layer-at-a-time reference, at batch sizes that exercise a
         // partial block, exactly one block, and several blocks (including
-        // a trailing partial one) of FUSE_BLOCK_ROWS = 32 rows.
+        // a trailing partial one) of fuse_block_rows() = 32 rows.
         let net = ChallengeNetwork::from_config(&ChallengeConfig::preset(2, 5, 3)).unwrap();
         let epi = net.epilogue();
         for batch in [1usize, 7, 31, 32, 33, 64, 80] {

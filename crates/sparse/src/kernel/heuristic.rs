@@ -23,11 +23,30 @@ pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 15;
 /// wrap it in their own `OnceLock` so the hot path pays one atomic load.
 #[must_use]
 pub fn env_usize(name: &str, default: usize) -> usize {
+    env_usize_opt(name).unwrap_or(default)
+}
+
+/// Like [`env_usize`] without the fallback: `Some` only when the variable
+/// is set to a positive parseable `usize`. The building block of the
+/// layered tunable resolution (env > persisted profile > default — see
+/// [`crate::kernel::profile::resolve_knob`]), where "unset" must stay
+/// distinguishable from "defaulted".
+#[must_use]
+pub fn env_usize_opt(name: &str) -> Option<usize> {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(default)
+}
+
+/// [`env_usize_opt`] admitting zero — for tunables where an explicit `0`
+/// is meaningful (the activation-sparsity threshold uses it to disable
+/// the scatter path).
+#[must_use]
+pub fn env_usize_opt_zero(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
 }
 
 /// The active parallelism threshold: `RADIX_PAR_THRESHOLD` from the
@@ -58,9 +77,11 @@ pub const DEFAULT_ACT_SPARSE_PERCENT: usize = 10;
 
 /// The active activation-sparsity crossover, as a **percent of nonzero
 /// activations**: a row block at or below this nonzero fraction runs the
-/// scatter-over-nonzeros schedule. `RADIX_ACT_SPARSE_THRESHOLD` from the
+/// scatter-over-nonzeros schedule. Resolved with the tunable precedence
+/// (env > profile > default): `RADIX_ACT_SPARSE_THRESHOLD` from the
 /// environment if set to a parseable `usize` (`0` disables the sparse
-/// path entirely; values ≥ 100 force it always), otherwise
+/// path entirely; values ≥ 100 force it always), else the persisted
+/// tuning profile's opinion at this thread count, otherwise
 /// [`DEFAULT_ACT_SPARSE_PERCENT`]. Read once and cached for the process
 /// lifetime.
 #[must_use]
@@ -69,10 +90,11 @@ pub fn act_sparse_percent() -> usize {
     // Unlike `env_usize`, an explicit `0` is meaningful here (it turns the
     // sparse path off), so parse without the positivity filter.
     *PERCENT.get_or_init(|| {
-        std::env::var("RADIX_ACT_SPARSE_THRESHOLD")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(DEFAULT_ACT_SPARSE_PERCENT)
+        crate::kernel::profile::resolve_knob(
+            env_usize_opt_zero("RADIX_ACT_SPARSE_THRESHOLD"),
+            crate::kernel::profile::active_profile().and_then(|p| p.act_sparse_percent),
+            DEFAULT_ACT_SPARSE_PERCENT,
+        )
     })
 }
 
@@ -87,8 +109,10 @@ mod tests {
 
     #[test]
     fn env_usize_falls_back_on_unset_or_bad_values() {
-        // Unset (names chosen to never exist) → default.
+        // Unset (names chosen to never exist) → default / None.
         assert_eq!(env_usize("RADIX_TEST_DEFINITELY_UNSET", 42), 42);
+        assert_eq!(env_usize_opt("RADIX_TEST_DEFINITELY_UNSET"), None);
+        assert_eq!(env_usize_opt_zero("RADIX_TEST_DEFINITELY_UNSET"), None);
         // Set values: this test cannot mutate the process environment
         // safely (other tests run concurrently), so the parse/filter arms
         // are covered indirectly by the tunables' own behavior.

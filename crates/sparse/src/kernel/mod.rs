@@ -47,15 +47,22 @@
 
 mod epilogue;
 mod heuristic;
+mod lanes;
 mod pingpong;
 mod prepared;
+pub mod profile;
 mod tiled;
 
 pub use epilogue::{Bias, Epilogue};
 pub use heuristic::{
-    act_sparse_percent, env_usize, par_threshold, use_parallel, DEFAULT_ACT_SPARSE_PERCENT,
-    DEFAULT_PAR_THRESHOLD,
+    act_sparse_percent, env_usize, env_usize_opt, env_usize_opt_zero, par_threshold, use_parallel,
+    DEFAULT_ACT_SPARSE_PERCENT, DEFAULT_PAR_THRESHOLD,
 };
+pub use lanes::LANE_WIDTH;
 pub use pingpong::PingPong;
 pub use prepared::PreparedWeights;
-pub use tiled::{tile_cols, ActivationSchedule, DEFAULT_TILE_COLS};
+pub use profile::{
+    active_profile, emit_profile, load_profile, parse_profile, profile_path, resolve_knob,
+    ProfileError, TuningProfile, DEFAULT_PROFILE_PATH, PROFILE_SCHEMA,
+};
+pub use tiled::{block_rows, tile_cols, ActivationSchedule, DEFAULT_BLOCK_ROWS, DEFAULT_TILE_COLS};

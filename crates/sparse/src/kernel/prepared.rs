@@ -24,9 +24,9 @@ use crate::dense::{AsDenseView, DenseMatrix, DenseView};
 use crate::error::SparseError;
 use crate::kernel::epilogue::Epilogue;
 use crate::kernel::heuristic::{act_sparse_percent, use_parallel};
+use crate::kernel::lanes;
 use crate::kernel::tiled::{
-    gather_t_block_csr, gather_t_block_ell, tile_cols, ActivationSchedule, ColumnTiles,
-    TILE_BLOCK_ROWS,
+    block_rows, gather_t_block_csr, gather_t_block_ell, tile_cols, ActivationSchedule, ColumnTiles,
 };
 use crate::scalar::Scalar;
 
@@ -541,7 +541,7 @@ impl<T: Scalar> PreparedWeights<T> {
     }
 
     /// Serial cache-tiled `out ← epi(X · W)`: a gather over column tiles,
-    /// tile-major over `TILE_BLOCK_ROWS` (32)-row blocks, so each tile's
+    /// tile-major over [`block_rows`]-row blocks (default 32), so each tile's
     /// entry list stays cache-resident across the row block and every
     /// output element is one register-accumulated dot product written
     /// exactly once. Falls back to [`PreparedWeights::spmm_into`] when no
@@ -594,9 +594,10 @@ impl<T: Scalar> PreparedWeights<T> {
         }
         let tiles = self.tiles.as_ref().expect("checked above");
         let slice = out.as_mut_slice();
-        for blk in 0..batch.div_ceil(TILE_BLOCK_ROWS) {
-            let start = blk * TILE_BLOCK_ROWS;
-            let rows = TILE_BLOCK_ROWS.min(batch - start);
+        let brows = block_rows();
+        for blk in 0..batch.div_ceil(brows) {
+            let start = blk * brows;
+            let rows = brows.min(batch - start);
             let block = &mut slice[start * ncols..(start + rows) * ncols];
             self.tiled_block(tiles, x, start, rows, block, epi, sched);
         }
@@ -720,8 +721,8 @@ impl<T: Scalar> PreparedWeights<T> {
     /// of `W` — so the tile-major schedule runs zero-copy over the
     /// existing storage: no [`PreparedWeights::tile`] call is required,
     /// and a tile's `width × degree` entry range is re-read from cache
-    /// across the whole `TILE_BLOCK_ROWS` (32)-row block instead of the
-    /// untiled kernel's full `indices`/`values` stream per batch row.
+    /// across the whole [`block_rows`]-row block (default 32) instead of
+    /// the untiled kernel's full `indices`/`values` stream per batch row.
     ///
     /// Accumulation order per output element is identical to
     /// [`PreparedWeights::spmm_transposed_into`], so results are bitwise
@@ -774,9 +775,10 @@ impl<T: Scalar> PreparedWeights<T> {
         }
         epi.assert_width(nout);
         let slice = out.as_mut_slice();
-        for blk in 0..batch.div_ceil(TILE_BLOCK_ROWS) {
-            let start = blk * TILE_BLOCK_ROWS;
-            let rows = TILE_BLOCK_ROWS.min(batch - start);
+        let brows = block_rows();
+        for blk in 0..batch.div_ceil(brows) {
+            let start = blk * brows;
+            let rows = brows.min(batch - start);
             let block = &mut slice[start * nout..(start + rows) * nout];
             self.gather_t_block(x, start, rows, block, width, epi);
         }
@@ -885,13 +887,13 @@ fn block_is_sparse<T: Scalar>(
 }
 
 /// Rows per parallel block: small enough for load balance across the pool,
-/// large enough (`TILE_BLOCK_ROWS` (32) at most) to amortize each tile's entry
-/// stream over several rows.
+/// large enough ([`block_rows`], default 32, at most) to amortize each
+/// tile's entry stream over several rows.
 fn par_block_rows(batch: usize) -> usize {
     let threads = rayon::current_num_threads();
     batch
         .div_ceil(threads.saturating_mul(2).max(1))
-        .clamp(1, TILE_BLOCK_ROWS)
+        .clamp(1, block_rows())
 }
 
 impl<T: Scalar> From<CsrMatrix<T>> for PreparedWeights<T> {
@@ -933,19 +935,11 @@ fn scatter_row_csr<T: Scalar>(xrow: &[T], w: &CsrMatrix<T>, orow: &mut [T]) {
 }
 
 /// One output row of `X · Wᵀ` in the ELL layout: each element is a
-/// fixed-length dot product over row `i` of `W`.
+/// fixed-length dot product over row `i` of `W`, lane-chunked through
+/// [`lanes::gather_rows_ell`] (bitwise identical to the scalar loop).
 #[inline]
 fn gather_row_ell<T: Scalar>(xrow: &[T], inds: &[usize], vals: &[T], d: usize, orow: &mut [T]) {
-    for (i, o) in orow.iter_mut().enumerate() {
-        let base = i * d;
-        let cols = &inds[base..base + d];
-        let ws = &vals[base..base + d];
-        let mut acc = T::ZERO;
-        for (&j, &wv) in cols.iter().zip(ws) {
-            acc = acc.add(xrow[j].mul(wv));
-        }
-        *o = acc;
-    }
+    lanes::gather_rows_ell(inds, vals, d, xrow, orow);
 }
 
 /// One output row of `X · Wᵀ` through CSR row slicing (irregular fallback).
@@ -953,11 +947,7 @@ fn gather_row_ell<T: Scalar>(xrow: &[T], inds: &[usize], vals: &[T], d: usize, o
 fn gather_row_csr<T: Scalar>(xrow: &[T], w: &CsrMatrix<T>, orow: &mut [T]) {
     for (i, o) in orow.iter_mut().enumerate() {
         let (cols, ws) = w.row(i);
-        let mut acc = T::ZERO;
-        for (&j, &wv) in cols.iter().zip(ws) {
-            acc = acc.add(xrow[j].mul(wv));
-        }
-        *o = acc;
+        *o = lanes::dot_idx(cols, ws, xrow);
     }
 }
 

@@ -54,6 +54,9 @@ use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::dense::DenseView;
 use crate::kernel::epilogue::Epilogue;
+use crate::kernel::heuristic::env_usize_opt;
+use crate::kernel::lanes;
+use crate::kernel::profile::{active_profile, resolve_knob};
 use crate::scalar::Scalar;
 
 /// Default output-column tile width (elements). Chosen by measuring the
@@ -64,20 +67,45 @@ use crate::scalar::Scalar;
 /// measure within a few percent.
 pub const DEFAULT_TILE_COLS: usize = 1024;
 
-/// The active column-tile width: `RADIX_TILE_COLS` from the environment if
-/// set to a positive parseable `usize`, otherwise [`DEFAULT_TILE_COLS`].
-/// Read once and cached for the process lifetime.
+/// The active column-tile width, resolved with the tunable precedence
+/// (env > profile > default): `RADIX_TILE_COLS` from the environment if
+/// set to a positive parseable `usize`, else the persisted tuning
+/// profile's opinion at this thread count ([`active_profile`]), otherwise
+/// [`DEFAULT_TILE_COLS`]. Read once and cached for the process lifetime.
 #[must_use]
 pub fn tile_cols() -> usize {
     static TILE: OnceLock<usize> = OnceLock::new();
-    *TILE.get_or_init(|| crate::kernel::heuristic::env_usize("RADIX_TILE_COLS", DEFAULT_TILE_COLS))
+    *TILE.get_or_init(|| {
+        resolve_knob(
+            env_usize_opt("RADIX_TILE_COLS"),
+            active_profile().and_then(|p| p.tile_cols),
+            DEFAULT_TILE_COLS,
+        )
+    })
 }
 
-/// Rows per block in the tile-major loop: one pass over a tile's entries
-/// serves this many batch rows, so the reordered weight data is re-read
-/// from cache `block / TILE_BLOCK_ROWS` times less often than the untiled
-/// per-row stream.
-pub(crate) const TILE_BLOCK_ROWS: usize = 32;
+/// Default rows per block in the tile-major loops ("chunk grain"): one
+/// pass over a tile's entries serves this many batch rows, so the
+/// reordered weight data is re-read from cache `block / block_rows` times
+/// less often than the untiled per-row stream.
+pub const DEFAULT_BLOCK_ROWS: usize = 32;
+
+/// The active tile-major row-block grain, resolved with the tunable
+/// precedence (env > profile > default): `RADIX_BLOCK_ROWS` from the
+/// environment if set to a positive parseable `usize`, else the persisted
+/// tuning profile's opinion at this thread count, otherwise
+/// [`DEFAULT_BLOCK_ROWS`]. Read once and cached for the process lifetime.
+#[must_use]
+pub fn block_rows() -> usize {
+    static ROWS: OnceLock<usize> = OnceLock::new();
+    *ROWS.get_or_init(|| {
+        resolve_knob(
+            env_usize_opt("RADIX_BLOCK_ROWS"),
+            active_profile().and_then(|p| p.block_rows),
+            DEFAULT_BLOCK_ROWS,
+        )
+    })
+}
 
 /// How the tiled forward kernels treat the input activations of each
 /// 32-row batch block.
@@ -228,11 +256,14 @@ impl<T: Scalar> ColumnTiles<T> {
 }
 
 /// One (tile, batch row) pass of the gather: `oseg[jl] = Σ x[src[e]]·w[e]`
-/// over each column's entry range. Deliberately `#[inline(never)]` and
-/// free of the epilogue type parameter: the loop is tight enough that its
-/// code placement measurably affects throughput, and keeping it a
-/// standalone symbol gives every consumer crate the same layout instead
-/// of whatever inlining context the call site happens to have.
+/// over each column's entry range, through the lane-chunked dot
+/// ([`lanes::dot_src_u32`]: `[T; 8]` product blocks folded in ascending
+/// entry order + scalar remainder — bitwise identical to the plain scalar
+/// loop). Deliberately `#[inline(never)]` and free of the epilogue type
+/// parameter: the loop is tight enough that its code placement measurably
+/// affects throughput, and keeping it a standalone symbol gives every
+/// consumer crate the same layout instead of whatever inlining context
+/// the call site happens to have.
 #[inline(never)]
 fn gather_tile_row<T: Scalar>(
     col_ptr: &[usize],
@@ -244,11 +275,7 @@ fn gather_tile_row<T: Scalar>(
     for (jl, o) in oseg.iter_mut().enumerate() {
         let lo = col_ptr[jl];
         let hi = col_ptr[jl + 1];
-        let mut acc = T::ZERO;
-        for (&i, &wv) in src[lo..hi].iter().zip(&vals[lo..hi]) {
-            acc = acc.add(xrow[i as usize].mul(wv));
-        }
-        *o = acc;
+        *o = lanes::dot_src_u32(&src[lo..hi], &vals[lo..hi], xrow);
     }
 }
 
@@ -297,9 +324,10 @@ pub(crate) fn gather_t_block_ell<T: Scalar, F: Fn(T) -> T + Sync>(
 
 /// One (tile, batch row) pass of the transposed gather in the ELL layout:
 /// `oseg[il] = Σ_e x[cols(e)]·w(e)` over local row `il`'s fixed-length
-/// entry slice. `#[inline(never)]` for the same code-placement stability
-/// reason as [`gather_tile_row`].
-#[inline(never)]
+/// entry slice, through the degree-specialized lane-chunked row loop
+/// ([`lanes::gather_rows_ell`] — bitwise identical to the plain scalar
+/// loop, with monomorphized bodies for whole-chunk degrees 8 and 16).
+#[inline]
 fn gather_t_tile_row_ell<T: Scalar>(
     tinds: &[usize],
     tvals: &[T],
@@ -307,14 +335,7 @@ fn gather_t_tile_row_ell<T: Scalar>(
     xrow: &[T],
     oseg: &mut [T],
 ) {
-    for (il, o) in oseg.iter_mut().enumerate() {
-        let lo = il * d;
-        let mut acc = T::ZERO;
-        for (&j, &wv) in tinds[lo..lo + d].iter().zip(&tvals[lo..lo + d]) {
-            acc = acc.add(xrow[j].mul(wv));
-        }
-        *o = acc;
-    }
+    lanes::gather_rows_ell(tinds, tvals, d, xrow, oseg);
 }
 
 /// [`gather_t_block_ell`] for irregular matrices: same tile-major loop,
@@ -342,11 +363,7 @@ pub(crate) fn gather_t_block_csr<T: Scalar, F: Fn(T) -> T + Sync>(
             let oseg = &mut out[b * nout + base..b * nout + base + width];
             for (il, o) in oseg.iter_mut().enumerate() {
                 let (cols, ws) = csr.row(base + il);
-                let mut acc = T::ZERO;
-                for (&j, &wv) in cols.iter().zip(ws) {
-                    acc = acc.add(xrow[j].mul(wv));
-                }
-                *o = acc;
+                *o = lanes::dot_idx(cols, ws, xrow);
             }
             epi.apply_cols(oseg, base);
         }
@@ -492,5 +509,11 @@ mod tests {
         // just pin that the cached value is positive and stable.
         assert!(tile_cols() > 0);
         assert_eq!(tile_cols(), tile_cols());
+    }
+
+    #[test]
+    fn block_rows_is_positive_and_stable() {
+        assert!(block_rows() > 0);
+        assert_eq!(block_rows(), block_rows());
     }
 }
